@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the framework's own components (not the paper's
+results): compile throughput, timing-model evaluation speed, and a full
+ifko search.  These guard the tool's usability — an iterative compiler
+is only as good as its iteration rate."""
+
+import pytest
+
+from repro.fko import FKO, TransformParams
+from repro.kernels import get_kernel
+from repro.machine import Context, pentium4e, summarize, time_kernel
+from repro.search import tune_kernel
+
+P4E = pentium4e()
+DDOT = get_kernel("ddot")
+
+
+def test_compile_ddot_defaults(benchmark):
+    fko = FKO(P4E)
+    result = benchmark(lambda: fko.compile(DDOT.hil))
+    assert result.fn.loop is not None
+
+
+def test_compile_ddot_heavy(benchmark):
+    fko = FKO(P4E)
+    params = TransformParams(sv=True, unroll=16, ae=4)
+    result = benchmark(lambda: fko.compile(DDOT.hil, params))
+    assert result.applied["unroll"] == 16
+
+
+def test_timing_model_out_of_cache(benchmark):
+    k = FKO(P4E).compile(DDOT.hil)
+    summ = summarize(k.fn)
+    res = benchmark(lambda: time_kernel(summ, P4E,
+                                        Context.OUT_OF_CACHE, 80000))
+    assert res.cycles > 0
+
+
+def test_timing_model_in_l2(benchmark):
+    k = FKO(P4E).compile(DDOT.hil)
+    summ = summarize(k.fn)
+    res = benchmark(lambda: time_kernel(summ, P4E, Context.IN_L2, 1024))
+    assert res.cycles > 0
+
+
+def test_full_ifko_search_ddot(benchmark):
+    res = benchmark.pedantic(
+        lambda: tune_kernel(DDOT, P4E, Context.OUT_OF_CACHE, 20000,
+                            run_tester=False),
+        rounds=1, iterations=1)
+    assert res.search.n_evaluations > 10
+
+
+def test_interpreter_throughput(benchmark):
+    import numpy as np
+    from repro.machine import run_function
+    k = FKO(P4E).compile(DDOT.hil, TransformParams(sv=True, unroll=4))
+    X = np.ones(512)
+    Y = np.ones(512)
+    res = benchmark(lambda: run_function(
+        k.fn, {"X": X.copy(), "Y": Y.copy()}, {"N": 512}))
+    assert res.ret == pytest.approx(512.0)

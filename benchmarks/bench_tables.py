@@ -1,0 +1,35 @@
+"""Benchmarks regenerating the paper's tables.
+
+* Table 1 — BLAS summary (static; render speed only).
+* Table 2 — platform/compiler info (static).
+* Table 3 — the empirically selected transformation parameters for all
+  14 kernels x 3 (machine, context) configurations.  This is the big
+  one: it runs 42 complete ifko searches (memoized in the shared store).
+"""
+
+from conftest import save_result
+
+from repro.experiments import table1, table2
+from repro.experiments.table3 import table3
+
+
+def test_table1(benchmark, results_dir):
+    text = benchmark(table1.render)
+    save_result(results_dir, "table1.txt", text)
+    assert "iamax" in text
+
+
+def test_table2(benchmark, results_dir):
+    text = benchmark(table2.render)
+    save_result(results_dir, "table2.txt", text)
+    assert "P4E" in text and "Opteron" in text
+
+
+def test_table3(benchmark, store, results_dir):
+    result = benchmark.pedantic(lambda: table3(store),
+                                rounds=1, iterations=1)
+    text = result.render()
+    save_result(results_dir, "table3.txt", text)
+    # every kernel row present, with the three config column groups
+    assert len(result.rows) == 14
+    assert len(result.headers) == 1 + 3 * 4

@@ -1,0 +1,36 @@
+"""Benchmark-suite fixtures.
+
+One memoized result store is shared by every figure/table benchmark, so
+the expensive tuning sweeps are computed once per pytest session (the
+first benchmark touching a configuration pays for it — exactly like an
+ATLAS install).  Rendered outputs are also written to ``results/``.
+
+Sizes: quick (N=20000 out-of-cache) by default; set ``REPRO_FULL=1``
+for the paper's N=80000.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.store import ResultStore
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def store():
+    return ResultStore()   # honors REPRO_FULL
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")

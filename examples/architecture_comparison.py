@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Architecture adaptation — and the cost of not adapting.
+
+Reproduces the paper's sharpest anecdote (section 3.3): a profiling
+compiler that "blindly applies WNT" because the profile says the loop
+is long does great on the P4E and is disastrous on the Opteron, while
+the empirical search "tries it, sees the slowdown, and therefore does
+not use it."
+
+Also demonstrates the section 3.2 anecdote: icc refuses to vectorize
+the ATLAS loop form until the source is rewritten.
+"""
+
+from repro import Context, get_kernel, get_machine, tune_kernel
+from repro.refcomp import Icc, IccProf
+from repro.reporting import format_table
+
+N = 80000
+
+
+def main() -> int:
+    rows = []
+    for mname in ("p4e", "opteron"):
+        machine = get_machine(mname)
+        for kname in ("dswap", "daxpy", "dcopy"):
+            spec = get_kernel(kname)
+            ref = Icc().build(spec, machine, Context.OUT_OF_CACHE, N)
+            prof = IccProf().build(spec, machine, Context.OUT_OF_CACHE, N)
+            ifko = tune_kernel(spec, machine, Context.OUT_OF_CACHE, N,
+                               run_tester=False)
+            rows.append([machine.name, kname,
+                         f"{ref.mflops:.0f}", f"{prof.mflops:.0f}",
+                         f"{ifko.mflops:.0f}",
+                         "Y" if ifko.params.wnt else "N"])
+    print(format_table(
+        ["machine", "kernel", "icc+ref", "icc+prof", "ifko", "ifko WNT?"],
+        rows, title="Blind profiling vs empirical tuning (MFLOPS)"))
+
+    print("""
+On the P4E, icc+prof's blanket WNT is fine (streaming stores want it).
+On the Opteron it wrecks swap/axpy — the write-combining buffers flush
+on read-write streams — while the empirical search simply measures the
+slowdown and leaves WNT off.  Note ifko *does* keep WNT for dcopy on
+the Opteron, where the output is write-only.
+""")
+
+    # --- the loop-form anecdote (section 3.2) ---------------------------
+    spec = get_kernel("ddot")
+    machine = get_machine("p4e")
+    orig = Icc().build(spec, machine, Context.OUT_OF_CACHE, N,
+                       modified_source=False)
+    fixed = Icc().build(spec, machine, Context.OUT_OF_CACHE, N,
+                        modified_source=True)
+    print("icc and the ATLAS loop form, ddot on the P4E:")
+    print(f"  for(i=N; i; i--)   (original ATLAS form): "
+          f"{orig.mflops:7.1f} MFLOPS  (not vectorized)")
+    print(f"  for(i=0; i<N; i++) (modified form):       "
+          f"{fixed.mflops:7.1f} MFLOPS  (vectorized)")
+    assert fixed.mflops >= orig.mflops
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Context adaptation (paper section 3.3, Figure 4 / Table 3).
+
+"In addition to adapting to the architecture, empirical methods can be
+utilized to tune a kernel to the particular context in which it is
+being used" — the same kernel wants different parameters when its
+operands are already resident in L2 than when they stream from memory.
+
+This example tunes several kernels for both contexts on the P4E and
+shows how the chosen parameters diverge: out of cache, prefetch
+distance rules; in cache, WNT turns off and computational optimizations
+(unrolling, accumulator expansion) take over.
+"""
+
+from repro import Context, get_kernel, pentium4e, tune_kernel
+from repro.reporting import format_table
+
+KERNELS = ("ddot", "sasum", "dcopy", "dswap")
+
+
+def main() -> int:
+    machine = pentium4e()
+    rows = []
+    for name in KERNELS:
+        spec = get_kernel(name)
+        oc = tune_kernel(spec, machine, Context.OUT_OF_CACHE, 80000)
+        ic = tune_kernel(spec, machine, Context.IN_L2, 1024)
+        rows.append([name, "out-of-cache", f"{oc.mflops:.0f}",
+                     oc.params.describe()])
+        rows.append([name, "in-L2", f"{ic.mflops:.0f}",
+                     ic.params.describe()])
+
+        # cross-context sanity: running the out-of-cache-tuned kernel
+        # in cache is worse than the in-cache-tuned one
+        from repro.machine import summarize, time_kernel
+        cross = time_kernel(summarize(oc.compiled.fn), machine,
+                            Context.IN_L2, 1024)
+        mismatch = cross.cycles / (ic.timing.cycles or 1)
+        rows.append(["", "-> oc params run in-L2", "",
+                     f"{mismatch:.2f}x slower than in-L2-tuned"])
+
+    print(format_table(["kernel", "tuned for", "MFLOPS", "parameters"],
+                       rows,
+                       title="Context adaptation on the simulated P4E"))
+    print("\nNote how WNT flips off in-cache, prefetch shrinks in "
+          "importance,\nand in-cache reductions lean on AE — the paper's "
+          "section 3.3 story.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Beyond Level 1: tuning a nested-loop (Level 2 BLAS) kernel.
+
+The paper's closing argument is that keeping the search inside the
+compiler generalizes it "to tune almost any floating point kernel" —
+and notes early (untuned) wins on higher-level BLAS.  This example
+writes dgemv (y = A x, row-major) as two nested HIL loops, marks the
+inner dot-product loop with @TUNE, and runs the ifko machinery on it.
+
+Things to notice in the output:
+
+* the alignment analysis reports that *no* array is provably aligned
+  (each row of A starts at an arbitrary offset), so the vectorizer
+  emits unaligned vector loads (movups-style `vldu`);
+* the runtime pointer reset ``X -= N`` between rows lowers to an
+  IMUL/SUB pair;
+* the inner-loop search still finds vectorization + accumulator
+  expansion + prefetch worthwhile, exactly as for Level 1 dot.
+"""
+
+import numpy as np
+
+from repro import Context, FKO, pentium4e
+from repro.ir import format_function
+from repro.kernels.blas2 import get_blas2, run_blas2
+from repro.machine import summarize, time_kernel
+from repro.search import LineSearch, build_space
+from repro.timing.timer import Timer
+
+M, N = 64, 1024   # row length dominates: inner loop is what matters
+
+
+def main() -> int:
+    spec = get_blas2("dgemv")
+    machine = pentium4e()
+    fko = FKO(machine)
+
+    print("=== dgemv: nested loops, @TUNE on the inner dot loop ===\n")
+    analysis = fko.analyze(spec.hil)
+    print(analysis.describe())
+    print(f"provably aligned arrays: {sorted(analysis.aligned_arrays) or '{}'}"
+          " (rows of A start anywhere -> unaligned vector ops)\n")
+
+    timer = Timer(machine, Context.OUT_OF_CACHE, M * N)
+
+    def evaluate(params):
+        compiled = fko.compile(spec.hil, params)
+        summ = summarize(compiled.fn)
+        return timer.time_summary(summ, spec.flops(M, N),
+                                  ident=str(params.key())).cycles
+
+    space = build_space(analysis, machine)
+    start = fko.defaults(spec.hil)
+    result = LineSearch(evaluate, space, start,
+                        output_arrays=analysis.output_arrays).run()
+    best = fko.compile(spec.hil, result.best_params)
+    timing = timer.time_summary(summarize(best.fn), spec.flops(M, N),
+                                ident="best")
+
+    print(f"FKO defaults -> tuned inner loop: "
+          f"{result.speedup_over_start:.2f}x in {result.n_evaluations} evals")
+    print(f"tuned: {timing.mflops:.1f} model-MFLOPS with "
+          f"{result.best_params.describe()}\n")
+
+    # verify against NumPy for a spread of shapes
+    rng = np.random.default_rng(11)
+    for m, n in ((1, 1), (3, 5), (7, 23), (16, 64), (5, 1000)):
+        got, want = run_blas2(best.fn, spec, m, n, rng)
+        assert np.allclose(got["Y"], want["Y"], rtol=1e-11), (m, n)
+        print(f"  gemv {m:4d}x{n:<5d} matches NumPy")
+
+    print("\ninner loop of the tuned kernel:")
+    text = format_function(best.fn)
+    in_loop = False
+    for line in text.splitlines():
+        if "<loop body>" in line:
+            in_loop = True
+        elif line.endswith(":") and in_loop:
+            break
+        if in_loop:
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

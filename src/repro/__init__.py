@@ -1,0 +1,66 @@
+"""repro — a reproduction of "Tuning High Performance Kernels through
+Empirical Compilation" (Whaley & Whalley, ICPP 2005).
+
+The package implements the paper's complete system, in Python:
+
+* **HIL** (:mod:`repro.hil`) — the kernel input language;
+* **FKO** (:mod:`repro.fko`) — the specialized backend compiler with
+  the paper's fundamental (SV, UR, LC, AE, PF, WNT) and repeatable
+  (copy propagation, peephole, register allocation, control-flow
+  cleanup) transformations;
+* **ifko** (:mod:`repro.search`) — the iterative/empirical driver:
+  analysis-seeded modified line search over the transform space;
+* **machines** (:mod:`repro.machine`) — cycle-approximate simulations
+  of the paper's Pentium 4E and Opteron testbeds (the one substitution,
+  see DESIGN.md), plus a functional interpreter for correctness;
+* **baselines** (:mod:`repro.refcomp`, :mod:`repro.atlas`) — modeled
+  gcc/icc/icc+prof and the ATLAS hand-tuned kernel search;
+* **experiments** (:mod:`repro.experiments`) — regenerate every table
+  and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import pentium4e, tune_kernel, Context, get_kernel
+
+    spec = get_kernel("ddot")
+    tuned = tune_kernel(spec, pentium4e(), Context.OUT_OF_CACHE, 80000)
+    print(tuned.mflops, tuned.params.describe())
+"""
+
+from .errors import (HILError, HILSemanticError, HILSyntaxError, IRError,
+                     IRVerifyError, KernelTestFailure, MachineError,
+                     RegisterPressureError, ReproError, SearchError,
+                     SimulationFault, TransformError)
+from .fko import (FKO, CompiledKernel, KernelAnalysis, PrefetchParams,
+                  TransformParams, compile_kernel, fko_defaults)
+from .hil import compile_hil
+from .kernels import KERNEL_ORDER, KernelSpec, all_kernels, get_kernel
+from .machine import (Context, MachineConfig, get_machine, opteron,
+                      pentium4e, run_function, summarize, time_kernel)
+from .search import (LineSearch, SearchResult, TunedKernel, build_space,
+                     compile_default, tune_kernel)
+from .timing import Timer, test_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "HILError", "HILSemanticError", "HILSyntaxError", "IRError",
+    "IRVerifyError", "KernelTestFailure", "MachineError",
+    "RegisterPressureError", "ReproError", "SearchError",
+    "SimulationFault", "TransformError",
+    # compiler
+    "FKO", "CompiledKernel", "KernelAnalysis", "PrefetchParams",
+    "TransformParams", "compile_kernel", "fko_defaults", "compile_hil",
+    # kernels
+    "KERNEL_ORDER", "KernelSpec", "all_kernels", "get_kernel",
+    # machines
+    "Context", "MachineConfig", "get_machine", "opteron", "pentium4e",
+    "run_function", "summarize", "time_kernel",
+    # search
+    "LineSearch", "SearchResult", "TunedKernel", "build_space",
+    "compile_default", "tune_kernel",
+    # timing
+    "Timer", "test_kernel",
+    "__version__",
+]

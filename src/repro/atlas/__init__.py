@@ -1,0 +1,8 @@
+"""The ATLAS baseline: hand-tuned kernel variants + empirical selection."""
+
+from .handtuned import build_dual_indexed_copy, build_vector_iamax
+from .variants import Candidate, Variant, variants_for
+from .search import AtlasResult, atlas_search
+
+__all__ = ["build_dual_indexed_copy", "build_vector_iamax", "Candidate",
+           "Variant", "variants_for", "AtlasResult", "atlas_search"]

@@ -1,0 +1,260 @@
+"""Command-line driver — the reproduction's ``ifko`` binary.
+
+The paper's system is a compiler plus search drivers invoked from the
+command line; this module provides the same ergonomics::
+
+    python -m repro analyze ddot --machine p4e
+    python -m repro compile ddot --machine p4e --unroll 4 --ae 2 \\
+        --prefetch X=nta:512 --asm
+    python -m repro tune dasum --machine opteron --context oc
+    python -m repro kernels
+    python -m repro experiments fig2 table3
+
+``analyze``/``compile``/``tune`` accept either a built-in kernel name
+(``ddot``, ``isamax``, ...) or a path to a ``.hil`` source file, so the
+tool works on user kernels exactly like the shipped ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Tuple
+
+from .fko import FKO, PrefetchParams, TransformParams
+from .ir import PrefetchHint, emit_att, format_function
+from .kernels import KERNEL_ORDER, REGISTRY, get_kernel
+from .kernels.blas1 import KernelSpec
+from .machine import Context, get_machine
+from .search import LineSearch, build_space
+from .timing.tester import test_function
+from .timing.timer import Timer, paper_n
+
+
+def _load_source(name_or_path: str) -> Tuple[str, Optional[KernelSpec]]:
+    """Resolve a kernel argument: registry name or .hil file path."""
+    if name_or_path in REGISTRY:
+        spec = get_kernel(name_or_path)
+        return spec.hil, spec
+    path = pathlib.Path(name_or_path)
+    if path.suffix == ".hil" or path.exists():
+        return path.read_text(), None
+    raise SystemExit(
+        f"error: {name_or_path!r} is neither a built-in kernel "
+        f"({', '.join(KERNEL_ORDER)}) nor a .hil file")
+
+
+def _context(value: str) -> Context:
+    if value.lower() in ("oc", "ooc", "out", "out-of-cache"):
+        return Context.OUT_OF_CACHE
+    if value.lower() in ("ic", "inl2", "in-l2", "in-cache"):
+        return Context.IN_L2
+    raise argparse.ArgumentTypeError(f"unknown context {value!r}")
+
+
+def _parse_prefetch(items) -> dict:
+    """``X=nta:512`` pairs -> prefetch dict."""
+    out = {}
+    for item in items or ():
+        try:
+            arr, rest = item.split("=", 1)
+            hint_s, dist_s = rest.split(":", 1)
+            hint = None if hint_s == "none" else PrefetchHint(hint_s)
+            out[arr] = PrefetchParams(hint, int(dist_s))
+        except (ValueError, KeyError) as exc:
+            raise SystemExit(f"error: bad --prefetch {item!r} "
+                             f"(want ARRAY=hint:distance): {exc}")
+    return out
+
+
+def _params_from_args(args) -> TransformParams:
+    return TransformParams(
+        sv=not args.no_sv,
+        unroll=args.unroll,
+        lc=not args.no_lc,
+        ae=args.ae,
+        wnt=args.wnt,
+        block_fetch=args.block_fetch,
+        prefetch=_parse_prefetch(args.prefetch),
+        register_allocation=args.regalloc,
+    )
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+
+def cmd_kernels(args) -> int:
+    print("built-in kernels (paper Table 1):")
+    for name in KERNEL_ORDER:
+        spec = get_kernel(name)
+        print(f"  {name:8s} {spec.ctype:7s} flops={spec.flops_per_elem}N "
+              f"vectors={','.join(spec.vector_args)}"
+              + (f" scalars={','.join(spec.scalar_args)}"
+                 if spec.scalar_args else ""))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    source, _ = _load_source(args.kernel)
+    machine = get_machine(args.machine)
+    fko = FKO(machine)
+    print(f"# FKO analysis of {args.kernel} for {machine.name}")
+    print(fko.analyze(source).describe())
+    return 0
+
+
+def cmd_compile(args) -> int:
+    source, spec = _load_source(args.kernel)
+    machine = get_machine(args.machine)
+    fko = FKO(machine)
+    params = _params_from_args(args)
+    compiled = fko.compile(source, params, debug_verify=True)
+    if args.test:
+        if spec is None:
+            print("warning: --test requires a built-in kernel "
+                  "(no reference for user sources)", file=sys.stderr)
+        else:
+            test_function(compiled.fn, spec)
+            print(f"# tester: {spec.name} OK", file=sys.stderr)
+    print(f"# applied: {compiled.applied}", file=sys.stderr)
+    if args.asm:
+        print(emit_att(compiled.fn, comment_ir=args.verbose))
+    else:
+        print(format_function(compiled.fn))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    source, spec = _load_source(args.kernel)
+    machine = get_machine(args.machine)
+    context = args.context
+    n = args.n or paper_n(context)
+    fko = FKO(machine)
+    analysis = fko.analyze(source)
+    if not analysis.has_tuned_loop:
+        raise SystemExit("error: no @TUNE loop in kernel")
+
+    timer = Timer(machine, context, n)
+    flops = (spec.flops(n) if spec is not None
+             else analysis.elem.size * n)  # bytes as a neutral unit
+
+    def evaluate(params: TransformParams) -> float:
+        k = fko.compile(source, params)
+        from .machine import summarize
+        return timer.time_summary(summarize(k.fn), flops,
+                                  ident=str(params.key())).cycles
+
+    space = build_space(analysis, machine,
+                        enable_block_fetch=args.enable_block_fetch)
+    start = fko.defaults(source)
+    result = LineSearch(evaluate, space, start,
+                        max_evals=args.max_evals,
+                        output_arrays=analysis.output_arrays).run()
+
+    best = fko.compile(source, result.best_params)
+    if spec is not None:
+        test_function(best.fn, spec)
+    from .machine import summarize
+    timing = timer.time_summary(summarize(best.fn), flops, ident="best")
+
+    print(f"# ifko: {args.kernel} on {machine.name}, {context.value}, N={n}")
+    print(f"# evaluations: {result.n_evaluations}, "
+          f"speedup over FKO defaults: {result.speedup_over_start:.2f}x")
+    print(f"# best parameters: {result.best_params.describe()}")
+    if spec is not None:
+        print(f"# performance: {timing.mflops:.1f} model-MFLOPS")
+    gains = [(p, g) for p, g in result.phase_speedups().items()
+             if abs(g - 1) > 0.002]
+    if gains:
+        print("# gains: " + "  ".join(f"{p}={100 * (g - 1):+.1f}%"
+                                      for p, g in gains))
+    if args.asm:
+        print(emit_att(best.fn))
+    elif args.verbose:
+        print(format_function(best.fn))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .experiments.__main__ import main as exp_main
+    return exp_main(args.which)
+
+
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ifko reproduction: empirical compilation of floating "
+                    "point kernels on simulated 2005 x86 machines")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list built-in kernels").set_defaults(
+        func=cmd_kernels)
+
+    def add_common(p):
+        p.add_argument("kernel", help="built-in kernel name or .hil file")
+        p.add_argument("--machine", "-m", default="p4e",
+                       help="p4e or opteron (default p4e)")
+
+    pa = sub.add_parser("analyze",
+                        help="run FKO's analysis phase and print the report")
+    add_common(pa)
+    pa.set_defaults(func=cmd_analyze)
+
+    pc = sub.add_parser("compile",
+                        help="compile once with explicit parameters")
+    add_common(pc)
+    pc.add_argument("--no-sv", action="store_true",
+                    help="disable SIMD vectorization")
+    pc.add_argument("--unroll", "-u", type=int, default=1)
+    pc.add_argument("--no-lc", action="store_true",
+                    help="disable loop-control optimization")
+    pc.add_argument("--ae", type=int, default=1,
+                    help="number of accumulators (1 = off)")
+    pc.add_argument("--wnt", action="store_true",
+                    help="non-temporal stores on output arrays")
+    pc.add_argument("--block-fetch", action="store_true")
+    pc.add_argument("--prefetch", "-p", action="append", metavar="X=nta:512",
+                    help="per-array prefetch (repeatable)")
+    pc.add_argument("--regalloc", choices=("global", "local", "off"),
+                    default="global")
+    pc.add_argument("--asm", action="store_true",
+                    help="emit AT&T assembly instead of IR")
+    pc.add_argument("--test", action="store_true",
+                    help="verify against the NumPy reference")
+    pc.add_argument("--verbose", "-v", action="store_true")
+    pc.set_defaults(func=cmd_compile)
+
+    pt = sub.add_parser("tune", help="run the full ifko empirical search")
+    add_common(pt)
+    pt.add_argument("--context", "-c", type=_context,
+                    default=Context.OUT_OF_CACHE,
+                    help="oc (out-of-cache) or ic (in-L2)")
+    pt.add_argument("--n", type=int, default=None,
+                    help="problem size (default: paper sizes)")
+    pt.add_argument("--max-evals", type=int, default=400)
+    pt.add_argument("--enable-block-fetch", action="store_true",
+                    help="make the BF extension searchable")
+    pt.add_argument("--asm", action="store_true",
+                    help="emit the tuned kernel as AT&T assembly")
+    pt.add_argument("--verbose", "-v", action="store_true")
+    pt.set_defaults(func=cmd_tune)
+
+    pe = sub.add_parser("experiments",
+                        help="regenerate the paper's tables and figures")
+    pe.add_argument("which", nargs="*",
+                    help="subset, e.g. fig2 table3 (default: all)")
+    pe.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError` so that
+callers can catch the whole family with one handler.  Sub-hierarchies mirror
+the pipeline stages: HIL front end, IR construction/verification, transform
+legality, machine simulation, and search.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro package."""
+
+
+class HILError(ReproError):
+    """Base class for errors in the HIL front end."""
+
+
+class HILSyntaxError(HILError):
+    """Raised by the lexer/parser on malformed HIL source.
+
+    Carries the 1-based ``line`` and ``col`` of the offending token when
+    known so that error messages can point at the source location.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        if line:
+            message = f"{line}:{col}: {message}"
+        super().__init__(message)
+
+
+class HILSemanticError(HILError):
+    """Raised by semantic analysis (type errors, undeclared names, bad
+    markup, aliasing violations declared without mark-up, ...)."""
+
+
+class IRError(ReproError):
+    """Base class for errors at the IR layer."""
+
+
+class IRVerifyError(IRError):
+    """Raised by the IR verifier when a function violates an invariant."""
+
+
+class TransformError(ReproError):
+    """Raised when a transform is asked to do something illegal.
+
+    The FKO transforms are *queried* for legality first (via the analysis
+    phase); applying a transform whose preconditions do not hold raises
+    this instead of producing wrong code.
+    """
+
+
+class RegisterPressureError(TransformError):
+    """Raised by the register allocator when even spilling cannot produce a
+    valid allocation (e.g. a single instruction needs more registers than
+    the machine has)."""
+
+
+class MachineError(ReproError):
+    """Base class for errors in the simulated machine."""
+
+
+class SimulationFault(MachineError):
+    """Raised by the functional interpreter on faults: out-of-bounds
+    access, unaligned vector access, executing an unknown opcode,
+    use of an undefined register, or exceeding the instruction budget."""
+
+
+class SearchError(ReproError):
+    """Raised by the search drivers on misconfiguration (empty parameter
+    space, budget <= 0, ...)."""
+
+
+class KernelTestFailure(ReproError):
+    """Raised by the tester when a compiled kernel's output disagrees with
+    the reference implementation."""

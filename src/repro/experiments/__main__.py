@@ -1,0 +1,45 @@
+"""Run every experiment harness and print the paper's tables/figures.
+
+Usage::
+
+    python -m repro.experiments            # quick sizes (N=20000 ooc)
+    REPRO_FULL=1 python -m repro.experiments   # paper sizes (N=80000)
+    python -m repro.experiments fig2 table3    # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import fig5, fig7, relative, table1, table2
+from .table3 import table3 as make_table3
+from .store import global_store
+
+
+def main(argv) -> int:
+    wanted = set(a.lower() for a in argv) or {
+        "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig7"}
+    store = global_store()
+    t0 = time.time()
+    print(f"# repro experiment suite "
+          f"({'quick' if store.quick else 'paper'} sizes)\n")
+    if "table1" in wanted:
+        print(table1.render(), "\n")
+    if "table2" in wanted:
+        print(table2.render(), "\n")
+    for w, num in (("fig2", 2), ("fig3", 3), ("fig4", 4)):
+        if w in wanted:
+            print(relative.render_figure(num, store), "\n")
+    if "fig5" in wanted:
+        print(fig5.figure5(store).render(), "\n")
+    if "table3" in wanted:
+        print(make_table3(store).render(), "\n")
+    if "fig7" in wanted:
+        print(fig7.figure7(store).render(), "\n")
+    print(f"# done in {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,62 @@
+"""Figure 5 — absolute BLAS performance of ifko-tuned kernels.
+
+(a) out-of-cache MFLOPS per routine on both machines ("the more
+bus-bound an operation is, the worse the performance; ASUM ... is
+always the fastest routine, with single precision always faster than
+double");
+
+(b) speedup of P4E in-L2 timings over out-of-cache per routine ("a very
+good measure of how bus-bound an operation is").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..kernels import KERNEL_ORDER
+from ..machine import Context, opteron, pentium4e
+from ..reporting import bar_chart, format_table
+from .store import ResultStore, global_store
+
+
+@dataclass
+class Figure5:
+    kernels: List[str]
+    ooc_mflops: Dict[str, List[float]]      # machine -> per-kernel MFLOPS
+    incache_speedup: List[float]            # P4E in-L2 / out-of-cache
+
+    def render(self) -> str:
+        a = bar_chart(self.kernels, self.ooc_mflops,
+                      title="Figure 5(a). ifko MFLOPS, out of cache",
+                      unit=" MF")
+        b = bar_chart(self.kernels, {"in-L2/ooc": self.incache_speedup},
+                      title="Figure 5(b). P4E in-L2 speedup over "
+                            "out-of-cache", unit="x")
+        rows = [[k] + [self.ooc_mflops[m][i] for m in self.ooc_mflops]
+                + [self.incache_speedup[i]]
+                for i, k in enumerate(self.kernels)]
+        t = format_table(["kernel"] + list(self.ooc_mflops) + ["inL2/ooc"],
+                         rows, title="Figure 5 data")
+        return "\n\n".join([a, b, t])
+
+
+def figure5(store: Optional[ResultStore] = None) -> Figure5:
+    store = store or global_store()
+    p4e, opt = pentium4e(), opteron()
+    kernels = list(KERNEL_ORDER)
+
+    ooc: Dict[str, List[float]] = {"P4E": [], "Opteron": []}
+    speedup: List[float] = []
+    for k in kernels:
+        r_p4 = store.get(p4e, Context.OUT_OF_CACHE, k, "ifko")
+        r_op = store.get(opt, Context.OUT_OF_CACHE, k, "ifko")
+        r_ic = store.get(p4e, Context.IN_L2, k, "ifko")
+        ooc["P4E"].append(r_p4.mflops)
+        ooc["Opteron"].append(r_op.mflops)
+        speedup.append(r_ic.mflops / r_p4.mflops if r_p4.mflops else 0.0)
+    return Figure5(kernels=kernels, ooc_mflops=ooc, incache_speedup=speedup)
+
+
+if __name__ == "__main__":
+    print(figure5().render())

@@ -1,0 +1,123 @@
+"""Figures 2-4 — relative speedups of the tuning methodologies.
+
+"For each kernel, we find the mechanism that gave the best kernel
+performance, and all other results are divided by that number ...  The
+second-to-last column (AVG) gives the average over all studied
+routines, and the last column (VAVG) gives the average for the
+operations where SIMD vectorization was successfully supplied; in
+practice, this means the average of all routines excluding iamax."
+(section 3.3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..kernels import KERNEL_ORDER
+from ..machine import Context
+from ..machine.config import MachineConfig
+from ..reporting import bar_chart, format_table
+from .store import METHODS, MethodResult, ResultStore, global_store
+
+
+@dataclass
+class RelativeResult:
+    machine: str
+    context: Context
+    n: int
+    kernels: List[str]                      # display names (stars applied)
+    mflops: Dict[str, List[float]]          # method -> per-kernel
+    percent: Dict[str, List[float]]         # method -> percent of best
+    avg: Dict[str, float]
+    vavg: Dict[str, float]
+
+    def best_method_on_average(self) -> str:
+        return max(self.avg, key=self.avg.get)
+
+    def table_rows(self) -> List[List[object]]:
+        rows = []
+        for m in METHODS:
+            rows.append([m] + [round(v, 1) for v in self.percent[m]]
+                        + [round(self.avg[m], 1), round(self.vavg[m], 1)])
+        return rows
+
+    def render(self, title: str) -> str:
+        headers = ["method"] + self.kernels + ["AVG", "VAVG"]
+        table = format_table(headers, self.table_rows(), title=title)
+        chart = bar_chart(self.kernels,
+                          {m: self.percent[m] for m in METHODS},
+                          title=f"{title} (percent of best)",
+                          unit="%", vmax=100.0)
+        return table + "\n\n" + chart
+
+
+def relative_performance(machine: MachineConfig, context: Context,
+                         store: Optional[ResultStore] = None,
+                         kernels: Optional[List[str]] = None
+                         ) -> RelativeResult:
+    store = store or global_store()
+    kernels = kernels or list(KERNEL_ORDER)
+    matrix = store.matrix(machine, context, kernels)
+
+    display: List[str] = []
+    mflops: Dict[str, List[float]] = {m: [] for m in METHODS}
+    for k in kernels:
+        row = matrix[k]
+        display.append(row["ATLAS"].display_kernel)
+        for m in METHODS:
+            mflops[m].append(row[m].mflops)
+
+    percent: Dict[str, List[float]] = {m: [] for m in METHODS}
+    for i in range(len(kernels)):
+        best = max(mflops[m][i] for m in METHODS) or 1.0
+        for m in METHODS:
+            percent[m].append(100.0 * mflops[m][i] / best)
+
+    vec_idx = [i for i, k in enumerate(kernels) if "amax" not in k]
+    avg = {m: sum(percent[m]) / len(percent[m]) for m in METHODS}
+    vavg = {m: sum(percent[m][i] for i in vec_idx) / len(vec_idx)
+            for m in METHODS}
+    return RelativeResult(machine=machine.name, context=context,
+                          n=store.n_for(context), kernels=display,
+                          mflops=mflops, percent=percent, avg=avg, vavg=vavg)
+
+
+# --- the three paper figures ------------------------------------------------
+
+def figure2(store: Optional[ResultStore] = None) -> RelativeResult:
+    """Figure 2: P4E, out of cache."""
+    from ..machine import pentium4e
+    return relative_performance(pentium4e(), Context.OUT_OF_CACHE, store)
+
+
+def figure3(store: Optional[ResultStore] = None) -> RelativeResult:
+    """Figure 3: Opteron, out of cache."""
+    from ..machine import opteron
+    return relative_performance(opteron(), Context.OUT_OF_CACHE, store)
+
+
+def figure4(store: Optional[ResultStore] = None) -> RelativeResult:
+    """Figure 4: P4E, in-L2 cache."""
+    from ..machine import pentium4e
+    return relative_performance(pentium4e(), Context.IN_L2, store)
+
+
+def render_figure(which: int, store: Optional[ResultStore] = None) -> str:
+    fn = {2: figure2, 3: figure3, 4: figure4}[which]
+    res = fn(store)
+    titles = {
+        2: f"Figure 2. Relative speedups, {res.machine}, N={res.n}, "
+           f"out-of-cache",
+        3: f"Figure 3. Relative speedups, {res.machine}, N={res.n}, "
+           f"out-of-cache",
+        4: f"Figure 4. Relative speedups, {res.machine}, N={res.n}, "
+           f"in-L2 cache",
+    }
+    return res.render(titles[which])
+
+
+if __name__ == "__main__":
+    for w in (2, 3, 4):
+        print(render_figure(w))
+        print()

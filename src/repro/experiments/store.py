@@ -1,0 +1,176 @@
+"""Shared result store for the experiment harnesses.
+
+Figures 2-4 need every (kernel x method) timing, Table 3 and Figure 7
+need the ifko search results, Figure 5 needs ifko timings across both
+contexts — all for the same configurations.  The store computes each
+result once per process and memoizes it.
+
+Problem sizes default to the paper's (N=80000 out of cache, N=1024
+in-L2).  ``quick=True`` shrinks the out-of-cache N (same physics, fewer
+simulated lines) so the full suite runs fast under pytest; the
+benchmark harness uses the paper sizes.
+
+Setting ``REPRO_CACHE_DIR`` (or passing ``cache_dir``) additionally
+persists results to disk as JSON, the way an ATLAS install records its
+search results: a second run of the experiment suite reloads instead of
+re-tuning.  The cache key includes the package version and problem
+sizes, so stale entries are never reused across code changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..atlas import atlas_search
+from ..kernels import KERNEL_ORDER, get_kernel
+from ..machine import Context, get_machine
+from ..machine.config import MachineConfig
+from ..refcomp import ALL_COMPILERS
+from ..search import SearchResult, TunedKernel, compile_default, tune_kernel
+
+#: column order of the paper's figures
+METHODS = ("gcc+ref", "icc+ref", "icc+prof", "ATLAS", "FKO", "ifko")
+
+
+@dataclass
+class MethodResult:
+    method: str
+    kernel: str
+    mflops: float
+    cycles: float
+    label: str = ""              # params / winning variant description
+    starred: bool = False        # ATLAS picked an all-assembly kernel
+    search: Optional[SearchResult] = None
+
+    @property
+    def display_kernel(self) -> str:
+        return self.kernel + ("*" if self.starred else "")
+
+
+def paper_sizes(quick: bool = False) -> Dict[Context, int]:
+    ooc = 20000 if quick else 80000
+    return {Context.OUT_OF_CACHE: ooc, Context.IN_L2: 1024}
+
+
+class ResultStore:
+    """Memoized (machine, context, kernel, method) -> MethodResult."""
+
+    def __init__(self, quick: Optional[bool] = None,
+                 cache_dir: Optional[str] = None):
+        if quick is None:
+            quick = os.environ.get("REPRO_FULL", "") == ""
+        self.quick = quick
+        self.sizes = paper_sizes(quick)
+        self._cache: Dict[Tuple[str, Context, str, str], MethodResult] = {}
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # optional JSON persistence (search results only survive in summary
+    # form: mflops/cycles/label; SearchResult objects are recomputed)
+    def _disk_path(self, key) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        from .. import __version__
+        mname, ctx, kernel, method = key
+        n = self.n_for(ctx)
+        fname = (f"v{__version__}_{mname}_{ctx.name}_{n}_{kernel}_"
+                 f"{method.replace('+', '_')}.json")
+        return self.cache_dir / fname
+
+    def _load_disk(self, key) -> Optional[MethodResult]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return MethodResult(method=data["method"], kernel=data["kernel"],
+                            mflops=data["mflops"], cycles=data["cycles"],
+                            label=data.get("label", ""),
+                            starred=data.get("starred", False))
+
+    def _save_disk(self, key, result: MethodResult) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        data = {"method": result.method, "kernel": result.kernel,
+                "mflops": result.mflops, "cycles": result.cycles,
+                "label": result.label, "starred": result.starred}
+        path.write_text(json.dumps(data, indent=1))
+
+    # ------------------------------------------------------------------
+    def n_for(self, context: Context) -> int:
+        return self.sizes[context]
+
+    def get(self, machine: MachineConfig, context: Context, kernel: str,
+            method: str) -> MethodResult:
+        key = (machine.name, context, kernel, method)
+        if key not in self._cache:
+            # disk results lack the SearchResult detail that Table 3 /
+            # Figure 7 need, so only non-search methods reload from disk
+            disk = self._load_disk(key) if method != "ifko" else None
+            if disk is not None:
+                self._cache[key] = disk
+            else:
+                result = self._compute(machine, context, kernel, method)
+                self._cache[key] = result
+                self._save_disk(key, result)
+        return self._cache[key]
+
+    def row(self, machine: MachineConfig, context: Context,
+            kernel: str) -> Dict[str, MethodResult]:
+        return {m: self.get(machine, context, kernel, m) for m in METHODS}
+
+    def matrix(self, machine: MachineConfig, context: Context,
+               kernels: Optional[List[str]] = None
+               ) -> Dict[str, Dict[str, MethodResult]]:
+        kernels = kernels or list(KERNEL_ORDER)
+        return {k: self.row(machine, context, k) for k in kernels}
+
+    # ------------------------------------------------------------------
+    def _compute(self, machine: MachineConfig, context: Context,
+                 kernel: str, method: str) -> MethodResult:
+        spec = get_kernel(kernel)
+        n = self.n_for(context)
+        if method in ("gcc+ref", "icc+ref", "icc+prof"):
+            cname = {"gcc+ref": "gcc", "icc+ref": "icc",
+                     "icc+prof": "icc+prof"}[method]
+            comp = next(c for c in ALL_COMPILERS if c.name == cname)
+            build = comp.build(spec, machine, context, n)
+            return MethodResult(method, kernel, build.mflops,
+                                build.timing.cycles,
+                                label=comp.flags(machine))
+        if method == "ATLAS":
+            res = atlas_search(spec, machine, context, n, run_tester=False)
+            return MethodResult(method, kernel, res.mflops,
+                                res.timing.cycles, label=res.best_label,
+                                starred=res.is_assembly)
+        if method == "FKO":
+            tk = compile_default(spec, machine, context, n)
+            return MethodResult(method, kernel, tk.mflops, tk.timing.cycles,
+                                label=tk.params.describe())
+        if method == "ifko":
+            tk = tune_kernel(spec, machine, context, n, run_tester=False)
+            return MethodResult(method, kernel, tk.mflops, tk.timing.cycles,
+                                label=tk.params.describe(), search=tk.search)
+        raise KeyError(f"unknown method {method!r}")
+
+
+#: one store shared by all harnesses in a process
+_GLOBAL: Optional[ResultStore] = None
+
+
+def global_store(quick: Optional[bool] = None) -> ResultStore:
+    global _GLOBAL
+    if _GLOBAL is None or (quick is not None and _GLOBAL.quick != quick):
+        _GLOBAL = ResultStore(quick)
+    return _GLOBAL

@@ -1,0 +1,42 @@
+"""Table 1 — Level 1 BLAS summary (operations and FLOP conventions)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..kernels import KERNEL_ORDER, get_kernel
+from ..reporting import format_table
+
+_SUMMARY = {
+    "swap": ("tmp=y[i]; y[i]=x[i]; x[i]=tmp", "N"),
+    "scal": ("y[i] *= alpha", "N"),
+    "copy": ("y[i] = x[i]", "N"),
+    "axpy": ("y[i] += alpha * x[i]", "2N"),
+    "dot":  ("dot += y[i] * x[i]", "2N"),
+    "asum": ("sum += fabs(x[i])", "2N"),
+    "amax": ("if (fabs(x[i]) > maxval) {imax=i; maxval=fabs(x[i]);}", "2N"),
+}
+
+
+def rows() -> List[Tuple[str, str, str]]:
+    out = []
+    seen = set()
+    for name in KERNEL_ORDER:
+        spec = get_kernel(name)
+        if spec.base in seen:
+            continue
+        seen.add(spec.base)
+        op, flops = _SUMMARY[spec.base]
+        label = spec.base if spec.base != "amax" else "iamax"
+        out.append((label, op, flops))
+    return out
+
+
+def render() -> str:
+    return format_table(
+        ["NAME", "Operation Summary", "FLOPs"], rows(),
+        title="Table 1. Level 1 BLAS summary")
+
+
+if __name__ == "__main__":
+    print(render())

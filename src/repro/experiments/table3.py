@@ -1,0 +1,80 @@
+"""Table 3 — transformation parameters selected by the empirical search.
+
+One row per kernel, one column group per (machine, context): SV/WNT
+flags, per-array prefetch instruction:distance, and UR:AE — the same
+presentation as the paper's Table 3 (whose "most important observation
+... is how variable these parameters are").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..fko.params import TransformParams
+from ..kernels import KERNEL_ORDER, get_kernel
+from ..machine import Context, opteron, pentium4e
+from ..reporting import format_table
+from .store import ResultStore, global_store
+
+CONFIGS: Tuple[Tuple[str, object, Context], ...] = (
+    ("P4E/ooc", pentium4e, Context.OUT_OF_CACHE),
+    ("Opteron/ooc", opteron, Context.OUT_OF_CACHE),
+    ("P4E/inL2", pentium4e, Context.IN_L2),
+)
+
+
+def _param_cells(params: TransformParams, applied_sv: bool,
+                 arrays: List[str]) -> List[str]:
+    sv = "Y" if applied_sv else "N"
+    wnt = "Y" if params.wnt else "N"
+    pf_cells = []
+    for arr in ("X", "Y"):
+        if arr not in arrays:
+            pf_cells.append("n/a")
+            continue
+        pf = params.pf(arr)
+        pf_cells.append(str(pf))
+    ae = params.ae if params.ae > 1 else 0
+    return [f"{sv}:{wnt}"] + pf_cells + [f"{params.unroll}:{ae}"]
+
+
+@dataclass
+class Table3:
+    headers: List[str]
+    rows: List[List[str]]
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows,
+                            title="Table 3. Transformation parameters by "
+                                  "architecture and context "
+                                  "(SV:WNT | PF X | PF Y | UR:AE)")
+
+
+def table3(store: Optional[ResultStore] = None) -> Table3:
+    store = store or global_store()
+    headers = ["BLAS"]
+    for cname, _, _ in CONFIGS:
+        headers += [f"{cname} SV:WNT", "PF X", "PF Y", "UR:AE"]
+    rows: List[List[str]] = []
+    for k in KERNEL_ORDER:
+        spec = get_kernel(k)
+        row: List[str] = [k]
+        for _, mk, ctx in CONFIGS:
+            res = store.get(mk(), ctx, k, "ifko")
+            params_desc = res.label
+            # recover structured params from the tuned result
+            tuned = res.search.best_params if res.search else None
+            if tuned is None:
+                row += ["?", "?", "?", "?"]
+                continue
+            vectorizable = "amax" not in k
+            applied_sv = tuned.sv and vectorizable
+            row += _param_cells(tuned, applied_sv,
+                                list(spec.vector_args))
+        rows.append(row)
+    return Table3(headers=headers, rows=rows)
+
+
+if __name__ == "__main__":
+    print(table3().render())

@@ -1,0 +1,71 @@
+"""FKO — the Floating point Kernel Optimizer (the compiler half of ifko).
+
+"The heart of this project is an optimizing compiler called FKO, which
+has been specialized for empirical optimization of floating point
+kernels." (section 2.2)
+
+Typical use::
+
+    from repro.fko import FKO
+    from repro.machine import pentium4e
+
+    fko = FKO(pentium4e())
+    analysis = fko.analyze(hil_source)       # feeds the search
+    kernel = fko.compile(hil_source, params) # one point in the space
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Union
+
+from ..hil import compile_hil
+from ..hil.lower import lower
+from ..hil.parser import parse
+from ..hil.semantic import check
+from ..ir import Function
+from ..machine.config import MachineConfig
+from .analysis import KernelAnalysis, analyze
+from .params import PrefetchParams, TransformParams, fko_defaults
+from .pipeline import CompiledKernel, compile_kernel
+from .clonefn import clone_function
+
+__all__ = ["FKO", "KernelAnalysis", "analyze", "PrefetchParams",
+           "TransformParams", "fko_defaults", "CompiledKernel",
+           "compile_kernel", "clone_function"]
+
+
+class FKO:
+    """Front door: parses HIL (or takes IR), analyzes, and compiles."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    def front_end(self, source: Union[str, Function]):
+        """HIL source -> (Function, noprefetch mark-up set)."""
+        if isinstance(source, Function):
+            return source, set()
+        checked = check(parse(source))
+        return lower(checked), set(checked.noprefetch)
+
+    def analyze(self, source: Union[str, Function]) -> KernelAnalysis:
+        fn, noprefetch = self.front_end(source)
+        from .controlflow import cleanup_cfg
+        work = clone_function(fn)
+        cleanup_cfg(work)
+        return analyze(work, self.machine, noprefetch)
+
+    def compile(self, source: Union[str, Function],
+                params: Optional[TransformParams] = None,
+                debug_verify: bool = False) -> CompiledKernel:
+        fn, noprefetch = self.front_end(source)
+        return compile_kernel(fn, self.machine, params,
+                              noprefetch=noprefetch,
+                              debug_verify=debug_verify)
+
+    def defaults(self, source: Union[str, Function]) -> TransformParams:
+        """FKO's static default parameters for this kernel (section 2.3)."""
+        a = self.analyze(source)
+        veclen = a.veclen if a.vectorizable else 1
+        return fko_defaults(self.machine.prefetchable_line, a.elem.size,
+                            veclen, tuple(a.prefetch_arrays))

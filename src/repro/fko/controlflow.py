@@ -1,0 +1,215 @@
+"""Control-flow repeatable transforms.
+
+"Finally, we perform branch chaining, useless jump elimination, and
+useless label elimination, which, when applied together, merges basic
+blocks (critical after extensive loop unrolling)." (section 2.2.4)
+
+All passes keep the function's :class:`LoopDescriptor` consistent —
+block deletions and merges update the descriptor's block-name lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir import BasicBlock, Function, Instruction, Label, Opcode
+
+
+def _descriptor_names(fn: Function) -> Set[str]:
+    """Blocks the loop descriptor pins by name (never deleted/renamed)."""
+    if fn.loop is None:
+        return set()
+    lp = fn.loop
+    return {lp.header, lp.latch, lp.preheader, lp.exit}
+
+
+def _drop_from_descriptor(fn: Function, name: str) -> None:
+    if fn.loop is None:
+        return
+    lp = fn.loop
+    if name in lp.body:
+        lp.body.remove(name)
+    if name in lp.cleanup_body:
+        lp.cleanup_body.remove(name)
+
+
+def remove_unreachable(fn: Function) -> bool:
+    """Delete blocks not reachable from the entry."""
+    reachable = fn.reachable()
+    doomed = [b.name for b in fn.blocks if b.name not in reachable]
+    pinned = _descriptor_names(fn)
+    changed = False
+    for name in doomed:
+        if name in pinned:
+            continue
+        _drop_from_descriptor(fn, name)
+        fn.remove_block(name)
+        changed = True
+    return changed
+
+
+def _retarget_all(fn: Function, old: str, new: str) -> None:
+    for blk in fn.blocks:
+        for instr in blk.instrs:
+            if instr.is_branch and instr.target is not None \
+                    and instr.target.name == old:
+                instr.srcs = (Label(new),) + instr.srcs[1:]
+
+
+def chain_branches(fn: Function) -> bool:
+    """Branch chaining: a branch to a block that only jumps elsewhere is
+    retargeted to the final destination."""
+    # resolve trampoline chains (with cycle guard)
+    resolve: Dict[str, str] = {}
+    for blk in fn.blocks:
+        if len(blk.instrs) == 1 and blk.instrs[0].op is Opcode.JMP:
+            resolve[blk.name] = blk.instrs[0].target.name
+
+    def final(name: str) -> str:
+        seen = set()
+        while name in resolve and name not in seen:
+            seen.add(name)
+            name = resolve[name]
+        return name
+
+    changed = False
+    for blk in fn.blocks:
+        for instr in blk.instrs:
+            if instr.is_branch and instr.target is not None:
+                tgt = instr.target.name
+                f = final(tgt)
+                if f != tgt:
+                    instr.srcs = (Label(f),) + instr.srcs[1:]
+                    changed = True
+    return changed
+
+
+def remove_useless_jumps(fn: Function) -> bool:
+    """Remove a trailing JMP whose target is the next block in layout."""
+    changed = False
+    for i, blk in enumerate(fn.blocks[:-1]):
+        if blk.instrs and blk.instrs[-1].op is Opcode.JMP:
+            if blk.instrs[-1].target.name == fn.blocks[i + 1].name:
+                blk.instrs.pop()
+                changed = True
+    return changed
+
+
+def remove_empty_blocks(fn: Function) -> bool:
+    """Delete empty blocks: branches to them are redirected to their
+    fallthrough successor; layout fallthrough is preserved by deletion."""
+    pinned = _descriptor_names(fn)
+    changed = False
+    i = 0
+    while i < len(fn.blocks):
+        blk = fn.blocks[i]
+        if blk.instrs or blk.name in pinned or i + 1 >= len(fn.blocks):
+            i += 1
+            continue
+        succ = fn.blocks[i + 1].name
+        _retarget_all(fn, blk.name, succ)
+        _drop_from_descriptor(fn, blk.name)
+        fn.remove_block(blk.name)
+        changed = True
+    return changed
+
+
+def merge_blocks(fn: Function) -> bool:
+    """Merge B into A when A falls through (or jumps) to B and B has no
+    other predecessors and is not pinned by the loop descriptor."""
+    pinned = _descriptor_names(fn)
+    body: Set[str] = set()
+    cln: Set[str] = set()
+    if fn.loop is not None:
+        body = set(fn.loop.body)
+        cln = set(fn.loop.cleanup_body)
+    changed = False
+    i = 0
+    while i < len(fn.blocks) - 1:
+        a = fn.blocks[i]
+        b = fn.blocks[i + 1]
+        if b.name in pinned:
+            i += 1
+            continue
+        # only merge within one region: body-into-body, cleanup-into-
+        # cleanup, or fully outside the loop — never across a boundary
+        # (merging the body entry into the header would dissolve the loop)
+        regions_a = (a.name in body, a.name in cln,
+                     a.name in pinned)
+        regions_b = (b.name in body, b.name in cln, False)
+        if regions_a[:2] != regions_b[:2] or a.name in pinned:
+            i += 1
+            continue
+        # A must reach B only by an unconditional edge: a trailing JMP
+        # or a pure fallthrough.  A trailing *conditional* branch would
+        # end up buried mid-block by the merge, breaking the straight-
+        # line block invariant that liveness/DCE depend on.
+        term = a.instrs[-1] if a.instrs else None
+        jmp_to_b = (term is not None and term.op is Opcode.JMP
+                    and term.target.name == b.name)
+        pure_fallthrough = a.falls_through and (
+            not a.instrs or not a.instrs[-1].is_branch)
+        if not (jmp_to_b or pure_fallthrough):
+            i += 1
+            continue
+        preds = fn.predecessors(b.name)
+        if preds != [a.name]:
+            i += 1
+            continue
+        # B must not be the target of any *other* branch instruction —
+        # e.g. the join of an if-diamond is jumped to by a mid-block
+        # conditional and cannot be merged into its fallthrough pred
+        n_branches_to_b = sum(
+            1 for blk in fn.blocks for instr in blk.instrs
+            if instr.is_branch and instr.target is not None
+            and instr.target.name == b.name)
+        allowed = 1 if (term is not None and term.op is Opcode.JMP
+                        and term.target.name == b.name) else 0
+        if n_branches_to_b > allowed:
+            i += 1
+            continue
+        # safe to merge
+        if term is not None and term.op is Opcode.JMP \
+                and term.target.name == b.name:
+            a.instrs.pop()
+        a.instrs.extend(b.instrs)
+        # descriptor: references to b by body lists move to a
+        if fn.loop is not None:
+            lp = fn.loop
+            for lst in (lp.body, lp.cleanup_body):
+                if b.name in lst:
+                    lst.remove(b.name)
+                    if a.name not in lst and a.name not in pinned:
+                        pass  # a is already listed if it is body code
+        fn.remove_block(b.name)
+        changed = True
+    return changed
+
+
+def add_explicit_terminators(fn: Function, region: List[str]) -> None:
+    """Give every region block an explicit JMP to its fallthrough
+    successor, so the blocks can be re-laid-out (used before unrolling
+    multi-block loop bodies)."""
+    for name in region:
+        idx = fn.block_index(name)
+        blk = fn.blocks[idx]
+        if blk.falls_through and idx + 1 < len(fn.blocks):
+            blk.append(Instruction(Opcode.JMP, None,
+                                   (Label(fn.blocks[idx + 1].name),),
+                                   comment="explicit fallthrough"))
+
+
+def cleanup_cfg(fn: Function, max_iters: int = 8) -> bool:
+    """Run all control-flow cleanups to a fixed point."""
+    any_change = False
+    for _ in range(max_iters):
+        changed = False
+        changed |= remove_unreachable(fn)
+        changed |= chain_branches(fn)
+        changed |= remove_useless_jumps(fn)
+        changed |= remove_empty_blocks(fn)
+        changed |= merge_blocks(fn)
+        any_change |= changed
+        if not changed:
+            break
+    return any_change

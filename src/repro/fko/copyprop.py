@@ -1,0 +1,100 @@
+"""Copy propagation and dead-code elimination (repeatable transforms).
+
+"In register usage optimization, we support two types of register
+allocation and several forms of copy propagation." (section 2.2.4)
+
+* :func:`propagate_copies` — forward, within blocks: after
+  ``mov d, s`` later reads of ``d`` use ``s`` until either is redefined.
+* :func:`eliminate_dead_code` — liveness-based removal of instructions
+  whose results are never used (side-effect-free only).
+
+These two run in an optimization block with the peephole and control
+flow cleanups, repeating while they keep transforming — the synergy the
+paper describes (copy propagation exposes dead copies, DCE removes
+them, block merging exposes more propagation, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import Function, Instruction, Mem, Opcode, Reg
+from ..ir.dataflow import Liveness
+from ..ir.operands import is_reg
+
+_COPY_OPS = (Opcode.MOV, Opcode.FMOV, Opcode.VMOV)
+
+#: ops that must never be deleted even when their result looks dead
+_SIDE_EFFECTS = {Opcode.ST, Opcode.FST, Opcode.FSTNT, Opcode.VST,
+                 Opcode.VSTNT, Opcode.PREFETCH, Opcode.RET, Opcode.JMP,
+                 Opcode.JCC, Opcode.CMP, Opcode.TEST, Opcode.FCMP}
+
+
+def propagate_copies(fn: Function) -> bool:
+    """Forward copy propagation within each block."""
+    changed = False
+    for block in fn.blocks:
+        available: Dict[Reg, Reg] = {}
+
+        def kill(reg: Reg) -> None:
+            available.pop(reg, None)
+            for d in [d for d, s in available.items() if s == reg]:
+                available.pop(d, None)
+
+        for instr in block.instrs:
+            # rewrite sources through available copies
+            sub = {}
+            for r in instr.regs_read():
+                s = available.get(r)
+                if s is not None and s != r:
+                    sub[r] = s
+            if sub:
+                ni = instr.substitute(sub)
+                instr.dst, instr.srcs = ni.dst, ni.srcs
+                changed = True
+            # update available set
+            for d in instr.regs_written():
+                kill(d)
+            if instr.op in _COPY_OPS and is_reg(instr.dst) \
+                    and len(instr.srcs) == 1 and is_reg(instr.srcs[0]) \
+                    and instr.dst.rclass is instr.srcs[0].rclass \
+                    and instr.dst.dtype == instr.srcs[0].dtype:
+                available[instr.dst] = instr.srcs[0]
+    return changed
+
+
+def eliminate_dead_code(fn: Function) -> bool:
+    """Remove side-effect-free instructions whose destination is dead."""
+    changed = False
+    lv = Liveness(fn)
+    for block in fn.blocks:
+        live_after = lv.per_instruction(block)
+        keep: List[Instruction] = []
+        for instr, live in zip(block.instrs, live_after):
+            if instr.op in _SIDE_EFFECTS or instr.is_terminator \
+                    or instr.dst is None or not is_reg(instr.dst):
+                keep.append(instr)
+                continue
+            # self-copies are dead regardless of liveness
+            if instr.op in _COPY_OPS and len(instr.srcs) == 1 \
+                    and instr.srcs[0] == instr.dst:
+                changed = True
+                continue
+            if instr.dst in live:
+                keep.append(instr)
+                continue
+            changed = True  # dead value: drop it
+        block.instrs = keep
+    return changed
+
+
+def run_copy_opt(fn: Function, max_iters: int = 6) -> bool:
+    """Copy propagation + DCE to a fixed point."""
+    any_change = False
+    for _ in range(max_iters):
+        c1 = propagate_copies(fn)
+        c2 = eliminate_dead_code(fn)
+        any_change |= c1 or c2
+        if not (c1 or c2):
+            break
+    return any_change

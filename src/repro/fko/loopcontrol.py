@@ -1,0 +1,65 @@
+"""LC — optimize loop control (section 2.2.3).
+
+"Rearranges loop indexing (when possible) to avoid (on some
+architectures) unnecessary loop branch comparisons ..."
+
+Implemented as loop rotation: the per-trip test moves from the header
+to the latch, so one trip costs ``add; cmp; jcc`` instead of
+``cmp; jcc; ...; add; jmp`` — one fewer branch per iteration.  The old
+header remains as a once-executed zero-trip guard, and the descriptor's
+``header`` becomes the body entry (the latch's back edge target).
+"""
+
+from __future__ import annotations
+
+from ..errors import TransformError
+from ..ir import Cond, Function, Instruction, Label, Opcode
+
+
+def optimize_loop_control(fn: Function) -> None:
+    loop = fn.loop
+    if loop is None:
+        raise TransformError(f"{fn.name}: no tuned loop")
+
+    header = fn.block(loop.header)
+    latch = fn.block(loop.latch)
+
+    # locate the header's compare + exit branch (the guard test)
+    cmp_instr = None
+    jcc_instr = None
+    for instr in header.instrs:
+        if instr.op is Opcode.CMP and cmp_instr is None:
+            cmp_instr = instr
+        if instr.op is Opcode.JCC and jcc_instr is None:
+            jcc_instr = instr
+    if cmp_instr is None or jcc_instr is None:
+        raise TransformError(f"{fn.name}: header test not found for LC")
+
+    # locate the latch's back edge
+    if not latch.instrs or latch.instrs[-1].op is not Opcode.JMP:
+        raise TransformError(f"{fn.name}: latch back edge not found for LC")
+    back = latch.instrs[-1]
+    if back.target.name != loop.header:
+        raise TransformError(f"{fn.name}: latch does not jump to header")
+
+    body_entry = loop.body[0]
+    continue_cond = jcc_instr.cond.negate()
+
+    # rewrite the latch: counter update ; cmp ; jcc-continue -> body entry,
+    # falling through to the loop continuation (drain/cleanup/exit)
+    latch.instrs.pop()  # remove "jmp header"
+    latch.append(Instruction(Opcode.CMP, None, cmp_instr.srcs,
+                             comment="rotated loop test"))
+    latch.append(Instruction(Opcode.JCC, None, (Label(body_entry),),
+                             cond=continue_cond, comment="loop back edge"))
+
+    # the latch now falls through to whatever the loop used to exit to;
+    # make that explicit so block layout stays flexible
+    cont = jcc_instr.target.name
+    idx = fn.block_index(loop.latch)
+    if idx + 1 >= len(fn.blocks) or fn.blocks[idx + 1].name != cont:
+        latch.append(Instruction(Opcode.JMP, None, (Label(cont),)))
+
+    # the old header remains as the zero-trip guard; the rotated loop's
+    # header (back edge target) is now the body entry
+    loop.header = body_entry

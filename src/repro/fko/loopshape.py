@@ -1,0 +1,195 @@
+"""Shared loop-shape machinery for the fundamental transforms.
+
+SIMD vectorization and unrolling both change how many source elements
+one loop trip consumes; both need (a) an adjusted *main-loop bound* so
+the loop stops while at least one full trip of elements remains, (b) a
+scalar *cleanup loop* for the remainder, and (c) — for reductions — a
+*drain block* on the main loop's exit edge where vector/expanded
+accumulators are folded back into the original scalar.
+
+Block layout maintained by these helpers::
+
+    preheader | header | body... | latch | [drain] | [cleanup loop] | exit
+
+The main loop's exit branch (in the header, or in the latch after LC)
+always targets the first block after the latch in this chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..errors import TransformError
+from ..ir import (BasicBlock, Cond, DType, Function, Imm, Instruction,
+                  Label, LoopDescriptor, Opcode, RegClass, VReg)
+from .clonefn import clone_region
+from .controlflow import add_explicit_terminators
+
+
+def _find_header_exit_branch(fn: Function,
+                             loop: LoopDescriptor) -> Optional[Instruction]:
+    """The header's exit JCC (canonical, test-at-top shape).  After LC
+    rotation the header coincides with the body entry and has no exit
+    branch; returns None in that case."""
+    if loop.header in loop.body:
+        return None  # rotated (LC) shape
+    header = fn.block(loop.header)
+    for instr in header.instrs:
+        if instr.op is Opcode.JCC:
+            return instr
+    raise TransformError(f"{fn.name}: loop header has no exit branch")
+
+
+def main_exit_target(fn: Function, loop: LoopDescriptor) -> str:
+    br = _find_header_exit_branch(fn, loop)
+    if br is not None:
+        return br.target.name
+    # rotated shape: the latch's fall-through / trailing jump is the exit
+    latch = fn.block(loop.latch)
+    if latch.instrs and latch.instrs[-1].op is Opcode.JMP:
+        return latch.instrs[-1].target.name
+    idx = fn.block_index(loop.latch)
+    if idx + 1 < len(fn.blocks):
+        return fn.blocks[idx + 1].name
+    raise TransformError(f"{fn.name}: rotated loop has no exit continuation")
+
+
+def retarget_main_exit(fn: Function, loop: LoopDescriptor, new: str) -> None:
+    br = _find_header_exit_branch(fn, loop)
+    if br is not None:
+        br.srcs = (Label(new),)
+        return
+    latch = fn.block(loop.latch)
+    if latch.instrs and latch.instrs[-1].op is Opcode.JMP:
+        latch.instrs[-1].srcs = (Label(new),)
+    else:
+        latch.append(Instruction(Opcode.JMP, None, (Label(new),)))
+
+
+def set_main_bound(fn: Function, loop: LoopDescriptor, epi: int) -> None:
+    """Adjust the main loop to consume ``epi`` source elements per trip:
+    compute ``end_main`` in the preheader, point the header compare at
+    it, and scale the latch counter step."""
+    if abs(loop.step) != 1:
+        raise TransformError(
+            f"{fn.name}: only unit-step loops can be widened (step={loop.step})")
+
+    pre = fn.block(loop.preheader)
+    header = fn.block(loop.header)
+    latch = fn.block(loop.latch)
+
+    # header compare: cmp counter, <bound>
+    cmp_instr = None
+    for instr in header.instrs:
+        if instr.op is Opcode.CMP and instr.srcs \
+                and instr.srcs[0] == loop.counter:
+            cmp_instr = instr
+            break
+    if cmp_instr is None:
+        raise TransformError(f"{fn.name}: header compare not found")
+
+    if epi == 1:
+        cmp_instr.srcs = (loop.counter, loop.end)
+    else:
+        # reuse/update an existing bound computation
+        bound_instr = None
+        for instr in pre.instrs:
+            if instr.comment == "main bound":
+                bound_instr = instr
+                break
+        delta = Imm(epi - 1)
+        op = Opcode.SUB if loop.step > 0 else Opcode.ADD
+        if bound_instr is None:
+            end_main = VReg("end_main", RegClass.GP, DType.I64)
+            pre.instrs.append(Instruction(op, end_main, (loop.end, delta),
+                                          comment="main bound"))
+        else:
+            end_main = bound_instr.dst
+            bound_instr.op = op
+            bound_instr.srcs = (loop.end, delta)
+        cmp_instr.srcs = (loop.counter, end_main)
+
+    # latch: add counter, counter, step  ->  step * epi
+    for instr in latch.instrs:
+        if instr.op is Opcode.ADD and instr.dst == loop.counter:
+            instr.srcs = (loop.counter, Imm(loop.step * epi))
+            return
+    raise TransformError(f"{fn.name}: latch counter update not found")
+
+
+def get_or_create_drain(fn: Function, loop: LoopDescriptor) -> BasicBlock:
+    """The block on the main loop's exit edge where accumulators drain.
+    Created immediately after the latch so both the header's exit branch
+    (pre-LC) and the latch fallthrough (post-LC) reach it."""
+    drain_name = f"{loop.latch}_drain"
+    if fn.has_block(drain_name):
+        return fn.block(drain_name)
+    cont = main_exit_target(fn, loop)
+    drain = BasicBlock(drain_name)
+    fn.add_block(drain, after=loop.latch)
+    # the drain must flow to wherever the loop used to exit; if that
+    # block is not next in layout, jump explicitly
+    idx = fn.block_index(drain_name)
+    if idx + 1 >= len(fn.blocks) or fn.blocks[idx + 1].name != cont:
+        drain.append(Instruction(Opcode.JMP, None, (Label(cont),)))
+    retarget_main_exit(fn, loop, drain_name)
+    return drain
+
+
+def ensure_cleanup_loop(fn: Function, loop: LoopDescriptor) -> None:
+    """Create the scalar remainder loop (a clone of the *current* body —
+    callers must invoke this before rewriting the body).  Idempotent."""
+    if loop.cleanup_body:
+        return
+
+    cont = main_exit_target(fn, loop)  # where the loop exits today
+    head_name = f"{loop.header}_cln"
+    latch_name = f"{loop.latch}_cln"
+
+    # clone the body region; branches to the main latch are retargeted
+    # to the cleanup latch afterwards
+    region = list(loop.body)
+    add_explicit_terminators(fn, region)
+    blocks, mapping = clone_region(fn, region, "_cln", rename_private=True)
+    for blk in blocks:
+        for instr in blk.instrs:
+            if instr.is_branch and instr.target is not None:
+                tname = instr.target.name
+                if tname == loop.latch:
+                    instr.srcs = (Label(latch_name),)
+                elif tname == loop.header:
+                    instr.srcs = (Label(head_name),)
+
+    head = BasicBlock(head_name)
+    head.append(Instruction(Opcode.CMP, None, (loop.counter, loop.end)))
+    exit_cond = Cond.GE if loop.step > 0 else Cond.LE
+    head.append(Instruction(Opcode.JCC, None, (Label(cont),), cond=exit_cond,
+                            comment="cleanup exit test"))
+    latch = BasicBlock(latch_name)
+    latch.append(Instruction(Opcode.ADD, loop.counter,
+                             (loop.counter, Imm(loop.step)),
+                             comment="cleanup counter step"))
+    latch.append(Instruction(Opcode.JMP, None, (Label(head_name),)))
+
+    # layout: ... main latch | [drain] | cln head | cln body | cln latch
+    anchor = loop.latch
+    drain_name = f"{loop.latch}_drain"
+    if fn.has_block(drain_name):
+        anchor = drain_name
+    fn.add_block(head, after=anchor)
+    prev = head.name
+    for blk in blocks:
+        fn.add_block(blk, after=prev)
+        prev = blk.name
+    fn.add_block(latch, after=prev)
+
+    # the main loop now exits into the cleanup head
+    retarget_main_exit(fn, loop, head_name)
+    # if a drain block already exists, its continuation must be updated
+    if fn.has_block(drain_name):
+        drain = fn.block(drain_name)
+        if drain.instrs and drain.instrs[-1].op is Opcode.JMP:
+            drain.instrs[-1].srcs = (Label(head_name),)
+        retarget_main_exit(fn, loop, drain_name)
+
+    loop.cleanup_body = [head_name] + [b.name for b in blocks] + [latch_name]

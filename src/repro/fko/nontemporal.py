@@ -1,0 +1,44 @@
+"""WNT — non-temporal writes (section 2.2.3).
+
+"Our final fundamental transformation is non-temporal writes (WNT),
+which employs non-temporal writes on the specified output array.  These
+are writes that contain a hint to the caching system that they should
+not be retained in the cache, though how this hint is used varies
+strongly by architecture."
+
+The architectural variance is modeled in
+:mod:`repro.machine.config` (``wnt_*`` policies); this pass only flips
+store opcodes for the selected arrays in the tuned loop body.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..errors import TransformError
+from ..ir import Function, Opcode
+
+_NT = {Opcode.FST: Opcode.FSTNT, Opcode.VST: Opcode.VSTNT}
+
+
+def apply_nontemporal(fn: Function,
+                      arrays: Optional[Iterable[str]] = None) -> int:
+    """Convert stores to the given arrays (default: all arrays stored in
+    the loop body) to non-temporal stores.  Returns #stores converted."""
+    loop = fn.loop
+    if loop is None:
+        raise TransformError(f"{fn.name}: no tuned loop")
+    wanted: Optional[Set[str]] = set(arrays) if arrays is not None else None
+
+    converted = 0
+    for name in loop.body:
+        for instr in fn.block(name).instrs:
+            if instr.op in _NT:
+                mem = instr.mem
+                if mem is None or mem.array is None:
+                    continue  # spill stores are never non-temporal
+                if wanted is not None and mem.array not in wanted:
+                    continue
+                instr.op = _NT[instr.op]
+                converted += 1
+    return converted

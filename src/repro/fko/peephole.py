@@ -1,0 +1,126 @@
+"""Peephole optimizations exploiting x86's CISC-ness (section 2.2.4).
+
+"We also perform several peephole optimizations that exploit the fact
+that the x86 is not a true load/store architecture (relatively
+important when the ISA has only eight registers, but the underlying
+hardware may have more than a hundred)."
+
+The main pattern folds a load into a following arithmetic op's second
+source operand::
+
+    fld  t, [X]          fmul d, a, [X]
+    fmul d, a, t   ==>
+
+which removes one instruction, frees register ``t``, and on both
+simulated machines trades one load uop for a fused memory operand.
+Legality: ``t`` has exactly one use, is dead afterwards, and neither
+the address registers nor the memory contents change in between.
+
+Also removes trivial no-ops (``add r, r, #0``; ``mov r, r``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir import Function, Imm, Instruction, Mem, Opcode, Reg
+from ..ir.dataflow import Liveness
+from ..ir.operands import is_reg
+
+#: ops accepting a memory second source; FSUB/VSUB only fold src2
+_FOLDABLE = {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FMAX,
+             Opcode.VADD, Opcode.VSUB, Opcode.VMUL, Opcode.VMAX}
+
+_LOADS = {Opcode.FLD: (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FMAX),
+          Opcode.VLD: (Opcode.VADD, Opcode.VSUB, Opcode.VMUL, Opcode.VMAX)}
+
+
+def fold_loads(fn: Function) -> bool:
+    """Fold single-use loads into memory operands of FP arithmetic."""
+    changed = False
+    lv = Liveness(fn)
+    for block in fn.blocks:
+        live_after = lv.per_instruction(block)
+        n = len(block.instrs)
+        dead: Set[int] = set()
+        for i, instr in enumerate(block.instrs):
+            if instr.op not in _LOADS or i in dead:
+                continue
+            t = instr.dst
+            mem = instr.srcs[0]
+            if not isinstance(mem, Mem):
+                continue
+            # find the single use of t; the window between the load and
+            # that use must not disturb t, the address regs, or memory
+            use_idx: Optional[int] = None
+            n_uses = 0
+            blocked = False
+            for j in range(i + 1, n):
+                nxt = block.instrs[j]
+                if any(r == t for r in nxt.regs_read()):
+                    n_uses += 1
+                    if use_idx is None:
+                        use_idx = j
+                    continue
+                if use_idx is not None:
+                    continue  # past the first use: only count extra reads
+                if any(r == mem.base or (mem.index is not None
+                                         and r == mem.index) or r == t
+                       for r in nxt.regs_written()):
+                    blocked = True
+                    break
+                if nxt.writes_mem:
+                    blocked = True
+                    break
+            if blocked or n_uses != 1 or use_idx is None:
+                continue
+            user = block.instrs[use_idx]
+            if user.op not in _FOLDABLE or user.op not in _LOADS[instr.op]:
+                continue
+            # t must be src2 exactly (x86 folds the second operand) and
+            # dead after the use
+            if len(user.srcs) != 2 or user.srcs[1] != t or user.srcs[0] == t:
+                continue
+            if t in live_after[use_idx]:
+                continue
+            if any(isinstance(s, Mem) for s in user.srcs):
+                continue  # already has a memory operand
+            user.srcs = (user.srcs[0], mem)
+            user.comment = (user.comment + " [folded]").strip()
+            dead.add(i)
+            changed = True
+        if dead:
+            block.instrs = [ins for i, ins in enumerate(block.instrs)
+                            if i not in dead]
+    return changed
+
+
+def remove_trivial(fn: Function) -> bool:
+    """Drop arithmetic no-ops and self-moves."""
+    changed = False
+    for block in fn.blocks:
+        keep: List[Instruction] = []
+        for instr in block.instrs:
+            if instr.op in (Opcode.ADD, Opcode.SUB) and is_reg(instr.dst) \
+                    and len(instr.srcs) == 2 \
+                    and instr.srcs[0] == instr.dst \
+                    and isinstance(instr.srcs[1], Imm) \
+                    and instr.srcs[1].value == 0:
+                changed = True
+                continue
+            if instr.op in (Opcode.MOV, Opcode.FMOV, Opcode.VMOV) \
+                    and len(instr.srcs) == 1 and instr.srcs[0] == instr.dst:
+                changed = True
+                continue
+            if instr.op is Opcode.NOP:
+                changed = True
+                continue
+            keep.append(instr)
+        block.instrs = keep
+    return changed
+
+
+def run_peephole(fn: Function) -> bool:
+    c1 = fold_loads(fn)
+    c2 = remove_trivial(fn)
+    return c1 or c2

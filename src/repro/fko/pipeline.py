@@ -1,0 +1,151 @@
+"""FKO's compilation pipeline.
+
+Fundamental transformations "are applied only one time and in a known
+order" (section 2.2.3): SV, UR, LC, AE, PF, WNT.  Repeatable
+transformations then run in optimization blocks "repeated while they
+are still successfully transforming the code" (section 2.2.4).
+Register allocation maps onto the 8+8 architectural registers last,
+followed by a final control-flow cleanup.
+
+:func:`compile_kernel` never mutates its input function — the iterative
+search compiles the same kernel hundreds of times with different
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Union
+
+from ..errors import TransformError
+from ..ir import Function, verify
+from ..machine.config import MachineConfig
+from .accexpand import expand_accumulators
+from .analysis import KernelAnalysis, analyze
+from .clonefn import clone_function
+from .controlflow import cleanup_cfg
+from .copyprop import run_copy_opt
+from .loopcontrol import optimize_loop_control
+from .nontemporal import apply_nontemporal
+from .params import TransformParams, fko_defaults
+from .peephole import run_peephole
+from .prefetch import insert_prefetches
+from .regalloc import AllocationResult, allocate_registers
+from .unroll import unroll
+from .vectorize import vectorize
+
+
+@dataclass
+class CompiledKernel:
+    """The product of one FKO compilation."""
+
+    fn: Function
+    params: TransformParams
+    analysis: KernelAnalysis
+    machine: MachineConfig
+    applied: Dict[str, object] = field(default_factory=dict)
+    allocation: Optional[AllocationResult] = None
+
+    @property
+    def vectorized(self) -> bool:
+        return bool(self.applied.get("sv"))
+
+
+def compile_kernel(fn: Function, machine: MachineConfig,
+                   params: Optional[TransformParams] = None,
+                   noprefetch: Optional[Set[str]] = None,
+                   debug_verify: bool = False) -> CompiledKernel:
+    """Apply the FKO pipeline to a lowered kernel.
+
+    ``params=None`` compiles with FKO's static defaults (the paper's
+    plain-"FKO" configuration — no empirical search).
+    """
+    work = clone_function(fn)
+    cleanup_cfg(work)
+    analysis = analyze(work, machine, noprefetch)
+
+    if params is None:
+        veclen = analysis.veclen if analysis.vectorizable else 1
+        params = fko_defaults(machine.prefetchable_line, analysis.elem.size,
+                              veclen, tuple(analysis.prefetch_arrays))
+
+    applied: Dict[str, object] = {}
+
+    if analysis.has_tuned_loop:
+        # --- fundamental transformations, fixed order ------------------
+        if params.sv and analysis.vectorizable:
+            vectorize(work, analysis)
+            applied["sv"] = True
+            if debug_verify:
+                verify(work)
+
+        u = min(max(1, params.unroll), analysis.max_unroll)
+        if u > 1:
+            unroll(work, u)
+            applied["unroll"] = u
+            if debug_verify:
+                verify(work)
+
+        if params.lc:
+            optimize_loop_control(work)
+            applied["lc"] = True
+            if debug_verify:
+                verify(work)
+
+        if params.ae > 1 and analysis.accumulators:
+            n = expand_accumulators(work, analysis.accumulators, params.ae)
+            if n:
+                applied["ae"] = params.ae
+            if debug_verify:
+                verify(work)
+
+        pf = {a: p for a, p in params.prefetch.items()
+              if p.enabled and a in analysis.prefetch_arrays}
+        if pf:
+            n = insert_prefetches(work, pf, machine.l1.line)
+            applied["prefetch"] = n
+            if debug_verify:
+                verify(work)
+
+        if params.wnt and analysis.output_arrays:
+            n = apply_nontemporal(work, analysis.output_arrays)
+            if n:
+                applied["wnt"] = True
+            if debug_verify:
+                verify(work)
+
+        if params.block_fetch and (analysis.output_arrays
+                                   or analysis.input_arrays):
+            # block-fetch scheduling: a bus-level reordering, recorded on
+            # the loop and consumed by the timing model (the functional
+            # semantics are unchanged)
+            work.loop.block_fetch = True
+            applied["block_fetch"] = True
+
+    # --- repeatable transformations (optimization blocks) --------------
+    for _ in range(4):
+        changed = False
+        if params.copy_propagation:
+            changed |= run_copy_opt(work)
+        if params.peephole:
+            changed |= run_peephole(work)
+        if params.cf_cleanup:
+            changed |= cleanup_cfg(work)
+        if not changed:
+            break
+    if debug_verify:
+        verify(work)
+
+    allocation = None
+    if params.register_allocation != "off":
+        allocation = allocate_registers(work, machine,
+                                        params.register_allocation)
+        applied["spilled"] = allocation.n_spilled
+
+    if params.cf_cleanup:
+        cleanup_cfg(work)
+    verify(work)
+
+    return CompiledKernel(fn=work, params=params, analysis=analysis,
+                          machine=machine, applied=applied,
+                          allocation=allocation)

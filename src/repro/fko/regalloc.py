@@ -1,0 +1,313 @@
+"""Register allocation (repeatable transform, section 2.2.4).
+
+"In register usage optimization, we support two types of register
+allocation ..." — here:
+
+* ``global`` — linear-scan over the whole function with loop-depth
+  weighting (the production allocator);
+* ``local``  — a greedy usage-count allocator that keeps only the
+  hottest values in registers (the paper's simpler allocator; kept for
+  ablation, it spills much more under unrolling).
+
+Both map virtual registers onto the 7 allocatable GP registers and the
+8 XMM registers (shared by scalar-FP and vector values).  When demand
+exceeds supply, values spill to stack slots addressed off ``%esp``;
+two scratch registers per pressured class are reserved to shuttle
+spilled operands, exactly like a real x86 allocator.
+
+The spill loads/stores this pass inserts are what make excessive unroll
+factors *measurably* bad in the timing model — register pressure is a
+first-class part of the optimization space, as on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import RegisterPressureError
+from ..ir import (AReg, DType, Function, Instruction, Mem, Opcode, Reg,
+                  RegClass, VReg)
+from ..ir.dataflow import Liveness
+from ..ir.operands import is_reg
+from ..machine.config import MachineConfig
+from ..machine.registers import GP_NAMES, SP, XMM_NAMES
+
+
+@dataclass
+class AllocationResult:
+    mapping: Dict[VReg, AReg] = field(default_factory=dict)
+    spilled: Dict[VReg, int] = field(default_factory=dict)   # vreg -> slot
+    n_spill_loads: int = 0
+    n_spill_stores: int = 0
+
+    @property
+    def n_spilled(self) -> int:
+        return len(self.spilled)
+
+
+def _pool_of(reg: VReg) -> str:
+    return "gp" if reg.rclass is RegClass.GP else "xmm"
+
+
+def _canonicalize_params(fn: Function) -> None:
+    """Copy incoming parameters into fresh allocatable homes at entry so
+    the parameter registers themselves (the ABI boundary) stay virtual
+    and the copies compete for real registers like everything else."""
+    entry = fn.entry
+    sub: Dict[Reg, Reg] = {}
+    copies: List[Instruction] = []
+    for p in fn.params:
+        if p.reg is None or not isinstance(p.reg, VReg):
+            continue
+        home = VReg(f"{p.name}_h", p.reg.rclass, p.reg.dtype)
+        op = Opcode.MOV if p.reg.rclass is RegClass.GP else Opcode.FMOV
+        copies.append(Instruction(op, home, (p.reg,),
+                                  comment=f"home {p.name}"))
+        sub[p.reg] = home
+    if not sub:
+        return
+    for block in fn.blocks:
+        for i, instr in enumerate(block.instrs):
+            ni = instr.substitute(sub)
+            instr.dst, instr.srcs = ni.dst, ni.srcs
+    entry.instrs[0:0] = copies
+
+
+# ---------------------------------------------------------------------------
+# interval construction
+
+def _build_intervals(fn: Function):
+    """Per-VReg (start, end, weight) over a linearized instruction order.
+    Registers live across the tuned loop's back edge get intervals
+    covering the whole loop span, and uses inside the loop weigh 10x."""
+    pos = 0
+    positions: Dict[Tuple[str, int], int] = {}
+    block_span: Dict[str, Tuple[int, int]] = {}
+    for block in fn.blocks:
+        start = pos
+        for i, _ in enumerate(block.instrs):
+            positions[(block.name, i)] = pos
+            pos += 1
+        block_span[block.name] = (start, max(start, pos - 1))
+
+    loop_blocks: Set[str] = set()
+    if fn.loop is not None:
+        loop_blocks = set(fn.loop.body) | {fn.loop.header, fn.loop.latch}
+
+    start_of: Dict[VReg, int] = {}
+    end_of: Dict[VReg, int] = {}
+    weight: Dict[VReg, float] = {}
+
+    def touch(r: VReg, p: int, w: float) -> None:
+        start_of[r] = min(start_of.get(r, p), p)
+        end_of[r] = max(end_of.get(r, p), p)
+        weight[r] = weight.get(r, 0.0) + w
+
+    lv = Liveness(fn)
+    for block in fn.blocks:
+        in_loop = block.name in loop_blocks
+        w = 10.0 if in_loop else 1.0
+        span = block_span[block.name]
+        for r in lv.live_in[block.name]:
+            if isinstance(r, VReg):
+                touch(r, span[0], 0.0)
+        for r in lv.live_out[block.name]:
+            if isinstance(r, VReg):
+                touch(r, span[1], 0.0)
+        for i, instr in enumerate(block.instrs):
+            p = positions[(block.name, i)]
+            for r in instr.regs_read():
+                if isinstance(r, VReg):
+                    touch(r, p, w)
+            for r in instr.regs_written():
+                if isinstance(r, VReg):
+                    touch(r, p, w)
+
+    # Note: intervals are sound without a whole-loop extension because
+    # every block's live-in/live-out registers are touched at the block
+    # span boundaries — a back-edge carrier is live into the header and
+    # out of the latch, so its interval already covers the loop.
+    return [(r, start_of[r], end_of[r], weight.get(r, 0.0))
+            for r in start_of]
+
+
+def _arch_regs(pool: str, n: int, skip: int = 0) -> List[str]:
+    names = GP_NAMES if pool == "gp" else XMM_NAMES
+    return list(names[skip:n])
+
+
+# ---------------------------------------------------------------------------
+# allocators
+
+def _linear_scan(intervals, pool_sizes: Dict[str, int]):
+    """Classic linear scan; returns (assignment: vreg->regname, spilled)."""
+    by_start = sorted(intervals, key=lambda iv: (iv[1], iv[0].uid))
+    active: Dict[str, List] = {"gp": [], "xmm": []}
+    free: Dict[str, List[str]] = {
+        "gp": _arch_regs("gp", pool_sizes["gp"]),
+        "xmm": _arch_regs("xmm", pool_sizes["xmm"]),
+    }
+    assignment: Dict[VReg, str] = {}
+    spilled: Set[VReg] = set()
+
+    for r, start, end, w in by_start:
+        pool = _pool_of(r)
+        # expire old intervals
+        still = []
+        for (er, eend) in active[pool]:
+            if eend < start:
+                free[pool].append(assignment[er])
+            else:
+                still.append((er, eend))
+        active[pool] = still
+
+        if free[pool]:
+            assignment[r] = free[pool].pop(0)
+            active[pool].append((r, end))
+            continue
+        # spill the lowest-weight candidate among active + current
+        weights = {iv[0]: iv[3] for iv in intervals}
+        candidates = active[pool] + [(r, end)]
+        victim, vend = min(candidates, key=lambda it: (weights.get(it[0], 0),
+                                                       -it[1]))
+        if victim is r:
+            spilled.add(r)
+        else:
+            spilled.add(victim)
+            assignment[r] = assignment.pop(victim)
+            active[pool] = [(er, ee) for er, ee in active[pool]
+                            if er is not victim]
+            active[pool].append((r, end))
+    return assignment, spilled
+
+
+def _greedy_local(intervals, pool_sizes: Dict[str, int]):
+    """The simpler allocator: hottest values win registers outright."""
+    assignment: Dict[VReg, str] = {}
+    spilled: Set[VReg] = set()
+    for pool in ("gp", "xmm"):
+        regs = _arch_regs(pool, pool_sizes[pool])
+        ranked = sorted((iv for iv in intervals if _pool_of(iv[0]) == pool),
+                        key=lambda iv: -iv[3])
+        for i, (r, s, e, w) in enumerate(ranked):
+            if i < len(regs):
+                assignment[r] = regs[i]
+            else:
+                spilled.add(r)
+    return assignment, spilled
+
+
+# ---------------------------------------------------------------------------
+# rewrite
+
+def _spill_rewrite(fn: Function, spilled_slots: Dict[VReg, int],
+                   scratch: Dict[str, List[AReg]],
+                   result: AllocationResult) -> None:
+    for block in fn.blocks:
+        new_instrs: List[Instruction] = []
+        for instr in block.instrs:
+            reads = [r for r in dict.fromkeys(instr.regs_read())
+                     if r in spilled_slots]
+            writes = [r for r in dict.fromkeys(instr.regs_written())
+                      if r in spilled_slots]
+            if not reads and not writes:
+                new_instrs.append(instr)
+                continue
+            sub: Dict[Reg, Reg] = {}
+            used: Dict[str, int] = {"gp": 0, "xmm": 0}
+            for r in reads:
+                pool = _pool_of(r)
+                if used[pool] >= len(scratch[pool]):
+                    raise RegisterPressureError(
+                        f"{fn.name}: more spilled operands than scratch "
+                        f"registers in {instr!r}")
+                s = scratch[pool][used[pool]]
+                s = AReg(s.name, r.rclass, r.dtype, s.index)
+                used[pool] += 1
+                sub[r] = s
+                slot = spilled_slots[r]
+                mem = Mem(SP, r.dtype, disp=slot * 16)
+                lop = {RegClass.GP: Opcode.LD, RegClass.FP: Opcode.FLD,
+                       RegClass.VEC: Opcode.VLD}[r.rclass]
+                new_instrs.append(Instruction(lop, s, (mem,),
+                                              comment=f"reload {r.name}"))
+                result.n_spill_loads += 1
+            stores: List[Instruction] = []
+            for r in writes:
+                pool = _pool_of(r)
+                if r in sub:
+                    s = sub[r]
+                else:
+                    idx = used[pool] if used[pool] < len(scratch[pool]) else 0
+                    s = scratch[pool][idx]
+                    s = AReg(s.name, r.rclass, r.dtype, s.index)
+                    sub[r] = s
+                slot = spilled_slots[r]
+                mem = Mem(SP, r.dtype, disp=slot * 16)
+                sop = {RegClass.GP: Opcode.ST, RegClass.FP: Opcode.FST,
+                       RegClass.VEC: Opcode.VST}[r.rclass]
+                stores.append(Instruction(sop, None, (mem, sub[r]),
+                                          comment=f"spill {r.name}"))
+                result.n_spill_stores += 1
+            ni = instr.substitute(sub)
+            instr.dst, instr.srcs = ni.dst, ni.srcs
+            new_instrs.append(instr)
+            new_instrs.extend(stores)
+        block.instrs = new_instrs
+
+
+def allocate_registers(fn: Function, machine: MachineConfig,
+                       strategy: str = "global") -> AllocationResult:
+    """Allocate all virtual registers; mutates ``fn`` in place."""
+    _canonicalize_params(fn)
+    result = AllocationResult()
+
+    param_regs = {p.reg for p in fn.params if p.reg is not None}
+    pools = {"gp": machine.n_gp_regs, "xmm": machine.n_xmm_regs}
+
+    def run(pool_sizes):
+        intervals = [iv for iv in _build_intervals(fn)
+                     if iv[0] not in param_regs]
+        if strategy == "global":
+            return _linear_scan(intervals, pool_sizes)
+        return _greedy_local(intervals, pool_sizes)
+
+    assignment, spilled = run(pools)
+    scratch: Dict[str, List[AReg]] = {"gp": [], "xmm": []}
+    if spilled:
+        # reserve two scratch registers per pressured class and redo
+        shrunk = dict(pools)
+        for pool in ("gp", "xmm"):
+            if any(_pool_of(r) == pool for r in spilled):
+                shrunk[pool] = max(1, pools[pool] - 2)
+        assignment, spilled = run(shrunk)
+        names = {"gp": GP_NAMES, "xmm": XMM_NAMES}
+        for pool in ("gp", "xmm"):
+            if shrunk[pool] < pools[pool]:
+                for i in range(shrunk[pool], pools[pool]):
+                    nm = names[pool][i]
+                    scratch[pool].append(
+                        AReg(nm, RegClass.GP if pool == "gp" else RegClass.FP,
+                             DType.I64 if pool == "gp" else DType.F64, i))
+
+    # build the final mapping
+    name_index = {n: i for i, n in enumerate(GP_NAMES)}
+    name_index.update({n: i for i, n in enumerate(XMM_NAMES)})
+    sub: Dict[Reg, Reg] = {}
+    for r, regname in assignment.items():
+        a = AReg(regname, r.rclass, r.dtype, name_index[regname])
+        sub[r] = a
+        result.mapping[r] = a
+    for block in fn.blocks:
+        for instr in block.instrs:
+            ni = instr.substitute(sub)
+            instr.dst, instr.srcs = ni.dst, ni.srcs
+
+    if spilled:
+        slots: Dict[VReg, int] = {}
+        for r in sorted(spilled, key=lambda r: r.uid):
+            slots[r] = fn.new_stack_slot(r.dtype)
+        result.spilled = slots
+        _spill_rewrite(fn, slots, scratch, result)
+    return result

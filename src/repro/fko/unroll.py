@@ -1,0 +1,152 @@
+"""UR — loop unrolling (section 2.2.3).
+
+"Duplicates the loop body (avoiding repetitive index and pointer
+updates) N_u times.  Since it is performed after SIMD vectorization,
+when vectorization is also applied the computational unrolling is
+actually N_u x veclen."
+
+Two strategies:
+
+* **single-block bodies** (every vectorizable kernel): body copies are
+  concatenated in one block, per-copy temporaries renamed to break
+  false dependences, per-copy array references folded into address
+  displacements, and the pointer updates coalesced into one bump per
+  array per trip — the "avoiding repetitive pointer updates" the paper
+  describes;
+* **multi-block bodies** (iamax): whole-body copies are chained, each
+  copy's reads of the loop counter adjusted by its iteration offset.
+  Pointer updates stay per-copy; the win is amortized loop control,
+  which is exactly why the paper's Table 3 picks UR 8-32 for iamax.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..errors import TransformError
+from ..ir import (DType, Function, Imm, Instruction, Label, LoopDescriptor,
+                  Mem, Opcode, RegClass, VReg)
+from ..ir.operands import is_reg
+from .clonefn import clone_region, private_registers
+from .controlflow import add_explicit_terminators
+from .loopshape import ensure_cleanup_loop, set_main_bound
+
+
+def unroll(fn: Function, factor: int) -> None:
+    loop = fn.loop
+    if loop is None:
+        raise TransformError(f"{fn.name}: no tuned loop")
+    if factor < 1:
+        raise TransformError(f"invalid unroll factor {factor}")
+    if loop.unroll != 1:
+        raise TransformError(f"{fn.name}: already unrolled")
+    if factor == 1:
+        return
+
+    ensure_cleanup_loop(fn, loop)
+    if loop.is_single_block:
+        _unroll_single(fn, loop, factor)
+    else:
+        _unroll_multi(fn, loop, factor)
+    loop.unroll = factor
+    set_main_bound(fn, loop, loop.veclen * factor)
+
+
+def _is_ptr_update(instr: Instruction) -> bool:
+    return (instr.op in (Opcode.ADD, Opcode.SUB)
+            and is_reg(instr.dst)
+            and instr.dst.dtype is DType.PTR
+            and isinstance(instr.srcs[1], Imm)
+            and any(is_reg(s) and s == instr.dst for s in instr.srcs))
+
+
+def _unroll_single(fn: Function, loop: LoopDescriptor, u: int) -> None:
+    body = fn.block(loop.body[0])
+
+    terminator = None
+    instrs = list(body.instrs)
+    if instrs and instrs[-1].is_terminator:
+        terminator = instrs.pop()
+
+    work = [i for i in instrs if not _is_ptr_update(i)]
+    updates = [i for i in instrs if _is_ptr_update(i)]
+    # bytes each pointer advances per (pre-unroll) trip
+    inc_bytes: Dict[object, int] = {}
+    for upd in updates:
+        delta = upd.srcs[1].value * (1 if upd.op is Opcode.ADD else -1)
+        inc_bytes[upd.dst] = inc_bytes.get(upd.dst, 0) + delta
+
+    privates = private_registers(fn, [body.name])
+
+    def shift_mem(x, k: int):
+        if isinstance(x, Mem) and x.base in inc_bytes:
+            return Mem(x.base, x.dtype, x.index, x.scale,
+                       x.disp + k * inc_bytes[x.base], x.array)
+        return x
+
+    new_instrs: List[Instruction] = []
+    for k in range(u):
+        rmap = ({r: VReg(r.name, r.rclass, r.dtype) for r in privates}
+                if k > 0 else {})
+        for instr in work:
+            ni = instr.substitute(rmap) if rmap else instr.copy()
+            if k > 0:
+                ni.dst = shift_mem(ni.dst, k) if ni.dst is not None else None
+                ni.srcs = tuple(shift_mem(s, k) for s in ni.srcs)
+            new_instrs.append(ni)
+    for upd in updates:
+        nu = upd.copy()
+        nu.srcs = (upd.srcs[0], Imm(upd.srcs[1].value * u))
+        nu.comment = (upd.comment + " x%d" % u).strip()
+        new_instrs.append(nu)
+    if terminator is not None:
+        new_instrs.append(terminator)
+    body.instrs = new_instrs
+
+
+def _unroll_multi(fn: Function, loop: LoopDescriptor, u: int) -> None:
+    region = list(loop.body)
+    add_explicit_terminators(fn, region)
+    privates = private_registers(fn, region)
+    counter = loop.counter
+
+    counter_read = any(
+        any(r == counter for r in instr.regs_read())
+        for name in region for instr in fn.block(name).instrs)
+
+    entries: List[str] = [region[0]]
+    all_copies: List[List[str]] = [region]
+    prev_last = region[-1]
+    for k in range(1, u):
+        rmap: Dict[VReg, VReg] = {
+            r: VReg(r.name, r.rclass, r.dtype) for r in privates}
+        ck = None
+        if counter_read:
+            ck = VReg(f"{counter.name}_u{k}", RegClass.GP, DType.I64)
+            rmap[counter] = ck
+        blocks, mapping = clone_region(fn, region, f"_u{k}",
+                                       rename_private=False, reg_map=rmap)
+        if ck is not None:
+            blocks[0].instrs.insert(0, Instruction(
+                Opcode.ADD, ck, (counter, Imm(k * loop.step)),
+                comment=f"counter for unroll copy {k}"))
+        prev = prev_last
+        for blk in blocks:
+            fn.add_block(blk, after=prev)
+            prev = blk.name
+        prev_last = prev
+        entries.append(blocks[0].name)
+        all_copies.append([b.name for b in blocks])
+
+    # chain the copies: branches to the latch go to the next copy instead
+    for k, names in enumerate(all_copies):
+        if k + 1 >= u:
+            break  # the last copy keeps branching to the real latch
+        nxt = entries[k + 1]
+        for name in names:
+            for instr in fn.block(name).instrs:
+                if instr.is_branch and instr.target is not None \
+                        and instr.target.name == loop.latch:
+                    instr.srcs = (Label(nxt),)
+
+    loop.body = [name for names in all_copies for name in names]

@@ -1,0 +1,153 @@
+"""SV — SIMD vectorization (section 2.2.3).
+
+"Transforms the loop nest (when legal) from scalar instructions to
+vector instructions.  This typically results in the same number of
+instructions in the loop, but its effect on loop control and
+computation done per iteration is similar to unrolling by the vector
+length (4 for single precision, 2 for double)."
+
+Legality is established by :mod:`repro.fko.analysis`; this module only
+performs the rewrite:
+
+* every scalar FP register in the body is widened to a vector register;
+* loop-invariant scalars (e.g. ``alpha``) are broadcast in the preheader;
+* accumulators start from zero vectors and are horizontally reduced
+  into the original scalar in a drain block on the exit edge;
+* array references widen to vector loads/stores and pointer increments
+  scale by the vector length;
+* a scalar cleanup loop handles the remainder elements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..errors import TransformError
+from ..ir import (DType, Function, Imm, Instruction, Mem, Opcode, RegClass,
+                  SCALAR_TO_VECTOR, VReg, VecType, sse)
+from ..ir.dataflow import Liveness
+from ..ir.operands import is_reg
+from .analysis import KernelAnalysis
+from .loopshape import ensure_cleanup_loop, get_or_create_drain, set_main_bound
+
+
+def vectorize(fn: Function, analysis: KernelAnalysis) -> None:
+    loop = fn.loop
+    if loop is None:
+        raise TransformError(f"{fn.name}: no tuned loop")
+    if not analysis.vectorizable:
+        raise TransformError(
+            f"{fn.name}: not vectorizable: "
+            + "; ".join(analysis.not_vectorizable_reasons))
+    if loop.vectorized:
+        raise TransformError(f"{fn.name}: already vectorized")
+
+    vt = sse(loop.elem)
+    vl = vt.lanes
+
+    # the remainder loop must clone the body *before* it is widened
+    ensure_cleanup_loop(fn, loop)
+
+    body = fn.block(loop.body[0])
+    lv = Liveness(fn)
+    live_in = lv.live_in[body.name]
+
+    accumulators = set(analysis.accumulators)
+    written: Set[VReg] = set()
+    read: Set[VReg] = set()
+    for instr in body.instrs:
+        for r in instr.regs_written():
+            if isinstance(r, VReg) and r.rclass is RegClass.FP:
+                written.add(r)
+        for r in instr.regs_read():
+            if isinstance(r, VReg) and r.rclass is RegClass.FP:
+                read.add(r)
+
+    vmap: Dict[VReg, VReg] = {}
+    invariants: List[VReg] = []
+    for r in sorted(written | read, key=lambda r: r.uid):
+        if r in accumulators:
+            vmap[r] = VReg(f"v{r.name}", RegClass.VEC, vt)
+        elif r in written:
+            vmap[r] = VReg(f"v{r.name}", RegClass.VEC, vt)     # private
+        elif r in live_in:
+            vmap[r] = VReg(f"v{r.name}", RegClass.VEC, vt)     # invariant
+            invariants.append(r)
+        else:
+            raise TransformError(
+                f"{fn.name}: FP register {r!r} read but never defined")
+
+    # --- rewrite the body
+    new_instrs: List[Instruction] = []
+    for instr in body.instrs:
+        op = instr.op
+        if op in (Opcode.ADD, Opcode.SUB) and is_reg(instr.dst) \
+                and instr.dst.dtype is DType.PTR \
+                and isinstance(instr.srcs[1], Imm):
+            ni = instr.copy()
+            ni.srcs = (instr.srcs[0], Imm(instr.srcs[1].value * vl))
+            new_instrs.append(ni)
+            continue
+        if op in SCALAR_TO_VECTOR:
+            ni = instr.substitute(vmap)
+            ni.op = SCALAR_TO_VECTOR[op]
+            # unproven alignment -> movups/unaligned store forms
+            m = instr.mem
+            if m is not None and m.array is not None \
+                    and m.array not in analysis.aligned_arrays:
+                if ni.op is Opcode.VLD:
+                    ni.op = Opcode.VLDU
+                elif ni.op in (Opcode.VST, Opcode.VSTNT):
+                    ni.op = Opcode.VSTU
+            # widen memory references
+            def widen(x):
+                if isinstance(x, Mem):
+                    return Mem(x.base, vt, x.index, x.scale, x.disp, x.array)
+                return x
+            ni.dst = widen(ni.dst) if ni.dst is not None else None
+            ni.srcs = tuple(widen(s) for s in ni.srcs)
+            # FMOV with a float immediate: only 0.0 can be widened cheaply
+            if ni.op is Opcode.VMOV and isinstance(ni.srcs[0], Imm):
+                if float(ni.srcs[0].value) != 0.0:
+                    raise TransformError(
+                        f"{fn.name}: cannot vectorize non-zero FP "
+                        f"immediate {ni.srcs[0]!r}")
+                ni.op = Opcode.VZERO
+                ni.srcs = ()
+            new_instrs.append(ni)
+            continue
+        if op in (Opcode.MOV, Opcode.NOP, Opcode.PREFETCH, Opcode.JMP):
+            new_instrs.append(instr.copy())
+            continue
+        raise TransformError(f"{fn.name}: unvectorizable op {op.value}")
+    body.instrs = new_instrs
+
+    # --- preheader setup: broadcasts and zeroed vector accumulators
+    pre = fn.block(loop.preheader)
+    setup: List[Instruction] = []
+    for r in invariants:
+        setup.append(Instruction(Opcode.VBCAST, vmap[r], (r,),
+                                 comment=f"broadcast {r.name}"))
+    for acc in analysis.accumulators:
+        setup.append(Instruction(Opcode.VZERO, vmap[acc], (),
+                                 comment=f"vector accumulator {acc.name}"))
+    # insert before the preheader's terminator (if any)
+    if pre.instrs and pre.instrs[-1].is_terminator:
+        pre.instrs[-1:-1] = setup
+    else:
+        pre.instrs.extend(setup)
+
+    # --- drain: horizontal-add vector accumulators into the scalars
+    if analysis.accumulators:
+        drain = get_or_create_drain(fn, loop)
+        drain_code: List[Instruction] = []
+        for acc in analysis.accumulators:
+            tmp = VReg(f"h{acc.name}", RegClass.FP, loop.elem)
+            drain_code.append(Instruction(Opcode.VHADD, tmp, (vmap[acc],),
+                                          comment=f"reduce v{acc.name}"))
+            drain_code.append(Instruction(Opcode.FADD, acc, (acc, tmp)))
+        drain.instrs[0:0] = drain_code
+
+    set_main_bound(fn, loop, vl)
+    loop.vectorized = True
+    loop.veclen = vl

@@ -1,0 +1,36 @@
+"""HIL — the high-level intermediate language accepted by FKO.
+
+"Our input language is kept close to ANSI C in form ... However ... its
+usage rules are closer to Fortran 77, which has a more performance-
+centric design." (section 2.2.1)
+
+Pipeline: :func:`~repro.hil.parser.parse` ->
+:func:`~repro.hil.semantic.check` -> :func:`~repro.hil.lower.lower`,
+or the one-shot :func:`~repro.hil.lower.compile_hil`.
+
+Example (the paper's Figure 6(a) dot loop, with declarations)::
+
+    ROUTINE ddot(N: int, X: ptr double, Y: ptr double) RETURNS double;
+    double dot = 0.0;
+    double x;
+    double y;
+    @TUNE
+    LOOP i = 0, N
+    LOOP_BODY
+        x = X[0];
+        y = Y[0];
+        dot += x * y;
+        X += 1;
+        Y += 1;
+    LOOP_END
+    RETURN dot;
+"""
+
+from .lexer import Token, tokenize
+from .parser import parse
+from .semantic import CheckedRoutine, Symbol, check
+from .lower import compile_hil, lower
+from . import ast
+
+__all__ = ["Token", "tokenize", "parse", "CheckedRoutine", "Symbol",
+           "check", "compile_hil", "lower", "ast"]

@@ -1,0 +1,178 @@
+"""Abstract syntax tree for HIL routines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# --- expressions -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Num:
+    """Integer or float literal."""
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class Var:
+    """Reference to a scalar variable or parameter."""
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Pointer-walking array element reference ``X[k]``, ``k`` a constant.
+
+    HIL restricts array indexing to constant offsets from a pointer that
+    is advanced explicitly (``X += 1``) — the Fortran-77-flavoured rule
+    that lets the back end reason about streams without front-end
+    dependence analysis.
+    """
+    name: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class Unary:
+    """Unary op: 'abs' or 'neg'."""
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Bin:
+    """Binary arithmetic: '+', '-', '*'."""
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Num, Var, ArrayRef, Unary, Bin]
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """Comparison used in IF conditions: '<', '<=', '>', '>=', '==', '!='."""
+    op: str
+    left: Expr
+    right: Expr
+
+
+# --- statements ------------------------------------------------------------
+
+@dataclass
+class VarDecl:
+    """``double dot = 0.0;`` — scalar declaration with optional init."""
+    name: str
+    dtype: str                      # 'int' | 'float' | 'double'
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    """``lhs op expr;`` with op in {'=', '+=', '-=', '*='}.
+
+    ``lhs`` is a Var (scalar) or ArrayRef (store through pointer).
+    A bare pointer increment ``X += 1;`` is an Assign with Var lhs naming
+    a pointer parameter.
+    """
+    lhs: Union[Var, ArrayRef]
+    op: str
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class IfGoto:
+    cond: Cmp
+    label: str
+    line: int = 0
+
+
+@dataclass
+class IfBlock:
+    """Scoped conditional: ``IF (c) THEN ... [ELSE ...] IF_END``.
+
+    The paper notes its HIL "does not yet support scoped ifs" — this is
+    the extension that lifts that restriction, so kernels like iamax can
+    be written without labels and GOTOs.
+    """
+    cond: Cmp
+    then_body: List["Stmt"] = field(default_factory=list)
+    else_body: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Goto:
+    label: str
+    line: int = 0
+
+
+@dataclass
+class LabelStmt:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Loop:
+    """``LOOP ivar = start, end [, step] ... LOOP_BODY ... LOOP_END``.
+
+    ``tuned`` is set by a preceding ``@TUNE`` mark-up directive and
+    selects this loop for the iterative search.
+    """
+    ivar: str
+    start: Expr
+    end: Expr
+    step: int
+    body: List["Stmt"] = field(default_factory=list)
+    tuned: bool = False
+    line: int = 0
+
+
+Stmt = Union[VarDecl, Assign, IfGoto, IfBlock, Goto, LabelStmt,
+             Return, Loop]
+
+
+# --- routine ---------------------------------------------------------------
+
+@dataclass
+class ParamDecl:
+    """``name: type`` — type is 'int', 'float', 'double', 'ptr float',
+    or 'ptr double'."""
+    name: str
+    dtype: str
+    elem: Optional[str] = None      # for ptr params
+
+
+@dataclass
+class Markup:
+    """An ``@DIRECTIVE(args)`` line.  Recognised directives:
+
+    * ``@TUNE`` — flag the next LOOP for the iterative search;
+    * ``@NOPREFETCH(X)`` — exclude array X from prefetch candidates
+      (the paper's "arrays known to be already in cache" override);
+    * ``@ALIASOK(X, Y)`` — permit X and Y to alias (aliasing of output
+      arrays is otherwise disallowed, section 2.2.1).
+    """
+    directive: str
+    args: Tuple[str, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class Routine:
+    name: str
+    params: List[ParamDecl]
+    returns: Optional[str]          # 'int' | 'float' | 'double' | None
+    body: List[Stmt] = field(default_factory=list)
+    markup: List[Markup] = field(default_factory=list)

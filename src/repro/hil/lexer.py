@@ -1,0 +1,91 @@
+"""Lexer for HIL, the high-level intermediate language FKO accepts.
+
+HIL "is kept close to ANSI C in form ... [but] its usage rules are
+closer to Fortran 77" (paper section 2.2.1).  The token set covers the
+constructs the paper's Figure 6 uses — ``LOOP i = 0, N`` /
+``LOOP_BODY`` / ``LOOP_END`` loops, pointer-walking array references
+``X[0]``, compound assignment, ``IF (c) GOTO l`` with labels, ``ABS``,
+``RETURN`` — plus routine headers and ``@`` mark-up directives.
+
+Comments run from ``#`` or ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import HILSyntaxError
+
+KEYWORDS = {
+    "ROUTINE", "RETURNS", "LOOP", "LOOP_BODY", "LOOP_END",
+    "IF", "THEN", "ELSE", "IF_END", "GOTO", "RETURN", "ABS",
+    "int", "float", "double", "ptr",
+}
+
+# longest-match-first symbol list
+SYMBOLS = [
+    "+=", "-=", "*=", "<=", ">=", "==", "!=",
+    "(", ")", "[", "]", ":", ";", ",", "=", "<", ">", "+", "-", "*", "@",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>(\#|//)[^\n]*)
+  | (?P<newline>\n)
+  | (?P<float>(\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<sym>""" + "|".join(re.escape(s) for s in SYMBOLS) + r""")
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'kw', 'ident', 'int', 'float', 'sym', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            col = pos - line_start + 1
+            raise HILSyntaxError(f"unexpected character {source[pos]!r}",
+                                 line, col)
+        pos = m.end()
+        kind = m.lastgroup
+        text = m.group()
+        col = m.start() - line_start + 1
+        if kind == "newline":
+            line += 1
+            line_start = m.end()
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "ident":
+            tok_kind = "kw" if text in KEYWORDS else "ident"
+        elif kind == "sym":
+            tok_kind = "sym"
+        elif kind == "int":
+            tok_kind = "int"
+        elif kind == "float":
+            tok_kind = "float"
+        else:  # pragma: no cover - regex groups are exhaustive
+            raise AssertionError(kind)
+        tokens.append(Token(tok_kind, text, line, col))
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

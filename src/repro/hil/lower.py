@@ -1,0 +1,462 @@
+"""Lowering: checked HIL routines -> low-level IR functions.
+
+Produces non-SSA three-address code: every HIL scalar owns a "home"
+virtual register that assignments write.  Loops lower to the canonical
+shape the FKO transforms expect::
+
+    <pre>     mov i, start                 (falls through)
+    <header>  cmp i, end ; jcc <done-cond> exit
+    <body..>  ... statements ...           (may be several blocks)
+    <latch>   add i, step ; jmp header
+    <exit>    ...
+
+The tuned loop's :class:`~repro.ir.function.LoopDescriptor` is computed
+from the CFG as the natural loop of the ``latch -> header`` back edge, so
+bodies with internal control flow — including the paper's iamax, whose
+NEWMAX block lives *after* the RETURN and jumps back in — are captured
+correctly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Union
+
+from ..errors import HILSemanticError
+from ..ir import (BasicBlock, Cond, DType, Function, Imm, Instruction,
+                  IRBuilder, LoopDescriptor, Mem, Opcode, Param, Reg,
+                  RegClass, VReg)
+from . import ast
+from .semantic import CheckedRoutine, Symbol, check
+from .parser import parse
+
+_CMP_COND = {"<": Cond.LT, "<=": Cond.LE, ">": Cond.GT, ">=": Cond.GE,
+             "==": Cond.EQ, "!=": Cond.NE}
+
+
+class _Lowerer:
+    def __init__(self, checked: CheckedRoutine):
+        self.checked = checked
+        self.routine = checked.routine
+        self.symbols = checked.symbols
+        self.fp = checked.fp_dtype or DType.F64
+        self.homes: Dict[str, VReg] = {}
+        self.fn: Optional[Function] = None
+        self.b: Optional[IRBuilder] = None
+        self._uniq = itertools.count()
+        self._loop_records: List[dict] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> Function:
+        params: List[Param] = []
+        for p in self.routine.params:
+            sym = self.symbols[p.name]
+            if sym.is_pointer:
+                reg = VReg(p.name, RegClass.GP, DType.PTR)
+                params.append(Param(p.name, DType.PTR, elem=sym.elem, reg=reg))
+            elif sym.dtype.is_float:
+                reg = VReg(p.name, RegClass.FP, sym.dtype)
+                params.append(Param(p.name, sym.dtype, reg=reg))
+            else:
+                reg = VReg(p.name, RegClass.GP, sym.dtype)
+                params.append(Param(p.name, sym.dtype, reg=reg))
+            self.homes[p.name] = reg
+
+        ret: Optional[Param] = None
+        if self.routine.returns is not None:
+            rdt = {"int": DType.I64, "float": DType.F32,
+                   "double": DType.F64}[self.routine.returns]
+            ret = Param("<ret>", rdt)
+
+        self.fn = Function(self.routine.name, params, ret=ret)
+        self.b = IRBuilder(self.fn)
+        self.b.new_block("entry")
+        self._lower_stmts(self.routine.body)
+        # routines with no trailing RETURN get one (void kernels)
+        last = self.fn.blocks[-1]
+        if last.terminator is None:
+            self.b.set_block(last.name)
+            self.b.ret()
+        self._finish_loops()
+        return self.fn
+
+    # ------------------------------------------------------------------
+    # helpers
+    def _home(self, name: str) -> VReg:
+        if name not in self.homes:
+            sym = self.symbols[name]
+            if sym.dtype.is_float:
+                self.homes[name] = VReg(name, RegClass.FP, sym.dtype)
+            else:
+                self.homes[name] = VReg(name, RegClass.GP, DType.I64)
+        return self.homes[name]
+
+    def _tmp_fp(self) -> VReg:
+        return VReg("t", RegClass.FP, self.fp)
+
+    def _tmp_gp(self) -> VReg:
+        return VReg("t", RegClass.GP, DType.I64)
+
+    def _mem(self, name: str, offset: int) -> Mem:
+        sym = self.symbols[name]
+        return Mem(self.homes[name], sym.elem, disp=offset * sym.elem.size,
+                   array=name)
+
+    def _label_block(self, label: str) -> str:
+        return f"L_{label}"
+
+    def _expr_is_float(self, e: ast.Expr) -> bool:
+        if isinstance(e, ast.Num):
+            return isinstance(e.value, float)
+        if isinstance(e, ast.Var):
+            return self.symbols[e.name].dtype.is_float
+        if isinstance(e, ast.ArrayRef):
+            return True
+        if isinstance(e, ast.Unary):
+            return self._expr_is_float(e.operand)
+        if isinstance(e, ast.Bin):
+            return self._expr_is_float(e.left) or self._expr_is_float(e.right)
+        raise AssertionError(e)
+
+    # ------------------------------------------------------------------
+    # expressions
+    def _eval(self, e: ast.Expr):
+        """Evaluate an expression; returns a register or Imm operand."""
+        if isinstance(e, ast.Num):
+            return Imm(e.value)
+        if isinstance(e, ast.Var):
+            return self._home(e.name)
+        if isinstance(e, ast.ArrayRef):
+            dst = self._tmp_fp()
+            self.b.load(dst, self._mem(e.name, e.offset))
+            return dst
+        if isinstance(e, ast.Unary):
+            src = self._as_reg(self._eval(e.operand),
+                               float_ctx=self._expr_is_float(e.operand))
+            if src.rclass is RegClass.FP:
+                dst = self._tmp_fp()
+                op = Opcode.FABS if e.op == "abs" else Opcode.FNEG
+            else:
+                dst = self._tmp_gp()
+                op = Opcode.NEG
+            self.b.unop(op, dst, src)
+            return dst
+        if isinstance(e, ast.Bin):
+            is_f = self._expr_is_float(e)
+            left = self._eval(e.left)
+            right = self._eval(e.right)
+            if is_f:
+                left = self._as_reg(left, float_ctx=True)
+                right = self._as_reg(right, float_ctx=True)
+                dst = self._tmp_fp()
+                op = {"+": Opcode.FADD, "-": Opcode.FSUB,
+                      "*": Opcode.FMUL}[e.op]
+            else:
+                dst = self._tmp_gp()
+                op = {"+": Opcode.ADD, "-": Opcode.SUB,
+                      "*": Opcode.IMUL}[e.op]
+                left = self._as_reg(left, float_ctx=False)
+            self.b.binop(op, dst, left, right)
+            return dst
+        raise AssertionError(e)
+
+    def _as_reg(self, op, float_ctx: bool) -> Reg:
+        """Materialize an Imm into a register when a register is needed."""
+        if isinstance(op, Imm):
+            if float_ctx:
+                dst = self._tmp_fp()
+                self.b.mov(dst, Imm(float(op.value)))
+            else:
+                dst = self._tmp_gp()
+                self.b.mov(dst, op)
+            return dst
+        return op
+
+    def _eval_into(self, dst: VReg, e: ast.Expr) -> None:
+        """Evaluate ``e`` directly into the home register ``dst``."""
+        if isinstance(e, ast.Num):
+            v = float(e.value) if dst.rclass is RegClass.FP else int(e.value)
+            self.b.mov(dst, Imm(v))
+            return
+        if isinstance(e, ast.Var):
+            src = self._home(e.name)
+            if src is not dst:
+                self.b.mov(dst, src)
+            return
+        if isinstance(e, ast.ArrayRef):
+            self.b.load(dst, self._mem(e.name, e.offset))
+            return
+        if isinstance(e, ast.Unary):
+            src = self._as_reg(self._eval(e.operand),
+                               float_ctx=self._expr_is_float(e.operand))
+            if dst.rclass is RegClass.FP:
+                op = Opcode.FABS if e.op == "abs" else Opcode.FNEG
+            else:
+                op = Opcode.NEG
+            self.b.unop(op, dst, src)
+            return
+        if isinstance(e, ast.Bin):
+            is_f = dst.rclass is RegClass.FP
+            left = self._as_reg(self._eval(e.left), float_ctx=is_f)
+            right = self._eval(e.right)
+            if is_f:
+                right = self._as_reg(right, float_ctx=True)
+                op = {"+": Opcode.FADD, "-": Opcode.FSUB,
+                      "*": Opcode.FMUL}[e.op]
+            else:
+                op = {"+": Opcode.ADD, "-": Opcode.SUB,
+                      "*": Opcode.IMUL}[e.op]
+            self.b.binop(op, dst, left, right)
+            return
+        raise AssertionError(e)
+
+    # ------------------------------------------------------------------
+    # statements
+    def _lower_stmts(self, stmts: List[ast.Stmt]) -> None:
+        for s in stmts:
+            if isinstance(s, ast.VarDecl):
+                self._lower_decl(s)
+            elif isinstance(s, ast.Assign):
+                self._lower_assign(s)
+            elif isinstance(s, ast.Loop):
+                self._lower_loop(s)
+            elif isinstance(s, ast.IfGoto):
+                self._lower_ifgoto(s)
+            elif isinstance(s, ast.IfBlock):
+                self._lower_ifblock(s)
+            elif isinstance(s, ast.Goto):
+                self.b.jmp(self._label_block(s.label))
+                self.b.new_block(f"after{next(self._uniq)}")
+            elif isinstance(s, ast.LabelStmt):
+                name = self._label_block(s.name)
+                # fall through into the labelled block
+                self.b.new_block(name)
+            elif isinstance(s, ast.Return):
+                value = None
+                if s.value is not None:
+                    fctx = self._expr_is_float(s.value)
+                    value = self._eval(s.value)
+                    if isinstance(value, Imm):
+                        value = self._as_reg(value, float_ctx=fctx)
+                self.b.ret(value)
+                self.b.new_block(f"after{next(self._uniq)}")
+            else:  # pragma: no cover
+                raise HILSemanticError(f"cannot lower {s!r}")
+
+    def _lower_decl(self, s: ast.VarDecl) -> None:
+        home = self._home(s.name)
+        if s.init is not None:
+            self._eval_into(home, s.init)
+        else:
+            zero = 0.0 if home.rclass is RegClass.FP else 0
+            self.b.mov(home, Imm(zero), comment=f"init {s.name}")
+
+    def _lower_assign(self, s: ast.Assign) -> None:
+        if isinstance(s.lhs, ast.ArrayRef):
+            mem = self._mem(s.lhs.name, s.lhs.offset)
+            if s.op == "=":
+                val = self._as_reg(self._eval(s.expr), float_ctx=True)
+            else:
+                cur = self._tmp_fp()
+                self.b.load(cur, mem)
+                rhs = self._as_reg(self._eval(s.expr), float_ctx=True)
+                val = self._tmp_fp()
+                op = {"+=": Opcode.FADD, "-=": Opcode.FSUB,
+                      "*=": Opcode.FMUL}[s.op]
+                self.b.binop(op, val, cur, rhs)
+            self.b.store(mem, val)
+            return
+
+        name = s.lhs.name
+        sym = self.symbols[name]
+        if sym.is_pointer:
+            # pointer advance: X += k — constant or runtime element count
+            home = self._home(name)
+            is_const = (isinstance(s.expr, ast.Num)
+                        and isinstance(s.expr.value, int)) or \
+                (isinstance(s.expr, ast.Unary) and s.expr.op == "neg"
+                 and isinstance(s.expr.operand, ast.Num))
+            if is_const:
+                elems = self._const_int(s.expr, s.line)
+                delta = elems * sym.elem.size
+                if s.op == "-=":
+                    delta = -delta
+                self.b.add(home, home, Imm(delta), comment=f"{name} advance")
+                return
+            # runtime count (e.g. "X -= N" resetting a stream between
+            # outer-loop iterations): scale to bytes, then add/sub
+            count = self._as_reg(self._eval(s.expr), float_ctx=False)
+            nbytes = self._tmp_gp()
+            self.b.binop(Opcode.IMUL, nbytes, count, Imm(sym.elem.size),
+                         comment=f"{name} advance bytes")
+            op = Opcode.ADD if s.op == "+=" else Opcode.SUB
+            self.b.binop(op, home, home, nbytes,
+                         comment=f"{name} advance (runtime)")
+            return
+
+        home = self._home(name)
+        if s.op == "=":
+            self._eval_into(home, s.expr)
+        else:
+            rhs = self._eval(s.expr)
+            if home.rclass is RegClass.FP:
+                rhs = self._as_reg(rhs, float_ctx=True)
+                op = {"+=": Opcode.FADD, "-=": Opcode.FSUB,
+                      "*=": Opcode.FMUL}[s.op]
+            else:
+                op = {"+=": Opcode.ADD, "-=": Opcode.SUB,
+                      "*=": Opcode.IMUL}[s.op]
+            self.b.binop(op, home, home, rhs)
+
+    def _const_int(self, e: ast.Expr, line: int) -> int:
+        if isinstance(e, ast.Num) and isinstance(e.value, int):
+            return e.value
+        if (isinstance(e, ast.Unary) and e.op == "neg"
+                and isinstance(e.operand, ast.Num)):
+            return -e.operand.value
+        raise HILSemanticError(
+            f"pointer increments must be integer constants (line {line})")
+
+    def _lower_ifblock(self, s: ast.IfBlock) -> None:
+        uid = next(self._uniq)
+        then_name = f"if{uid}_then"
+        else_name = f"if{uid}_else"
+        join_name = f"if{uid}_join"
+        self._emit_cmp(s.cond)
+        if s.else_body:
+            self.b.jcc(_CMP_COND[s.cond.op].negate(), else_name)
+            self.b.new_block(then_name)
+            self._lower_stmts(s.then_body)
+            self.b.jmp(join_name)
+            self.b.new_block(else_name)
+            self._lower_stmts(s.else_body)
+            self.b.new_block(join_name)
+        else:
+            self.b.jcc(_CMP_COND[s.cond.op].negate(), join_name)
+            self.b.new_block(then_name)
+            self._lower_stmts(s.then_body)
+            self.b.new_block(join_name)
+
+    def _emit_cmp(self, cond: ast.Cmp) -> None:
+        is_f = self._expr_is_float(cond.left) or self._expr_is_float(cond.right)
+        left = self._as_reg(self._eval(cond.left), float_ctx=is_f)
+        right = self._eval(cond.right)
+        if is_f:
+            right = self._as_reg(right, float_ctx=True)
+            self.b.fcmp(left, right)
+        else:
+            self.b.cmp(left, right)
+
+    def _lower_ifgoto(self, s: ast.IfGoto) -> None:
+        self._emit_cmp(s.cond)
+        self.b.jcc(_CMP_COND[s.cond.op], self._label_block(s.label))
+        self.b.new_block(f"after{next(self._uniq)}")
+
+    # ------------------------------------------------------------------
+    def _lower_loop(self, s: ast.Loop) -> None:
+        uid = next(self._uniq)
+        pre, header = f"loop{uid}_pre", f"loop{uid}_head"
+        body0, latch = f"loop{uid}_body", f"loop{uid}_latch"
+        exit_ = f"loop{uid}_exit"
+
+        ivar = self._home(s.ivar)
+        self.b.new_block(pre)
+        start_op = self._eval(s.start)
+        self.b.mov(ivar, start_op, comment="loop counter init")
+        end_op = self._eval(s.end)
+        if isinstance(end_op, Imm):
+            end_reg = self._tmp_gp()
+            self.b.mov(end_reg, end_op)
+            end_op = end_reg
+
+        self.b.new_block(header)
+        self.b.cmp(ivar, end_op)
+        exit_cond = Cond.GE if s.step > 0 else Cond.LE
+        self.b.jcc(exit_cond, exit_, comment="loop exit test")
+
+        self.b.new_block(body0)
+        self._lower_stmts(s.body)
+
+        # whatever block we are in now falls through to the latch
+        self.b.new_block(latch)
+        self.b.add(ivar, ivar, Imm(s.step), comment="loop counter step")
+        self.b.jmp(header)
+        self.b.new_block(exit_)
+
+        self._loop_records.append(dict(
+            loop=s, pre=pre, header=header, body0=body0, latch=latch,
+            exit=exit_, counter=ivar, start=start_op, end=end_op))
+
+    # ------------------------------------------------------------------
+    def _finish_loops(self) -> None:
+        """Compute the tuned loop's natural-loop membership and attach
+        the LoopDescriptor to the function."""
+        record = None
+        for rec in self._loop_records:
+            if rec["loop"].tuned:
+                record = rec
+                break
+        if record is None and len(self._loop_records) == 1:
+            # an unmarked single loop is still discoverable; analysis
+            # will report "no tuned loop" unless mark-up names one.
+            record = None
+        if record is None:
+            return
+
+        fn = self.fn
+        header, latch = record["header"], record["latch"]
+        # natural loop of the back edge latch -> header
+        members = {header, latch}
+        work = [latch]
+        while work:
+            cur = work.pop()
+            for p in fn.predecessors(cur):
+                if p not in members:
+                    members.add(p)
+                    work.append(p)
+                if cur == header:
+                    break
+        members.discard(header)
+        # keep layout order; exclude header and latch from body
+        body = [b.name for b in fn.blocks
+                if b.name in members and b.name != latch]
+
+        elem = self.checked.fp_dtype or DType.F64
+        pointers: Dict[str, VReg] = {}
+        ptr_incs: Dict[str, int] = {}
+        for name in body + [latch]:
+            for instr in fn.block(name).instrs:
+                if (instr.op is Opcode.ADD and isinstance(instr.dst, VReg)
+                        and instr.dst.dtype is DType.PTR
+                        and isinstance(instr.srcs[1], Imm)):
+                    arr = instr.dst.name
+                    pointers[arr] = instr.dst
+                    sym = self.symbols.get(arr)
+                    esz = sym.elem.size if sym and sym.elem else elem.size
+                    ptr_incs[arr] = ptr_incs.get(arr, 0) + instr.srcs[1].value // esz
+        # arrays referenced but never advanced (e.g. fully in-register)
+        for name in body:
+            for instr in fn.block(name).instrs:
+                mem = instr.mem
+                if mem is not None and mem.array is not None:
+                    sym = self.symbols.get(mem.array)
+                    if sym is not None and sym.is_pointer:
+                        pointers.setdefault(mem.array, self.homes[mem.array])
+                        ptr_incs.setdefault(mem.array, 0)
+
+        fn.loop = LoopDescriptor(
+            header=header, body=body, latch=latch,
+            preheader=record["pre"], exit=record["exit"],
+            counter=record["counter"], start=record["start"],
+            end=record["end"], step=record["loop"].step,
+            pointers=pointers, elem=elem, ptr_incs=ptr_incs)
+
+
+def lower(checked: CheckedRoutine) -> Function:
+    """Lower a checked routine to IR."""
+    return _Lowerer(checked).run()
+
+
+def compile_hil(source: str) -> Function:
+    """Front-end convenience: parse + check + lower HIL source."""
+    return lower(check(parse(source)))

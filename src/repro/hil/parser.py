@@ -1,0 +1,338 @@
+"""Recursive-descent parser for HIL.
+
+Grammar (EBNF, ignoring whitespace/comments)::
+
+    routine  : "ROUTINE" IDENT "(" [param {"," param}] ")"
+               ["RETURNS" type] ";" {stmt} EOF
+    param    : IDENT ":" ptype
+    ptype    : "int" | "float" | "double" | "ptr" ("float" | "double")
+    stmt     : markup | decl | loop | ifgoto | goto | label | return | assign
+    markup   : "@" IDENT ["(" IDENT {"," IDENT} ")"]
+    decl     : type IDENT ["=" expr] ";"
+    loop     : "LOOP" IDENT "=" expr "," expr ["," signed_int]
+               "LOOP_BODY" {stmt} "LOOP_END"
+    ifgoto   : "IF" "(" expr relop expr ")" "GOTO" IDENT ";"
+    goto     : "GOTO" IDENT ";"
+    label    : IDENT ":"
+    return   : "RETURN" [expr] ";"
+    assign   : lvalue ("=" | "+=" | "-=" | "*=") expr ";"
+    lvalue   : IDENT ["[" signed_int "]"]
+    expr     : term {("+" | "-") term}
+    term     : factor {"*" factor}
+    factor   : "-" factor | "ABS" factor | atom
+    atom     : NUM | IDENT ["[" signed_int "]"] | "(" expr ")"
+    relop    : "<" | "<=" | ">" | ">=" | "==" | "!="
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import HILSyntaxError
+from . import ast
+from .lexer import Token, tokenize
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*="}
+_RELOPS = {"<", "<=", ">", ">=", "==", "!="}
+_TYPES = {"int", "float", "double"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        # mark-up encountered inside loop bodies (e.g. @TUNE on a nested
+        # loop) is hoisted into the routine's markup list
+        self.pending_markup: List[ast.Markup] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        idx = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.cur
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise HILSyntaxError(f"expected {want!r}, found {tok.text!r}",
+                                 tok.line, tok.col)
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.cur
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    # ------------------------------------------------------------------
+    def parse_routine(self) -> ast.Routine:
+        self.expect("kw", "ROUTINE")
+        name = self.expect("ident").text
+        self.expect("sym", "(")
+        params: List[ast.ParamDecl] = []
+        if not self.accept("sym", ")"):
+            while True:
+                params.append(self.parse_param())
+                if self.accept("sym", ")"):
+                    break
+                self.expect("sym", ",")
+        returns = None
+        if self.accept("kw", "RETURNS"):
+            tok = self.cur
+            if tok.kind != "kw" or tok.text not in _TYPES:
+                raise HILSyntaxError("expected return type", tok.line, tok.col)
+            returns = self.advance().text
+        self.expect("sym", ";")
+        body: List[ast.Stmt] = []
+        markup: List[ast.Markup] = []
+        pending_tune = False
+        while self.cur.kind != "eof":
+            if self.cur.kind == "sym" and self.cur.text == "@":
+                mu = self.parse_markup()
+                markup.append(mu)
+                if mu.directive == "TUNE":
+                    pending_tune = True
+                continue
+            stmt = self.parse_stmt()
+            if isinstance(stmt, ast.Loop) and pending_tune:
+                stmt.tuned = True
+                pending_tune = False
+            body.append(stmt)
+        markup.extend(self.pending_markup)
+        return ast.Routine(name, params, returns, body, markup)
+
+    def parse_param(self) -> ast.ParamDecl:
+        name = self.expect("ident").text
+        self.expect("sym", ":")
+        tok = self.cur
+        if tok.kind != "kw":
+            raise HILSyntaxError("expected parameter type", tok.line, tok.col)
+        if tok.text == "ptr":
+            self.advance()
+            elem = self.cur
+            if elem.kind != "kw" or elem.text not in ("float", "double"):
+                raise HILSyntaxError("ptr must point to float or double",
+                                     elem.line, elem.col)
+            self.advance()
+            return ast.ParamDecl(name, "ptr", elem.text)
+        if tok.text in _TYPES:
+            self.advance()
+            return ast.ParamDecl(name, tok.text)
+        raise HILSyntaxError(f"bad parameter type {tok.text!r}",
+                             tok.line, tok.col)
+
+    def parse_markup(self) -> ast.Markup:
+        at = self.expect("sym", "@")
+        directive = self.expect("ident").text
+        args: List[str] = []
+        if self.accept("sym", "("):
+            while True:
+                args.append(self.expect("ident").text)
+                if self.accept("sym", ")"):
+                    break
+                self.expect("sym", ",")
+        return ast.Markup(directive.upper(), tuple(args), at.line)
+
+    # ------------------------------------------------------------------
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.cur
+        if tok.kind == "kw":
+            if tok.text in _TYPES:
+                return self.parse_decl()
+            if tok.text == "LOOP":
+                return self.parse_loop()
+            if tok.text == "IF":
+                return self.parse_ifgoto()
+            if tok.text == "GOTO":
+                self.advance()
+                label = self.expect("ident").text
+                self.expect("sym", ";")
+                return ast.Goto(label, tok.line)
+            if tok.text == "RETURN":
+                self.advance()
+                value = None
+                if not (self.cur.kind == "sym" and self.cur.text == ";"):
+                    value = self.parse_expr()
+                self.expect("sym", ";")
+                return ast.Return(value, tok.line)
+            raise HILSyntaxError(f"unexpected keyword {tok.text!r}",
+                                 tok.line, tok.col)
+        if tok.kind == "ident":
+            # label or assignment
+            if self.peek().kind == "sym" and self.peek().text == ":":
+                self.advance()
+                self.advance()
+                return ast.LabelStmt(tok.text, tok.line)
+            return self.parse_assign()
+        raise HILSyntaxError(f"unexpected token {tok.text!r}",
+                             tok.line, tok.col)
+
+    def parse_decl(self) -> ast.VarDecl:
+        tok = self.advance()  # type keyword
+        name = self.expect("ident").text
+        init = None
+        if self.accept("sym", "="):
+            init = self.parse_expr()
+        self.expect("sym", ";")
+        return ast.VarDecl(name, tok.text, init, tok.line)
+
+    def parse_loop(self) -> ast.Loop:
+        tok = self.expect("kw", "LOOP")
+        ivar = self.expect("ident").text
+        self.expect("sym", "=")
+        start = self.parse_expr()
+        self.expect("sym", ",")
+        end = self.parse_expr()
+        step = 1
+        if self.accept("sym", ","):
+            neg = self.accept("sym", "-") is not None
+            step_tok = self.expect("int")
+            step = -int(step_tok.text) if neg else int(step_tok.text)
+            if step == 0:
+                raise HILSyntaxError("loop step must be nonzero",
+                                     step_tok.line, step_tok.col)
+        self.expect("kw", "LOOP_BODY")
+        body: List[ast.Stmt] = []
+        pending_tune = False
+        while not (self.cur.kind == "kw" and self.cur.text == "LOOP_END"):
+            if self.cur.kind == "eof":
+                raise HILSyntaxError("LOOP without LOOP_END",
+                                     tok.line, tok.col)
+            if self.cur.kind == "sym" and self.cur.text == "@":
+                mu = self.parse_markup()
+                self.pending_markup.append(mu)
+                if mu.directive == "TUNE":
+                    pending_tune = True
+                continue
+            stmt = self.parse_stmt()
+            if isinstance(stmt, ast.Loop) and pending_tune:
+                stmt.tuned = True
+                pending_tune = False
+            body.append(stmt)
+        self.expect("kw", "LOOP_END")
+        return ast.Loop(ivar, start, end, step, body, line=tok.line)
+
+    def parse_ifgoto(self):
+        tok = self.expect("kw", "IF")
+        self.expect("sym", "(")
+        left = self.parse_expr()
+        op_tok = self.cur
+        if op_tok.kind != "sym" or op_tok.text not in _RELOPS:
+            raise HILSyntaxError("expected comparison operator",
+                                 op_tok.line, op_tok.col)
+        self.advance()
+        right = self.parse_expr()
+        self.expect("sym", ")")
+        cond = ast.Cmp(op_tok.text, left, right)
+        if self.accept("kw", "THEN"):
+            return self._parse_if_block(cond, tok)
+        self.expect("kw", "GOTO")
+        label = self.expect("ident").text
+        self.expect("sym", ";")
+        return ast.IfGoto(cond, label, tok.line)
+
+    def _parse_if_block(self, cond, tok) -> ast.IfBlock:
+        then_body: List[ast.Stmt] = []
+        else_body: List[ast.Stmt] = []
+        current = then_body
+        while True:
+            if self.cur.kind == "eof":
+                raise HILSyntaxError("IF without IF_END", tok.line, tok.col)
+            if self.cur.kind == "kw" and self.cur.text == "IF_END":
+                self.advance()
+                break
+            if self.cur.kind == "kw" and self.cur.text == "ELSE":
+                if current is else_body:
+                    raise HILSyntaxError("duplicate ELSE",
+                                         self.cur.line, self.cur.col)
+                self.advance()
+                current = else_body
+                continue
+            current.append(self.parse_stmt())
+        return ast.IfBlock(cond, then_body, else_body, tok.line)
+
+    def parse_assign(self) -> ast.Assign:
+        tok = self.cur
+        lhs = self.parse_lvalue()
+        op_tok = self.cur
+        if op_tok.kind != "sym" or op_tok.text not in _ASSIGN_OPS:
+            raise HILSyntaxError("expected assignment operator",
+                                 op_tok.line, op_tok.col)
+        self.advance()
+        expr = self.parse_expr()
+        self.expect("sym", ";")
+        return ast.Assign(lhs, op_tok.text, expr, tok.line)
+
+    def parse_lvalue(self):
+        name = self.expect("ident").text
+        if self.accept("sym", "["):
+            offset = self._signed_int()
+            self.expect("sym", "]")
+            return ast.ArrayRef(name, offset)
+        return ast.Var(name)
+
+    def _signed_int(self) -> int:
+        neg = self.accept("sym", "-") is not None
+        tok = self.expect("int")
+        return -int(tok.text) if neg else int(tok.text)
+
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        left = self.parse_term()
+        while self.cur.kind == "sym" and self.cur.text in ("+", "-"):
+            op = self.advance().text
+            right = self.parse_term()
+            left = ast.Bin(op, left, right)
+        return left
+
+    def parse_term(self) -> ast.Expr:
+        left = self.parse_factor()
+        while self.cur.kind == "sym" and self.cur.text == "*":
+            self.advance()
+            right = self.parse_factor()
+            left = ast.Bin("*", left, right)
+        return left
+
+    def parse_factor(self) -> ast.Expr:
+        if self.accept("sym", "-"):
+            return ast.Unary("neg", self.parse_factor())
+        if self.accept("kw", "ABS"):
+            return ast.Unary("abs", self.parse_factor())
+        return self.parse_atom()
+
+    def parse_atom(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "int":
+            self.advance()
+            return ast.Num(int(tok.text))
+        if tok.kind == "float":
+            self.advance()
+            return ast.Num(float(tok.text))
+        if tok.kind == "ident":
+            self.advance()
+            if self.accept("sym", "["):
+                offset = self._signed_int()
+                self.expect("sym", "]")
+                return ast.ArrayRef(tok.text, offset)
+            return ast.Var(tok.text)
+        if self.accept("sym", "("):
+            expr = self.parse_expr()
+            self.expect("sym", ")")
+            return expr
+        raise HILSyntaxError(f"unexpected token {tok.text!r} in expression",
+                             tok.line, tok.col)
+
+
+def parse(source: str) -> ast.Routine:
+    """Parse HIL source text into a :class:`~repro.hil.ast.Routine`."""
+    return Parser(tokenize(source)).parse_routine()

@@ -1,0 +1,285 @@
+"""Semantic analysis for HIL routines.
+
+Checks types and names, resolves mark-up, and enforces HIL's
+Fortran-77-flavoured usage rules (section 2.2.1):
+
+* scalars must be declared (or be parameters) before use;
+* pointer parameters may only be dereferenced at constant offsets and
+  advanced by integer element counts;
+* all floating point data in one routine shares a single precision;
+* array output aliasing is disallowed unless ``@ALIASOK`` mark-up says
+  otherwise (recorded for the analysis phase — two distinct pointer
+  parameters are *assumed* not to alias);
+* at most one loop carries ``@TUNE`` mark-up, and it must be a
+  top-level (non-nested) loop;
+* every GOTO targets a defined label, labels are unique.
+
+The result, :class:`CheckedRoutine`, is what the lowering pass consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import HILSemanticError
+from ..ir.types import DType
+from . import ast
+
+_DTYPE = {"int": DType.I64, "float": DType.F32, "double": DType.F64}
+
+
+@dataclass
+class Symbol:
+    name: str
+    kind: str                  # 'param' | 'var' | 'ivar'
+    dtype: DType               # I64 for ints/ivars, F32/F64 for floats,
+    elem: Optional[DType] = None  # element type for pointer params
+    is_pointer: bool = False
+
+
+@dataclass
+class CheckedRoutine:
+    routine: ast.Routine
+    symbols: Dict[str, Symbol]
+    fp_dtype: Optional[DType]          # the routine's float precision
+    tuned_loop: Optional[ast.Loop]
+    labels: Set[str]
+    noprefetch: Set[str] = field(default_factory=set)
+    aliasok: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def pointer_params(self) -> List[str]:
+        return [s.name for s in self.symbols.values() if s.is_pointer]
+
+
+class _Checker:
+    def __init__(self, routine: ast.Routine):
+        self.routine = routine
+        self.symbols: Dict[str, Symbol] = {}
+        self.fp_dtype: Optional[DType] = None
+        self.labels: Set[str] = set()
+        self.gotos: List[str] = []
+        self.tuned: Optional[ast.Loop] = None
+        self.noprefetch: Set[str] = set()
+        self.aliasok: List[Tuple[str, str]] = []
+
+    def error(self, msg: str, line: int = 0) -> None:
+        loc = f" (line {line})" if line else ""
+        raise HILSemanticError(f"{self.routine.name}: {msg}{loc}")
+
+    # ------------------------------------------------------------------
+    def run(self) -> CheckedRoutine:
+        self._check_params()
+        self._check_markup()
+        self._collect_labels(self.routine.body)
+        self._check_stmts(self.routine.body, in_loop=False)
+        for g in self.gotos:
+            if g not in self.labels:
+                self.error(f"GOTO to undefined label {g!r}")
+        self._check_return_type()
+        return CheckedRoutine(
+            routine=self.routine, symbols=self.symbols,
+            fp_dtype=self.fp_dtype, tuned_loop=self.tuned,
+            labels=self.labels, noprefetch=self.noprefetch,
+            aliasok=self.aliasok)
+
+    def _check_params(self) -> None:
+        for p in self.routine.params:
+            if p.name in self.symbols:
+                self.error(f"duplicate parameter {p.name!r}")
+            if p.dtype == "ptr":
+                elem = _DTYPE[p.elem]
+                self._note_fp(elem, 0)
+                self.symbols[p.name] = Symbol(p.name, "param", DType.PTR,
+                                              elem=elem, is_pointer=True)
+            else:
+                dt = _DTYPE[p.dtype]
+                if dt.is_float:
+                    self._note_fp(dt, 0)
+                self.symbols[p.name] = Symbol(p.name, "param", dt)
+
+    def _check_markup(self) -> None:
+        known = {"TUNE", "NOPREFETCH", "ALIASOK"}
+        for mu in self.routine.markup:
+            if mu.directive not in known:
+                self.error(f"unknown mark-up @{mu.directive}", mu.line)
+            if mu.directive == "NOPREFETCH":
+                for arg in mu.args:
+                    sym = self.symbols.get(arg)
+                    if sym is None or not sym.is_pointer:
+                        self.error(f"@NOPREFETCH({arg}): not a pointer param",
+                                   mu.line)
+                    self.noprefetch.add(arg)
+            elif mu.directive == "ALIASOK":
+                if len(mu.args) != 2:
+                    self.error("@ALIASOK needs exactly two arrays", mu.line)
+                for arg in mu.args:
+                    sym = self.symbols.get(arg)
+                    if sym is None or not sym.is_pointer:
+                        self.error(f"@ALIASOK({arg}): not a pointer param",
+                                   mu.line)
+                self.aliasok.append((mu.args[0], mu.args[1]))
+
+    def _note_fp(self, dt: DType, line: int) -> None:
+        if self.fp_dtype is None:
+            self.fp_dtype = dt
+        elif self.fp_dtype is not dt:
+            self.error("mixed float precisions in one routine "
+                       f"({self.fp_dtype.value} vs {dt.value})", line)
+
+    # ------------------------------------------------------------------
+    def _collect_labels(self, stmts: List[ast.Stmt]) -> None:
+        for s in stmts:
+            if isinstance(s, ast.LabelStmt):
+                if s.name in self.labels:
+                    self.error(f"duplicate label {s.name!r}", s.line)
+                self.labels.add(s.name)
+            elif isinstance(s, ast.Loop):
+                self._collect_labels(s.body)
+            elif isinstance(s, ast.IfBlock):
+                self._collect_labels(s.then_body)
+                self._collect_labels(s.else_body)
+
+    # ------------------------------------------------------------------
+    def _check_stmts(self, stmts: List[ast.Stmt], in_loop: bool) -> None:
+        for s in stmts:
+            if isinstance(s, ast.VarDecl):
+                self._check_decl(s)
+            elif isinstance(s, ast.Assign):
+                self._check_assign(s)
+            elif isinstance(s, ast.Loop):
+                self._check_loop(s, in_loop)
+            elif isinstance(s, ast.IfGoto):
+                self._check_cmp(s.cond, s.line)
+                self.gotos.append(s.label)
+            elif isinstance(s, ast.IfBlock):
+                self._check_cmp(s.cond, s.line)
+                self._check_stmts(s.then_body, in_loop)
+                self._check_stmts(s.else_body, in_loop)
+            elif isinstance(s, ast.Goto):
+                self.gotos.append(s.label)
+            elif isinstance(s, ast.LabelStmt):
+                pass
+            elif isinstance(s, ast.Return):
+                if s.value is not None:
+                    self._type_of(s.value, s.line)
+            else:  # pragma: no cover
+                self.error(f"unknown statement {s!r}")
+
+    def _check_decl(self, s: ast.VarDecl) -> None:
+        if s.name in self.symbols:
+            self.error(f"redeclaration of {s.name!r}", s.line)
+        dt = _DTYPE[s.dtype]
+        if dt.is_float:
+            self._note_fp(dt, s.line)
+        self.symbols[s.name] = Symbol(s.name, "var", dt)
+        if s.init is not None:
+            it = self._type_of(s.init, s.line)
+            self._require_assignable(dt, it, s.line)
+
+    def _check_loop(self, s: ast.Loop, in_loop: bool) -> None:
+        if s.tuned:
+            if self.tuned is not None:
+                self.error("more than one @TUNE loop", s.line)
+            if any(isinstance(b, ast.Loop) for b in s.body):
+                self.error("the @TUNE loop must be the innermost loop",
+                           s.line)
+            self.tuned = s
+        for e in (s.start, s.end):
+            t = self._type_of(e, s.line)
+            if not t.is_int:
+                self.error("loop bounds must be integers", s.line)
+        if s.ivar in self.symbols and self.symbols[s.ivar].kind != "ivar":
+            self.error(f"loop variable {s.ivar!r} shadows a declaration",
+                       s.line)
+        self.symbols.setdefault(s.ivar, Symbol(s.ivar, "ivar", DType.I64))
+        self._check_stmts(s.body, in_loop=True)
+
+    def _check_assign(self, s: ast.Assign) -> None:
+        if isinstance(s.lhs, ast.ArrayRef):
+            sym = self.symbols.get(s.lhs.name)
+            if sym is None or not sym.is_pointer:
+                self.error(f"{s.lhs.name!r} is not an array parameter", s.line)
+            rt = self._type_of(s.expr, s.line)
+            self._require_assignable(sym.elem, rt, s.line)
+            if s.op != "=":
+                # Y[0] += e  is allowed; it is a load-modify-store
+                pass
+            return
+        name = s.lhs.name
+        sym = self.symbols.get(name)
+        if sym is None:
+            self.error(f"assignment to undeclared {name!r}", s.line)
+        if sym.is_pointer:
+            # pointer advance: X += k (k integer expression)
+            if s.op not in ("+=", "-="):
+                self.error(f"pointers only support += / -= ({name!r})", s.line)
+            t = self._type_of(s.expr, s.line)
+            if not t.is_int:
+                self.error("pointer increment must be an integer", s.line)
+            return
+        if sym.kind == "ivar":
+            self.error(f"loop variable {name!r} may not be assigned", s.line)
+        rt = self._type_of(s.expr, s.line)
+        self._require_assignable(sym.dtype, rt, s.line)
+
+    def _check_cmp(self, c: ast.Cmp, line: int) -> None:
+        lt = self._type_of(c.left, line)
+        rt = self._type_of(c.right, line)
+        if lt.is_float != rt.is_float:
+            # integer literals compare fine against floats
+            if not (isinstance(c.right, ast.Num) or isinstance(c.left, ast.Num)):
+                self.error("comparison mixes float and int", line)
+
+    # ------------------------------------------------------------------
+    def _type_of(self, e: ast.Expr, line: int) -> DType:
+        if isinstance(e, ast.Num):
+            if isinstance(e.value, int):
+                return DType.I64
+            self._note_fp(self.fp_dtype or DType.F64, line)
+            return self.fp_dtype or DType.F64
+        if isinstance(e, ast.Var):
+            sym = self.symbols.get(e.name)
+            if sym is None:
+                self.error(f"use of undeclared {e.name!r}", line)
+            if sym.is_pointer:
+                self.error(f"pointer {e.name!r} used as a value", line)
+            return sym.dtype
+        if isinstance(e, ast.ArrayRef):
+            sym = self.symbols.get(e.name)
+            if sym is None or not sym.is_pointer:
+                self.error(f"{e.name!r} is not an array parameter", line)
+            return sym.elem
+        if isinstance(e, ast.Unary):
+            t = self._type_of(e.operand, line)
+            if e.op == "abs" and not t.is_float:
+                self.error("ABS requires a float operand", line)
+            return t
+        if isinstance(e, ast.Bin):
+            lt = self._type_of(e.left, line)
+            rt = self._type_of(e.right, line)
+            if lt.is_float or rt.is_float:
+                # int literals promote; true int variables do not
+                for side, t in ((e.left, lt), (e.right, rt)):
+                    if t.is_int and not isinstance(side, ast.Num):
+                        self.error("arithmetic mixes float and int variable",
+                                   line)
+                return lt if lt.is_float else rt
+            return DType.I64
+        self.error(f"unknown expression {e!r}", line)
+        raise AssertionError  # unreachable
+
+    def _require_assignable(self, dst: DType, src: DType, line: int) -> None:
+        if dst.is_float and src.is_int:
+            return  # integer literal into float is fine (0 -> 0.0)
+        if dst.is_float != src.is_float:
+            self.error("type mismatch in assignment", line)
+
+    def _check_return_type(self) -> None:
+        pass  # return type flexibility: RETURN checked per-statement
+
+
+def check(routine: ast.Routine) -> CheckedRoutine:
+    """Run semantic analysis; raises HILSemanticError on violations."""
+    return _Checker(routine).run()

@@ -1,0 +1,39 @@
+"""Low-level IR: typed virtual-register code over x86-flavored opcodes.
+
+This is the representation FKO transforms operate on and that the
+simulated machines execute/time.  See the submodules:
+
+* :mod:`repro.ir.types`        — scalar/vector types
+* :mod:`repro.ir.operands`     — registers, immediates, memory refs, labels
+* :mod:`repro.ir.instructions` — opcode set + Instruction
+* :mod:`repro.ir.block` / :mod:`repro.ir.function` — blocks, CFG, loop info
+* :mod:`repro.ir.builder`      — emission helper
+* :mod:`repro.ir.dataflow`     — liveness
+* :mod:`repro.ir.printer`      — assembly-style dumps
+* :mod:`repro.ir.verifier`     — invariant checker
+"""
+
+from .types import DType, VecType, sse, veclen, VEC_BYTES
+from .operands import (AReg, Imm, Label, Mem, Operand, Reg, RegClass, VReg,
+                       is_reg)
+from .instructions import (Cond, Instruction, OP_INFO, Opcode, OpInfo,
+                           PrefetchHint, SCALAR_TO_VECTOR, load_op_for,
+                           store_op_for)
+from .block import BasicBlock
+from .function import Function, LoopDescriptor, Param
+from .builder import IRBuilder
+from .dataflow import Liveness, max_register_pressure
+from .printer import format_function, print_function
+from .att import emit_att
+from .verifier import verify
+
+__all__ = [
+    "DType", "VecType", "sse", "veclen", "VEC_BYTES",
+    "AReg", "Imm", "Label", "Mem", "Operand", "Reg", "RegClass", "VReg",
+    "is_reg",
+    "Cond", "Instruction", "OP_INFO", "Opcode", "OpInfo", "PrefetchHint",
+    "SCALAR_TO_VECTOR", "load_op_for", "store_op_for",
+    "BasicBlock", "Function", "LoopDescriptor", "Param",
+    "IRBuilder", "Liveness", "max_register_pressure",
+    "format_function", "print_function", "verify", "emit_att",
+]

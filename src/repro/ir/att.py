@@ -1,0 +1,284 @@
+"""AT&T-syntax x86 assembly emission.
+
+FKO's product is "optimized assembly" (Figure 1).  The default printer
+(:mod:`repro.ir.printer`) dumps the IR in a pseudo-assembly; this module
+renders allocated functions as GNU-assembler-style AT&T x86 instead —
+`addsd (%ecx), %xmm0`, `prefetchnta 512(%ecx)`, `jge .L_exit` — which is
+what a 2005 hand-tuner would diff against.
+
+Emission requires a register-allocated function (architectural registers
+only); virtual registers raise :class:`~repro.errors.IRError`.  The
+output is faithful to the simulated ISA: pseudo-ops with no single x86
+instruction (VHADD, VBCAST, ...) expand into the conventional SSE
+sequences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..errors import IRError
+from .function import Function
+from .instructions import Cond, Instruction, Opcode, PrefetchHint
+from .operands import AReg, Imm, Label, Mem, Reg, VReg
+from .types import DType, VecType
+
+
+def _is_single(dtype) -> bool:
+    if isinstance(dtype, VecType):
+        return dtype.elem is DType.F32
+    return dtype is DType.F32
+
+
+def _suffix(dtype) -> str:
+    """s{s,d} for scalars, p{s,d} for packed."""
+    if isinstance(dtype, VecType):
+        return "ps" if dtype.elem is DType.F32 else "pd"
+    return "ss" if dtype is DType.F32 else "sd"
+
+
+#: parameter registers of the function being emitted: rendered as
+#: ``ARG_<name>`` incoming-argument operands (cdecl stack slots in a
+#: real build; symbolic here)
+_PARAM_REGS: dict = {}
+
+
+def _reg(op: Reg) -> str:
+    if isinstance(op, VReg):
+        if op in _PARAM_REGS:
+            return f"ARG_{_PARAM_REGS[op]}"
+        raise IRError(
+            f"cannot emit AT&T assembly for virtual register {op!r}; "
+            "run register allocation first")
+    return f"%{op.name}"
+
+
+def _operand(op) -> str:
+    if isinstance(op, _lit):
+        return str(op)
+    if isinstance(op, Imm):
+        return f"${int(op.value) if float(op.value).is_integer() else op.value}"
+    if isinstance(op, Mem):
+        base = _reg(op.base)
+        if op.index is not None:
+            return f"{op.disp or ''}({base},{_reg(op.index)},{op.scale})"
+        return f"{op.disp or ''}({base})"
+    if isinstance(op, Label):
+        return f".L_{op.name}"
+    return _reg(op)
+
+
+class _lit(str):
+    """An operand that is already rendered (scratch register names)."""
+
+
+_JCC = {Cond.EQ: "je", Cond.NE: "jne", Cond.LT: "jl", Cond.LE: "jle",
+        Cond.GT: "jg", Cond.GE: "jge"}
+
+_PREFETCH = {PrefetchHint.NTA: "prefetchnta", PrefetchHint.T0: "prefetcht0",
+             PrefetchHint.T1: "prefetcht1", PrefetchHint.W: "prefetchw"}
+
+def _pick_scratch(*avoid_ops) -> str:
+    """A scratch xmm register distinct from the expansion's operands."""
+    used = {_operand(o) for o in avoid_ops if o is not None}
+    for cand in ("%xmm7", "%xmm6", "%xmm5", "%xmm4"):
+        if cand not in used:
+            return cand
+    return "%xmm7"  # pragma: no cover
+
+
+def emit_instruction(instr: Instruction) -> List[str]:
+    """One IR instruction -> one or more AT&T lines (no indentation)."""
+    op = instr.op
+    d = instr.dst
+    s = instr.srcs
+
+    def two(mn: str, src, dst) -> str:
+        return f"{mn} {_operand(src)}, {_operand(dst)}"
+
+    if op is Opcode.MOV:
+        return [two("movl", s[0], d)]
+    if op is Opcode.FMOV:
+        if isinstance(s[0], Imm):
+            if float(s[0].value) == 0.0:
+                return [f"xorps {_operand(d)}, {_operand(d)}"]
+            # constants come from a literal pool in real assembly
+            return [f"movsd .LC_{abs(hash(s[0].value)) % 10000:04d}, "
+                    f"{_operand(d)}\t# {s[0].value}"]
+        return [two("movaps", s[0], d)]
+    if op is Opcode.VMOV:
+        return [two("movaps", s[0], d)]
+    if op is Opcode.LD:
+        return [two("movl", s[0], d)]
+    if op is Opcode.ST:
+        return [two("movl", s[1], s[0])]
+    if op is Opcode.FLD:
+        return [two("mov" + _suffix(d.dtype), s[0], d)]
+    if op is Opcode.FST:
+        return [two("mov" + _suffix(s[1].dtype), s[1], s[0])]
+    if op is Opcode.FSTNT:
+        return [two("movnti", s[1], s[0])]
+    if op is Opcode.VLD:
+        return [two("movaps", s[0], d)]
+    if op is Opcode.VLDU:
+        return [two("movups", s[0], d)]
+    if op is Opcode.VST:
+        return [two("movaps", s[1], s[0])]
+    if op is Opcode.VSTU:
+        return [two("movups", s[1], s[0])]
+    if op is Opcode.VSTNT:
+        return [two("movnt" + _suffix(s[1].dtype), s[1], s[0])]
+    if op is Opcode.VBCAST:
+        sfx = _suffix(d.dtype)
+        lines = [two("movaps", s[0], d)]
+        if sfx == "ps":
+            lines.append(f"shufps $0, {_operand(d)}, {_operand(d)}")
+        else:
+            lines.append(f"unpcklpd {_operand(d)}, {_operand(d)}")
+        return lines
+    if op is Opcode.VZERO:
+        return [f"xorps {_operand(d)}, {_operand(d)}"]
+
+    if op in (Opcode.ADD, Opcode.SUB, Opcode.IMUL):
+        mn = {Opcode.ADD: "addl", Opcode.SUB: "subl",
+              Opcode.IMUL: "imull"}[op]
+        # x86 two-operand form: dst must be srcs[0]
+        lines = []
+        if s[0] != d:
+            lines.append(two("movl", s[0], d))
+        lines.append(two(mn, s[1], d))
+        return lines
+    if op is Opcode.NEG:
+        lines = []
+        if s[0] != d:
+            lines.append(two("movl", s[0], d))
+        lines.append(f"negl {_operand(d)}")
+        return lines
+
+    if op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+              Opcode.FMAX, Opcode.VADD, Opcode.VSUB, Opcode.VMUL,
+              Opcode.VMAX):
+        base_mn = {Opcode.FADD: "add", Opcode.FSUB: "sub",
+                   Opcode.FMUL: "mul", Opcode.FDIV: "div",
+                   Opcode.FMAX: "max", Opcode.VADD: "add",
+                   Opcode.VSUB: "sub", Opcode.VMUL: "mul",
+                   Opcode.VMAX: "max"}[op]
+        mn = base_mn + _suffix(d.dtype)
+        lines = []
+        if s[0] != d:
+            lines.append(two("movaps", s[0], d))
+        lines.append(two(mn, s[1], d))
+        return lines
+    if op in (Opcode.FABS, Opcode.VABS):
+        mask = ".LC_ABSMASK" + ("S" if _is_single(d.dtype) else "D")
+        lines = []
+        if s[0] != d:
+            lines.append(two("movaps", s[0], d))
+        lines.append(f"andps {mask}, {_operand(d)}")
+        return lines
+    if op is Opcode.FNEG:
+        mask = ".LC_SIGNMASK" + ("S" if _is_single(d.dtype) else "D")
+        lines = []
+        if s[0] != d:
+            lines.append(two("movaps", s[0], d))
+        lines.append(f"xorps {mask}, {_operand(d)}")
+        return lines
+    if op is Opcode.VCMPGT:
+        lines = []
+        if s[0] != d:
+            lines.append(two("movaps", s[0], d))
+        lines.append(f"cmpnle{_suffix(d.dtype)} {_operand(s[1])}, "
+                     f"{_operand(d)}")
+        return lines
+    if op in (Opcode.VAND, Opcode.VANDN, Opcode.VOR):
+        mn = {Opcode.VAND: "andps", Opcode.VANDN: "andnps",
+              Opcode.VOR: "orps"}[op]
+        lines = []
+        if s[0] != d:
+            lines.append(two("movaps", s[0], d))
+        lines.append(two(mn, s[1], d))
+        return lines
+    if op is Opcode.VHADD:
+        sfx = _suffix(s[0].dtype)
+        sc = _pick_scratch(s[0], d)
+        lines = [f"movaps {_operand(s[0])}, {sc}"]
+        if sfx == "ps":
+            lines += [f"movhlps {_operand(s[0])}, {sc}",
+                      f"addps {_operand(s[0])}, {sc}",
+                      f"movaps {sc}, {_operand(d)}",
+                      f"shufps $1, {_operand(d)}, {_operand(d)}",
+                      f"addss {sc}, {_operand(d)}"]
+        else:
+            lines += [f"unpckhpd {_operand(s[0])}, {sc}",
+                      f"movaps {_operand(s[0])}, {_operand(d)}",
+                      f"addsd {sc}, {_operand(d)}"]
+        return lines
+    if op is Opcode.VHMAX:
+        sfx = _suffix(s[0].dtype)
+        sc = _pick_scratch(s[0], d)
+        return [f"movaps {_operand(s[0])}, {sc}",
+                f"unpckhpd {_operand(s[0])}, {sc}",
+                f"movaps {_operand(s[0])}, {_operand(d)}",
+                f"max{'ss' if sfx == 'ps' else 'sd'} {sc}, "
+                f"{_operand(d)}"]
+    if op is Opcode.VMASK:
+        sfx = _suffix(s[0].dtype)
+        return [f"movmsk{sfx} {_operand(s[0])}, {_operand(d)}"]
+
+    if op is Opcode.CMP:
+        return [f"cmpl {_operand(s[1])}, {_operand(s[0])}"]
+    if op is Opcode.TEST:
+        return [f"testl {_operand(s[1])}, {_operand(s[0])}"]
+    if op is Opcode.FCMP:
+        mn = "ucomiss" if _is_single(s[0].dtype) else "ucomisd"
+        return [f"{mn} {_operand(s[1])}, {_operand(s[0])}"]
+
+    if op is Opcode.JMP:
+        return [f"jmp {_operand(s[0])}"]
+    if op is Opcode.JCC:
+        return [f"{_JCC[instr.cond]} {_operand(s[0])}"]
+    if op is Opcode.RET:
+        lines = []
+        if s:
+            # integer returns in %eax, float returns stay in %xmm0
+            src = s[0]
+            if isinstance(src, AReg) and src.name not in ("eax", "xmm0"):
+                mn = "movl" if src.rclass.value == "gp" else "movaps"
+                dst = "%eax" if src.rclass.value == "gp" else "%xmm0"
+                lines.append(f"{mn} {_operand(src)}, {dst}")
+        lines.append("ret")
+        return lines
+    if op is Opcode.PREFETCH:
+        return [f"{_PREFETCH[instr.hint]} {_operand(s[0])}"]
+    if op is Opcode.NOP:
+        return ["nop"]
+    raise IRError(f"cannot emit {op!r}")  # pragma: no cover
+
+
+def emit_att(fn: Function, comment_ir: bool = False) -> str:
+    """Render an allocated function as AT&T assembly text."""
+    _PARAM_REGS.clear()
+    for param in fn.params:
+        if param.reg is not None and isinstance(param.reg, VReg):
+            _PARAM_REGS[param.reg] = param.name
+    lines: List[str] = [
+        f"# {fn.name} — generated by repro/FKO",
+        "\t.text",
+        f"\t.globl {fn.name}",
+        f"{fn.name}:",
+    ]
+    for block in fn.blocks:
+        lines.append(f".L_{block.name}:")
+        for instr in block.instrs:
+            asm = emit_instruction(instr)
+            for j, line in enumerate(asm):
+                suffix = ""
+                if j == 0 and (instr.comment or comment_ir):
+                    parts = []
+                    if comment_ir:
+                        parts.append(repr(instr))
+                    if instr.comment:
+                        parts.append(instr.comment)
+                    suffix = "\t# " + " ; ".join(parts)
+                lines.append(f"\t{line}{suffix}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,54 @@
+"""Basic blocks.
+
+A block is a named straight-line instruction sequence.  Control may only
+enter at the top and leave at the bottom (through an explicit terminator
+or by falling through to the next block in the function's block order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from .instructions import Instruction, Opcode
+
+
+@dataclass
+class BasicBlock:
+    name: str
+    instrs: List[Instruction] = field(default_factory=list)
+
+    def append(self, instr: Instruction) -> Instruction:
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The final instruction if it is an unconditional terminator."""
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control can reach the next block in layout order."""
+        return self.terminator is None
+
+    def branch_targets(self) -> Iterator[str]:
+        """Names of blocks this block branches to (conditionally or not)."""
+        for instr in self.instrs:
+            if instr.is_branch and instr.target is not None:
+                yield instr.target.name
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.instrs or all(i.op is Opcode.NOP for i in self.instrs)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:
+        return f"<block {self.name}: {len(self.instrs)} instrs>"

@@ -1,0 +1,119 @@
+"""IRBuilder: a small convenience layer for emitting instructions.
+
+Used by the HIL lowering pass and by the hand-tuned ATLAS kernel
+generators (which play the role of the paper's hand-written assembly
+kernels and therefore build IR directly).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple, Union
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import Cond, Instruction, Opcode, PrefetchHint
+from .operands import Imm, Label, Mem, Operand, Reg, RegClass, VReg
+from .types import DType, VecType
+
+
+class IRBuilder:
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.block: Optional[BasicBlock] = None
+        self._name_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    def new_block(self, name: Optional[str] = None,
+                  after: Optional[str] = None) -> BasicBlock:
+        if name is None:
+            name = f"bb{next(self._name_counter)}"
+        block = BasicBlock(name)
+        self.fn.add_block(block, after=after)
+        self.block = block
+        return block
+
+    def set_block(self, name: str) -> BasicBlock:
+        self.block = self.fn.block(name)
+        return self.block
+
+    def emit(self, instr: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("no current block; call new_block() first")
+        return self.block.append(instr)
+
+    # ------------------------------------------------------------------
+    # register factories
+    def gp(self, name: str = "t", dtype: DType = DType.I64) -> VReg:
+        return VReg(name, RegClass.GP, dtype)
+
+    def fp(self, name: str = "f", dtype: DType = DType.F64) -> VReg:
+        return VReg(name, RegClass.FP, dtype)
+
+    def vec(self, name: str, vtype: VecType) -> VReg:
+        return VReg(name, RegClass.VEC, vtype)
+
+    # ------------------------------------------------------------------
+    # emission helpers (one per opcode family)
+    def mov(self, dst: Reg, src: Operand, comment: str = "") -> Instruction:
+        op = {RegClass.GP: Opcode.MOV, RegClass.FP: Opcode.FMOV,
+              RegClass.VEC: Opcode.VMOV}[dst.rclass]
+        return self.emit(Instruction(op, dst, (src,), comment=comment))
+
+    def load(self, dst: Reg, mem: Mem, comment: str = "") -> Instruction:
+        op = {RegClass.GP: Opcode.LD, RegClass.FP: Opcode.FLD,
+              RegClass.VEC: Opcode.VLD}[dst.rclass]
+        return self.emit(Instruction(op, dst, (mem,), comment=comment))
+
+    def store(self, mem: Mem, value: Reg, nontemporal: bool = False,
+              comment: str = "") -> Instruction:
+        if value.rclass is RegClass.GP:
+            op = Opcode.ST
+        elif value.rclass is RegClass.FP:
+            op = Opcode.FSTNT if nontemporal else Opcode.FST
+        else:
+            op = Opcode.VSTNT if nontemporal else Opcode.VST
+        return self.emit(Instruction(op, None, (mem, value), comment=comment))
+
+    def binop(self, op: Opcode, dst: Reg, a: Operand, b: Operand,
+              comment: str = "") -> Instruction:
+        return self.emit(Instruction(op, dst, (a, b), comment=comment))
+
+    def unop(self, op: Opcode, dst: Reg, a: Operand,
+             comment: str = "") -> Instruction:
+        return self.emit(Instruction(op, dst, (a,), comment=comment))
+
+    def add(self, dst: Reg, a: Operand, b: Operand, **kw) -> Instruction:
+        return self.binop(Opcode.ADD, dst, a, b, **kw)
+
+    def sub(self, dst: Reg, a: Operand, b: Operand, **kw) -> Instruction:
+        return self.binop(Opcode.SUB, dst, a, b, **kw)
+
+    def cmp(self, a: Operand, b: Operand, comment: str = "") -> Instruction:
+        return self.emit(Instruction(Opcode.CMP, None, (a, b), comment=comment))
+
+    def fcmp(self, a: Operand, b: Operand, comment: str = "") -> Instruction:
+        return self.emit(Instruction(Opcode.FCMP, None, (a, b), comment=comment))
+
+    def jcc(self, cond: Cond, target: str, comment: str = "") -> Instruction:
+        return self.emit(Instruction(Opcode.JCC, None, (Label(target),),
+                                     cond=cond, comment=comment))
+
+    def jmp(self, target: str, comment: str = "") -> Instruction:
+        return self.emit(Instruction(Opcode.JMP, None, (Label(target),),
+                                     comment=comment))
+
+    def ret(self, value: Optional[Operand] = None, comment: str = "") -> Instruction:
+        srcs = (value,) if value is not None else ()
+        return self.emit(Instruction(Opcode.RET, None, srcs, comment=comment))
+
+    def prefetch(self, mem: Mem, hint: PrefetchHint,
+                 comment: str = "") -> Instruction:
+        return self.emit(Instruction(Opcode.PREFETCH, None, (mem,), hint=hint,
+                                     comment=comment))
+
+    def vzero(self, dst: Reg, comment: str = "") -> Instruction:
+        return self.emit(Instruction(Opcode.VZERO, dst, (), comment=comment))
+
+    def vbcast(self, dst: Reg, src: Reg, comment: str = "") -> Instruction:
+        return self.emit(Instruction(Opcode.VBCAST, dst, (src,), comment=comment))

@@ -1,0 +1,95 @@
+"""Dataflow analyses over the derived CFG.
+
+Currently: classic backward liveness, used by the register allocator,
+copy propagation (dead-copy removal), the verifier, and the transform
+legality checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import Instruction
+from .operands import Reg
+
+
+def block_uses_defs(block: BasicBlock) -> Tuple[Set[Reg], Set[Reg]]:
+    """(use, def) sets of a block: ``use`` = registers read before any
+    write in the block; ``def`` = registers written."""
+    uses: Set[Reg] = set()
+    defs: Set[Reg] = set()
+    for instr in block.instrs:
+        for r in instr.regs_read():
+            if r not in defs:
+                uses.add(r)
+        for r in instr.regs_written():
+            defs.add(r)
+    return uses, defs
+
+
+class Liveness:
+    """Per-block live-in / live-out sets, computed to a fixed point."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.live_in: Dict[str, Set[Reg]] = {}
+        self.live_out: Dict[str, Set[Reg]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        fn = self.fn
+        use: Dict[str, Set[Reg]] = {}
+        defs: Dict[str, Set[Reg]] = {}
+        for b in fn.blocks:
+            use[b.name], defs[b.name] = block_uses_defs(b)
+            self.live_in[b.name] = set()
+            self.live_out[b.name] = set()
+        changed = True
+        while changed:
+            changed = False
+            for b in reversed(fn.blocks):
+                out: Set[Reg] = set()
+                for s in fn.successors(b):
+                    out |= self.live_in[s]
+                inn = use[b.name] | (out - defs[b.name])
+                if out != self.live_out[b.name] or inn != self.live_in[b.name]:
+                    self.live_out[b.name] = out
+                    self.live_in[b.name] = inn
+                    changed = True
+
+    def per_instruction(self, block: BasicBlock) -> List[Set[Reg]]:
+        """live_after[i]: registers live immediately *after* instruction i."""
+        live = set(self.live_out[block.name])
+        result: List[Set[Reg]] = [set() for _ in block.instrs]
+        for i in range(len(block.instrs) - 1, -1, -1):
+            result[i] = set(live)
+            instr = block.instrs[i]
+            for r in instr.regs_written():
+                live.discard(r)
+            for r in instr.regs_read():
+                live.add(r)
+        return result
+
+    def live_at_entry(self, block: BasicBlock) -> Set[Reg]:
+        return self.live_in[block.name]
+
+
+def max_register_pressure(fn: Function, rclasses) -> int:
+    """Maximum number of simultaneously-live registers of the given
+    class(es) anywhere in the function.  Used by tests and by unroll
+    legality reasoning (beyond-8 pressure means spills on x86)."""
+    if not isinstance(rclasses, (set, frozenset, list, tuple)):
+        rclasses = (rclasses,)
+    rclasses = set(rclasses)
+    lv = Liveness(fn)
+    peak = 0
+    for b in fn.blocks:
+        live_after = lv.per_instruction(b)
+        entry = {r for r in lv.live_at_entry(b) if r.rclass in rclasses}
+        peak = max(peak, len(entry))
+        for live in live_after:
+            n = sum(1 for r in live if r.rclass in rclasses)
+            peak = max(peak, n)
+    return peak

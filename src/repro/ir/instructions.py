@@ -1,0 +1,379 @@
+"""IR instructions: the opcode set and the Instruction container.
+
+The opcode set is an idealized SSE-era x86: scalar and packed SSE float
+ops, integer/pointer arithmetic, loads/stores (temporal and non-temporal),
+software prefetch with hint, and compare+conditional-branch control flow.
+
+Two x86-isms are modeled explicitly because the paper leans on them:
+
+* **CISC memory operands** — arithmetic ops may take a :class:`~.operands.Mem`
+  as their second source (``addsd (%eax), %xmm0``).  The peephole pass
+  creates these by folding a preceding load; they reduce register pressure
+  and uop count (section 2.2.4: "peephole optimizations that exploit the
+  fact that the x86 is not a true load/store architecture").
+* **Non-temporal stores** (``VSTNT``/``FSTNT``) and **prefetch hints**
+  (``nta``/``t0``/``t1``/``w``) — first-class opcodes so the WNT and PF
+  transforms are visible to the timing model.
+
+Condition codes live in an implicit flags register written by ``CMP`` /
+``FCMP`` / ``TEST`` and read by ``JCC``; the verifier enforces that every
+``JCC`` is dominated in-block by a flag-setting instruction with nothing
+clobbering flags in between.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+from .operands import AReg, Imm, Label, Mem, Operand, Reg, VReg, is_reg
+
+
+class Opcode(enum.Enum):
+    # data movement
+    MOV = "mov"        # gp <- gp/imm
+    FMOV = "fmov"      # fp <- fp/imm
+    VMOV = "vmov"      # vec <- vec
+    LD = "ld"          # gp <- mem (spill reloads, integer data)
+    ST = "st"          # mem <- gp
+    FLD = "fld"        # fp <- mem
+    FST = "fst"        # mem <- fp
+    FSTNT = "fstnt"    # mem <- fp, non-temporal hint
+    VLD = "vld"        # vec <- mem (16B aligned, movaps)
+    VLDU = "vldu"      # vec <- mem (unaligned, movups)
+    VST = "vst"        # mem <- vec (16B aligned)
+    VSTU = "vstu"      # mem <- vec (unaligned)
+    VSTNT = "vstnt"    # mem <- vec, non-temporal (movntps/movntpd)
+    VBCAST = "vbcast"  # vec <- broadcast fp scalar
+    VZERO = "vzero"    # vec <- all zero lanes
+
+    # integer / pointer arithmetic
+    ADD = "add"
+    SUB = "sub"
+    IMUL = "imul"
+    NEG = "neg"
+
+    # scalar float arithmetic
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FABS = "fabs"
+    FNEG = "fneg"
+    FMAX = "fmax"
+
+    # packed float arithmetic
+    VADD = "vadd"
+    VSUB = "vsub"
+    VMUL = "vmul"
+    VABS = "vabs"
+    VMAX = "vmax"
+    VCMPGT = "vcmpgt"  # per-lane all-ones mask where a > b
+    VAND = "vand"
+    VANDN = "vandn"
+    VOR = "vor"
+
+    # horizontal reductions (pseudo-ops; expanded cost in the timing model)
+    VHADD = "vhadd"    # fp <- sum of lanes
+    VHMAX = "vhmax"    # fp <- max of lanes
+    VMASK = "vmask"    # gp <- per-lane nonzero bitmask (movmskps/pd)
+
+    # compares (set flags)
+    CMP = "cmp"        # gp vs gp/imm
+    TEST = "test"      # gp & gp
+    FCMP = "fcmp"      # fp vs fp (ucomiss/sd)
+
+    # control flow
+    JMP = "jmp"
+    JCC = "jcc"
+    RET = "ret"
+
+    # memory hints
+    PREFETCH = "prefetch"
+
+    NOP = "nop"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+class Cond(enum.Enum):
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+    def negate(self) -> "Cond":
+        return _NEG[self]
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+_NEG = {
+    Cond.EQ: Cond.NE, Cond.NE: Cond.EQ,
+    Cond.LT: Cond.GE, Cond.GE: Cond.LT,
+    Cond.GT: Cond.LE, Cond.LE: Cond.GT,
+}
+
+
+class PrefetchHint(enum.Enum):
+    """Software prefetch instruction flavors (section 3.3, Table 3).
+
+    * ``NTA`` — prefetchnta: to the level nearest the CPU, non-temporal.
+    * ``T0`` / ``T1`` — temporal prefetch to cache level X+1.
+    * ``W``  — 3DNow! prefetch-for-write (AMD only).
+    """
+
+    NTA = "nta"
+    T0 = "t0"
+    T1 = "t1"
+    W = "w"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of an opcode (dynamic cost lives in MachineConfig)."""
+
+    timing_class: str
+    sets_flags: bool = False
+    is_branch: bool = False
+    is_terminator: bool = False
+    commutative: bool = False
+    has_dst: bool = True
+    n_srcs: int = -1  # -1 == variable
+
+
+OP_INFO: dict[Opcode, OpInfo] = {
+    Opcode.MOV:    OpInfo("mov", n_srcs=1),
+    Opcode.FMOV:   OpInfo("mov", n_srcs=1),
+    Opcode.VMOV:   OpInfo("mov", n_srcs=1),
+    Opcode.LD:     OpInfo("ld", n_srcs=1),
+    Opcode.ST:     OpInfo("st", has_dst=False, n_srcs=2),
+    Opcode.FLD:    OpInfo("ld", n_srcs=1),
+    Opcode.FST:    OpInfo("st", has_dst=False, n_srcs=2),
+    Opcode.FSTNT:  OpInfo("stnt", has_dst=False, n_srcs=2),
+    Opcode.VLD:    OpInfo("vld", n_srcs=1),
+    Opcode.VLDU:   OpInfo("vldu", n_srcs=1),
+    Opcode.VST:    OpInfo("vst", has_dst=False, n_srcs=2),
+    Opcode.VSTU:   OpInfo("vstu", has_dst=False, n_srcs=2),
+    Opcode.VSTNT:  OpInfo("vstnt", has_dst=False, n_srcs=2),
+    Opcode.VBCAST: OpInfo("bcast", n_srcs=1),
+    Opcode.VZERO:  OpInfo("mov", n_srcs=0),
+    Opcode.ADD:    OpInfo("iadd", commutative=True, n_srcs=2),
+    Opcode.SUB:    OpInfo("iadd", n_srcs=2),
+    Opcode.IMUL:   OpInfo("imul", commutative=True, n_srcs=2),
+    Opcode.NEG:    OpInfo("iadd", n_srcs=1),
+    Opcode.FADD:   OpInfo("fadd", commutative=True, n_srcs=2),
+    Opcode.FSUB:   OpInfo("fadd", n_srcs=2),
+    Opcode.FMUL:   OpInfo("fmul", commutative=True, n_srcs=2),
+    Opcode.FDIV:   OpInfo("fdiv", n_srcs=2),
+    Opcode.FABS:   OpInfo("fabs", n_srcs=1),
+    Opcode.FNEG:   OpInfo("fabs", n_srcs=1),
+    Opcode.FMAX:   OpInfo("fmax", commutative=True, n_srcs=2),
+    Opcode.VADD:   OpInfo("vadd", commutative=True, n_srcs=2),
+    Opcode.VSUB:   OpInfo("vadd", n_srcs=2),
+    Opcode.VMUL:   OpInfo("vmul", commutative=True, n_srcs=2),
+    Opcode.VABS:   OpInfo("vabs", n_srcs=1),
+    Opcode.VMAX:   OpInfo("vmax", commutative=True, n_srcs=2),
+    Opcode.VCMPGT: OpInfo("vcmp", n_srcs=2),
+    Opcode.VAND:   OpInfo("vlogic", commutative=True, n_srcs=2),
+    Opcode.VANDN:  OpInfo("vlogic", n_srcs=2),
+    Opcode.VOR:    OpInfo("vlogic", commutative=True, n_srcs=2),
+    Opcode.VHADD:  OpInfo("hadd", n_srcs=1),
+    Opcode.VHMAX:  OpInfo("hadd", n_srcs=1),
+    Opcode.VMASK:  OpInfo("vlogic", n_srcs=1),
+    Opcode.CMP:    OpInfo("cmp", sets_flags=True, has_dst=False, n_srcs=2),
+    Opcode.TEST:   OpInfo("cmp", sets_flags=True, has_dst=False, n_srcs=2),
+    Opcode.FCMP:   OpInfo("fcmp", sets_flags=True, has_dst=False, n_srcs=2),
+    Opcode.JMP:    OpInfo("jmp", is_branch=True, is_terminator=True,
+                          has_dst=False, n_srcs=1),
+    Opcode.JCC:    OpInfo("br", is_branch=True, has_dst=False, n_srcs=1),
+    Opcode.RET:    OpInfo("ret", is_terminator=True, has_dst=False),
+    Opcode.PREFETCH: OpInfo("pref", has_dst=False, n_srcs=1),
+    Opcode.NOP:    OpInfo("mov", has_dst=False, n_srcs=0),
+}
+
+
+@dataclass
+class Instruction:
+    """One IR instruction.
+
+    ``dst`` may be a register or (for stores) ``None`` with the memory
+    reference carried in ``srcs[0]``; by convention stores are
+    ``ST(mem, value)`` i.e. ``srcs == (mem, value)``.
+
+    Instructions are mutable on purpose: the FKO transforms rewrite
+    operands in place.
+    """
+
+    op: Opcode
+    dst: Optional[Operand] = None
+    srcs: Tuple[Operand, ...] = ()
+    cond: Optional[Cond] = None            # JCC only
+    hint: Optional[PrefetchHint] = None    # PREFETCH only
+    comment: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def info(self) -> OpInfo:
+        return OP_INFO[self.op]
+
+    @property
+    def timing_class(self) -> str:
+        return self.info.timing_class
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in (Opcode.ST, Opcode.FST, Opcode.FSTNT,
+                           Opcode.VST, Opcode.VSTU, Opcode.VSTNT)
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in (Opcode.LD, Opcode.FLD, Opcode.VLD, Opcode.VLDU)
+
+    @property
+    def is_nontemporal(self) -> bool:
+        return self.op in (Opcode.FSTNT, Opcode.VSTNT)
+
+    @property
+    def reads_mem(self) -> bool:
+        if self.is_load or self.op is Opcode.PREFETCH:
+            return True
+        # CISC memory operand folded into an arithmetic op
+        return any(isinstance(s, Mem) for s in self.srcs) and not self.is_store
+
+    @property
+    def writes_mem(self) -> bool:
+        return self.is_store
+
+    @property
+    def mem(self) -> Optional[Mem]:
+        """The memory reference of this instruction, if any."""
+        if self.is_store:
+            m = self.srcs[0]
+            return m if isinstance(m, Mem) else None
+        for s in self.srcs:
+            if isinstance(s, Mem):
+                return s
+        return None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.info.is_branch
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.info.is_terminator
+
+    @property
+    def target(self) -> Optional[Label]:
+        """Branch target label, if this is a branch."""
+        if self.is_branch and self.srcs and isinstance(self.srcs[0], Label):
+            return self.srcs[0]
+        return None
+
+    # ------------------------------------------------------------------
+    def regs_read(self) -> Iterator[Reg]:
+        """All registers read, including memory-operand base/index regs."""
+        for s in self.srcs:
+            if is_reg(s):
+                yield s
+            elif isinstance(s, Mem):
+                yield s.base
+                if s.index is not None:
+                    yield s.index
+        # a Mem destination's address registers are *reads*
+        if isinstance(self.dst, Mem):
+            yield self.dst.base
+            if self.dst.index is not None:
+                yield self.dst.index
+
+    def regs_written(self) -> Iterator[Reg]:
+        if self.dst is not None and is_reg(self.dst):
+            yield self.dst
+
+    def substitute(self, mapping: dict) -> "Instruction":
+        """Return a copy with registers replaced per ``mapping``.
+
+        Registers absent from ``mapping`` are kept.  Memory operands have
+        their base/index registers rewritten too.
+        """
+
+        def sub_op(op: Operand) -> Operand:
+            if is_reg(op) and op in mapping:
+                return mapping[op]
+            if isinstance(op, Mem):
+                base = mapping.get(op.base, op.base)
+                index = (mapping.get(op.index, op.index)
+                         if op.index is not None else None)
+                if base is not op.base or index is not op.index:
+                    return Mem(base, op.dtype, index, op.scale, op.disp, op.array)
+            return op
+
+        new_dst = sub_op(self.dst) if self.dst is not None else None
+        new_srcs = tuple(sub_op(s) for s in self.srcs)
+        return Instruction(self.op, new_dst, new_srcs, self.cond,
+                           self.hint, self.comment)
+
+    def copy(self) -> "Instruction":
+        return Instruction(self.op, self.dst, self.srcs, self.cond,
+                           self.hint, self.comment)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        parts = [self.op.value]
+        if self.cond is not None:
+            parts[0] += f".{self.cond.value}"
+        if self.hint is not None:
+            parts[0] += f".{self.hint.value}"
+        ops = []
+        if self.dst is not None:
+            ops.append(repr(self.dst))
+        ops.extend(repr(s) for s in self.srcs)
+        text = f"{parts[0]} {', '.join(ops)}".rstrip()
+        if self.comment:
+            text += f"  ; {self.comment}"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# convenience constructors — keep transform code terse and uniform
+
+def store_op_for(value: Reg, nontemporal: bool = False) -> Opcode:
+    """The store opcode matching a value register's class."""
+    from .operands import RegClass
+    if value.rclass is RegClass.GP:
+        return Opcode.ST
+    if value.rclass is RegClass.FP:
+        return Opcode.FSTNT if nontemporal else Opcode.FST
+    return Opcode.VSTNT if nontemporal else Opcode.VST
+
+
+def load_op_for(dst: Reg) -> Opcode:
+    from .operands import RegClass
+    if dst.rclass is RegClass.GP:
+        return Opcode.LD
+    if dst.rclass is RegClass.FP:
+        return Opcode.FLD
+    return Opcode.VLD
+
+
+#: scalar float opcode -> packed equivalent (used by the vectorizer)
+SCALAR_TO_VECTOR: dict[Opcode, Opcode] = {
+    Opcode.FADD: Opcode.VADD,
+    Opcode.FSUB: Opcode.VSUB,
+    Opcode.FMUL: Opcode.VMUL,
+    Opcode.FABS: Opcode.VABS,
+    Opcode.FMAX: Opcode.VMAX,
+    Opcode.FMOV: Opcode.VMOV,
+    Opcode.FLD: Opcode.VLD,
+    Opcode.FST: Opcode.VST,
+    Opcode.FSTNT: Opcode.VSTNT,
+}

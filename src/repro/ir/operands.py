@@ -1,0 +1,158 @@
+"""IR operands: virtual/architectural registers, immediates, memory refs.
+
+Registers belong to one of three *register classes* which map onto the
+x86 register files of the simulated machines:
+
+* ``GP``  — general purpose integer/pointer registers (8 architectural,
+  of which the allocator may use 7: ``%esp`` is reserved for the stack).
+* ``FP``  — scalar floating point values held in SSE registers.
+* ``VEC`` — packed SSE vectors.
+
+``FP`` and ``VEC`` share the same architectural register file (xmm0-7);
+the distinction is kept at the class level because scalar and vector
+values have different semantics, but the register allocator allocates
+them out of one pool, exactly as on real x86.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .types import DType, VecType
+
+
+class RegClass(enum.Enum):
+    GP = "gp"    # integer / pointer
+    FP = "fp"    # scalar float (lives in xmm)
+    VEC = "vec"  # packed float (lives in xmm)
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+_vreg_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register.
+
+    ``name`` is for humans (derived from the HIL variable when one
+    exists); ``uid`` makes every virtual register unique even when names
+    collide (transforms clone registers freely).
+    """
+
+    name: str
+    rclass: RegClass
+    dtype: Union[DType, VecType]
+    uid: int = field(default_factory=lambda: next(_vreg_counter))
+
+    def __repr__(self) -> str:
+        return f"%{self.name}.{self.uid}"
+
+    @property
+    def is_virtual(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class AReg:
+    """An architectural register (post register-allocation).
+
+    ``index`` is the hardware register number: 0-7 for GP (eax..edi) and
+    0-7 for xmm.  The printer renders conventional names.
+    """
+
+    name: str
+    rclass: RegClass
+    dtype: Union[DType, VecType]
+    index: int
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+    @property
+    def is_virtual(self) -> bool:
+        return False
+
+
+Reg = Union[VReg, AReg]
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An integer or float immediate."""
+
+    value: Union[int, float]
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """An x86-style memory reference: ``disp(base, index, scale)``.
+
+    ``base`` and ``index`` are GP registers; ``scale`` in {1,2,4,8}.
+    ``dtype`` is the type of the datum being accessed (scalar or vector),
+    which fixes the access width.
+
+    The optional ``array`` tag records which HIL array this access
+    belongs to.  It is metadata only — it never affects semantics — but
+    the timing model and the prefetch transform use it to attribute
+    traffic to streams.
+    """
+
+    base: Reg
+    dtype: Union[DType, VecType]
+    index: Optional[Reg] = None
+    scale: int = 1
+    disp: int = 0
+    array: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}")
+
+    @property
+    def size(self) -> int:
+        return self.dtype.size
+
+    def with_disp(self, disp: int) -> "Mem":
+        """A copy of this reference with a different displacement."""
+        return Mem(self.base, self.dtype, self.index, self.scale, disp, self.array)
+
+    def with_base(self, base: Reg) -> "Mem":
+        """A copy of this reference with a different base register."""
+        return Mem(base, self.dtype, self.index, self.scale, self.disp, self.array)
+
+    def __repr__(self) -> str:
+        inner = f"{self.base!r}"
+        if self.index is not None:
+            inner += f"+{self.index!r}*{self.scale}"
+        tag = f" <{self.array}>" if self.array else ""
+        return f"[{inner}+{self.disp}]{tag}"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A branch target (refers to a basic block by name)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+Operand = Union[VReg, AReg, Imm, Mem, Label]
+
+
+def is_reg(op: object) -> bool:
+    return isinstance(op, (VReg, AReg))
+
+
+def reg_dtype(op: Reg) -> Union[DType, VecType]:
+    return op.dtype

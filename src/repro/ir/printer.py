@@ -1,0 +1,50 @@
+"""Textual dump of IR functions — FKO's "optimized assembly" output.
+
+The format is assembly-flavored pseudo-code: one instruction per line,
+blocks introduced by ``label:`` lines, with the tuned-loop region
+annotated.  It is meant for humans and for golden tests; the functional
+interpreter consumes the IR objects directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function
+from .block import BasicBlock
+
+
+def format_block(block: BasicBlock, indent: str = "    ") -> List[str]:
+    lines = [f"{block.name}:"]
+    lines.extend(f"{indent}{instr!r}" for instr in block.instrs)
+    return lines
+
+
+def format_function(fn: Function) -> str:
+    header = [f"# function {fn.name}"]
+    params = ", ".join(
+        f"{p.name}:{p.dtype.value}" + (f"->{p.elem.value}" if p.elem else "")
+        for p in fn.params)
+    header.append(f"# params: {params}")
+    if fn.ret is not None:
+        header.append(f"# returns: {fn.ret.name}:{fn.ret.dtype.value}")
+    if fn.loop is not None:
+        lp = fn.loop
+        header.append(
+            f"# tuned loop: header={lp.header} body={lp.body} latch={lp.latch}"
+            f" unroll={lp.unroll} veclen={lp.veclen}")
+    if fn.stack_slots:
+        header.append(f"# stack slots: {len(fn.stack_slots)}")
+    lines = list(header)
+    for block in fn.blocks:
+        marker = ""
+        if fn.loop is not None and block.name in fn.loop.body:
+            marker = "  # <loop body>"
+        block_lines = format_block(block)
+        block_lines[0] += marker
+        lines.extend(block_lines)
+    return "\n".join(lines) + "\n"
+
+
+def print_function(fn: Function) -> None:
+    print(format_function(fn))

@@ -1,0 +1,83 @@
+"""Scalar and vector types used by the IR.
+
+The type system is deliberately tiny — it covers exactly what floating
+point kernel optimization needs (the paper's FKO is specialized the same
+way): 32/64-bit IEEE floats, a pointer-sized integer, and short SIMD
+vectors of floats.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DType(enum.Enum):
+    """Scalar element types."""
+
+    F32 = "f32"
+    F64 = "f64"
+    I64 = "i64"  # pointer-sized integer; also used for loop counters
+    PTR = "ptr"  # pointer to F32/F64 data (width == I64)
+
+    @property
+    def size(self) -> int:
+        """Size in bytes of one element of this type."""
+        return _SIZES[self]
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.F32, DType.F64)
+
+    @property
+    def is_int(self) -> bool:
+        return self in (DType.I64, DType.PTR)
+
+    def __repr__(self) -> str:  # compact reprs keep IR dumps readable
+        return self.value
+
+
+_SIZES = {DType.F32: 4, DType.F64: 8, DType.I64: 8, DType.PTR: 8}
+
+
+@dataclass(frozen=True)
+class VecType:
+    """A short SIMD vector: ``lanes`` elements of float type ``elem``.
+
+    On the simulated x86 targets the vector width is fixed at 16 bytes
+    (SSE), i.e. 4 x f32 or 2 x f64, which is what :func:`sse` builds.
+    """
+
+    elem: DType
+    lanes: int
+
+    def __post_init__(self) -> None:
+        if not self.elem.is_float:
+            raise ValueError(f"vector element must be float, got {self.elem}")
+        if self.lanes < 2:
+            raise ValueError(f"vector must have >= 2 lanes, got {self.lanes}")
+
+    @property
+    def size(self) -> int:
+        """Total size in bytes."""
+        return self.elem.size * self.lanes
+
+    def __repr__(self) -> str:
+        return f"{self.elem.value}x{self.lanes}"
+
+
+VEC_BYTES = 16  # SSE vector register width on both simulated machines
+
+
+def sse(elem: DType) -> VecType:
+    """The natural SSE vector type for a float element type.
+
+    This is the paper's "vector length 4 for single precision, 2 for
+    double" (section 2.2.3, SV).
+    """
+    return VecType(elem, VEC_BYTES // elem.size)
+
+
+def veclen(elem: DType) -> int:
+    """Number of ``elem`` lanes in one SSE vector."""
+    return VEC_BYTES // elem.size

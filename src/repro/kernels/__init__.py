@@ -1,0 +1,7 @@
+"""Level 1 BLAS kernel definitions (paper Table 1 and section 3.1)."""
+
+from .blas1 import (KERNEL_ORDER, KernelSpec, REGISTRY, all_kernels,
+                    get_kernel, reference)
+
+__all__ = ["KERNEL_ORDER", "KernelSpec", "REGISTRY", "all_kernels",
+           "get_kernel", "reference"]

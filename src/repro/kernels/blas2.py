@@ -1,0 +1,155 @@
+"""Level 2 BLAS kernels — the beyond-the-paper extension.
+
+The paper closes: "our initial timings show ifko already capable of
+improving even Level 3 BLAS performance" — the framework is meant to
+generalize past single loops.  This module exercises that direction
+with two Level 2 kernels built from nested HIL loops, where the
+``@TUNE`` mark-up selects the *innermost* loop:
+
+* **gemv** — ``y = A x`` (row-major): a dot-product inner loop per row;
+* **ger**  — ``A += alpha * x * y^T``: an axpy-like inner loop per row.
+
+These stress machinery the Level 1 kernels never touch: nested loop
+lowering, runtime pointer advances (``X -= N`` resets the vector stream
+between rows), and the alignment analysis (a row of ``A`` is generally
+*not* 16-byte aligned, so the vectorizer must emit unaligned vector
+memory operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+_GEMV = """
+ROUTINE {P}gemv(M: int, N: int, A: ptr {T}, X: ptr {T}, Y: ptr {T});
+{T} acc;
+{T} a;
+{T} x;
+LOOP r = 0, M
+LOOP_BODY
+    acc = 0.0;
+    @TUNE
+    LOOP i = 0, N
+    LOOP_BODY
+        a = A[0];
+        x = X[0];
+        acc += a * x;
+        A += 1;
+        X += 1;
+    LOOP_END
+    Y[0] = acc;
+    Y += 1;
+    X -= N;
+LOOP_END
+"""
+
+_GER = """
+ROUTINE {P}ger(M: int, N: int, alpha: {T}, X: ptr {T}, Y: ptr {T}, A: ptr {T});
+{T} ax;
+{T} a;
+{T} y;
+LOOP r = 0, M
+LOOP_BODY
+    ax = X[0];
+    ax = ax * alpha;
+    @TUNE
+    LOOP i = 0, N
+    LOOP_BODY
+        a = A[0];
+        y = Y[0];
+        a = a + ax * y;
+        A[0] = a;
+        A += 1;
+        Y += 1;
+    LOOP_END
+    X += 1;
+    Y -= N;
+LOOP_END
+"""
+
+
+@dataclass(frozen=True)
+class Blas2Spec:
+    """A Level 2 kernel: HIL source + shapes + FLOP convention."""
+
+    name: str
+    base: str          # 'gemv' | 'ger'
+    precision: str
+    hil: str
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(np.float32 if self.precision == "s" else np.float64)
+
+    def flops(self, m: int, n: int) -> int:
+        return 2 * m * n
+
+
+def _mk(base: str, template: str, precision: str) -> Blas2Spec:
+    t = "float" if precision == "s" else "double"
+    return Blas2Spec(name=precision + base, base=base, precision=precision,
+                     hil=template.format(T=t, P=precision))
+
+
+BLAS2_REGISTRY: Dict[str, Blas2Spec] = {
+    s.name: s for s in [
+        _mk("gemv", _GEMV, "s"), _mk("gemv", _GEMV, "d"),
+        _mk("ger", _GER, "s"), _mk("ger", _GER, "d"),
+    ]
+}
+
+
+def get_blas2(name: str) -> Blas2Spec:
+    return BLAS2_REGISTRY[name]
+
+
+# ---------------------------------------------------------------------------
+# references and runners
+
+def gemv_reference(A: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Row-major y = A @ x; A is (M*N,) flattened row-major."""
+    m = len(A) // len(X)
+    return (A.reshape(m, len(X)).astype(np.float64)
+            @ X.astype(np.float64))
+
+
+def ger_reference(A: np.ndarray, X: np.ndarray, Y: np.ndarray,
+                  alpha: float) -> np.ndarray:
+    """A + alpha * outer(x, y), flattened row-major, in A's dtype."""
+    dt = A.dtype
+    m, n = len(X), len(Y)
+    out = A.reshape(m, n) + dt.type(alpha) * np.outer(X, Y).astype(dt)
+    return out.astype(dt).ravel()
+
+
+def run_blas2(fn, spec: Blas2Spec, m: int, n: int,
+              rng: Optional[np.random.Generator] = None,
+              alpha: float = 1.25):
+    """Execute a compiled Level 2 kernel in the interpreter; returns
+    (outputs dict, reference dict) for comparison."""
+    from ..machine.interp import run_function
+    rng = rng or np.random.default_rng(0)
+    dt = spec.dtype
+    if spec.base == "gemv":
+        A = rng.standard_normal(max(m * n, 1)).astype(dt)
+        X = rng.standard_normal(max(n, 1)).astype(dt)
+        Y = np.zeros(max(m, 1), dtype=dt)
+        run_function(fn, {"A": A.copy(), "X": X.copy(), "Y": Y},
+                     {"M": m, "N": n})
+        ref = gemv_reference(A[:m * n], X[:n]) if m and n \
+            else np.zeros(m, dtype=dt)
+        return {"Y": Y[:m]}, {"Y": ref}
+    if spec.base == "ger":
+        A = rng.standard_normal(max(m * n, 1)).astype(dt)
+        X = rng.standard_normal(max(m, 1)).astype(dt)
+        Y = rng.standard_normal(max(n, 1)).astype(dt)
+        got = A.copy()
+        run_function(fn, {"A": got, "X": X.copy(), "Y": Y.copy()},
+                     {"M": m, "N": n, "alpha": alpha})
+        ref = ger_reference(A[:m * n], X[:m], Y[:n], alpha) if m and n \
+            else A[:m * n]
+        return {"A": got[:m * n]}, {"A": ref}
+    raise KeyError(spec.base)

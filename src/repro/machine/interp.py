@@ -1,0 +1,290 @@
+"""Functional interpreter: executes IR functions against a MemoryImage.
+
+This is the "tester" half of the machine substrate: every compiled
+kernel — at any point in the transform pipeline, before or after
+register allocation — can be *run* and its outputs compared against the
+NumPy reference.  IEEE semantics are respected per precision (f32
+operations round to f32 at every step).
+
+The interpreter is intentionally simple and safe rather than fast; the
+timing model (:mod:`repro.machine.timing`) is what the search uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import SimulationFault
+from ..ir import (Cond, DType, Function, Imm, Instruction, Label, Mem,
+                  Opcode, Reg, RegClass, VecType)
+from ..ir.operands import is_reg
+from .memory import MemoryImage
+from .registers import SP
+
+_NP = {DType.F32: np.float32, DType.F64: np.float64}
+
+
+@dataclass
+class RunResult:
+    ret: Optional[Union[int, float]]
+    instructions_executed: int
+    regs: Dict[Reg, object] = field(default_factory=dict)
+
+
+class Interpreter:
+    def __init__(self, fn: Function, memory: MemoryImage,
+                 max_instructions: int = 20_000_000):
+        self.fn = fn
+        self.mem = memory
+        self.max_instructions = max_instructions
+        self.regs: Dict[Reg, object] = {}
+        self.flags: Optional[Tuple[float, float]] = None
+        self.stack_base = memory.allocate_raw(
+            max(64, 16 * (len(fn.stack_slots) + 4)), name="<stack>")
+        self.regs[SP] = self.stack_base
+
+    # ------------------------------------------------------------------
+    def _read(self, op, lanes_hint: int = 1):
+        if isinstance(op, Imm):
+            return op.value
+        if is_reg(op):
+            if op not in self.regs:
+                raise SimulationFault(f"read of undefined register {op!r}")
+            return self.regs[op]
+        if isinstance(op, Mem):
+            addr = self._addr(op)
+            if isinstance(op.dtype, VecType):
+                return self.mem.load(addr, op.dtype.elem, op.dtype.lanes)
+            return self.mem.load(addr, op.dtype)
+        raise SimulationFault(f"cannot read operand {op!r}")
+
+    def _addr(self, mem: Mem) -> int:
+        base = self._read(mem.base)
+        addr = int(base) + mem.disp
+        if mem.index is not None:
+            addr += int(self._read(mem.index)) * mem.scale
+        return addr
+
+    def _write(self, reg: Reg, value) -> None:
+        self.regs[reg] = value
+
+    def _fp(self, reg_or_val, dtype) -> object:
+        """Round a value to the precision of the destination."""
+        if isinstance(dtype, VecType):
+            return np.asarray(reg_or_val, dtype=_NP[dtype.elem])
+        if dtype in _NP:
+            return _NP[dtype](reg_or_val)
+        return reg_or_val
+
+    # ------------------------------------------------------------------
+    def run(self, args: Dict[str, object]) -> RunResult:
+        fn = self.fn
+        for p in fn.params:
+            if p.reg is None:
+                continue
+            if p.name not in args:
+                raise SimulationFault(f"missing argument {p.name!r}")
+            val = args[p.name]
+            if p.dtype.is_float:
+                val = _NP[p.dtype](val)
+            else:
+                val = int(val)
+            self.regs[p.reg] = val
+
+        block_idx = {b.name: i for i, b in enumerate(fn.blocks)}
+        bi, ii = 0, 0
+        executed = 0
+        while True:
+            if bi >= len(fn.blocks):
+                raise SimulationFault("fell off the end of the function")
+            block = fn.blocks[bi]
+            if ii >= len(block.instrs):
+                bi += 1
+                ii = 0
+                continue
+            instr = block.instrs[ii]
+            executed += 1
+            if executed > self.max_instructions:
+                raise SimulationFault(
+                    f"instruction budget exceeded ({self.max_instructions})")
+
+            nxt = self._step(instr)
+            if nxt is _RETURN:
+                ret = None
+                if instr.srcs:
+                    ret = self._read(instr.srcs[0])
+                    if isinstance(ret, np.floating):
+                        ret = float(ret)
+                    elif isinstance(ret, (np.integer, int)):
+                        ret = int(ret)
+                return RunResult(ret, executed, self.regs)
+            if isinstance(nxt, str):
+                bi = block_idx[nxt]
+                ii = 0
+            else:
+                ii += 1
+
+    # ------------------------------------------------------------------
+    def _step(self, instr: Instruction):
+        op = instr.op
+        R = self._read
+
+        if op in (Opcode.MOV, Opcode.FMOV, Opcode.VMOV):
+            val = R(instr.srcs[0])
+            self._write(instr.dst, self._fp(val, instr.dst.dtype))
+        elif op in (Opcode.LD, Opcode.FLD, Opcode.VLD):
+            self._write(instr.dst, R(instr.srcs[0]))
+        elif op is Opcode.VLDU:
+            mem = instr.srcs[0]
+            vt = mem.dtype
+            self._write(instr.dst,
+                        self.mem.load_unaligned(self._addr(mem), vt.elem,
+                                                vt.lanes))
+        elif op in (Opcode.ST, Opcode.FST, Opcode.FSTNT):
+            mem, val = instr.srcs
+            self.mem.store(self._addr(mem), R(val),
+                           mem.dtype if not isinstance(mem.dtype, VecType)
+                           else mem.dtype.elem)
+        elif op in (Opcode.VST, Opcode.VSTNT):
+            mem, val = instr.srcs
+            vt = mem.dtype
+            if not isinstance(vt, VecType):
+                raise SimulationFault(f"vector store to scalar ref {mem!r}")
+            self.mem.store(self._addr(mem), R(val), vt.elem, vt.lanes)
+        elif op is Opcode.VSTU:
+            mem, val = instr.srcs
+            vt = mem.dtype
+            self.mem.store_unaligned(self._addr(mem), R(val), vt.elem,
+                                     vt.lanes)
+        elif op is Opcode.VBCAST:
+            vt = instr.dst.dtype
+            val = R(instr.srcs[0])
+            self._write(instr.dst,
+                        np.full(vt.lanes, val, dtype=_NP[vt.elem]))
+        elif op is Opcode.VZERO:
+            vt = instr.dst.dtype
+            self._write(instr.dst, np.zeros(vt.lanes, dtype=_NP[vt.elem]))
+
+        elif op is Opcode.ADD:
+            self._write(instr.dst, int(R(instr.srcs[0])) + int(R(instr.srcs[1])))
+        elif op is Opcode.SUB:
+            self._write(instr.dst, int(R(instr.srcs[0])) - int(R(instr.srcs[1])))
+        elif op is Opcode.IMUL:
+            self._write(instr.dst, int(R(instr.srcs[0])) * int(R(instr.srcs[1])))
+        elif op is Opcode.NEG:
+            self._write(instr.dst, -int(R(instr.srcs[0])))
+
+        elif op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+                    Opcode.FMAX):
+            a, b = R(instr.srcs[0]), R(instr.srcs[1])
+            dt = instr.dst.dtype
+            fn = {Opcode.FADD: lambda x, y: x + y,
+                  Opcode.FSUB: lambda x, y: x - y,
+                  Opcode.FMUL: lambda x, y: x * y,
+                  Opcode.FDIV: lambda x, y: x / y,
+                  Opcode.FMAX: max}[op]
+            self._write(instr.dst, self._fp(fn(self._fp(a, dt),
+                                               self._fp(b, dt)), dt))
+        elif op is Opcode.FABS:
+            self._write(instr.dst,
+                        self._fp(abs(R(instr.srcs[0])), instr.dst.dtype))
+        elif op is Opcode.FNEG:
+            self._write(instr.dst,
+                        self._fp(-R(instr.srcs[0]), instr.dst.dtype))
+
+        elif op in (Opcode.VADD, Opcode.VSUB, Opcode.VMUL, Opcode.VMAX,
+                    Opcode.VABS, Opcode.VCMPGT, Opcode.VAND, Opcode.VANDN,
+                    Opcode.VOR):
+            vt = instr.dst.dtype
+            a = np.asarray(R(instr.srcs[0]), dtype=_NP[vt.elem])
+            if op is Opcode.VABS:
+                res = np.abs(a)
+            else:
+                b = np.asarray(R(instr.srcs[1]), dtype=_NP[vt.elem])
+                if op is Opcode.VADD:
+                    res = a + b
+                elif op is Opcode.VSUB:
+                    res = a - b
+                elif op is Opcode.VMUL:
+                    res = a * b
+                elif op is Opcode.VMAX:
+                    res = np.maximum(a, b)
+                elif op is Opcode.VCMPGT:
+                    res = (a > b).astype(_NP[vt.elem])
+                elif op is Opcode.VAND:
+                    # idealized blend semantics: keep lanes where mask != 0
+                    res = np.where(b != 0, a, _NP[vt.elem](0))
+                elif op is Opcode.VANDN:
+                    res = np.where(a == 0, b, _NP[vt.elem](0))
+                else:  # VOR
+                    res = np.where(a != 0, a, b)
+            self._write(instr.dst, res.astype(_NP[vt.elem]))
+
+        elif op is Opcode.VHADD:
+            src = np.asarray(R(instr.srcs[0]))
+            dt = instr.dst.dtype
+            total = _NP[dt](0)
+            for lane in src:  # sequential adds, rounding at each step
+                total = _NP[dt](total + _NP[dt](lane))
+            self._write(instr.dst, total)
+        elif op is Opcode.VHMAX:
+            src = np.asarray(R(instr.srcs[0]))
+            self._write(instr.dst, self._fp(src.max(), instr.dst.dtype))
+        elif op is Opcode.VMASK:
+            src = np.asarray(R(instr.srcs[0]))
+            mask = 0
+            for i, lane in enumerate(src):
+                if lane != 0:
+                    mask |= 1 << i
+            self._write(instr.dst, mask)
+
+        elif op in (Opcode.CMP, Opcode.FCMP):
+            a, b = R(instr.srcs[0]), R(instr.srcs[1])
+            self.flags = (float(a), float(b))
+        elif op is Opcode.TEST:
+            a, b = int(R(instr.srcs[0])), int(R(instr.srcs[1]))
+            self.flags = (float(a & b), 0.0)
+
+        elif op is Opcode.JMP:
+            return instr.target.name
+        elif op is Opcode.JCC:
+            if self.flags is None:
+                raise SimulationFault("JCC with no flags set")
+            a, b = self.flags
+            taken = {Cond.EQ: a == b, Cond.NE: a != b, Cond.LT: a < b,
+                     Cond.LE: a <= b, Cond.GT: a > b, Cond.GE: a >= b}[instr.cond]
+            if taken:
+                return instr.target.name
+        elif op is Opcode.RET:
+            return _RETURN
+        elif op in (Opcode.PREFETCH, Opcode.NOP):
+            pass  # no architectural effect
+        else:  # pragma: no cover
+            raise SimulationFault(f"unimplemented opcode {op!r}")
+        return None
+
+
+class _ReturnType:
+    pass
+
+
+_RETURN = _ReturnType()
+
+
+def run_function(fn: Function, arrays: Dict[str, np.ndarray],
+                 scalars: Optional[Dict[str, object]] = None,
+                 max_instructions: int = 20_000_000) -> RunResult:
+    """Execute ``fn``: numpy arrays bind to pointer params (mutated in
+    place), ``scalars`` bind to value params.  Returns the RET value."""
+    mem = MemoryImage()
+    args: Dict[str, object] = dict(scalars or {})
+    for p in fn.params:
+        if p.dtype is DType.PTR:
+            if p.name not in arrays:
+                raise SimulationFault(f"missing array argument {p.name!r}")
+            args[p.name] = mem.allocate(arrays[p.name], p.name)
+    interp = Interpreter(fn, mem, max_instructions)
+    return interp.run(args)

@@ -1,0 +1,172 @@
+"""Extract a timing-model summary from a compiled kernel.
+
+The timing model does not interpret instructions one by one over 80 000
+elements (the functional interpreter does that, on small N, for the
+*tester*).  Instead it consumes a :class:`LoopSummary`: the steady-state
+loop body instruction mix (with per-block execution weights for bodies
+with internal control flow), the per-trip stream behaviour of every
+array, and the prefetch schedule.  This mirrors how one reasons about
+streaming kernels on real hardware — per-iteration issue/port/dependence
+bounds plus per-line memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import MachineError
+from ..ir import Function, Instruction, Mem, Opcode, PrefetchHint, VReg
+from ..ir.operands import is_reg
+
+
+@dataclass
+class StreamInfo:
+    """Per-array stream behaviour within one loop trip."""
+
+    array: str
+    elem_size: int
+    elems_per_trip: int
+    reads: bool = False
+    writes: bool = False
+    nontemporal: bool = False
+    prefetch_hint: Optional[PrefetchHint] = None
+    prefetch_dist: int = 0        # bytes ahead of the current pointer
+    n_prefetches: int = 0         # prefetch instructions per trip
+
+    @property
+    def bytes_per_trip(self) -> int:
+        return self.elem_size * self.elems_per_trip
+
+
+@dataclass
+class LoopSummary:
+    fn: Function
+    elems_per_trip: int                       # source elements per trip
+    body: List[Tuple[Instruction, float]]     # (instr, execution weight)
+    streams: Dict[str, StreamInfo]
+    prologue_uop_estimate: int
+    cleanup: List[Tuple[Instruction, float]] = field(default_factory=list)
+    rare_weight: float = 0.01
+    # block-fetch style hand optimizations batch the bus traffic more
+    # deeply than the machine's default write buffers (AMD's "block
+    # prefetch" technique, section 3.3 / [14])
+    write_batch_override: Optional[int] = None
+
+    @property
+    def has_loop(self) -> bool:
+        return self.elems_per_trip > 0
+
+
+def _block_weights(fn: Function, body_names: List[str], latch: str,
+                   rare_weight: float) -> Dict[str, float]:
+    """Weight 1.0 for blocks on *every* path body-entry -> latch, a small
+    weight for conditionally-executed blocks (e.g. iamax's NEWMAX, which
+    fires O(log N) times on random data)."""
+    if not body_names:
+        return {}
+    entry = body_names[0]
+    members = set(body_names) | {latch}
+
+    # enumerate blocks reachable on all paths via intersection of paths
+    # (bodies are small DAGs once the back edge is removed)
+    always: Optional[set] = None
+    stack: List[Tuple[str, frozenset]] = [(entry, frozenset([entry]))]
+    guard = 0
+    while stack:
+        guard += 1
+        if guard > 4096:  # pathological CFG: treat everything as "always"
+            always = set(body_names)
+            break
+        cur, path = stack.pop()
+        if cur == latch:
+            always = set(path) if always is None else (always & set(path))
+            continue
+        for s in fn.successors(fn.block(cur)):
+            if s in members and s not in path:
+                stack.append((s, path | {s}))
+    if always is None:
+        always = set(body_names)
+
+    weights = {}
+    for name in body_names:
+        weights[name] = 1.0 if name in always else rare_weight
+    return weights
+
+
+def summarize(fn: Function, rare_weight: float = 0.01) -> LoopSummary:
+    """Build the timing summary for a compiled kernel function."""
+    loop = fn.loop
+    if loop is None:
+        return LoopSummary(fn, 0, [], {},
+                           prologue_uop_estimate=fn.n_instructions())
+
+    weights = _block_weights(fn, loop.body, loop.latch, rare_weight)
+    body: List[Tuple[Instruction, float]] = []
+    # header + latch execute once per trip
+    for name in [loop.header] if fn.has_block(loop.header) else []:
+        blk = fn.block(name)
+        if name not in loop.body:
+            for instr in blk.instrs:
+                body.append((instr, 1.0))
+    for name in loop.body:
+        w = weights.get(name, 1.0)
+        for instr in fn.block(name).instrs:
+            body.append((instr, w))
+    for instr in fn.block(loop.latch).instrs:
+        body.append((instr, 1.0))
+
+    # streams
+    epi = loop.elems_per_iter * abs(loop.step)
+    streams: Dict[str, StreamInfo] = {}
+
+    def stream(arr: str, esize: int) -> StreamInfo:
+        if arr not in streams:
+            inc = loop.ptr_incs.get(arr, 1)
+            streams[arr] = StreamInfo(arr, esize, max(1, abs(inc)) * epi)
+        return streams[arr]
+
+    def scalar_size(dtype) -> int:
+        # a vector access moves several scalar elements; streams count
+        # *source* elements so elems_per_trip stays in scalar units
+        return dtype.elem.size if hasattr(dtype, "elem") else dtype.size
+
+    for instr, w in body:
+        mem = instr.mem
+        if mem is None or mem.array is None or w < 0.5:
+            continue
+        if instr.op is Opcode.PREFETCH:
+            s = stream(mem.array, scalar_size(mem.dtype))
+            s.n_prefetches += 1
+            s.prefetch_hint = instr.hint
+            if s.prefetch_dist == 0 or mem.disp < s.prefetch_dist:
+                s.prefetch_dist = mem.disp
+            continue
+        s = stream(mem.array, scalar_size(mem.dtype))
+        if instr.is_store:
+            s.writes = True
+            if instr.is_nontemporal:
+                s.nontemporal = True
+        else:
+            s.reads = True
+
+    # prologue: everything before the loop preheader, roughly
+    pro = 0
+    loop_blocks = set(loop.body) | {loop.header, loop.latch}
+    for blk in fn.blocks:
+        if blk.name not in loop_blocks:
+            pro += len(blk.instrs)
+
+    # cleanup loop (remainder iterations), tagged by the transforms
+    cleanup: List[Tuple[Instruction, float]] = []
+    for name in getattr(loop, "cleanup_body", []) or []:
+        if fn.has_block(name):
+            for instr in fn.block(name).instrs:
+                cleanup.append((instr, 1.0))
+
+    summary = LoopSummary(fn, epi, body, streams,
+                          prologue_uop_estimate=pro, cleanup=cleanup,
+                          rare_weight=rare_weight)
+    if getattr(loop, "block_fetch", False):
+        summary.write_batch_override = 16
+    return summary

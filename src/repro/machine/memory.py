@@ -1,0 +1,118 @@
+"""Byte-addressed memory image for the functional interpreter.
+
+Arrays are allocated 64-byte aligned (cache-line / SSE alignment — the
+timers in the paper's methodology use aligned operands, and our
+vectorizer assumes 16-byte alignment).  Loads/stores are bounds-checked:
+the interpreter faults on out-of-range or misaligned vector accesses,
+which is how transform bugs surface in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationFault
+from ..ir.types import DType
+
+_NP_DTYPE = {DType.F32: np.float32, DType.F64: np.float64,
+             DType.I64: np.int64, DType.PTR: np.int64}
+
+_ALIGN = 64
+
+
+class MemoryImage:
+    """A sparse collection of allocations addressed by integer addresses."""
+
+    def __init__(self) -> None:
+        self._next = 0x1000
+        # (base, size, ndarray, name)
+        self._allocs: List[Tuple[int, int, np.ndarray, str]] = []
+
+    # ------------------------------------------------------------------
+    def allocate(self, array: np.ndarray, name: str = "") -> int:
+        """Register a numpy array; returns its base address.  The array
+        is used *in place*: stores through the image mutate it."""
+        if array.ndim != 1:
+            raise SimulationFault(f"only 1-D arrays supported ({name})")
+        if not array.flags["C_CONTIGUOUS"]:
+            raise SimulationFault(f"array {name!r} must be contiguous")
+        base = (self._next + _ALIGN - 1) // _ALIGN * _ALIGN
+        size = array.nbytes
+        self._allocs.append((base, size, array, name))
+        self._next = base + size + _ALIGN  # red zone between allocations
+        return base
+
+    def allocate_raw(self, nbytes: int, name: str = "") -> int:
+        """Allocate zeroed raw space (used for the spill stack)."""
+        arr = np.zeros(nbytes, dtype=np.uint8)
+        return self.allocate(arr, name)
+
+    # ------------------------------------------------------------------
+    def _find(self, addr: int, nbytes: int) -> Tuple[np.ndarray, int]:
+        for base, size, arr, name in self._allocs:
+            if base <= addr and addr + nbytes <= base + size:
+                return arr, addr - base
+        raise SimulationFault(
+            f"access of {nbytes} bytes at {addr:#x} is out of bounds")
+
+    def load(self, addr: int, dtype: DType, lanes: int = 1):
+        """Load a scalar (lanes == 1) or vector value."""
+        npdt = _NP_DTYPE[dtype]
+        esize = dtype.size
+        if lanes > 1 and addr % 16 != 0:
+            raise SimulationFault(
+                f"unaligned vector load at {addr:#x}")
+        arr, off = self._find(addr, esize * lanes)
+        view = arr.view(np.uint8)[off:off + esize * lanes]
+        values = np.frombuffer(view.tobytes(), dtype=npdt)
+        if lanes == 1:
+            v = values[0]
+            return int(v) if dtype.is_int else npdt(v)
+        return values.copy()
+
+    def store(self, addr: int, value, dtype: DType, lanes: int = 1) -> None:
+        npdt = _NP_DTYPE[dtype]
+        esize = dtype.size
+        if lanes > 1 and addr % 16 != 0:
+            raise SimulationFault(
+                f"unaligned vector store at {addr:#x}")
+        arr, off = self._find(addr, esize * lanes)
+        if lanes == 1:
+            data = np.array([value], dtype=npdt)
+        else:
+            data = np.asarray(value, dtype=npdt)
+            if data.shape != (lanes,):
+                raise SimulationFault(
+                    f"vector store of shape {data.shape}, expected ({lanes},)")
+        arr.view(np.uint8)[off:off + esize * lanes] = \
+            np.frombuffer(data.tobytes(), dtype=np.uint8)
+
+    def load_unaligned(self, addr: int, dtype: DType, lanes: int):
+        """Vector load without the 16-byte alignment requirement
+        (movups semantics)."""
+        npdt = _NP_DTYPE[dtype]
+        esize = dtype.size
+        arr, off = self._find(addr, esize * lanes)
+        view = arr.view(np.uint8)[off:off + esize * lanes]
+        return np.frombuffer(view.tobytes(), dtype=npdt).copy()
+
+    def store_unaligned(self, addr: int, value, dtype: DType,
+                        lanes: int) -> None:
+        npdt = _NP_DTYPE[dtype]
+        esize = dtype.size
+        arr, off = self._find(addr, esize * lanes)
+        data = np.asarray(value, dtype=npdt)
+        if data.shape != (lanes,):
+            raise SimulationFault(
+                f"vector store of shape {data.shape}, expected ({lanes},)")
+        arr.view(np.uint8)[off:off + esize * lanes] = \
+            np.frombuffer(data.tobytes(), dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    def describe(self, addr: int) -> str:
+        for base, size, arr, name in self._allocs:
+            if base <= addr < base + size:
+                return f"{name or '<anon>'}+{addr - base}"
+        return f"{addr:#x} (unmapped)"

@@ -1,0 +1,34 @@
+"""Architectural register files of the simulated x86 targets.
+
+Both machines expose the classic IA-32 + SSE files: 8 general purpose
+registers (of which ``%esp`` is reserved for the stack, leaving 7 for
+the allocator) and 8 XMM registers shared by scalar-FP and packed
+values.  The paper's peephole discussion leans on exactly this scarcity
+("relatively important when the ISA has only eight registers, but the
+underlying hardware may have more than a hundred").
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from ..ir import AReg, DType, RegClass, VecType
+
+GP_NAMES = ["eax", "ecx", "edx", "ebx", "esi", "edi", "ebp"]
+XMM_NAMES = [f"xmm{i}" for i in range(8)]
+
+#: the stack pointer — never allocated, used for spill slots
+SP = AReg("esp", RegClass.GP, DType.PTR, index=7)
+
+
+def gp_regs(n: int = 7) -> List[AReg]:
+    """The first ``n`` allocatable general-purpose registers."""
+    return [AReg(name, RegClass.GP, DType.I64, index=i)
+            for i, name in enumerate(GP_NAMES[:n])]
+
+
+def xmm_regs(n: int = 8, dtype: Union[DType, VecType] = DType.F64,
+             rclass: RegClass = RegClass.FP) -> List[AReg]:
+    """``n`` XMM registers typed for the requested use."""
+    return [AReg(name, rclass, dtype, index=i)
+            for i, name in enumerate(XMM_NAMES[:n])]

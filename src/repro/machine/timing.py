@@ -1,0 +1,445 @@
+"""Cycle-approximate timing model for streaming loop kernels.
+
+Two coupled components:
+
+1. **Steady-state CPU bound** (:func:`cpu_cycles_per_trip`): the loop
+   body's cycles per trip is the max of
+   - the front-end issue bound (uops / issue width, throttled when the
+     body exceeds the machine's decode budget — the P4E trace cache
+     effect that caps useful unrolling),
+   - per-execution-unit throughput bounds (loads, stores, FP add, FP
+     mul, integer, branch),
+   - the loop-carried dependence bound: floating point accumulators
+     form ``adds_per_trip x latency`` recurrence chains, divided across
+     the accumulators that accumulator expansion (AE) created.
+
+2. **Line-granular memory simulation** (:class:`LoopTimer`): walks the
+   arrays' cache lines through a model of L1/L2, a finite-bandwidth
+   memory bus with read/write turnaround penalties, a hardware stream
+   prefetcher, and software prefetch that is **dropped when the bus is
+   busy** (section 2.2.3: "many architectures discard prefetches when
+   they are issued while the bus is busy").  Non-temporal stores follow
+   the per-machine policies of :mod:`repro.machine.config`.
+
+The result is ``cycles`` for one kernel invocation; the timer layer
+converts to seconds/MFLOPS.  Absolute numbers are model numbers — the
+reproduction targets *relative* behaviour (see DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import Instruction, Mem, Opcode, PrefetchHint
+from ..ir.operands import is_reg
+from .config import MachineConfig
+from .loopinfo import LoopSummary, StreamInfo
+
+
+class Context(enum.Enum):
+    """Operand residency context (the paper times both)."""
+
+    OUT_OF_CACHE = "out-of-cache"   # N = 80000, cold caches
+    IN_L2 = "in-L2-cache"           # N = 1024, operands resident in L2
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class TimingStats:
+    cpu_cycles: float = 0.0
+    stall_cycles: float = 0.0
+    bus_busy_cycles: float = 0.0
+    prefetch_issued: int = 0
+    prefetch_dropped: int = 0
+    prefetch_wasted: int = 0
+    demand_misses: int = 0
+    hw_prefetches: int = 0
+    lines_processed: int = 0
+
+
+@dataclass
+class TimingResult:
+    cycles: float
+    machine: str
+    context: Context
+    n: int
+    stats: TimingStats = field(default_factory=TimingStats)
+
+    def seconds(self, freq_hz: float) -> float:
+        return self.cycles / freq_hz
+
+    def mflops(self, flops: float, freq_hz: float) -> float:
+        secs = self.seconds(freq_hz)
+        return flops / secs / 1e6 if secs > 0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# CPU-side steady state
+
+def cpu_cycles_per_trip(body: List[Tuple[Instruction, float]],
+                        mach: MachineConfig) -> float:
+    """Cycles one loop trip needs, ignoring cache misses (L1-hit world)."""
+    uops = 0.0
+    unit_cycles: Dict[str, float] = {}
+    # accumulator chains: dst register also appears in srcs for an FP add
+    chain_cycles: Dict[object, float] = {}
+    ptr_chain: Dict[object, float] = {}
+
+    for instr, w in body:
+        cls = instr.timing_class
+        ec = mach.exec_class(cls)
+        mem_operand = (not instr.is_load and not instr.is_store
+                       and instr.op is not Opcode.PREFETCH
+                       and any(isinstance(s, Mem) for s in instr.srcs))
+        n_uops = ec.uops + (1 if mem_operand else 0)
+        uops += w * n_uops
+        if ec.unit != "any":
+            unit_cycles[ec.unit] = unit_cycles.get(ec.unit, 0.0) + w * ec.rthru
+        if mem_operand:
+            # the folded load occupies the load unit too
+            ldc = mach.exec_class("ld")
+            unit_cycles["load"] = unit_cycles.get("load", 0.0) + w * ldc.rthru
+
+        # loop-carried floating point accumulation chains
+        if instr.op in (Opcode.FADD, Opcode.FSUB, Opcode.VADD, Opcode.VSUB,
+                        Opcode.FMAX, Opcode.VMAX):
+            if instr.dst is not None and any(
+                    is_reg(s) and s == instr.dst for s in instr.srcs):
+                chain_cycles[instr.dst] = (chain_cycles.get(instr.dst, 0.0)
+                                           + w * ec.lat)
+        # pointer/counter update chains (latency 1 per trip, rarely binding)
+        if instr.op in (Opcode.ADD, Opcode.SUB):
+            if instr.dst is not None and any(
+                    is_reg(s) and s == instr.dst for s in instr.srcs):
+                ptr_chain[instr.dst] = ptr_chain.get(instr.dst, 0.0) + w * ec.lat
+
+    width = mach.issue_width if uops <= mach.decode_budget else mach.decode_width
+    issue_bound = uops / width
+    unit_bound = max(unit_cycles.values(), default=0.0)
+    dep_bound = max(list(chain_cycles.values()) + list(ptr_chain.values()),
+                    default=0.0)
+    return max(1.0, issue_bound, unit_bound, dep_bound)
+
+
+def prologue_cycles(summary: LoopSummary, mach: MachineConfig) -> float:
+    """Rough once-per-call cost of code outside the tuned loop."""
+    return 10.0 + summary.prologue_uop_estimate / mach.issue_width * 2.0
+
+
+# ---------------------------------------------------------------------------
+# memory-side simulation
+
+class _Bus:
+    """Finite-bandwidth memory bus.
+
+    Reads stream back-to-back.  Writes are assumed to drain from the
+    write/WC buffers opportunistically, so they do not force the read
+    stream to re-arbitrate: instead each buffered write line carries an
+    amortized share of two bus turnarounds per ``write_batch`` lines.
+    A smaller batch (P4E FSB) makes interleaved read/write streams pay
+    more — the effect AMD's block-fetch technique exploits (and that the
+    hand-tuned dcopy* baseline models with a larger effective batch).
+    """
+
+    __slots__ = ("free_at", "bpc", "turnaround", "write_batch",
+                 "busy_total")
+
+    def __init__(self, bpc: float, turnaround: int, write_batch: int = 4):
+        self.free_at = 0.0
+        self.bpc = bpc
+        self.turnaround = turnaround
+        self.write_batch = max(1, write_batch)
+        self.busy_total = 0.0
+
+    def transfer(self, now: float, nbytes: float, direction: str,
+                 batch: Optional[int] = None) -> Tuple[float, float]:
+        """Schedule a transfer; returns (start, end).  ``end`` is when the
+        full line has arrived (for reads, data-available time)."""
+        start = max(now, self.free_at)
+        dur = nbytes / self.bpc
+        if direction == "write":
+            dur += 2.0 * self.turnaround / (batch or self.write_batch)
+        end = start + dur
+        self.free_at = end
+        self.busy_total += dur
+        return start, end
+
+    def is_busy(self, now: float) -> bool:
+        return self.free_at > now
+
+
+class LoopTimer:
+    """Times one kernel invocation of N elements on a machine/context."""
+
+    def __init__(self, mach: MachineConfig, context: Context):
+        self.mach = mach
+        self.context = context
+
+    # ------------------------------------------------------------------
+    def time(self, summary: LoopSummary, n: int) -> TimingResult:
+        mach = self.mach
+        stats = TimingStats()
+        if not summary.has_loop or n <= 0:
+            cycles = prologue_cycles(summary, mach)
+            return TimingResult(cycles, mach.name, self.context, n, stats)
+
+        epi = summary.elems_per_trip
+        trips = n // epi
+        remainder = n - trips * epi
+        cpi = cpu_cycles_per_trip(summary.body, mach)
+        stats.cpu_cycles = cpi * trips
+
+        cycles = prologue_cycles(summary, mach)
+        if trips > 0:
+            if self.context is Context.OUT_OF_CACHE:
+                cycles += self._simulate_ooc(summary, trips, cpi, stats)
+            else:
+                cycles += self._simulate_inl2(summary, trips, cpi, stats)
+
+        # remainder elements run through the scalar cleanup loop
+        if remainder > 0:
+            if summary.cleanup:
+                ccpi = cpu_cycles_per_trip(summary.cleanup, mach)
+            else:
+                ccpi = cpi / max(1, epi)
+            cycles += remainder * max(1.0, ccpi)
+
+        return TimingResult(cycles, mach.name, self.context, n, stats)
+
+    # ------------------------------------------------------------------
+    def _simulate_ooc(self, summary: LoopSummary, trips: int, cpi: float,
+                      stats: TimingStats) -> float:
+        """Out-of-cache: line-granular walk against the memory bus."""
+        mach = self.mach
+        line = mach.l1.line
+        epi = summary.elems_per_trip
+        streams = [s for s in summary.streams.values()
+                   if s.reads or s.writes]
+        if not streams:
+            return cpi * trips
+
+        total_elems = trips * epi
+        elem_size = max(s.elem_size for s in streams)
+        elems_per_line = max(1, line // elem_size)
+        n_lines = (total_elems + elems_per_line - 1) // elems_per_line
+        cpu_per_line = cpi * elems_per_line / epi
+
+        bus = _Bus(mach.bus_bpc, mach.bus_turnaround,
+                   summary.write_batch_override or mach.write_batch_lines)
+        mem_lat = mach.mem_latency
+        l2_hop = mach.l2.latency * 0.5
+        hw_slack = mach.mem_latency * 0.4
+        # software prefetches are dropped when the memory request queue
+        # is pathologically saturated.  On a 100%-utilized bus the backlog
+        # saw-tooths up to ~2-3x the memory latency in steady state, so
+        # the threshold sits well above that: the bandwidth floor — not
+        # the drop rule — is what limits prefetch on bus-bound kernels.
+        pf_slack = mach.mem_latency * 6.0
+
+        # per-stream state
+        class _S:
+            __slots__ = ("info", "ready", "dist_lines", "l2_only", "wasted",
+                         "hw_streak", "cap_ok", "pf_on")
+
+            def __init__(self, info: StreamInfo):
+                self.info = info
+                self.ready: Dict[int, float] = {}
+                hint = info.prefetch_hint
+                self.pf_on = hint is not None and info.prefetch_dist > 0
+                self.dist_lines = max(1, info.prefetch_dist // line)
+                self.l2_only = (hint in mach.prefetch_l2_only) if hint else False
+                cap = mach.prefetch_capacity.get(hint, 1 << 30) if hint else 0
+                self.cap_ok = info.prefetch_dist <= cap
+                self.hw_streak = 0
+
+        states = [_S(s) for s in streams]
+        now = 0.0
+
+        for k in range(n_lines):
+            now += cpu_per_line
+
+            # --- software prefetch issue (one new line per stream/step)
+            for st in states:
+                if not st.pf_on:
+                    continue
+                tgt = k + st.dist_lines
+                if tgt >= n_lines or tgt in st.ready:
+                    continue
+                if mach.prefetch_drop_when_busy and bus.free_at > now + pf_slack:
+                    stats.prefetch_dropped += 1
+                    continue
+                _, end = bus.transfer(now, line, "read")
+                arrive = max(end, now + mem_lat)
+                stats.prefetch_issued += 1
+                if st.cap_ok:
+                    st.ready[tgt] = arrive
+                else:
+                    # fetched but evicted before use: pure waste
+                    stats.prefetch_wasted += 1
+                # the prefetch's own miss stream trains the hardware
+                # prefetcher, which runs ahead of it within the page
+                lines_per_page = max(1, mach.hw_prefetch_page // line)
+                for j in range(1, mach.hw_prefetch_ahead + 1):
+                    t2 = tgt + j
+                    if t2 // lines_per_page != tgt // lines_per_page:
+                        break
+                    if t2 < n_lines and t2 not in st.ready \
+                            and bus.free_at - now < hw_slack:
+                        _, e2 = bus.transfer(now, line, "read")
+                        st.ready[t2] = max(e2, now + mem_lat)
+                        stats.hw_prefetches += 1
+
+            # --- demand reads
+            for st in states:
+                info = st.info
+                if not info.reads:
+                    continue
+                ready = st.ready.pop(k, None)
+                if ready is not None:
+                    if ready > now:
+                        stats.stall_cycles += ready - now
+                        now = ready
+                    if st.l2_only:
+                        now += l2_hop  # line parked in L2; pay the hop
+                else:
+                    st.hw_streak += 1
+                    _, end = bus.transfer(now, line, "read")
+                    arrive = max(end, now + mem_lat)
+                    stats.demand_misses += 1
+                    stats.stall_cycles += arrive - now
+                    now = arrive
+                # hardware stream prefetcher: once a stream locks, it keeps
+                # a running window of `hw_prefetch_ahead` lines in flight,
+                # topped up as lines are consumed
+                if st.hw_streak >= mach.hw_prefetch_trigger:
+                    lines_per_page = max(1, mach.hw_prefetch_page // line)
+                    for j in range(1, mach.hw_prefetch_ahead + 1):
+                        t2 = k + j
+                        if t2 // lines_per_page != k // lines_per_page:
+                            break  # HW prefetch stops at the page boundary
+                        if t2 < n_lines and t2 not in st.ready:
+                            # low-priority: tolerate a modest backlog but
+                            # back off when the bus is saturated
+                            if bus.free_at - now < hw_slack:
+                                _, e2 = bus.transfer(now, line, "read")
+                                st.ready[t2] = max(e2, now + mem_lat)
+                                stats.hw_prefetches += 1
+
+            # --- stores
+            for st in states:
+                info = st.info
+                if not info.writes:
+                    continue
+                if info.nontemporal:
+                    nbytes = line * mach.wnt_write_combine_factor
+                    _, end = bus.transfer(now, nbytes, "write")
+                    if info.reads and mach.wnt_read_write_penalty:
+                        now += mach.wnt_read_write_penalty
+                        stats.stall_cycles += mach.wnt_read_write_penalty
+                else:
+                    covered = info.reads or st.ready.pop(k, None) is not None
+                    if not covered:
+                        # read-for-ownership fetch (store-buffer hidden,
+                        # but it consumes the bus)
+                        bus.transfer(now, line, "read")
+                        stats.demand_misses += 1
+                    # dirty writeback when the line retires
+                    bus.transfer(now, line * mach.writeback_factor, "write")
+                # stores stall only when the bus backlog exceeds the
+                # store buffer's tolerance
+                backlog = bus.free_at - now
+                if backlog > mach.store_buffer_slack:
+                    stall = backlog - mach.store_buffer_slack
+                    stats.stall_cycles += stall
+                    now += stall
+
+        stats.lines_processed = n_lines
+        stats.bus_busy_cycles = bus.busy_total
+        # drain outstanding writes
+        return max(now, bus.free_at * 0.98)
+
+    # ------------------------------------------------------------------
+    def _simulate_inl2(self, summary: LoopSummary, trips: int, cpi: float,
+                       stats: TimingStats) -> float:
+        """In-L2 context: operands resident in L2; the 'memory' is the
+        L1<->L2 path, unless non-temporal stores force main-memory
+        traffic (which is why WNT is a bad idea in cache)."""
+        mach = self.mach
+        line = mach.l1.line
+        epi = summary.elems_per_trip
+        streams = [s for s in summary.streams.values()
+                   if s.reads or s.writes]
+        if not streams:
+            return cpi * trips
+
+        total_elems = trips * epi
+        elem_size = max(s.elem_size for s in streams)
+        elems_per_line = max(1, line // elem_size)
+        n_lines = (total_elems + elems_per_line - 1) // elems_per_line
+        cpu_per_line = cpi * elems_per_line / epi
+
+        l2bus = _Bus(mach.l2.fill_bpc, 0)
+        membus = _Bus(mach.bus_bpc, mach.bus_turnaround)
+        # out-of-order execution overlaps roughly half of an L2 hit's
+        # latency with the independent work of the same line's elements
+        l2_lat = float(mach.l2.latency) * 0.5
+        now = 0.0
+
+        prefetched: List[Dict[int, float]] = [dict() for _ in streams]
+        for k in range(n_lines):
+            now += cpu_per_line
+            for idx, info in enumerate(streams):
+                # software prefetch moves the line L2 -> L1 early
+                if info.prefetch_hint is not None and info.prefetch_dist > 0:
+                    tgt = k + max(1, info.prefetch_dist // line)
+                    if tgt < n_lines and tgt not in prefetched[idx]:
+                        hint = info.prefetch_hint
+                        l2_only = hint in mach.prefetch_l2_only
+                        if not l2bus.is_busy(now):
+                            _, end = l2bus.transfer(now, line, "read")
+                            stats.prefetch_issued += 1
+                            if not l2_only:
+                                prefetched[idx][tgt] = max(end, now + l2_lat)
+                if info.reads:
+                    ready = prefetched[idx].pop(k, None)
+                    if ready is not None and ready <= now:
+                        pass  # L1 hit, already costed in cpi
+                    elif ready is not None:
+                        stats.stall_cycles += ready - now
+                        now = ready
+                    else:
+                        _, end = l2bus.transfer(now, line, "read")
+                        arrive = max(end, now + l2_lat)
+                        stats.stall_cycles += arrive - now
+                        now = arrive
+                        stats.demand_misses += 1
+                if info.writes:
+                    if info.nontemporal:
+                        # forced to memory: slow bus + WC behaviour
+                        _, end = membus.transfer(
+                            now, line * mach.wnt_write_combine_factor, "write")
+                        if info.reads and mach.wnt_read_write_penalty:
+                            now += mach.wnt_read_write_penalty
+                            stats.stall_cycles += mach.wnt_read_write_penalty
+                        backlog = membus.free_at - now
+                        if backlog > mach.store_buffer_slack:
+                            stall = backlog - mach.store_buffer_slack
+                            now += stall
+                            stats.stall_cycles += stall
+                    else:
+                        l2bus.transfer(now, line * 0.5, "write")
+
+        stats.lines_processed = n_lines
+        stats.bus_busy_cycles = l2bus.busy_total + membus.busy_total
+        return max(now, membus.free_at * 0.98, l2bus.free_at * 0.9)
+
+
+def time_kernel(summary: LoopSummary, mach: MachineConfig,
+                context: Context, n: int) -> TimingResult:
+    """Convenience wrapper: one invocation of the timing model."""
+    return LoopTimer(mach, context).time(summary, n)

@@ -1,0 +1,7 @@
+"""Modeled native compilers: the gcc / icc / icc+prof baselines."""
+
+from .base import ModeledCompiler, ReferenceBuild
+from .compilers import ALL_COMPILERS, Gcc, Icc, IccProf, get_compiler
+
+__all__ = ["ModeledCompiler", "ReferenceBuild", "ALL_COMPILERS", "Gcc",
+           "Icc", "IccProf", "get_compiler"]

@@ -1,0 +1,5 @@
+"""Text rendering of experiment results (tables + ASCII bar charts)."""
+
+from .tables import bar_chart, format_table, percent_of_best
+
+__all__ = ["bar_chart", "format_table", "percent_of_best"]

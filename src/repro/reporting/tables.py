@@ -1,0 +1,78 @@
+"""Plain-text tables and bar charts for the experiment harnesses.
+
+The paper presents results as grouped bar charts (Figures 2-5, 7) and
+tables (1-3).  The harnesses emit the same data as aligned text tables
+plus ASCII bar charts, which is what a terminal reproduction can do
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "", floatfmt: str = "{:.1f}") -> str:
+    """Render rows as an aligned monospace table."""
+    def cell(x) -> str:
+        if isinstance(x, float):
+            return floatfmt.format(x)
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) if i else c.ljust(w)
+                         for i, (c, w) in enumerate(zip(cells, widths)))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def bar_chart(labels: Sequence[str], series: Dict[str, Sequence[Number]],
+              title: str = "", width: int = 46, unit: str = "",
+              vmax: Optional[float] = None) -> str:
+    """Grouped horizontal ASCII bar chart: one group per label, one bar
+    per series (the shape of the paper's figures)."""
+    all_vals = [v for vals in series.values() for v in vals]
+    top = vmax if vmax is not None else (max(all_vals) if all_vals else 1.0)
+    top = top or 1.0
+    name_w = max((len(s) for s in series), default=4)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for sname, vals in series.items():
+            v = vals[i]
+            n = int(round(width * v / top))
+            bar = "#" * max(0, min(width, n))
+            lines.append(f"  {sname.ljust(name_w)} |{bar:<{width}}| "
+                         f"{v:8.1f}{unit}")
+    return "\n".join(lines)
+
+
+def percent_of_best(rows: Dict[str, List[float]]) -> Dict[str, List[float]]:
+    """Convert per-method MFLOPS columns to the paper's percent-of-best
+    presentation: for each kernel position, divide by the column max."""
+    methods = list(rows)
+    n = len(next(iter(rows.values()))) if rows else 0
+    out: Dict[str, List[float]] = {m: [] for m in methods}
+    for i in range(n):
+        best = max(rows[m][i] for m in methods) or 1.0
+        for m in methods:
+            out[m].append(100.0 * rows[m][i] / best)
+    return out

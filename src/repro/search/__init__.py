@@ -1,0 +1,14 @@
+"""Iterative search drivers — the empirical half of ifko (section 2.3)."""
+
+from .space import (DEFAULT_AES, DEFAULT_DIST_LINES, DEFAULT_UNROLLS,
+                    SearchSpace, build_space)
+from .linesearch import PHASES, Evaluator, LineSearch, SearchResult
+from .drivers import TunedKernel, compile_default, tune_kernel
+from .alternatives import (STRATEGIES, exhaustive_search, genetic_search,
+                           random_search, simulated_annealing)
+
+__all__ = ["DEFAULT_AES", "DEFAULT_DIST_LINES", "DEFAULT_UNROLLS",
+           "SearchSpace", "build_space", "PHASES", "Evaluator",
+           "LineSearch", "SearchResult", "TunedKernel", "compile_default",
+           "tune_kernel", "STRATEGIES", "exhaustive_search",
+           "genetic_search", "random_search", "simulated_annealing"]

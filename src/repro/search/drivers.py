@@ -1,0 +1,95 @@
+"""ifko's master search driver (the paper's Figure 1).
+
+"The search first passes the input kernel to be optimized to FKO for
+analysis.  FKO then provides feedback to the master search based on
+this analysis. ... For each optimization of interest that takes an
+empirically tuned parameter, the search invokes FKO to perform the
+transformation, the timer to determine its effect on performance, and
+the tester to ensure that the answer is correct."
+
+:func:`tune_kernel` is "ifko": analysis -> line search over the space
+-> best compiled kernel, verified by the tester.
+:func:`compile_default` is plain "FKO": static defaults, no search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import KernelTestFailure
+from ..fko import FKO, TransformParams
+from ..fko.pipeline import CompiledKernel
+from ..kernels.blas1 import KernelSpec
+from ..machine.config import MachineConfig
+from ..machine.timing import Context
+from ..timing.timer import KernelTiming, Timer
+from ..timing.tester import test_kernel
+from .linesearch import LineSearch, SearchResult
+from .space import SearchSpace, build_space
+
+
+@dataclass
+class TunedKernel:
+    """The product of one ifko tuning run."""
+
+    spec: KernelSpec
+    machine: MachineConfig
+    context: Context
+    n: int
+    compiled: CompiledKernel
+    timing: KernelTiming
+    search: Optional[SearchResult] = None
+
+    @property
+    def params(self) -> TransformParams:
+        return self.compiled.params
+
+    @property
+    def mflops(self) -> float:
+        return self.timing.mflops
+
+
+def _make_evaluator(fko: FKO, spec: KernelSpec, timer: Timer):
+    def evaluate(params: TransformParams) -> float:
+        compiled = fko.compile(spec.hil, params)
+        return timer.time(compiled, spec).cycles
+    return evaluate
+
+
+def compile_default(spec: KernelSpec, machine: MachineConfig,
+                    context: Context, n: int) -> TunedKernel:
+    """Plain FKO: static transformation defaults, no empirical search."""
+    fko = FKO(machine)
+    timer = Timer(machine, context, n)
+    compiled = fko.compile(spec.hil)   # params=None -> defaults
+    timing = timer.time(compiled, spec)
+    return TunedKernel(spec=spec, machine=machine, context=context, n=n,
+                       compiled=compiled, timing=timing)
+
+
+def tune_kernel(spec: KernelSpec, machine: MachineConfig, context: Context,
+                n: int, max_evals: int = 400,
+                space: Optional[SearchSpace] = None,
+                run_tester: bool = True,
+                start: Optional[TransformParams] = None) -> TunedKernel:
+    """ifko: iterative compilation of one kernel for one machine/context."""
+    fko = FKO(machine)
+    timer = Timer(machine, context, n)
+    analysis = fko.analyze(spec.hil)
+    if space is None:
+        space = build_space(analysis, machine)
+    if start is None:
+        start = fko.defaults(spec.hil)
+
+    search = LineSearch(_make_evaluator(fko, spec, timer), space, start,
+                        max_evals=max_evals,
+                        output_arrays=analysis.output_arrays)
+    result = search.run()
+
+    compiled = fko.compile(spec.hil, result.best_params)
+    if run_tester:
+        test_kernel(compiled, spec)   # "unnecessary in theory, useful in practice"
+    timing = timer.time(compiled, spec)
+    return TunedKernel(spec=spec, machine=machine, context=context, n=n,
+                       compiled=compiled, timing=timing, search=result)

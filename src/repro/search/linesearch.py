@@ -1,0 +1,236 @@
+"""The modified line search (section 2.3).
+
+"In a pure line search, the N_T-D problem is split into N_T separate
+1-D searches, where the starting points in the space correspond to the
+initial search parameter selection (in our case, FKO defaults). ...
+because we understand many of the interactions between optimizations,
+we are able to relax the strict 1-D searches to account for
+interdependencies (eg., when two transformations are known to strongly
+interact, do a restricted 2-D search)."
+
+Sweep plan (each phase keeps the best-so-far as the new base; a move
+requires a *strict* improvement, so plateaus resolve to the earliest —
+usually smallest/simplest — value):
+
+1. SV on/off (defaults to on when legal; almost always stays on).
+2. WNT on/off.
+3. Per prefetchable array: distance sweep at the default instruction
+   (the "PF DST" gain of Figure 7), then instruction-flavor sweep at
+   the best distance ("PF INS") — the restricted 2-D search for the
+   known PF interaction.
+4. Unroll sweep ("UR").
+5. Accumulator-expansion sweep ("AE"), then a restricted 2-D
+   refinement over (UR, AE) neighborhoods — the paper's example of a
+   strongly interacting pair.
+
+The per-phase best cycles are recorded so Figure 7's speedup
+decomposition can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SearchError
+from ..fko.params import PrefetchParams, TransformParams
+from ..ir import PrefetchHint
+from .space import SearchSpace
+
+Evaluator = Callable[[TransformParams], float]   # -> cycles (lower = better)
+
+#: phase names in Figure 7's legend order (BF is this reproduction's
+#: extension: the block-fetch transform the paper lists as planned)
+PHASES = ("SV", "WNT", "PF DST", "PF INS", "UR", "AE", "BF")
+
+
+@dataclass
+class SearchResult:
+    best_params: TransformParams
+    best_cycles: float
+    start_cycles: float
+    n_evaluations: int
+    phase_gains: Dict[str, float] = field(default_factory=dict)
+    history: List[Tuple[str, Tuple, float]] = field(default_factory=list)
+
+    @property
+    def speedup_over_start(self) -> float:
+        return self.start_cycles / self.best_cycles if self.best_cycles else 1.0
+
+    def phase_speedups(self) -> Dict[str, float]:
+        """Multiplicative gain attributed to each tuning phase (the
+        Figure 7 decomposition); the product equals the total speedup."""
+        return {p: self.phase_gains.get(p, 1.0) for p in PHASES}
+
+
+class LineSearch:
+    def __init__(self, evaluate: Evaluator, space: SearchSpace,
+                 start: TransformParams, max_evals: int = 500,
+                 min_gain: float = 0.005,
+                 output_arrays: Sequence[str] = ()):
+        if max_evals <= 0:
+            raise SearchError("max_evals must be positive")
+        self.evaluate_raw = evaluate
+        self.space = space
+        self.start = start
+        self.max_evals = max_evals
+        self.output_arrays = list(output_arrays)
+        # a move requires improvement beyond timing noise, so plateaus
+        # and noise-level ties resolve to the incumbent (FKO defaults)
+        self.min_gain = min_gain
+        self._cache: Dict[Tuple, float] = {}
+        self.n_evaluations = 0
+        self.history: List[Tuple[str, Tuple, float]] = []
+        self._phase = "start"
+
+    # ------------------------------------------------------------------
+    def _eval(self, params: TransformParams) -> float:
+        key = params.key()
+        if key in self._cache:
+            return self._cache[key]
+        if self.n_evaluations >= self.max_evals:
+            return float("inf")
+        self.n_evaluations += 1
+        cycles = self.evaluate_raw(params)
+        self._cache[key] = cycles
+        self.history.append((self._phase, key, cycles))
+        return cycles
+
+    def _sweep(self, base: TransformParams, best: float,
+               candidates) -> Tuple[TransformParams, float]:
+        """Try each candidate; move only on strict improvement."""
+        best_params = base
+        for params in candidates:
+            c = self._eval(params)
+            if c < best * (1.0 - self.min_gain):
+                best, best_params = c, params
+        return best_params, best
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        sp = self.space
+        gains: Dict[str, float] = {p: 1.0 for p in PHASES}
+
+        self._phase = "start"
+        base = self.start
+        best = self._eval(base)
+        start_cycles = best
+
+        def attributed(phase: str, cands) -> None:
+            nonlocal base, best
+            self._phase = phase
+            before = best
+            base, best = self._sweep(base, best, cands)
+            if best > 0:
+                gains[phase] *= before / best
+
+        # --- SV
+        if len(sp.sv_options) > 1:
+            attributed("SV", [base.copy(sv=v) for v in sp.sv_options
+                              if v != base.sv])
+
+        # --- WNT (with its known PF interaction: a non-temporal store
+        # needs no read-for-ownership, so the best WNT configuration may
+        # also drop the output array's prefetch — try the combo)
+        def wnt_candidates(cur: TransformParams):
+            cands = []
+            for v in sp.wnt_options:
+                if v == cur.wnt:
+                    continue
+                cands.append(cur.copy(wnt=v))
+                if v:
+                    nopf = cur.copy(wnt=True)
+                    for arr in self.output_arrays:
+                        if arr in sp.prefetch_arrays:
+                            nopf = nopf.with_pf(arr, None, 0)
+                    cands.append(nopf)
+            return cands
+
+        if len(sp.wnt_options) > 1:
+            attributed("WNT", wnt_candidates(base))
+
+        # --- PF distance.  The streams advance in lockstep, so array
+        # distances interact strongly: sweep one distance applied to
+        # *all* prefetched arrays first (a restricted N-D search), then
+        # refine per array.
+        def pf_dist_candidates(cur: TransformParams):
+            cands = []
+            prefetched = [a for a in sp.prefetch_arrays
+                          if cur.pf(a).enabled]
+            if len(prefetched) > 1:
+                for d in sp.dist_options:
+                    if d == 0:
+                        continue
+                    c = cur
+                    for arr in prefetched:
+                        hint = cur.pf(arr).hint or PrefetchHint.NTA
+                        c = c.with_pf(arr, hint, d)
+                    if c.key() != cur.key():
+                        cands.append(c)
+            return cands
+
+        attributed("PF DST", pf_dist_candidates(base))
+        for arr in sp.prefetch_arrays:
+            hint = base.pf(arr).hint or PrefetchHint.NTA
+            attributed("PF DST",
+                       [base.with_pf(arr, hint if d > 0 else None, d)
+                        for d in sp.dist_options
+                        if d != base.pf(arr).dist])
+
+        # --- PF instruction flavor at the chosen distance
+        for arr in sp.prefetch_arrays:
+            cur = base.pf(arr)
+            if not cur.enabled:
+                continue
+            attributed("PF INS", [base.with_pf(arr, h, cur.dist)
+                                  for h in sp.hint_options
+                                  if h is not cur.hint])
+
+        # --- UR
+        attributed("UR", [base.copy(unroll=u) for u in sp.unroll_options
+                          if u != base.unroll])
+
+        # --- AE, then the restricted (UR, AE) 2-D refinement
+        if len(sp.ae_options) > 1:
+            attributed("AE", [base.copy(ae=a) for a in sp.ae_options
+                              if a != base.ae])
+            urs = _neighbors(sp.unroll_options, base.unroll)
+            aes = _neighbors(sp.ae_options, base.ae)
+            attributed("AE", [base.copy(unroll=u, ae=a)
+                              for u in urs for a in aes
+                              if (u, a) != (base.unroll, base.ae)])
+
+        # --- BF (extension): block-fetch scheduling
+        if len(sp.block_fetch_options) > 1:
+            attributed("BF", [base.copy(block_fetch=v)
+                              for v in sp.block_fetch_options
+                              if v != base.block_fetch])
+
+        # --- revisit round: transforms whose payoff only appears once
+        # the prefetch distances stopped the latency stalls (e.g. WNT's
+        # bus saving on a now-bandwidth-bound loop)
+        if len(sp.wnt_options) > 1:
+            attributed("WNT", wnt_candidates(base))
+        for arr in sp.prefetch_arrays:
+            hint = base.pf(arr).hint or PrefetchHint.NTA
+            attributed("PF DST",
+                       [base.with_pf(arr, hint if d > 0 else None, d)
+                        for d in sp.dist_options
+                        if d != base.pf(arr).dist])
+        attributed("UR", [base.copy(unroll=u) for u in sp.unroll_options
+                          if u != base.unroll])
+
+        return SearchResult(best_params=base, best_cycles=best,
+                            start_cycles=start_cycles,
+                            n_evaluations=self.n_evaluations,
+                            phase_gains=gains,
+                            history=self.history)
+
+
+def _neighbors(options: List, value, radius: int = 1) -> List:
+    if value not in options:
+        return [value]
+    i = options.index(value)
+    lo = max(0, i - radius)
+    hi = min(len(options), i + radius + 1)
+    return list(options[lo:hi])

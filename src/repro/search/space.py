@@ -1,0 +1,77 @@
+"""The optimization space searched by ifko (section 2.3).
+
+"Finding the best values for N_T empirically tuned transformations
+consists of finding the points in an N_T dimensional space that
+maximize performance."
+
+The space is built per kernel from FKO's analysis feedback plus the
+machine's architecture report: which arrays are prefetchable, which
+prefetch instruction flavors exist, the cache line size (distance
+granularity), whether SV is legal, whether accumulators exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..fko.analysis import KernelAnalysis
+from ..ir import PrefetchHint
+from ..machine.config import MachineConfig
+
+
+@dataclass
+class SearchSpace:
+    sv_options: List[bool]
+    wnt_options: List[bool]
+    unroll_options: List[int]
+    ae_options: List[int]
+    prefetch_arrays: List[str]
+    hint_options: List[Optional[PrefetchHint]]
+    dist_options: List[int]                    # bytes; 0 = off
+    line: int
+    block_fetch_options: List[bool] = field(default_factory=lambda: [False])
+
+    def describe(self) -> str:
+        return (f"SV{self.sv_options} WNT{self.wnt_options} "
+                f"UR{self.unroll_options} AE{self.ae_options} "
+                f"PF arrays={self.prefetch_arrays} "
+                f"hints={[h.value if h else 'none' for h in self.hint_options]} "
+                f"dists={self.dist_options}")
+
+    @property
+    def size(self) -> int:
+        """Cardinality of the full cross product (for reporting how much
+        the line search saves)."""
+        pf = (len(self.hint_options) * len(self.dist_options)) or 1
+        n = (len(self.sv_options) * len(self.wnt_options)
+             * len(self.unroll_options) * len(self.ae_options))
+        for _ in self.prefetch_arrays:
+            n *= pf
+        return n
+
+
+DEFAULT_UNROLLS = (1, 2, 4, 8, 16, 32, 64)
+DEFAULT_AES = (1, 2, 3, 4, 6, 8, 16)
+#: distance grid in cache lines (Table 3 distances are 56..2048 bytes)
+DEFAULT_DIST_LINES = (1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32)
+
+
+def build_space(analysis: KernelAnalysis, machine: MachineConfig,
+                unrolls: Sequence[int] = DEFAULT_UNROLLS,
+                aes: Sequence[int] = DEFAULT_AES,
+                dist_lines: Sequence[int] = DEFAULT_DIST_LINES,
+                enable_block_fetch: bool = False) -> SearchSpace:
+    line = machine.l1.line
+    return SearchSpace(
+        sv_options=[True, False] if analysis.vectorizable else [False],
+        wnt_options=[False, True] if analysis.output_arrays else [False],
+        unroll_options=[u for u in unrolls if u <= analysis.max_unroll],
+        ae_options=(list(aes) if analysis.accumulators else [1]),
+        prefetch_arrays=list(analysis.prefetch_arrays),
+        hint_options=list(machine.prefetch_hints),
+        dist_options=[0] + [k * line for k in dist_lines],
+        line=line,
+        block_fetch_options=([False, True] if enable_block_fetch
+                             else [False]),
+    )

@@ -1,0 +1,93 @@
+"""Kernel tester (section 2.1).
+
+"... the tester to ensure that the answer is correct (unnecessary in
+theory, but useful in practice)."
+
+Runs the compiled kernel in the functional interpreter against the
+NumPy reference on several problem sizes (chosen to hit remainder-loop
+corner cases) and random data.  Element-wise kernels must match exactly
+(the interpreter rounds at every step like the hardware would);
+reductions get an association-tolerant relative bound because SIMD and
+accumulator expansion legitimately reorder the adds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import KernelTestFailure
+from ..fko.pipeline import CompiledKernel
+from ..ir import Function
+from ..kernels.blas1 import KernelSpec, reference
+from ..machine.interp import run_function
+
+DEFAULT_SIZES = (0, 1, 2, 3, 7, 8, 16, 33, 100, 257)
+
+
+def _tolerance(spec: KernelSpec, n: int) -> float:
+    eps = 1.2e-7 if spec.precision == "s" else 2.3e-16
+    return eps * max(4, n) * 8
+
+
+def make_inputs(spec: KernelSpec, n: int, rng: np.random.Generator):
+    arrays = {v: rng.standard_normal(max(n, 1)).astype(spec.dtype)
+              for v in spec.vector_args}
+    scalars: Dict[str, float] = {"N": n}
+    for s in spec.scalar_args:
+        scalars[s] = float(rng.standard_normal())
+    return arrays, scalars
+
+
+def test_function(fn: Function, spec: KernelSpec,
+                  sizes: Sequence[int] = DEFAULT_SIZES,
+                  seed: int = 0xC0FFEE,
+                  trials_per_size: int = 1) -> None:
+    """Raise :class:`KernelTestFailure` if ``fn`` disagrees with the
+    reference on any size/trial."""
+    rng = np.random.default_rng(seed)
+    for n in sizes:
+        for _ in range(trials_per_size):
+            arrays, scalars = make_inputs(spec, n, rng)
+            got_arrays = {k: v.copy() for k, v in arrays.items()}
+            ref_arrays = {k: v.copy() for k, v in arrays.items()}
+
+            fscalars = {k: v for k, v in scalars.items() if k != "N"}
+            result = run_function(fn, got_arrays,
+                                  {"N": n, **fscalars})
+            # the reference must see exactly n elements (arrays are
+            # padded to length >= 1 for the interpreter's allocator)
+            ref_views = {k: v[:n] for k, v in ref_arrays.items()}
+            ref = reference(spec, ref_views, fscalars)
+
+            # vector outputs
+            for name in spec.output_args:
+                got, want = got_arrays[name][:n], ref_arrays[name][:n]
+                if not np.allclose(got, want, rtol=_tolerance(spec, 4),
+                                   atol=0, equal_nan=True):
+                    bad = int(np.argmax(np.abs(got - want)))
+                    raise KernelTestFailure(
+                        f"{spec.name} N={n}: array {name}[{bad}] = "
+                        f"{got[bad]!r}, expected {want[bad]!r}")
+
+            # scalar result
+            if spec.returns == "int":
+                if int(result.ret) != int(ref):
+                    raise KernelTestFailure(
+                        f"{spec.name} N={n}: returned index {result.ret}, "
+                        f"expected {ref}")
+            elif spec.returns is not None:
+                got = float(result.ret if result.ret is not None else 0.0)
+                tol = _tolerance(spec, n)
+                denom = max(1.0, abs(ref))
+                if abs(got - ref) / denom > tol:
+                    raise KernelTestFailure(
+                        f"{spec.name} N={n}: returned {got!r}, expected "
+                        f"{ref!r} (rel err {abs(got-ref)/denom:.3e})")
+
+
+def test_kernel(compiled: CompiledKernel, spec: KernelSpec,
+                sizes: Sequence[int] = DEFAULT_SIZES,
+                seed: int = 0xC0FFEE) -> None:
+    test_function(compiled.fn, spec, sizes=sizes, seed=seed)

@@ -1,0 +1,96 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fko import FKO
+from repro.kernels import get_kernel
+from repro.machine import opteron, pentium4e
+
+
+@pytest.fixture(scope="session")
+def p4e():
+    return pentium4e()
+
+
+@pytest.fixture(scope="session")
+def opt():
+    return opteron()
+
+
+@pytest.fixture(scope="session")
+def machines(p4e, opt):
+    return (p4e, opt)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xBEEF)
+
+
+DDOT_SRC = """
+ROUTINE ddot(N: int, X: ptr double, Y: ptr double) RETURNS double;
+double dot = 0.0;
+double x;
+double y;
+@TUNE
+LOOP i = 0, N
+LOOP_BODY
+    x = X[0];
+    y = Y[0];
+    dot += x * y;
+    X += 1;
+    Y += 1;
+LOOP_END
+RETURN dot;
+"""
+
+IAMAX_SRC = """
+ROUTINE idamax(N: int, X: ptr double) RETURNS int;
+double amax;
+double x;
+int imax = 0;
+amax = X[0];
+amax = ABS amax;
+@TUNE
+LOOP i = N, 0, -1
+LOOP_BODY
+    x = X[0];
+    x = ABS x;
+    IF (x > amax) GOTO NEWMAX;
+ENDOFLOOP:
+    X += 1;
+LOOP_END
+RETURN imax;
+NEWMAX:
+    amax = x;
+    imax = N - i;
+    GOTO ENDOFLOOP;
+"""
+
+
+@pytest.fixture(scope="session")
+def ddot_src():
+    return DDOT_SRC
+
+
+@pytest.fixture(scope="session")
+def iamax_src():
+    return IAMAX_SRC
+
+
+@pytest.fixture(scope="session")
+def ddot_spec():
+    return get_kernel("ddot")
+
+
+@pytest.fixture
+def fko_p4e(p4e):
+    return FKO(p4e)
+
+
+@pytest.fixture
+def fko_opt(opt):
+    return FKO(opt)

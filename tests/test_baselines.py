@@ -1,0 +1,142 @@
+"""Tests for the modeled native compilers and the ATLAS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.atlas import (atlas_search, build_dual_indexed_copy,
+                         build_vector_iamax, variants_for)
+from repro.kernels import get_kernel
+from repro.machine import Context, run_function
+from repro.refcomp import ALL_COMPILERS, Gcc, Icc, IccProf, get_compiler
+from repro.timing.tester import test_function as check_function
+
+N = 20000
+
+
+class TestModeledCompilers:
+    def test_registry(self):
+        names = {c.name for c in ALL_COMPILERS}
+        assert names == {"gcc", "icc", "icc+prof"}
+        assert get_compiler("gcc").name == "gcc"
+        with pytest.raises(KeyError):
+            get_compiler("msvc")
+
+    def test_gcc_never_vectorizes(self, p4e):
+        spec = get_kernel("ddot")
+        k = Gcc().compile(spec, p4e, Context.OUT_OF_CACHE, N)
+        assert "sv" not in k.applied
+
+    def test_icc_vectorizes_canonical_form(self, p4e):
+        spec = get_kernel("ddot")
+        k = Icc().compile(spec, p4e, Context.OUT_OF_CACHE, N,
+                          modified_source=True)
+        assert k.applied.get("sv")
+
+    def test_icc_refuses_downcount_form(self, p4e):
+        # "icc will not vectorize either form" until sources are modified
+        spec = get_kernel("ddot")
+        k = Icc().compile(spec, p4e, Context.OUT_OF_CACHE, N,
+                          modified_source=False)
+        assert "sv" not in k.applied
+
+    def test_icc_prefetches_on_p4e_not_stores_on_opteron(self, p4e, opt):
+        spec = get_kernel("dswap")
+        fko_params_p4e = Icc().decide(spec, _analysis(spec, p4e), p4e,
+                                      Context.OUT_OF_CACHE, N)
+        fko_params_opt = Icc().decide(spec, _analysis(spec, opt), opt,
+                                      Context.OUT_OF_CACHE, N)
+        assert fko_params_p4e.pf("X").enabled
+        assert fko_params_p4e.pf("Y").enabled
+        assert not fko_params_opt.pf("X").enabled  # X is read+written
+
+    def test_iccprof_blind_wnt_long_loops_only(self, opt):
+        spec = get_kernel("dswap")
+        a = _analysis(spec, opt)
+        long_p = IccProf().decide(spec, a, opt, Context.OUT_OF_CACHE, 80000)
+        short_p = IccProf().decide(spec, a, opt, Context.IN_L2, 1024)
+        assert long_p.wnt and not short_p.wnt
+
+    def test_reference_builds_are_correct(self, p4e):
+        for cname in ("gcc", "icc", "icc+prof"):
+            comp = get_compiler(cname)
+            for kname in ("ddot", "dswap", "idamax"):
+                spec = get_kernel(kname)
+                k = comp.compile(spec, p4e, Context.OUT_OF_CACHE, N)
+                check_function(k.fn, spec, sizes=(0, 3, 17, 64))
+
+    def test_flags_match_paper_table2(self, p4e, opt):
+        assert "-xP" in Icc().flags(p4e)
+        assert "-xW" in Icc().flags(opt)
+        assert "funroll-all-loops" in Gcc().flags(p4e)
+
+
+def _analysis(spec, machine):
+    from repro.fko import FKO
+    return FKO(machine).analyze(spec.hil)
+
+
+class TestHandTuned:
+    @pytest.mark.parametrize("kname", ["isamax", "idamax"])
+    @pytest.mark.parametrize("unroll", [1, 2, 4])
+    def test_vector_iamax_correct(self, kname, unroll):
+        spec = get_kernel(kname)
+        fn = build_vector_iamax(spec, unroll=unroll)
+        check_function(fn, spec, sizes=(0, 1, 2, 3, 7, 8, 9, 33, 100))
+
+    def test_vector_iamax_first_occurrence_on_ties(self):
+        spec = get_kernel("idamax")
+        fn = build_vector_iamax(spec, unroll=2)
+        X = np.array([1.0, -7.0, 7.0, 7.0, 2.0, 1.0, 0.0, 3.0])
+        res = run_function(fn, {"X": X}, {"N": len(X)})
+        assert res.ret == 1
+
+    @pytest.mark.parametrize("nt", [False, True])
+    def test_dual_indexed_copy_correct(self, nt):
+        spec = get_kernel("scopy")
+        fn = build_dual_indexed_copy(spec, unroll=4, nontemporal=nt)
+        check_function(fn, spec, sizes=(0, 1, 15, 16, 17, 100))
+
+    def test_dual_indexed_copy_single_integer_update(self):
+        from repro.ir import Opcode
+        spec = get_kernel("dcopy")
+        fn = build_dual_indexed_copy(spec, unroll=4)
+        body = fn.block("body")
+        adds = [i for i in body.instrs if i.op is Opcode.ADD]
+        assert len(adds) == 1  # the CISC dual-indexing payoff
+
+
+class TestAtlasSearch:
+    def test_variant_library_shape(self, p4e):
+        spec = get_kernel("dcopy")
+        names = {v.name for v in variants_for(spec, p4e,
+                                              Context.OUT_OF_CACHE)}
+        assert {"c-ref", "c-pf", "asm", "asm-hand"} <= names
+
+    def test_opteron_has_no_dated_asm_variants(self, opt):
+        spec = get_kernel("ddot")
+        for v in variants_for(spec, opt, Context.OUT_OF_CACHE):
+            if v.name == "asm":
+                assert v.candidates == []
+
+    def test_search_returns_best_of_all_timings(self, p4e):
+        spec = get_kernel("ddot")
+        res = atlas_search(spec, p4e, Context.OUT_OF_CACHE, N,
+                           run_tester=False)
+        assert res.timing.cycles == min(c for _, c in res.all_timings)
+        assert res.n_candidates == len(res.all_timings)
+
+    def test_winner_passes_tester(self, p4e):
+        spec = get_kernel("dswap")
+        atlas_search(spec, p4e, Context.OUT_OF_CACHE, N, run_tester=True)
+
+    def test_iamax_selects_hand_vectorized(self, p4e):
+        res = atlas_search(get_kernel("isamax"), p4e, Context.OUT_OF_CACHE,
+                           N, run_tester=False)
+        assert res.best_label.startswith("asm-simd")
+        assert res.is_assembly
+        assert res.display_name == "isamax*"
+
+    def test_p4e_dcopy_selects_block_fetch(self, p4e):
+        res = atlas_search(get_kernel("dcopy"), p4e, Context.OUT_OF_CACHE,
+                           N, run_tester=False)
+        assert res.best_label.startswith("asm-hand")

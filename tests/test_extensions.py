@@ -1,0 +1,156 @@
+"""Tests for the beyond-the-paper extensions: the block-fetch transform
+(the paper's "planned" FKO addition) and the AT&T assembly emitter."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.fko import FKO, PrefetchParams, TransformParams
+from repro.ir import Opcode, PrefetchHint, emit_att
+from repro.ir.att import emit_instruction
+from repro.kernels import get_kernel
+from repro.machine import Context, pentium4e, opteron, summarize, time_kernel
+from repro.search import LineSearch, build_space
+from repro.timing.tester import test_function as check_function
+from repro.timing.timer import Timer
+
+
+class TestBlockFetch:
+    def test_applied_and_recorded(self, p4e):
+        spec = get_kernel("dcopy")
+        k = FKO(p4e).compile(spec.hil, TransformParams(sv=True,
+                                                       block_fetch=True))
+        assert k.applied.get("block_fetch")
+        assert k.fn.loop.block_fetch
+        assert summarize(k.fn).write_batch_override == 16
+
+    def test_semantics_unchanged(self, p4e):
+        spec = get_kernel("dcopy")
+        k = FKO(p4e).compile(spec.hil, TransformParams(
+            sv=True, unroll=4, wnt=True, block_fetch=True))
+        check_function(k.fn, spec)
+
+    def test_helps_streaming_copy_on_p4e(self, p4e):
+        spec = get_kernel("dcopy")
+        fko = FKO(p4e)
+        base = TransformParams(sv=True, unroll=8, wnt=True,
+                               prefetch={"X": PrefetchParams(
+                                   PrefetchHint.NTA, 512)})
+        plain = fko.compile(spec.hil, base)
+        bf = fko.compile(spec.hil, base.copy(block_fetch=True))
+        t_p = time_kernel(summarize(plain.fn), p4e, Context.OUT_OF_CACHE,
+                          20000)
+        t_b = time_kernel(summarize(bf.fn), p4e, Context.OUT_OF_CACHE, 20000)
+        assert t_b.cycles < t_p.cycles * 0.95
+
+    def test_negligible_on_opteron(self, opt):
+        # on-die memory controller: tiny turnarounds, nothing to batch
+        spec = get_kernel("dcopy")
+        fko = FKO(opt)
+        base = TransformParams(sv=True, unroll=4, wnt=True,
+                               prefetch={"X": PrefetchParams(
+                                   PrefetchHint.NTA, 512)})
+        t_p = time_kernel(summarize(fko.compile(spec.hil, base).fn),
+                          opt, Context.OUT_OF_CACHE, 20000)
+        t_b = time_kernel(
+            summarize(fko.compile(spec.hil,
+                                  base.copy(block_fetch=True)).fn),
+            opt, Context.OUT_OF_CACHE, 20000)
+        assert abs(t_b.cycles - t_p.cycles) / t_p.cycles < 0.05
+
+    def test_search_finds_it_when_enabled(self, p4e):
+        """With BF searchable, ifko closes the paper's dcopy* gap."""
+        spec = get_kernel("dcopy")
+        fko = FKO(p4e)
+        a = fko.analyze(spec.hil)
+        timer = Timer(p4e, Context.OUT_OF_CACHE, 20000)
+
+        def ev(params):
+            return timer.time(fko.compile(spec.hil, params), spec).cycles
+
+        space = build_space(a, p4e, enable_block_fetch=True)
+        res = LineSearch(ev, space, fko.defaults(spec.hil),
+                         output_arrays=a.output_arrays).run()
+        assert res.best_params.block_fetch
+        assert res.phase_speedups()["BF"] > 1.05
+
+    def test_off_by_default_in_space(self, p4e):
+        spec = get_kernel("dcopy")
+        a = FKO(p4e).analyze(spec.hil)
+        assert build_space(a, p4e).block_fetch_options == [False]
+
+    def test_params_key_includes_bf(self):
+        a = TransformParams(block_fetch=False)
+        b = TransformParams(block_fetch=True)
+        assert a.key() != b.key()
+        assert "BF=Y" in b.describe()
+
+
+class TestAttEmitter:
+    def test_emits_for_all_kernels(self, p4e):
+        from repro.kernels import all_kernels
+        fko = FKO(p4e)
+        for spec in all_kernels():
+            text = emit_att(fko.compile(spec.hil).fn)
+            assert f".globl {spec.name}" in text
+            # iamax's rare blocks lay out after the return, so just
+            # require that a ret exists somewhere
+            assert "\tret" in text
+
+    def test_scalar_vs_packed_mnemonics(self, p4e):
+        fko = FKO(p4e)
+        s32 = emit_att(fko.compile(get_kernel("sdot").hil,
+                                   TransformParams(sv=True)).fn)
+        d64 = emit_att(fko.compile(get_kernel("ddot").hil,
+                                   TransformParams(sv=True)).fn)
+        assert "mulps" in s32 and "addps" in s32      # packed single
+        assert "mulpd" in d64 and "addpd" in d64      # packed double
+        assert "mulss" in s32 and "mulsd" in d64      # scalar remainders
+
+    def test_prefetch_and_nt_stores(self, p4e):
+        spec = get_kernel("dcopy")
+        k = FKO(p4e).compile(spec.hil, TransformParams(
+            sv=True, wnt=True,
+            prefetch={"X": PrefetchParams(PrefetchHint.T0, 512)}))
+        text = emit_att(k.fn)
+        assert "prefetcht0 512(" in text
+        assert "movntpd" in text
+
+    def test_unaligned_ops_become_movups(self, p4e):
+        from repro.kernels.blas2 import get_blas2
+        k = FKO(p4e).compile(get_blas2("dgemv").hil,
+                             TransformParams(sv=True))
+        assert "movups" in emit_att(k.fn)
+
+    def test_param_args_symbolic(self, p4e):
+        k = FKO(p4e).compile(get_kernel("ddot").hil)
+        text = emit_att(k.fn)
+        assert "ARG_N" in text and "ARG_X" in text
+
+    def test_unallocated_function_rejected(self, p4e):
+        k = FKO(p4e).compile(get_kernel("ddot").hil, TransformParams(
+            sv=True, register_allocation="off"))
+        with pytest.raises(IRError, match="virtual register"):
+            emit_att(k.fn)
+
+    def test_comment_ir_mode(self, p4e):
+        k = FKO(p4e).compile(get_kernel("sasum").hil)
+        text = emit_att(k.fn, comment_ir=True)
+        assert "# vadd" in text or "# vld" in text
+
+    def test_memory_operand_syntax(self, p4e):
+        k = FKO(p4e).compile(get_kernel("ddot").hil,
+                             TransformParams(sv=True, unroll=2))
+        text = emit_att(k.fn)
+        assert "16(%e" in text  # displacement(base)
+
+    def test_vhadd_expansion_avoids_operand_collision(self, p4e):
+        # every VHADD expansion uses a scratch distinct from its operands
+        k = FKO(p4e).compile(get_kernel("ddot").hil,
+                             TransformParams(sv=True, unroll=4, ae=2))
+        for instr in k.fn.instructions():
+            if instr.op is Opcode.VHADD:
+                lines = emit_instruction(instr)
+                first = lines[0]
+                _, operands = first.split(" ", 1)
+                src, dst = [o.strip() for o in operands.split(",")]
+                assert src != dst

@@ -1,0 +1,98 @@
+"""Tests for FKO's analysis phase (section 2.2.2)."""
+
+import pytest
+
+from repro.fko import FKO
+from repro.kernels import get_kernel
+
+
+class TestVectorizability:
+    def test_ddot_vectorizable(self, fko_p4e, ddot_src):
+        a = fko_p4e.analyze(ddot_src)
+        assert a.vectorizable
+        assert a.veclen == 2
+
+    def test_sdot_veclen_4(self, fko_p4e):
+        a = fko_p4e.analyze(get_kernel("sdot").hil)
+        assert a.vectorizable and a.veclen == 4
+
+    def test_iamax_not_vectorizable_with_reasons(self, fko_p4e, iamax_src):
+        a = fko_p4e.analyze(iamax_src)
+        assert not a.vectorizable
+        text = " ".join(a.not_vectorizable_reasons)
+        assert "control flow" in text
+        assert "counter" in text
+
+    def test_all_blas_except_iamax_vectorizable(self, fko_p4e):
+        from repro.kernels import all_kernels
+        for spec in all_kernels():
+            a = fko_p4e.analyze(spec.hil)
+            if spec.base == "amax":
+                assert not a.vectorizable, spec.name
+            else:
+                assert a.vectorizable, (spec.name,
+                                        a.not_vectorizable_reasons)
+
+
+class TestAccumulators:
+    def test_dot_accumulator_found(self, fko_p4e, ddot_src):
+        a = fko_p4e.analyze(ddot_src)
+        assert [r.name for r in a.accumulators] == ["dot"]
+
+    def test_asum_accumulator_found(self, fko_p4e):
+        a = fko_p4e.analyze(get_kernel("dasum").hil)
+        assert [r.name for r in a.accumulators] == ["sum"]
+
+    def test_copy_has_no_accumulators(self, fko_p4e):
+        a = fko_p4e.analyze(get_kernel("dcopy").hil)
+        assert a.accumulators == []
+
+    def test_non_add_carried_scalar_is_not_accumulator(self, fko_p4e):
+        src = """ROUTINE prod(N: int, X: ptr double) RETURNS double;
+double p = 1.0;
+double x;
+@TUNE
+LOOP i = 0, N
+LOOP_BODY
+    x = X[0];
+    p *= x;
+    X += 1;
+LOOP_END
+RETURN p;
+"""
+        a = fko_p4e.analyze(src)
+        assert a.accumulators == []
+        assert not a.vectorizable  # multiplicative recurrence
+
+
+class TestArraysAndMarkup:
+    def test_prefetch_and_output_arrays(self, fko_p4e):
+        a = fko_p4e.analyze(get_kernel("daxpy").hil)
+        assert a.prefetch_arrays == ["X", "Y"]
+        assert a.output_arrays == ["Y"]
+        assert a.input_arrays == ["X", "Y"]
+
+    def test_swap_both_arrays_output(self, fko_p4e):
+        a = fko_p4e.analyze(get_kernel("dswap").hil)
+        assert a.output_arrays == ["X", "Y"]
+
+    def test_noprefetch_markup_respected(self, fko_p4e, ddot_src):
+        src = ddot_src.replace("@TUNE", "@NOPREFETCH(Y)\n@TUNE")
+        a = fko_p4e.analyze(src)
+        assert a.prefetch_arrays == ["X"]
+
+    def test_architecture_info_reported(self, fko_p4e, p4e, ddot_src):
+        # "FKO reports architecture information such as the numbers of
+        # available cache levels and their line sizes"
+        a = fko_p4e.analyze(ddot_src)
+        assert a.cache_line == p4e.l1.line
+        assert len(a.cache_levels) == 2
+
+    def test_describe_is_readable(self, fko_p4e, ddot_src):
+        text = fko_p4e.analyze(ddot_src).describe()
+        assert "vectorizable: yes" in text
+        assert "dot" in text
+
+    def test_no_tuned_loop(self, fko_p4e):
+        a = fko_p4e.analyze("ROUTINE f(X: ptr double);\nX += 1;")
+        assert not a.has_tuned_loop

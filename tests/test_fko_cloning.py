@@ -1,0 +1,109 @@
+"""Tests for function/region cloning and private-register detection."""
+
+import pytest
+
+from repro.fko.clonefn import clone_function, clone_region, \
+    private_registers
+from repro.fko.controlflow import cleanup_cfg
+from repro.hil import compile_hil
+from repro.ir import Label, Opcode
+
+
+class TestCloneFunction:
+    def test_blocks_independent(self, ddot_src):
+        fn = compile_hil(ddot_src)
+        clone = clone_function(fn)
+        clone.blocks[0].instrs.clear()
+        assert len(fn.blocks[0].instrs) > 0
+
+    def test_instructions_independent(self, ddot_src):
+        fn = compile_hil(ddot_src)
+        clone = clone_function(fn)
+        clone.block(clone.loop.body[0]).instrs[0].op = Opcode.NOP
+        assert fn.block(fn.loop.body[0]).instrs[0].op is not Opcode.NOP
+
+    def test_descriptor_copied(self, ddot_src):
+        fn = compile_hil(ddot_src)
+        clone = clone_function(fn)
+        clone.loop.body.append("fake")
+        assert "fake" not in fn.loop.body
+        clone.loop.ptr_incs["Z"] = 9
+        assert "Z" not in fn.loop.ptr_incs
+
+    def test_block_fetch_carried(self, ddot_src):
+        fn = compile_hil(ddot_src)
+        fn.loop.block_fetch = True
+        assert clone_function(fn).loop.block_fetch
+
+    def test_params_shared_registers(self, ddot_src):
+        # parameter registers are identity-shared so argument binding
+        # works on clones
+        fn = compile_hil(ddot_src)
+        clone = clone_function(fn)
+        assert clone.params[0].reg is fn.params[0].reg
+
+
+class TestPrivateRegisters:
+    def test_dot_privates(self, ddot_src):
+        fn = compile_hil(ddot_src)
+        cleanup_cfg(fn)
+        privates = {r.name for r in private_registers(fn, fn.loop.body)}
+        # per-iteration temporaries are private
+        assert "x" in privates and "y" in privates
+        # the accumulator and pointers are loop-carried: not private
+        assert "dot" not in privates
+        assert "X" not in privates and "Y" not in privates
+
+    def test_iamax_shared_state(self, iamax_src):
+        fn = compile_hil(iamax_src)
+        cleanup_cfg(fn)
+        privates = {r.name for r in private_registers(fn, fn.loop.body)}
+        assert "x" in privates
+        # amax and imax escape the loop (read after exit / carried)
+        assert "amax" not in privates
+        assert "imax" not in privates
+
+
+class TestCloneRegion:
+    def test_labels_suffixed_and_remapped(self, iamax_src):
+        fn = compile_hil(iamax_src)
+        cleanup_cfg(fn)
+        from repro.fko.controlflow import add_explicit_terminators
+        region = list(fn.loop.body)
+        add_explicit_terminators(fn, region)
+        blocks, mapping = clone_region(fn, region, "_c")
+        assert all(b.name.endswith("_c") for b in blocks)
+        # internal branch targets point at the clone
+        for blk in blocks:
+            for instr in blk.instrs:
+                if instr.is_branch and instr.target is not None:
+                    tgt = instr.target.name
+                    if tgt.rstrip("_c") in region or tgt in mapping.values():
+                        assert not (tgt in region), \
+                            f"{blk.name} still targets original {tgt}"
+
+    def test_private_registers_renamed(self, ddot_src):
+        fn = compile_hil(ddot_src)
+        cleanup_cfg(fn)
+        region = list(fn.loop.body)
+        blocks, _ = clone_region(fn, region, "_c", rename_private=True)
+        orig_regs = {r for b in region
+                     for i in fn.block(b).instrs for r in i.regs_written()}
+        clone_regs = {r for b in blocks
+                      for i in b.instrs for r in i.regs_written()}
+        # accumulators/pointers shared; temporaries fresh
+        shared = {r.name for r in orig_regs & clone_regs}
+        assert "dot" in shared
+        fresh = {r.name for r in clone_regs - orig_regs}
+        assert "x" in fresh and "y" in fresh
+
+    def test_no_rename_mode(self, ddot_src):
+        fn = compile_hil(ddot_src)
+        cleanup_cfg(fn)
+        region = list(fn.loop.body)
+        blocks, _ = clone_region(fn, region, "_c", rename_private=False)
+        orig_regs = {r for b in region
+                     for i in fn.block(b).instrs for r in i.regs_written()}
+        clone_regs = {r for b in blocks
+                      for i in b.instrs for r in i.regs_written()}
+        assert orig_regs == clone_regs

@@ -1,0 +1,259 @@
+"""Tests for the repeatable transforms: copy propagation, DCE, peephole,
+control-flow cleanup, and register allocation."""
+
+import pytest
+
+from repro.errors import IRVerifyError
+from repro.fko import FKO, TransformParams
+from repro.fko.controlflow import (chain_branches, cleanup_cfg, merge_blocks,
+                                   remove_empty_blocks, remove_unreachable,
+                                   remove_useless_jumps)
+from repro.fko.copyprop import eliminate_dead_code, propagate_copies, \
+    run_copy_opt
+from repro.fko.peephole import fold_loads, remove_trivial
+from repro.fko.regalloc import allocate_registers
+from repro.ir import (AReg, BasicBlock, DType, Function, IRBuilder, Imm,
+                      Instruction, Label, Mem, Opcode, RegClass, VReg,
+                      verify)
+from repro.kernels import get_kernel
+from repro.timing import test_kernel as check_kernel
+
+
+def straightline():
+    fn = Function("f", [])
+    b = IRBuilder(fn)
+    b.new_block("entry")
+    return fn, b
+
+
+class TestCopyProp:
+    def test_copy_forwarded(self):
+        fn, b = straightline()
+        a = b.fp("a")
+        c = b.fp("c")
+        d = b.fp("d")
+        b.mov(a, Imm(1.0))
+        b.mov(c, a)          # c = a
+        b.binop(Opcode.FADD, d, c, c)
+        b.ret(d)
+        propagate_copies(fn)
+        add = fn.entry.instrs[2]
+        assert add.srcs == (a, a)
+
+    def test_copy_killed_by_redefinition(self):
+        fn, b = straightline()
+        a, c, d = b.gp("a"), b.gp("c"), b.gp("d")
+        b.mov(a, Imm(1))
+        b.mov(c, a)
+        b.mov(a, Imm(2))     # kills the copy
+        b.add(d, c, Imm(0))
+        b.ret(d)
+        propagate_copies(fn)
+        add = fn.entry.instrs[3]
+        assert add.srcs[0] == c  # must NOT be rewritten to a
+
+    def test_dce_removes_dead_value(self):
+        fn, b = straightline()
+        dead = b.gp("dead")
+        live = b.gp("live")
+        b.mov(dead, Imm(5))
+        b.mov(live, Imm(6))
+        b.ret(live)
+        eliminate_dead_code(fn)
+        assert len(fn.entry.instrs) == 2
+
+    def test_dce_keeps_stores(self):
+        fn, b = straightline()
+        p = b.gp("p")
+        v = b.fp("v")
+        b.mov(p, Imm(0x1000))
+        b.mov(v, Imm(1.0))
+        b.store(Mem(p, DType.F64), v)
+        b.ret()
+        eliminate_dead_code(fn)
+        assert any(i.is_store for i in fn.entry.instrs)
+
+    def test_fixpoint_chains(self):
+        # a -> b -> c chain collapses and the intermediates die
+        fn, bld = straightline()
+        a, b2, c, d = (bld.fp(n) for n in "abcd")
+        bld.mov(a, Imm(1.0))
+        bld.mov(b2, a)
+        bld.mov(c, b2)
+        bld.binop(Opcode.FADD, d, c, c)
+        bld.ret(d)
+        run_copy_opt(fn)
+        assert len(fn.entry.instrs) == 3  # mov a; fadd; ret
+
+
+class TestPeephole:
+    def test_fold_single_use_load(self):
+        fn, b = straightline()
+        p = b.gp("p")
+        t = b.fp("t")
+        acc = b.fp("acc")
+        b.mov(p, Imm(0x1000))
+        b.mov(acc, Imm(0.0))
+        b.load(t, Mem(p, DType.F64, array="X"))
+        b.binop(Opcode.FADD, acc, acc, t)
+        b.ret(acc)
+        assert fold_loads(fn)
+        ops = [i.op for i in fn.entry.instrs]
+        assert Opcode.FLD not in ops
+        fadd = next(i for i in fn.entry.instrs if i.op is Opcode.FADD)
+        assert isinstance(fadd.srcs[1], Mem)
+
+    def test_no_fold_when_value_reused(self):
+        fn, b = straightline()
+        p, t, x, y = b.gp("p"), b.fp("t"), b.fp("x"), b.fp("y")
+        b.mov(p, Imm(0x1000))
+        b.load(t, Mem(p, DType.F64))
+        b.binop(Opcode.FADD, x, t, t)       # src1 == t: not foldable shape
+        b.binop(Opcode.FMUL, y, x, t)       # second use
+        b.ret(y)
+        assert not fold_loads(fn)
+
+    def test_no_fold_across_store(self):
+        fn, b = straightline()
+        p, t, acc = b.gp("p"), b.fp("t"), b.fp("acc")
+        b.mov(p, Imm(0x1000))
+        b.mov(acc, Imm(0.0))
+        b.load(t, Mem(p, DType.F64))
+        b.store(Mem(p, DType.F64), acc)     # may alias
+        b.binop(Opcode.FADD, acc, acc, t)
+        b.ret(acc)
+        assert not fold_loads(fn)
+
+    def test_no_fold_across_pointer_update(self):
+        fn, b = straightline()
+        p, t, acc = b.gp("p"), b.fp("t"), b.fp("acc")
+        b.mov(p, Imm(0x1000))
+        b.mov(acc, Imm(0.0))
+        b.load(t, Mem(p, DType.F64))
+        b.add(p, p, Imm(8))
+        b.binop(Opcode.FADD, acc, acc, t)
+        b.ret(acc)
+        assert not fold_loads(fn)
+
+    def test_remove_trivial_ops(self):
+        fn, b = straightline()
+        a = b.gp("a")
+        b.mov(a, Imm(1))
+        b.add(a, a, Imm(0))
+        b.mov(a, a)
+        b.emit(Instruction(Opcode.NOP))
+        b.ret(a)
+        remove_trivial(fn)
+        assert len(fn.entry.instrs) == 2
+
+
+class TestControlFlow:
+    def _chain(self):
+        fn = Function("f", [])
+        b = IRBuilder(fn)
+        b.new_block("entry")
+        b.jmp("hop")
+        b.new_block("hop")
+        b.jmp("end")
+        b.new_block("dead")
+        b.ret()
+        b.new_block("end")
+        b.ret()
+        return fn
+
+    def test_branch_chaining(self):
+        fn = self._chain()
+        chain_branches(fn)
+        assert fn.entry.instrs[0].target.name == "end"
+
+    def test_unreachable_removed(self):
+        fn = self._chain()
+        cleanup_cfg(fn)
+        assert not fn.has_block("dead")
+
+    def test_useless_jump_removed(self):
+        fn = Function("f", [])
+        b = IRBuilder(fn)
+        b.new_block("a")
+        b.jmp("b")
+        b.new_block("b")
+        b.ret()
+        remove_useless_jumps(fn)
+        assert fn.block("a").instrs == []
+
+    def test_empty_block_elided(self):
+        fn = Function("f", [])
+        b = IRBuilder(fn)
+        b.new_block("a")
+        b.jmp("empty")
+        b.new_block("empty")
+        b.new_block("end")
+        b.ret()
+        cleanup_cfg(fn)
+        assert not fn.has_block("empty")
+        verify(fn)
+
+    def test_cleanup_preserves_loop_descriptor(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=True, unroll=4))
+        loop = k.fn.loop
+        for name in [loop.header, loop.latch, loop.preheader, *loop.body]:
+            assert k.fn.has_block(name)
+
+
+class TestRegisterAllocation:
+    def test_all_virtuals_eliminated(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=True, unroll=4))
+        loop_blocks = set(k.fn.loop.body) | {k.fn.loop.latch}
+        for name in loop_blocks:
+            for instr in k.fn.block(name).instrs:
+                for r in list(instr.regs_read()) + list(instr.regs_written()):
+                    assert isinstance(r, AReg), (name, instr)
+
+    def test_respects_register_budget(self, fko_p4e, p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=True, unroll=8))
+        used_gp = set()
+        used_xmm = set()
+        for instr in k.fn.instructions():
+            for r in list(instr.regs_read()) + list(instr.regs_written()):
+                if isinstance(r, AReg):
+                    if r.rclass is RegClass.GP:
+                        used_gp.add(r.index)
+                    else:
+                        used_xmm.add(r.index)
+        assert all(i < 8 for i in used_gp)        # incl. reserved esp
+        assert all(i < p4e.n_xmm_regs for i in used_xmm)
+
+    def test_high_pressure_spills(self, fko_p4e, ddot_src):
+        # massive unroll + AE exceeds 8 XMM registers
+        k = fko_p4e.compile(ddot_src,
+                            TransformParams(sv=True, unroll=32, ae=16))
+        assert k.applied["spilled"] > 0
+        assert k.allocation.n_spill_loads > 0
+
+    def test_spilled_code_still_correct(self, fko_p4e):
+        spec = get_kernel("ddot")
+        k = fko_p4e.compile(spec.hil,
+                            TransformParams(sv=True, unroll=32, ae=16))
+        assert k.applied["spilled"] > 0
+        check_kernel(k, spec, sizes=(0, 1, 63, 64, 65, 200))
+
+    def test_local_allocator_spills_more(self, fko_p4e, ddot_src):
+        kg = fko_p4e.compile(ddot_src, TransformParams(
+            sv=True, unroll=8, register_allocation="global"))
+        kl = fko_p4e.compile(ddot_src, TransformParams(
+            sv=True, unroll=8, register_allocation="local"))
+        assert kl.applied["spilled"] >= kg.applied["spilled"]
+
+    def test_local_allocator_correct(self, fko_p4e):
+        spec = get_kernel("dasum")
+        k = fko_p4e.compile(spec.hil, TransformParams(
+            sv=True, unroll=8, ae=2, register_allocation="local"))
+        check_kernel(k, spec, sizes=(0, 1, 17, 64))
+
+    def test_allocation_off_keeps_virtuals(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(
+            sv=True, register_allocation="off"))
+        assert k.allocation is None
+        assert any(isinstance(r, VReg)
+                   for i in k.fn.instructions()
+                   for r in i.regs_written())

@@ -1,0 +1,237 @@
+"""Per-transform tests: SV, UR, LC, AE, PF, WNT.
+
+Every transform test checks both the *structure* of the rewritten IR and
+(through the interpreter) that semantics are preserved — the combination
+the paper relies on its tester for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.fko import FKO, PrefetchParams, TransformParams
+from repro.ir import Opcode, PrefetchHint, verify
+from repro.kernels import get_kernel
+from repro.machine import run_function
+from repro.timing import test_kernel as check_kernel
+
+
+def count_ops(fn, op, region=None):
+    blocks = fn.blocks if region is None else [fn.block(n) for n in region]
+    return sum(1 for b in blocks for i in b.instrs if i.op is op)
+
+
+class TestVectorize:
+    def test_body_becomes_vector(self, fko_p4e, ddot_src):
+        # peephole off so the raw vectorized shape is visible
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=True, unroll=1,
+                                                      peephole=False),
+                            debug_verify=True)
+        body = k.fn.loop.body
+        assert count_ops(k.fn, Opcode.VLD, body) == 2
+        assert count_ops(k.fn, Opcode.VMUL, body) == 1
+        assert count_ops(k.fn, Opcode.VADD, body) == 1
+        assert count_ops(k.fn, Opcode.FLD, body) == 0
+
+    def test_peephole_folds_one_vector_load(self, fko_p4e, ddot_src):
+        # with the CISC peephole on, one load becomes a memory operand
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=True, unroll=1))
+        body = k.fn.loop.body
+        assert count_ops(k.fn, Opcode.VLD, body) == 1
+        vmuls = [i for n in body for i in k.fn.block(n).instrs
+                 if i.op is Opcode.VMUL]
+        assert len(vmuls) == 1 and vmuls[0].reads_mem
+
+    def test_cleanup_loop_created(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=True, unroll=1))
+        assert k.fn.loop.cleanup_body
+        # scalar remainder still uses scalar ops
+        assert count_ops(k.fn, Opcode.FLD, k.fn.loop.cleanup_body) >= 1
+
+    def test_reduction_drain_present(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=True, unroll=1))
+        assert count_ops(k.fn, Opcode.VHADD) == 1
+
+    def test_invariant_broadcast(self, fko_p4e):
+        k = fko_p4e.compile(get_kernel("daxpy").hil,
+                            TransformParams(sv=True, unroll=1))
+        assert count_ops(k.fn, Opcode.VBCAST) == 1
+
+    def test_rejects_unvectorizable(self, fko_opt, iamax_src):
+        from repro.fko.vectorize import vectorize
+        from repro.fko.analysis import analyze
+        from repro.hil import compile_hil
+        from repro.fko.clonefn import clone_function
+        from repro.fko.controlflow import cleanup_cfg
+        fn = clone_function(compile_hil(iamax_src))
+        cleanup_cfg(fn)
+        a = analyze(fn)
+        with pytest.raises(TransformError, match="not vectorizable"):
+            vectorize(fn, a)
+
+    def test_semantics_remainders(self, fko_p4e, ddot_spec):
+        k = fko_p4e.compile(ddot_spec.hil, TransformParams(sv=True, unroll=1))
+        check_kernel(k, ddot_spec, sizes=(0, 1, 2, 3, 5, 64, 65))
+
+
+class TestUnroll:
+    def test_single_block_body_duplicated(self, fko_p4e, ddot_src):
+        k1 = fko_p4e.compile(ddot_src, TransformParams(sv=False, unroll=1))
+        k4 = fko_p4e.compile(ddot_src, TransformParams(sv=False, unroll=4))
+        b1 = count_ops(k1.fn, Opcode.FMUL, k1.fn.loop.body)
+        b4 = count_ops(k4.fn, Opcode.FMUL, k4.fn.loop.body)
+        assert b4 == 4 * b1
+
+    def test_pointer_updates_coalesced(self, fko_p4e, ddot_src):
+        # "avoiding repetitive index and pointer updates"
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=False, unroll=8))
+        body_adds = [i for n in k.fn.loop.body
+                     for i in k.fn.block(n).instrs
+                     if i.op is Opcode.ADD and i.dst is not None
+                     and i.dst.rclass.value == "gp"]
+        # one bump per array, not eight
+        ptr_adds = [i for i in body_adds if i.srcs[1].value == 8 * 8]
+        assert len(ptr_adds) == 2
+
+    def test_displacements_shifted(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=False, unroll=4,
+                                                      peephole=False))
+        disps = sorted({i.mem.disp for n in k.fn.loop.body
+                        for i in k.fn.block(n).instrs
+                        if i.is_load and i.mem.array == "X"})
+        assert disps == [0, 8, 16, 24]
+
+    def test_multiblock_unroll_counter_adjust(self, fko_p4e, iamax_src):
+        k = fko_p4e.compile(iamax_src, TransformParams(sv=False, unroll=4))
+        verify(k.fn)
+        assert k.applied["unroll"] == 4
+        # counter-offset temps inserted in copies 1..3
+        offsets = [i for i in k.fn.instructions()
+                   if "unroll copy" in i.comment]
+        assert len(offsets) == 3
+
+    def test_sv_then_unroll_composition(self, fko_p4e, ddot_spec):
+        k = fko_p4e.compile(ddot_spec.hil, TransformParams(sv=True, unroll=4))
+        assert k.fn.loop.elems_per_iter == 8  # 2 lanes * 4
+        check_kernel(k, ddot_spec, sizes=(0, 1, 7, 8, 9, 33))
+
+    def test_unroll_1_noop(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=False, unroll=1))
+        assert "unroll" not in k.applied
+
+
+class TestLoopControl:
+    def test_lc_moves_test_to_latch(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=False, unroll=1,
+                                                      lc=True))
+        latch = k.fn.block(k.fn.loop.latch)
+        ops = [i.op for i in latch.instrs]
+        assert Opcode.CMP in ops and Opcode.JCC in ops
+        assert Opcode.JMP not in ops or ops.index(Opcode.JCC) < len(ops)
+
+    def test_lc_header_becomes_body_entry(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=False, lc=True))
+        assert k.fn.loop.header == k.fn.loop.body[0]
+
+    def test_lc_off_keeps_canonical_shape(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=False, lc=False))
+        assert k.fn.loop.header not in k.fn.loop.body
+
+    def test_lc_preserves_semantics(self, fko_p4e, ddot_spec):
+        for lc in (True, False):
+            k = fko_p4e.compile(ddot_spec.hil,
+                                TransformParams(sv=True, unroll=2, lc=lc))
+            check_kernel(k, ddot_spec, sizes=(0, 1, 5, 16, 33))
+
+
+class TestAccumulatorExpansion:
+    def test_ae_creates_parallel_accumulators(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src,
+                            TransformParams(sv=True, unroll=4, ae=2))
+        assert k.applied.get("ae") == 2
+        body = k.fn.loop.body
+        accs = {i.dst for n in body for i in k.fn.block(n).instrs
+                if i.op is Opcode.VADD}
+        assert len(accs) == 2
+
+    def test_ae_clamped_to_sites(self, fko_p4e, ddot_src):
+        # 2 add sites (unroll=2) cannot support 8 accumulators
+        k = fko_p4e.compile(ddot_src,
+                            TransformParams(sv=True, unroll=2, ae=8))
+        body = k.fn.loop.body
+        accs = {i.dst for n in body for i in k.fn.block(n).instrs
+                if i.op is Opcode.VADD}
+        assert len(accs) == 2
+
+    def test_ae_noop_without_accumulator(self, fko_p4e):
+        k = fko_p4e.compile(get_kernel("dcopy").hil,
+                            TransformParams(sv=True, unroll=4, ae=4))
+        assert "ae" not in k.applied
+
+    def test_ae_single_site_noop(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=True, unroll=1,
+                                                      ae=4))
+        assert "ae" not in k.applied
+
+    def test_ae_preserves_reduction_value(self, fko_p4e, ddot_spec):
+        k = fko_p4e.compile(ddot_spec.hil,
+                            TransformParams(sv=True, unroll=8, ae=4))
+        check_kernel(k, ddot_spec, sizes=(0, 1, 15, 16, 17, 100))
+
+
+class TestPrefetch:
+    def test_one_prefetch_per_line_per_trip(self, fko_p4e, p4e, ddot_src):
+        params = TransformParams(
+            sv=True, unroll=8,
+            prefetch={"X": PrefetchParams(PrefetchHint.NTA, 512)})
+        k = fko_p4e.compile(ddot_src, params)
+        # 8 trips * 2 lanes * 8 bytes = 128 bytes/trip = 2 lines
+        assert count_ops(k.fn, Opcode.PREFETCH, k.fn.loop.body) == 2
+
+    def test_prefetch_distance_in_displacement(self, fko_p4e, ddot_src):
+        params = TransformParams(
+            sv=True, unroll=1,
+            prefetch={"Y": PrefetchParams(PrefetchHint.T0, 768)})
+        k = fko_p4e.compile(ddot_src, params)
+        pf = [i for i in k.fn.instructions() if i.op is Opcode.PREFETCH]
+        assert len(pf) == 1
+        assert pf[0].mem.disp == 768
+        assert pf[0].hint is PrefetchHint.T0
+        assert pf[0].mem.array == "Y"
+
+    def test_disabled_prefetch_inserts_nothing(self, fko_p4e, ddot_src):
+        params = TransformParams(sv=True,
+                                 prefetch={"X": PrefetchParams(None, 0)})
+        k = fko_p4e.compile(ddot_src, params)
+        assert count_ops(k.fn, Opcode.PREFETCH) == 0
+
+    def test_prefetch_has_no_semantic_effect(self, fko_p4e, ddot_spec):
+        params = TransformParams(
+            sv=True, unroll=4,
+            prefetch={"X": PrefetchParams(PrefetchHint.NTA, 1024),
+                      "Y": PrefetchParams(PrefetchHint.W, 256)})
+        k = fko_p4e.compile(ddot_spec.hil, params)
+        check_kernel(k, ddot_spec)
+
+
+class TestNonTemporal:
+    def test_stores_flipped(self, fko_p4e):
+        spec = get_kernel("dcopy")
+        k = fko_p4e.compile(spec.hil, TransformParams(sv=True, wnt=True))
+        assert count_ops(k.fn, Opcode.VSTNT, k.fn.loop.body) >= 1
+        assert count_ops(k.fn, Opcode.VST, k.fn.loop.body) == 0
+
+    def test_cleanup_stores_stay_temporal(self, fko_p4e):
+        spec = get_kernel("dcopy")
+        k = fko_p4e.compile(spec.hil, TransformParams(sv=True, wnt=True))
+        assert count_ops(k.fn, Opcode.FSTNT, k.fn.loop.cleanup_body) == 0
+
+    def test_wnt_noop_for_pure_input_kernels(self, fko_p4e, ddot_src):
+        k = fko_p4e.compile(ddot_src, TransformParams(sv=True, wnt=True))
+        assert "wnt" not in k.applied
+
+    def test_wnt_preserves_semantics(self, fko_p4e):
+        spec = get_kernel("dswap")
+        k = fko_p4e.compile(spec.hil,
+                            TransformParams(sv=True, unroll=4, wnt=True))
+        check_kernel(k, spec)

@@ -1,0 +1,58 @@
+"""Tests for the HIL lexer."""
+
+import pytest
+
+from repro.errors import HILSyntaxError
+from repro.hil import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        toks = kinds("LOOP loop RETURNS returns double X")
+        assert toks[0] == ("kw", "LOOP")
+        assert toks[1] == ("ident", "loop")
+        assert toks[2] == ("kw", "RETURNS")
+        assert toks[3] == ("ident", "returns")
+        assert toks[4] == ("kw", "double")
+        assert toks[5] == ("ident", "X")
+
+    def test_numbers(self):
+        toks = kinds("42 3.5 0.0 1e3 2.5e-2")
+        assert toks == [("int", "42"), ("float", "3.5"), ("float", "0.0"),
+                        ("float", "1e3"), ("float", "2.5e-2")]
+
+    def test_compound_operators_longest_match(self):
+        toks = kinds("+= -= *= <= >= == != < > = + - *")
+        assert [t for _, t in toks] == ["+=", "-=", "*=", "<=", ">=", "==",
+                                        "!=", "<", ">", "=", "+", "-", "*"]
+
+    def test_comments_stripped(self):
+        toks = kinds("x # a comment\ny // another\nz")
+        assert [t for _, t in toks] == ["x", "y", "z"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].line == 1 and toks[0].col == 1
+        assert toks[1].line == 2 and toks[1].col == 3
+
+    def test_bad_character_raises_with_location(self):
+        with pytest.raises(HILSyntaxError) as e:
+            tokenize("x = $;")
+        assert "1:" in str(e.value)
+
+    def test_eof_token(self):
+        toks = tokenize("x")
+        assert toks[-1].kind == "eof"
+
+    def test_brackets_and_punctuation(self):
+        toks = kinds("X[0]; (a, b):")
+        assert [t for _, t in toks] == ["X", "[", "0", "]", ";", "(", "a",
+                                        ",", "b", ")", ":"]
+
+    def test_at_markup_symbol(self):
+        toks = kinds("@TUNE")
+        assert toks == [("sym", "@"), ("ident", "TUNE")]

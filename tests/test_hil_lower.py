@@ -1,0 +1,132 @@
+"""Tests for HIL -> IR lowering."""
+
+import numpy as np
+import pytest
+
+from repro.hil import compile_hil
+from repro.ir import DType, Opcode, verify
+from repro.machine import run_function
+
+
+class TestLoweredShape:
+    def test_ddot_structure(self, ddot_src):
+        fn = compile_hil(ddot_src)
+        verify(fn)
+        loop = fn.loop
+        assert loop is not None
+        assert loop.step == 1
+        assert loop.is_single_block
+        assert loop.ptr_incs == {"X": 1, "Y": 1}
+        assert set(loop.pointers) == {"X", "Y"}
+        assert loop.elem is DType.F64
+
+    def test_iamax_multi_block_loop(self, iamax_src):
+        fn = compile_hil(iamax_src)
+        verify(fn)
+        loop = fn.loop
+        assert not loop.is_single_block
+        # NEWMAX is physically after the RETURN but belongs to the loop
+        assert any("NEWMAX" in name for name in loop.body)
+        assert loop.step == -1
+
+    def test_memory_refs_tagged_with_array(self, ddot_src):
+        fn = compile_hil(ddot_src)
+        arrays = set()
+        for instr in fn.instructions():
+            m = instr.mem
+            if m is not None and m.array:
+                arrays.add(m.array)
+        assert arrays == {"X", "Y"}
+
+    def test_void_routine_gets_ret(self):
+        fn = compile_hil("ROUTINE f(X: ptr double);\nX += 1;")
+        assert any(i.op is Opcode.RET for i in fn.instructions())
+
+    def test_pointer_advance_scaled_by_element_size(self):
+        fn = compile_hil("ROUTINE f(X: ptr float);\nX += 3;")
+        adds = [i for i in fn.instructions() if i.op is Opcode.ADD]
+        assert adds[0].srcs[1].value == 12  # 3 * sizeof(float)
+
+    def test_untuned_loop_not_recorded(self):
+        src = """ROUTINE f(N: int, X: ptr double);
+double x;
+LOOP i = 0, N
+LOOP_BODY
+    x = X[0];
+    X += 1;
+LOOP_END
+"""
+        fn = compile_hil(src)
+        assert fn.loop is None
+
+
+class TestLoweredSemantics:
+    """Execute lowered (untransformed) kernels against references."""
+
+    def test_ddot_executes(self, ddot_src, rng):
+        fn = compile_hil(ddot_src)
+        X = rng.standard_normal(57)
+        Y = rng.standard_normal(57)
+        res = run_function(fn, {"X": X.copy(), "Y": Y.copy()}, {"N": 57})
+        assert res.ret == pytest.approx(float(X @ Y), rel=1e-12)
+
+    def test_iamax_executes(self, iamax_src, rng):
+        fn = compile_hil(iamax_src)
+        for n in (1, 2, 17, 100):
+            X = rng.standard_normal(n)
+            res = run_function(fn, {"X": X.copy()}, {"N": n})
+            assert res.ret == int(np.argmax(np.abs(X)))
+
+    def test_downcount_loop_bounds(self):
+        # LOOP i = N, 0, -1 must execute exactly N times
+        src = """ROUTINE count(N: int) RETURNS int;
+int c = 0;
+@TUNE
+LOOP i = N, 0, -1
+LOOP_BODY
+    c += 1;
+LOOP_END
+RETURN c;
+"""
+        fn = compile_hil(src)
+        for n in (0, 1, 5):
+            assert run_function(fn, {}, {"N": n}).ret == n
+
+    def test_upcount_loop_bounds(self):
+        src = """ROUTINE count(N: int) RETURNS int;
+int c = 0;
+@TUNE
+LOOP i = 0, N
+LOOP_BODY
+    c += 1;
+LOOP_END
+RETURN c;
+"""
+        fn = compile_hil(src)
+        for n in (0, 1, 7):
+            assert run_function(fn, {}, {"N": n}).ret == n
+
+    def test_scalar_param_passed(self):
+        src = """ROUTINE scale1(alpha: double, X: ptr double);
+double x;
+x = X[0];
+x = x * alpha;
+X[0] = x;
+"""
+        fn = compile_hil(src)
+        X = np.array([3.0])
+        run_function(fn, {"X": X}, {"alpha": 2.5})
+        assert X[0] == 7.5
+
+    def test_f32_rounding_semantics(self):
+        # single precision must round at every step
+        src = """ROUTINE addf(X: ptr float) RETURNS float;
+float a;
+a = X[0];
+a += X[1];
+RETURN a;
+"""
+        fn = compile_hil(src)
+        X = np.array([1e8, 1.0], dtype=np.float32)
+        res = run_function(fn, {"X": X}, {})
+        assert res.ret == float(np.float32(np.float32(1e8) + np.float32(1.0)))

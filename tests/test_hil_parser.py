@@ -1,0 +1,171 @@
+"""Tests for the HIL parser."""
+
+import pytest
+
+from repro.errors import HILSyntaxError
+from repro.hil import ast, parse
+
+
+MINIMAL = """
+ROUTINE f(N: int, X: ptr double);
+double x;
+@TUNE
+LOOP i = 0, N
+LOOP_BODY
+    x = X[0];
+    X += 1;
+LOOP_END
+"""
+
+
+class TestRoutineHeader:
+    def test_name_params_and_types(self):
+        r = parse(MINIMAL)
+        assert r.name == "f"
+        assert [p.name for p in r.params] == ["N", "X"]
+        assert r.params[0].dtype == "int"
+        assert r.params[1].dtype == "ptr"
+        assert r.params[1].elem == "double"
+        assert r.returns is None
+
+    def test_returns_clause(self):
+        r = parse("ROUTINE g(N: int) RETURNS double;\nRETURN 0.0;")
+        assert r.returns == "double"
+
+    def test_empty_params(self):
+        r = parse("ROUTINE h();\nRETURN;")
+        assert r.params == []
+
+    def test_bad_pointer_elem_rejected(self):
+        with pytest.raises(HILSyntaxError):
+            parse("ROUTINE f(X: ptr int);")
+
+
+class TestLoop:
+    def test_default_step(self):
+        r = parse(MINIMAL)
+        loop = next(s for s in r.body if isinstance(s, ast.Loop))
+        assert loop.ivar == "i"
+        assert loop.step == 1
+        assert loop.tuned
+
+    def test_negative_step(self):
+        src = """ROUTINE f(N: int);
+LOOP i = N, 0, -1
+LOOP_BODY
+LOOP_END
+"""
+        r = parse(src)
+        loop = r.body[0]
+        assert loop.step == -1
+        assert isinstance(loop.start, ast.Var)
+        assert isinstance(loop.end, ast.Num)
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(HILSyntaxError, match="nonzero"):
+            parse("ROUTINE f(N: int);\nLOOP i = 0, N, 0\nLOOP_BODY\nLOOP_END")
+
+    def test_missing_loop_end(self):
+        with pytest.raises(HILSyntaxError, match="LOOP_END"):
+            parse("ROUTINE f(N: int);\nLOOP i = 0, N\nLOOP_BODY\nx = 1;")
+
+    def test_tune_applies_to_next_loop_only(self):
+        src = """ROUTINE f(N: int, X: ptr double);
+double a;
+LOOP i = 0, N
+LOOP_BODY
+LOOP_END
+@TUNE
+LOOP j = 0, N
+LOOP_BODY
+LOOP_END
+"""
+        r = parse(src)
+        loops = [s for s in r.body if isinstance(s, ast.Loop)]
+        assert not loops[0].tuned
+        assert loops[1].tuned
+
+
+class TestStatements:
+    def test_compound_assignment_ops(self):
+        src = """ROUTINE f(N: int, X: ptr double);
+double a;
+a = 1.0;
+a += 2.0;
+a -= 3.0;
+a *= 4.0;
+"""
+        r = parse(src)
+        ops = [s.op for s in r.body if isinstance(s, ast.Assign)]
+        assert ops == ["=", "+=", "-=", "*="]
+
+    def test_array_store_and_load(self):
+        src = "ROUTINE f(X: ptr float);\nfloat v;\nv = X[2];\nX[0] = v;"
+        r = parse(src)
+        load = r.body[1]
+        store = r.body[2]
+        assert isinstance(load.expr, ast.ArrayRef) and load.expr.offset == 2
+        assert isinstance(store.lhs, ast.ArrayRef) and store.lhs.offset == 0
+
+    def test_if_goto_and_labels(self):
+        src = """ROUTINE f(N: int);
+int k;
+IF (k > N) GOTO OUT;
+k = 1;
+OUT:
+RETURN k;
+"""
+        r = parse(src)
+        assert isinstance(r.body[1], ast.IfGoto)
+        assert r.body[1].cond.op == ">"
+        assert r.body[1].label == "OUT"
+        assert isinstance(r.body[3], ast.LabelStmt)
+
+    def test_abs_expression(self):
+        src = "ROUTINE f(X: ptr double);\ndouble x;\nx = ABS X[0];"
+        r = parse(src)
+        e = r.body[1].expr
+        assert isinstance(e, ast.Unary) and e.op == "abs"
+
+    def test_precedence_mul_over_add(self):
+        src = "ROUTINE f();\nint a;\na = 1 + 2 * 3;"
+        e = parse(src).body[1].expr
+        assert isinstance(e, ast.Bin) and e.op == "+"
+        assert isinstance(e.right, ast.Bin) and e.right.op == "*"
+
+    def test_parenthesized_expression(self):
+        src = "ROUTINE f();\nint a;\na = (1 + 2) * 3;"
+        e = parse(src).body[1].expr
+        assert e.op == "*"
+        assert isinstance(e.left, ast.Bin) and e.left.op == "+"
+
+    def test_unary_minus(self):
+        src = "ROUTINE f();\nint a;\na = -3;"
+        e = parse(src).body[1].expr
+        assert isinstance(e, ast.Unary) and e.op == "neg"
+
+
+class TestMarkup:
+    def test_noprefetch_args(self):
+        src = """ROUTINE f(X: ptr double, Y: ptr double);
+@NOPREFETCH(X, Y)
+double a;
+"""
+        r = parse(src)
+        assert r.markup[0].directive == "NOPREFETCH"
+        assert r.markup[0].args == ("X", "Y")
+
+    def test_aliasok(self):
+        src = "ROUTINE f(X: ptr double, Y: ptr double);\n@ALIASOK(X, Y)\n"
+        r = parse(src)
+        assert r.markup[0].directive == "ALIASOK"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(HILSyntaxError):
+            parse("ROUTINE f(N: int);\nint a;\na = 1")
+
+    def test_garbage_statement(self):
+        with pytest.raises(HILSyntaxError):
+            parse("ROUTINE f();\n+ 3;")

@@ -1,0 +1,146 @@
+"""Tests for the scoped-IF extension (the paper: "Our HIL does not yet
+support scoped ifs" — this lifts that restriction)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HILSyntaxError
+from repro.fko import FKO, TransformParams
+from repro.hil import ast, compile_hil, parse
+from repro.kernels import get_kernel
+from repro.machine import run_function
+from repro.timing.tester import test_function as check_function
+
+IAMAX_SCOPED = """
+ROUTINE idamax(N: int, X: ptr double) RETURNS int;
+double amax;
+double x;
+int imax = 0;
+amax = X[0];
+amax = ABS amax;
+@TUNE
+LOOP i = 0, N
+LOOP_BODY
+    x = X[0];
+    x = ABS x;
+    IF (x > amax)
+    THEN
+        amax = x;
+        imax = i;
+    IF_END
+    X += 1;
+LOOP_END
+RETURN imax;
+"""
+
+CLAMP = """
+ROUTINE clamp(N: int, X: ptr double, lo: double, hi: double);
+double x;
+@TUNE
+LOOP i = 0, N
+LOOP_BODY
+    x = X[0];
+    IF (x < lo)
+    THEN
+        x = lo;
+    ELSE
+        IF (x > hi)
+        THEN
+            x = hi;
+        IF_END
+    IF_END
+    X[0] = x;
+    X += 1;
+LOOP_END
+"""
+
+
+class TestParsing:
+    def test_if_block_parsed(self):
+        r = parse(IAMAX_SCOPED)
+        loop = next(s for s in r.body if isinstance(s, ast.Loop))
+        ifb = next(s for s in loop.body if isinstance(s, ast.IfBlock))
+        assert len(ifb.then_body) == 2
+        assert ifb.else_body == []
+
+    def test_if_else_parsed(self):
+        r = parse(CLAMP)
+        loop = next(s for s in r.body if isinstance(s, ast.Loop))
+        ifb = next(s for s in loop.body if isinstance(s, ast.IfBlock))
+        assert len(ifb.then_body) == 1
+        assert len(ifb.else_body) == 1
+        inner = ifb.else_body[0]
+        assert isinstance(inner, ast.IfBlock)
+
+    def test_if_goto_form_still_works(self):
+        r = parse("ROUTINE f(N: int);\nIF (N > 0) GOTO L;\nL:\n")
+        assert isinstance(r.body[0], ast.IfGoto)
+
+    def test_missing_if_end(self):
+        with pytest.raises(HILSyntaxError, match="IF_END"):
+            parse("ROUTINE f(N: int);\nIF (N > 0)\nTHEN\nint a;\n")
+
+    def test_duplicate_else(self):
+        with pytest.raises(HILSyntaxError, match="duplicate ELSE"):
+            parse("ROUTINE f(N: int);\nint a;\nIF (N > 0)\nTHEN\n"
+                  "ELSE\nELSE\nIF_END\n")
+
+
+class TestSemanticsAndLowering:
+    def test_scoped_iamax_matches_reference(self):
+        spec = get_kernel("idamax")
+        fn = compile_hil(IAMAX_SCOPED)
+        check_function(fn, spec)
+
+    def test_scoped_iamax_through_full_pipeline(self, p4e):
+        spec = get_kernel("idamax")
+        fko = FKO(p4e)
+        for ur in (1, 4, 8):
+            k = fko.compile(IAMAX_SCOPED, TransformParams(sv=True, unroll=ur),
+                            debug_verify=True)
+            check_function(k.fn, spec)
+
+    def test_scoped_body_blocks_reject_vectorization(self, p4e):
+        a = FKO(p4e).analyze(IAMAX_SCOPED)
+        assert not a.vectorizable
+        assert "control flow" in " ".join(a.not_vectorizable_reasons)
+
+    def test_clamp_if_else_semantics(self, p4e, rng):
+        for ur in (1, 4):
+            k = FKO(p4e).compile(CLAMP, TransformParams(sv=False, unroll=ur),
+                                 debug_verify=True)
+            X = (rng.standard_normal(53) * 3)
+            got = X.copy()
+            run_function(k.fn, {"X": got}, {"N": 53, "lo": -1.0, "hi": 1.0})
+            assert np.allclose(got, np.clip(X, -1.0, 1.0))
+
+    def test_else_branch_only_taken_when_cond_false(self):
+        src = """ROUTINE pick(a: int) RETURNS int;
+int r;
+IF (a > 10)
+THEN
+    r = 1;
+ELSE
+    r = 2;
+IF_END
+RETURN r;
+"""
+        fn = compile_hil(src)
+        assert run_function(fn, {}, {"a": 11}).ret == 1
+        assert run_function(fn, {}, {"a": 10}).ret == 2
+
+    def test_labels_inside_scoped_if(self):
+        # scoped ifs and GOTO can mix
+        src = """ROUTINE f(a: int) RETURNS int;
+int r = 0;
+IF (a > 0)
+THEN
+    GOTO OUT;
+IF_END
+r = 5;
+OUT:
+RETURN r;
+"""
+        fn = compile_hil(src)
+        assert run_function(fn, {}, {"a": 1}).ret == 0
+        assert run_function(fn, {}, {"a": -1}).ret == 5

@@ -1,0 +1,162 @@
+"""Tests for HIL semantic analysis."""
+
+import pytest
+
+from repro.errors import HILSemanticError
+from repro.hil import check, parse
+from repro.ir import DType
+
+
+def chk(src):
+    return check(parse(src))
+
+
+class TestDeclarations:
+    def test_undeclared_use_rejected(self):
+        with pytest.raises(HILSemanticError, match="undeclared"):
+            chk("ROUTINE f();\nint a;\na = b;")
+
+    def test_redeclaration_rejected(self):
+        with pytest.raises(HILSemanticError, match="redeclaration"):
+            chk("ROUTINE f();\nint a;\nint a;")
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(HILSemanticError, match="duplicate"):
+            chk("ROUTINE f(N: int, N: int);")
+
+    def test_symbols_include_params_and_vars(self):
+        c = chk("ROUTINE f(N: int, X: ptr double);\ndouble a;")
+        assert set(c.symbols) == {"N", "X", "a"}
+        assert c.symbols["X"].is_pointer
+        assert c.symbols["X"].elem is DType.F64
+
+
+class TestTypes:
+    def test_single_fp_precision_enforced(self):
+        with pytest.raises(HILSemanticError, match="mixed float precisions"):
+            chk("ROUTINE f(X: ptr double);\nfloat a;")
+
+    def test_fp_dtype_detected(self):
+        assert chk("ROUTINE f(X: ptr float);").fp_dtype is DType.F32
+        assert chk("ROUTINE f(X: ptr double);").fp_dtype is DType.F64
+
+    def test_int_float_var_mix_rejected(self):
+        with pytest.raises(HILSemanticError):
+            chk("ROUTINE f();\nint a;\ndouble b;\nb = b + a;")
+
+    def test_int_literal_promotes(self):
+        chk("ROUTINE f();\ndouble b;\nb = b + 1;")  # fine
+
+    def test_abs_requires_float(self):
+        with pytest.raises(HILSemanticError, match="ABS"):
+            chk("ROUTINE f();\nint a;\na = ABS a;")
+
+
+class TestPointers:
+    def test_pointer_as_value_rejected(self):
+        with pytest.raises(HILSemanticError, match="used as a value"):
+            chk("ROUTINE f(X: ptr double);\ndouble a;\na = X;")
+
+    def test_pointer_assignment_ops_restricted(self):
+        with pytest.raises(HILSemanticError, match="pointers only support"):
+            chk("ROUTINE f(X: ptr double);\nX = 1;")
+
+    def test_pointer_advance_ok(self):
+        chk("ROUTINE f(X: ptr double);\nX += 1;\nX -= 2;")
+
+    def test_array_ref_requires_pointer(self):
+        with pytest.raises(HILSemanticError):
+            chk("ROUTINE f(N: int);\ndouble a;\na = N[0];")
+
+
+class TestLoops:
+    def test_nested_loops_allowed(self):
+        src = """ROUTINE f(N: int);
+LOOP i = 0, N
+LOOP_BODY
+LOOP j = 0, N
+LOOP_BODY
+LOOP_END
+LOOP_END
+"""
+        chk(src)  # nested loops are supported (Level 2 kernels)
+
+    def test_tune_must_be_innermost(self):
+        src = """ROUTINE f(N: int);
+@TUNE
+LOOP i = 0, N
+LOOP_BODY
+LOOP j = 0, N
+LOOP_BODY
+LOOP_END
+LOOP_END
+"""
+        with pytest.raises(HILSemanticError, match="innermost"):
+            chk(src)
+
+    def test_two_tuned_loops_rejected(self):
+        src = """ROUTINE f(N: int);
+@TUNE
+LOOP i = 0, N
+LOOP_BODY
+LOOP_END
+@TUNE
+LOOP j = 0, N
+LOOP_BODY
+LOOP_END
+"""
+        with pytest.raises(HILSemanticError, match="more than one"):
+            chk(src)
+
+    def test_float_bounds_rejected(self):
+        src = "ROUTINE f();\ndouble a;\nLOOP i = 0, a\nLOOP_BODY\nLOOP_END"
+        with pytest.raises(HILSemanticError, match="bounds"):
+            chk(src)
+
+    def test_loop_var_assignment_rejected(self):
+        src = """ROUTINE f(N: int);
+LOOP i = 0, N
+LOOP_BODY
+    i = 3;
+LOOP_END
+"""
+        with pytest.raises(HILSemanticError, match="may not be assigned"):
+            chk(src)
+
+    def test_tuned_loop_recorded(self, ddot_src):
+        c = chk(ddot_src)
+        assert c.tuned_loop is not None
+        assert c.tuned_loop.ivar == "i"
+
+
+class TestLabelsAndMarkup:
+    def test_goto_undefined_label(self):
+        with pytest.raises(HILSemanticError, match="undefined label"):
+            chk("ROUTINE f();\nGOTO nowhere;")
+
+    def test_duplicate_label(self):
+        with pytest.raises(HILSemanticError, match="duplicate label"):
+            chk("ROUTINE f();\nL:\nL:\n")
+
+    def test_noprefetch_validated(self):
+        with pytest.raises(HILSemanticError, match="NOPREFETCH"):
+            chk("ROUTINE f(N: int);\n@NOPREFETCH(N)\n")
+
+    def test_noprefetch_recorded(self):
+        c = chk("ROUTINE f(X: ptr double);\n@NOPREFETCH(X)\n")
+        assert c.noprefetch == {"X"}
+
+    def test_aliasok_needs_two(self):
+        with pytest.raises(HILSemanticError, match="two"):
+            chk("ROUTINE f(X: ptr double);\n@ALIASOK(X)\n")
+
+    def test_unknown_markup(self):
+        with pytest.raises(HILSemanticError, match="unknown mark-up"):
+            chk("ROUTINE f();\n@WAT\n")
+
+
+def test_paper_kernels_all_check():
+    from repro.kernels import all_kernels
+    for spec in all_kernels():
+        c = chk(spec.hil)
+        assert c.tuned_loop is not None, spec.name

@@ -1,0 +1,70 @@
+"""Integration: every kernel x a grid of transform parameters must agree
+with the NumPy reference when executed in the functional interpreter.
+
+This is the reproduction's equivalent of the paper's tester running
+inside the search loop: *any* combination of transformations the search
+can reach must preserve semantics on both machines.
+"""
+
+import pytest
+
+from repro.fko import FKO, PrefetchParams, TransformParams
+from repro.ir import PrefetchHint
+from repro.kernels import KERNEL_ORDER, get_kernel
+from repro.machine import opteron, pentium4e
+from repro.timing.tester import test_function as check_function
+
+PARAM_GRID = [
+    # (sv, unroll, lc, ae, wnt, pf_dist)
+    (False, 1, False, 1, False, 0),     # completely plain
+    (True, 1, True, 1, False, 0),       # SV only
+    (False, 8, True, 1, False, 512),    # scalar unroll + prefetch
+    (True, 4, True, 2, True, 1024),     # the works
+    (True, 16, True, 8, False, 256),    # heavy AE (spill pressure)
+]
+
+SIZES = (0, 1, 2, 3, 7, 8, 9, 31, 64, 100)
+
+
+def make_params(spec, sv, unroll, lc, ae, wnt, pf_dist):
+    p = TransformParams(sv=sv, unroll=unroll, lc=lc, ae=ae, wnt=wnt)
+    if pf_dist:
+        for arr in spec.vector_args:
+            p.prefetch[arr] = PrefetchParams(PrefetchHint.NTA, pf_dist)
+    return p
+
+
+@pytest.mark.parametrize("kernel", KERNEL_ORDER)
+@pytest.mark.parametrize("grid_idx", range(len(PARAM_GRID)))
+def test_kernel_param_grid_p4e(kernel, grid_idx, p4e):
+    spec = get_kernel(kernel)
+    params = make_params(spec, *PARAM_GRID[grid_idx])
+    k = FKO(p4e).compile(spec.hil, params, debug_verify=True)
+    check_function(k.fn, spec, sizes=SIZES)
+
+
+@pytest.mark.parametrize("kernel", ["sswap", "dscal", "scopy", "daxpy",
+                                    "sdot", "dasum", "isamax"])
+def test_kernel_works_on_opteron(kernel, opt):
+    spec = get_kernel(kernel)
+    params = make_params(spec, True, 4, True, 2, True, 512)
+    k = FKO(opt).compile(spec.hil, params, debug_verify=True)
+    check_function(k.fn, spec, sizes=SIZES)
+
+
+def test_local_allocator_grid(p4e):
+    for kernel in ("ddot", "dswap", "idamax"):
+        spec = get_kernel(kernel)
+        params = make_params(spec, True, 8, True, 4, False, 512)
+        params.register_allocation = "local"
+        k = FKO(p4e).compile(spec.hil, params, debug_verify=True)
+        check_function(k.fn, spec, sizes=(0, 5, 33, 100))
+
+
+def test_no_allocation_grid(p4e):
+    for kernel in ("ddot", "scopy"):
+        spec = get_kernel(kernel)
+        params = make_params(spec, True, 4, True, 2, False, 0)
+        params.register_allocation = "off"
+        k = FKO(p4e).compile(spec.hil, params, debug_verify=True)
+        check_function(k.fn, spec, sizes=(0, 5, 33))

@@ -1,0 +1,81 @@
+"""Tests for liveness analysis."""
+
+from repro.hil import compile_hil
+from repro.ir import Imm, IRBuilder, Function, Liveness, Opcode, \
+    max_register_pressure, RegClass, Cond
+
+
+def test_straightline_liveness():
+    fn = Function("f", [])
+    b = IRBuilder(fn)
+    b.new_block("entry")
+    a = b.gp("a")
+    c = b.gp("c")
+    b.mov(a, Imm(1))
+    b.add(c, a, Imm(2))
+    b.ret(c)
+    lv = Liveness(fn)
+    after = lv.per_instruction(fn.block("entry"))
+    # a live after its def (used by add), dead after the add
+    assert a in after[0]
+    assert a not in after[1]
+    assert c in after[1]
+
+
+def test_loop_carried_liveness(ddot_src):
+    fn = compile_hil(ddot_src)
+    lv = Liveness(fn)
+    loop = fn.loop
+    # the accumulator home register is live into the body (loop carried)
+    body_live = lv.live_in[loop.body[0]]
+    names = {r.name for r in body_live}
+    assert "dot" in names
+    assert "X" in names and "Y" in names
+
+    # loop counter is live around the back edge
+    header_live = lv.live_in[loop.header]
+    assert loop.counter in header_live
+
+
+def test_dead_def_not_live():
+    fn = Function("f", [])
+    b = IRBuilder(fn)
+    b.new_block("entry")
+    dead = b.gp("dead")
+    b.mov(dead, Imm(5))
+    b.ret()
+    lv = Liveness(fn)
+    after = lv.per_instruction(fn.block("entry"))
+    assert dead not in after[0]
+
+
+def test_max_register_pressure_counts_class(ddot_src):
+    fn = compile_hil(ddot_src)
+    gp_peak = max_register_pressure(fn, RegClass.GP)
+    fp_peak = max_register_pressure(fn, RegClass.FP)
+    # N, X, Y, i plus temporaries; always fits x86
+    assert 3 <= gp_peak <= 8
+    assert 1 <= fp_peak <= 6
+
+
+def test_liveness_through_diamond():
+    fn = Function("f", [])
+    b = IRBuilder(fn)
+    b.new_block("entry")
+    x = b.gp("x")
+    y = b.gp("y")
+    b.mov(x, Imm(1))
+    b.mov(y, Imm(9))
+    b.cmp(x, Imm(0))
+    b.jcc(Cond.GT, "right")
+    b.new_block("left")
+    b.jmp("join")
+    b.new_block("right")
+    b.new_block("join")
+    b.ret(y)
+    lv = Liveness(fn)
+    # y is live through both arms to the join
+    assert y in lv.live_in["left"]
+    assert y in lv.live_in["right"]
+    assert y in lv.live_in["join"]
+    assert x not in lv.live_in["join"]

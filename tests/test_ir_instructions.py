@@ -1,0 +1,126 @@
+"""Tests for repro.ir.instructions."""
+
+import pytest
+
+from repro.ir import (Cond, DType, Imm, Instruction, Label, Mem, OP_INFO,
+                      Opcode, PrefetchHint, RegClass, VReg, sse)
+
+
+def gp(name="g"):
+    return VReg(name, RegClass.GP, DType.I64)
+
+
+def fp(name="f"):
+    return VReg(name, RegClass.FP, DType.F64)
+
+
+def mem(base=None, **kw):
+    return Mem(base or VReg("p", RegClass.GP, DType.PTR), DType.F64, **kw)
+
+
+class TestOpInfo:
+    def test_all_opcodes_have_info(self):
+        for op in Opcode:
+            assert op in OP_INFO, f"missing OP_INFO for {op}"
+
+    def test_store_metadata(self):
+        assert not OP_INFO[Opcode.FST].has_dst
+        assert OP_INFO[Opcode.FST].n_srcs == 2
+
+    def test_flags_setters(self):
+        for op in (Opcode.CMP, Opcode.FCMP, Opcode.TEST):
+            assert OP_INFO[op].sets_flags
+
+    def test_terminators(self):
+        assert OP_INFO[Opcode.JMP].is_terminator
+        assert OP_INFO[Opcode.RET].is_terminator
+        assert not OP_INFO[Opcode.JCC].is_terminator  # conditional: falls thru
+
+
+class TestInstructionProperties:
+    def test_load_store_predicates(self):
+        ld = Instruction(Opcode.FLD, fp(), (mem(),))
+        st = Instruction(Opcode.FST, None, (mem(), fp()))
+        assert ld.is_load and not ld.is_store
+        assert st.is_store and not st.is_load
+        assert ld.reads_mem and not ld.writes_mem
+        assert st.writes_mem
+
+    def test_nontemporal_predicate(self):
+        nt = Instruction(Opcode.VSTNT, None,
+                         (Mem(gp("p"), sse(DType.F64)),
+                          VReg("v", RegClass.VEC, sse(DType.F64))))
+        assert nt.is_nontemporal and nt.is_store
+
+    def test_cisc_memory_operand_reads_mem(self):
+        i = Instruction(Opcode.FADD, fp("d"), (fp("a"), mem()))
+        assert i.reads_mem and not i.is_load
+
+    def test_mem_accessor_finds_reference(self):
+        m = mem(disp=24)
+        i = Instruction(Opcode.FMUL, fp("d"), (fp("a"), m))
+        assert i.mem is m
+        st = Instruction(Opcode.FST, None, (m, fp()))
+        assert st.mem is m
+
+    def test_branch_target(self):
+        j = Instruction(Opcode.JMP, None, (Label("loop"),))
+        assert j.target.name == "loop"
+        assert j.is_branch
+
+    def test_regs_read_includes_address_registers(self):
+        base = gp("base")
+        idx = gp("idx")
+        m = Mem(base, DType.F64, index=idx, scale=8)
+        i = Instruction(Opcode.FLD, fp(), (m,))
+        read = set(i.regs_read())
+        assert base in read and idx in read
+
+    def test_store_dst_mem_addresses_are_reads(self):
+        base = gp("base")
+        val = fp("v")
+        st = Instruction(Opcode.FST, None, (Mem(base, DType.F64), val))
+        read = set(st.regs_read())
+        assert base in read and val in read
+        assert list(st.regs_written()) == []
+
+
+class TestSubstitute:
+    def test_substitute_srcs_and_dst(self):
+        a, b, c = fp("a"), fp("b"), fp("c")
+        i = Instruction(Opcode.FADD, a, (a, b))
+        ni = i.substitute({a: c})
+        assert ni.dst == c
+        assert ni.srcs == (c, b)
+
+    def test_substitute_into_mem_base(self):
+        old = gp("old")
+        new = gp("new")
+        i = Instruction(Opcode.FLD, fp(), (Mem(old, DType.F64, disp=8),))
+        ni = i.substitute({old: new})
+        assert ni.srcs[0].base == new
+        assert ni.srcs[0].disp == 8
+
+    def test_substitute_preserves_hint_and_cond(self):
+        i = Instruction(Opcode.PREFETCH, None, (mem(),),
+                        hint=PrefetchHint.NTA)
+        ni = i.substitute({})
+        assert ni.hint is PrefetchHint.NTA
+        j = Instruction(Opcode.JCC, None, (Label("x"),), cond=Cond.LT)
+        assert j.substitute({}).cond is Cond.LT
+
+    def test_copy_is_independent(self):
+        i = Instruction(Opcode.FADD, fp("a"), (fp("b"), fp("c")))
+        c = i.copy()
+        c.op = Opcode.FMUL
+        assert i.op is Opcode.FADD
+
+
+class TestCond:
+    def test_negation_involution(self):
+        for c in Cond:
+            assert c.negate().negate() is c
+
+    def test_negation_pairs(self):
+        assert Cond.LT.negate() is Cond.GE
+        assert Cond.EQ.negate() is Cond.NE

@@ -1,0 +1,75 @@
+"""Tests for repro.ir.operands."""
+
+import pytest
+
+from repro.ir import (AReg, DType, Imm, Label, Mem, RegClass, VReg, is_reg,
+                      sse)
+
+
+class TestVReg:
+    def test_unique_uids(self):
+        a = VReg("x", RegClass.FP, DType.F64)
+        b = VReg("x", RegClass.FP, DType.F64)
+        assert a != b
+        assert a.uid != b.uid
+
+    def test_identity_in_sets(self):
+        a = VReg("x", RegClass.FP, DType.F64)
+        assert a in {a}
+        assert a == a
+
+    def test_is_virtual(self):
+        assert VReg("x", RegClass.GP, DType.I64).is_virtual
+        assert not AReg("eax", RegClass.GP, DType.I64, 0).is_virtual
+
+
+class TestAReg:
+    def test_same_name_same_identity(self):
+        a = AReg("xmm0", RegClass.FP, DType.F64, 0)
+        b = AReg("xmm0", RegClass.FP, DType.F64, 0)
+        assert a == b
+
+    def test_class_distinguishes(self):
+        fp = AReg("xmm0", RegClass.FP, DType.F64, 0)
+        vec = AReg("xmm0", RegClass.VEC, sse(DType.F64), 0)
+        assert fp != vec
+
+
+class TestMem:
+    def test_valid_scales(self):
+        base = VReg("p", RegClass.GP, DType.PTR)
+        for s in (1, 2, 4, 8):
+            Mem(base, DType.F64, scale=s)
+
+    def test_invalid_scale_rejected(self):
+        base = VReg("p", RegClass.GP, DType.PTR)
+        with pytest.raises(ValueError):
+            Mem(base, DType.F64, scale=3)
+
+    def test_with_disp_preserves_fields(self):
+        base = VReg("p", RegClass.GP, DType.PTR)
+        idx = VReg("i", RegClass.GP, DType.I64)
+        m = Mem(base, DType.F32, index=idx, scale=4, disp=8, array="X")
+        m2 = m.with_disp(64)
+        assert m2.disp == 64
+        assert m2.base is base and m2.index is idx
+        assert m2.scale == 4 and m2.array == "X"
+
+    def test_with_base_swaps_base(self):
+        base = VReg("p", RegClass.GP, DType.PTR)
+        base2 = VReg("q", RegClass.GP, DType.PTR)
+        m = Mem(base, DType.F64, disp=16, array="Y")
+        m2 = m.with_base(base2)
+        assert m2.base is base2 and m2.disp == 16 and m2.array == "Y"
+
+    def test_size_follows_dtype(self):
+        base = VReg("p", RegClass.GP, DType.PTR)
+        assert Mem(base, DType.F32).size == 4
+        assert Mem(base, sse(DType.F32)).size == 16
+
+
+def test_is_reg_predicate():
+    assert is_reg(VReg("a", RegClass.GP, DType.I64))
+    assert is_reg(AReg("eax", RegClass.GP, DType.I64, 0))
+    assert not is_reg(Imm(3))
+    assert not is_reg(Label("foo"))

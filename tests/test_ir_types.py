@@ -1,0 +1,57 @@
+"""Tests for repro.ir.types."""
+
+import pytest
+
+from repro.ir.types import DType, VecType, sse, veclen, VEC_BYTES
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.F32.size == 4
+        assert DType.F64.size == 8
+        assert DType.I64.size == 8
+        assert DType.PTR.size == 8
+
+    def test_float_classification(self):
+        assert DType.F32.is_float and DType.F64.is_float
+        assert not DType.I64.is_float and not DType.PTR.is_float
+
+    def test_int_classification(self):
+        assert DType.I64.is_int and DType.PTR.is_int
+        assert not DType.F32.is_int
+
+    def test_repr_compact(self):
+        assert repr(DType.F64) == "f64"
+
+
+class TestVecType:
+    def test_sse_f32_has_4_lanes(self):
+        vt = sse(DType.F32)
+        assert vt.lanes == 4
+        assert vt.size == VEC_BYTES
+
+    def test_sse_f64_has_2_lanes(self):
+        vt = sse(DType.F64)
+        assert vt.lanes == 2
+        assert vt.size == VEC_BYTES
+
+    def test_veclen_matches_paper(self):
+        # "4 for single precision, 2 for double" (section 2.2.3)
+        assert veclen(DType.F32) == 4
+        assert veclen(DType.F64) == 2
+
+    def test_rejects_int_elements(self):
+        with pytest.raises(ValueError):
+            VecType(DType.I64, 2)
+
+    def test_rejects_single_lane(self):
+        with pytest.raises(ValueError):
+            VecType(DType.F64, 1)
+
+    def test_equality_and_hash(self):
+        assert sse(DType.F32) == sse(DType.F32)
+        assert sse(DType.F32) != sse(DType.F64)
+        assert len({sse(DType.F32), sse(DType.F32)}) == 1
+
+    def test_repr(self):
+        assert repr(sse(DType.F32)) == "f32x4"

@@ -1,0 +1,95 @@
+"""Tests for the Level 1 BLAS kernel registry and references."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import KERNEL_ORDER, all_kernels, get_kernel, reference
+from repro.kernels.blas1 import KernelSpec
+
+
+class TestRegistry:
+    def test_fourteen_kernels_in_paper_order(self):
+        assert len(KERNEL_ORDER) == 14
+        assert KERNEL_ORDER[0] == "sswap"
+        assert KERNEL_ORDER[-1] == "idamax"
+
+    def test_precision_variants(self):
+        for base in ("swap", "scal", "copy", "axpy", "dot", "asum"):
+            s = get_kernel("s" + base)
+            d = get_kernel("d" + base)
+            assert s.dtype == np.float32
+            assert d.dtype == np.float64
+            assert s.base == d.base == base
+
+    def test_iamax_naming_convention(self):
+        # "the API puts the precision prefix in this routine as the
+        # second character" (section 3.1)
+        assert get_kernel("isamax").precision == "s"
+        assert get_kernel("idamax").precision == "d"
+
+    def test_flop_conventions_match_table1(self):
+        assert get_kernel("dswap").flops(100) == 100
+        assert get_kernel("dscal").flops(100) == 100
+        assert get_kernel("dcopy").flops(100) == 100
+        assert get_kernel("daxpy").flops(100) == 200
+        assert get_kernel("ddot").flops(100) == 200
+        assert get_kernel("dasum").flops(100) == 200
+        assert get_kernel("idamax").flops(100) == 200
+
+    def test_loop_form_is_atlas_downcount(self):
+        # ATLAS reference sources use the form icc cannot vectorize
+        for spec in all_kernels():
+            assert spec.loop_form == "downcount"
+
+    def test_output_args(self):
+        assert get_kernel("dswap").output_args == ("X", "Y")
+        assert get_kernel("dcopy").output_args == ("Y",)
+        assert get_kernel("ddot").output_args == ()
+
+    def test_hil_sources_compile(self):
+        from repro.hil import compile_hil
+        from repro.ir import verify
+        for spec in all_kernels():
+            fn = compile_hil(spec.hil)
+            verify(fn)
+            assert fn.loop is not None, spec.name
+
+
+class TestReferences:
+    def test_swap(self, rng):
+        x = rng.standard_normal(10)
+        y = rng.standard_normal(10)
+        arrays = {"X": x.copy(), "Y": y.copy()}
+        reference(get_kernel("dswap"), arrays, {})
+        assert np.array_equal(arrays["X"], y)
+        assert np.array_equal(arrays["Y"], x)
+
+    def test_scal(self, rng):
+        x = rng.standard_normal(10)
+        arrays = {"X": x.copy()}
+        reference(get_kernel("dscal"), arrays, {"alpha": 2.0})
+        assert np.allclose(arrays["X"], 2.0 * x)
+
+    def test_axpy(self, rng):
+        x = rng.standard_normal(10)
+        y = rng.standard_normal(10)
+        arrays = {"X": x.copy(), "Y": y.copy()}
+        reference(get_kernel("daxpy"), arrays, {"alpha": -1.5})
+        assert np.allclose(arrays["Y"], y - 1.5 * x)
+
+    def test_dot_asum(self, rng):
+        x = rng.standard_normal(10)
+        y = rng.standard_normal(10)
+        assert reference(get_kernel("ddot"),
+                         {"X": x.copy(), "Y": y.copy()}, {}) == \
+            pytest.approx(float(x @ y))
+        assert reference(get_kernel("dasum"), {"X": x.copy()}, {}) == \
+            pytest.approx(float(np.abs(x).sum()))
+
+    def test_iamax_first_occurrence(self):
+        x = np.array([1.0, -5.0, 5.0, 2.0])
+        assert reference(get_kernel("idamax"), {"X": x}, {}) == 1
+
+    def test_iamax_empty(self):
+        assert reference(get_kernel("idamax"),
+                         {"X": np.zeros(0)}, {}) == 0

@@ -1,0 +1,98 @@
+"""Tests for the loop summary extractor (machine.loopinfo)."""
+
+import pytest
+
+from repro.fko import FKO, PrefetchParams, TransformParams
+from repro.ir import PrefetchHint
+from repro.kernels import get_kernel
+from repro.machine import pentium4e, summarize
+
+
+@pytest.fixture(scope="module")
+def fko():
+    return FKO(pentium4e())
+
+
+class TestStreams:
+    def test_dot_streams(self, fko, ddot_src):
+        k = fko.compile(ddot_src, TransformParams(sv=True, unroll=4))
+        s = summarize(k.fn)
+        assert s.elems_per_trip == 8       # 2 lanes x 4
+        assert set(s.streams) == {"X", "Y"}
+        for st in s.streams.values():
+            assert st.reads and not st.writes
+            assert st.elem_size == 8       # scalar units, not vector
+            assert st.elems_per_trip == 8
+
+    def test_swap_streams_read_write(self, fko):
+        k = fko.compile(get_kernel("dswap").hil, TransformParams(sv=True))
+        s = summarize(k.fn)
+        for st in s.streams.values():
+            assert st.reads and st.writes
+
+    def test_copy_stream_directions(self, fko):
+        k = fko.compile(get_kernel("scopy").hil, TransformParams(sv=True))
+        s = summarize(k.fn)
+        assert s.streams["X"].reads and not s.streams["X"].writes
+        assert s.streams["Y"].writes and not s.streams["Y"].reads
+
+    def test_nontemporal_flag(self, fko):
+        k = fko.compile(get_kernel("dcopy").hil,
+                        TransformParams(sv=True, wnt=True))
+        s = summarize(k.fn)
+        assert s.streams["Y"].nontemporal
+        assert not s.streams["X"].nontemporal
+
+    def test_prefetch_recorded(self, fko, ddot_src):
+        k = fko.compile(ddot_src, TransformParams(
+            sv=True, unroll=8,
+            prefetch={"X": PrefetchParams(PrefetchHint.T0, 640)}))
+        s = summarize(k.fn)
+        assert s.streams["X"].prefetch_hint is PrefetchHint.T0
+        assert s.streams["X"].prefetch_dist == 640
+        # 8 trips x 2 lanes x 8B = 128B = 2 lines
+        assert s.streams["X"].n_prefetches == 2
+        assert s.streams["Y"].prefetch_hint is None
+
+    def test_spill_traffic_not_a_stream(self, fko, ddot_src):
+        k = fko.compile(ddot_src, TransformParams(sv=True, unroll=32, ae=16))
+        assert k.applied["spilled"] > 0
+        s = summarize(k.fn)
+        assert set(s.streams) == {"X", "Y"}   # stack accesses excluded
+
+
+class TestBodyWeights:
+    def test_single_block_weight_one(self, fko, ddot_src):
+        k = fko.compile(ddot_src, TransformParams(sv=True))
+        s = summarize(k.fn)
+        assert all(w == 1.0 for _, w in s.body)
+
+    def test_iamax_rare_blocks_weighted_down(self, fko, iamax_src):
+        k = fko.compile(iamax_src, TransformParams(sv=False, unroll=1))
+        s = summarize(k.fn)
+        weights = {w for _, w in s.body}
+        assert 1.0 in weights
+        assert any(w < 0.5 for w in weights)  # the NEWMAX path
+
+    def test_cleanup_summarized(self, fko, ddot_src):
+        k = fko.compile(ddot_src, TransformParams(sv=True, unroll=4))
+        s = summarize(k.fn)
+        assert s.cleanup  # the scalar remainder loop
+        assert all(w == 1.0 for _, w in s.cleanup)
+
+    def test_loopless_function(self, fko):
+        k = fko.compile("ROUTINE f(X: ptr double);\nX += 1;\n")
+        s = summarize(k.fn)
+        assert not s.has_loop
+        assert s.streams == {}
+
+
+class TestBlockFetchTag:
+    def test_override_set(self, fko):
+        k = fko.compile(get_kernel("dcopy").hil,
+                        TransformParams(sv=True, block_fetch=True))
+        assert summarize(k.fn).write_batch_override == 16
+
+    def test_override_absent_by_default(self, fko):
+        k = fko.compile(get_kernel("dcopy").hil, TransformParams(sv=True))
+        assert summarize(k.fn).write_batch_override is None

@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+* kernel semantics under random data and random transform parameters;
+* the line search never returns a point worse than its start;
+* cache-line walk invariants of the timing model;
+* IR cloning is structure-preserving.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fko import FKO, PrefetchParams, TransformParams
+from repro.ir import PrefetchHint, verify
+from repro.kernels import get_kernel, reference
+from repro.machine import Context, pentium4e, run_function, summarize, \
+    time_kernel
+from repro.timing.tester import make_inputs
+
+P4E = pentium4e()
+
+_params = st.builds(
+    TransformParams,
+    sv=st.booleans(),
+    unroll=st.sampled_from([1, 2, 3, 4, 8, 16]),
+    lc=st.booleans(),
+    ae=st.sampled_from([1, 2, 4]),
+    wnt=st.booleans(),
+)
+
+_hints = st.sampled_from(list(PrefetchHint))
+_dists = st.sampled_from([0, 64, 192, 512, 2048])
+
+
+@st.composite
+def params_with_prefetch(draw, arrays=("X", "Y")):
+    p = draw(_params)
+    for arr in arrays:
+        d = draw(_dists)
+        h = draw(_hints) if d else None
+        p.prefetch[arr] = PrefetchParams(h, d)
+    return p
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=params_with_prefetch(), n=st.integers(0, 70),
+       seed=st.integers(0, 2**31))
+def test_ddot_any_params_any_data(params, n, seed):
+    """FKO must preserve dot semantics at every point of the space."""
+    spec = get_kernel("ddot")
+    k = FKO(P4E).compile(spec.hil, params)
+    verify(k.fn)
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal(max(n, 1))
+    Y = rng.standard_normal(max(n, 1))
+    res = run_function(k.fn, {"X": X.copy(), "Y": Y.copy()}, {"N": n})
+    want = float(X[:n] @ Y[:n])
+    assert res.ret == pytest.approx(want, rel=1e-10, abs=1e-10)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=params_with_prefetch(arrays=("X",)), n=st.integers(0, 60),
+       seed=st.integers(0, 2**31))
+def test_idamax_any_params_any_data(params, n, seed):
+    spec = get_kernel("idamax")
+    k = FKO(P4E).compile(spec.hil, params)
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal(max(n, 1))
+    res = run_function(k.fn, {"X": X.copy()}, {"N": n})
+    want = int(np.argmax(np.abs(X[:n]))) if n else 0
+    assert res.ret == want
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(params=params_with_prefetch(), n=st.integers(0, 60),
+       seed=st.integers(0, 2**31), alpha=st.floats(-4, 4))
+def test_daxpy_any_params_any_data(params, n, seed, alpha):
+    spec = get_kernel("daxpy")
+    k = FKO(P4E).compile(spec.hil, params)
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal(max(n, 1))
+    Y = rng.standard_normal(max(n, 1))
+    got = {"X": X.copy(), "Y": Y.copy()}
+    run_function(k.fn, got, {"N": n, "alpha": alpha})
+    want = Y[:n] + alpha * X[:n]
+    assert np.allclose(got["Y"][:n], want, rtol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 100000),
+       unroll=st.sampled_from([1, 2, 4, 8]))
+def test_timing_positive_and_monotone_in_n(n, unroll):
+    """More elements never cost fewer cycles."""
+    spec = get_kernel("ddot")
+    k = FKO(P4E).compile(spec.hil, TransformParams(sv=True, unroll=unroll))
+    summ = summarize(k.fn)
+    t1 = time_kernel(summ, P4E, Context.OUT_OF_CACHE, n)
+    t2 = time_kernel(summ, P4E, Context.OUT_OF_CACHE, n + 128)
+    assert 0 < t1.cycles <= t2.cycles * 1.001
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31), n=st.sampled_from([0, 1, 7, 33]))
+def test_reference_matches_untransformed_kernel(seed, n):
+    """The NumPy oracle and plain lowered IR agree for every kernel."""
+    from repro.hil import compile_hil
+    rng = np.random.default_rng(seed)
+    for name in ("dswap", "sscal", "dcopy", "sasum"):
+        spec = get_kernel(name)
+        fn = compile_hil(spec.hil)
+        arrays, scalars = make_inputs(spec, n, rng)
+        got = {k: v.copy() for k, v in arrays.items()}
+        ref = {k: v.copy() for k, v in arrays.items()}
+        fscalars = {k: v for k, v in scalars.items() if k != "N"}
+        res = run_function(fn, got, {"N": n, **fscalars})
+        want = reference(spec, {k: v[:n] for k, v in ref.items()}, fscalars)
+        for out in spec.output_args:
+            assert np.allclose(got[out][:n], ref[out][:n], rtol=1e-6)
+        if spec.returns == "float" and n > 0:
+            assert res.ret == pytest.approx(want, rel=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=params_with_prefetch())
+def test_clone_function_independent(params):
+    """compile_kernel never mutates the cached lowered function."""
+    from repro.hil import compile_hil
+    from repro.fko.clonefn import clone_function
+    spec = get_kernel("ddot")
+    fn = compile_hil(spec.hil)
+    before = [(b.name, len(b.instrs)) for b in fn.blocks]
+    FKO(P4E).compile(spec.hil, params)
+    clone = clone_function(fn)
+    clone.blocks[0].instrs.clear()
+    after = [(b.name, len(b.instrs)) for b in fn.blocks]
+    assert before == after
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.sampled_from([64, 128, 512, 1024, 2048]),
+                min_size=1, max_size=3, unique=True))
+def test_search_never_worse_than_start(dists):
+    """A (restricted) search over real timings must end <= start."""
+    from repro.search import LineSearch, build_space
+    spec = get_kernel("dasum")
+    fko = FKO(P4E)
+    a = fko.analyze(spec.hil)
+    space = build_space(a, P4E, dist_lines=[d // 64 for d in dists])
+    start = fko.defaults(spec.hil)
+    from repro.timing.timer import Timer
+    timer = Timer(P4E, Context.OUT_OF_CACHE, 20000)
+
+    def ev(p):
+        return timer.time(fko.compile(spec.hil, p), spec).cycles
+
+    res = LineSearch(ev, space, start, output_arrays=a.output_arrays).run()
+    assert res.best_cycles <= res.start_cycles

@@ -1,0 +1,146 @@
+"""Tests for the optimization space and the modified line search."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.fko import FKO, PrefetchParams, TransformParams
+from repro.ir import PrefetchHint
+from repro.kernels import get_kernel
+from repro.machine import Context
+from repro.search import (LineSearch, build_space, compile_default,
+                          tune_kernel)
+from repro.search.linesearch import PHASES
+
+
+class TestSpace:
+    def test_space_from_analysis(self, fko_p4e, p4e, ddot_src):
+        a = fko_p4e.analyze(ddot_src)
+        sp = build_space(a, p4e)
+        assert sp.sv_options == [True, False]
+        assert sp.wnt_options == [False]           # dot writes nothing
+        assert sp.prefetch_arrays == ["X", "Y"]
+        assert 0 in sp.dist_options
+        assert max(sp.dist_options) >= 2048
+        assert PrefetchHint.W not in sp.hint_options  # not on Intel
+
+    def test_space_for_iamax(self, fko_p4e, p4e, iamax_src):
+        a = fko_p4e.analyze(iamax_src)
+        sp = build_space(a, p4e)
+        assert sp.sv_options == [False]
+        assert sp.ae_options == [1]
+
+    def test_wnt_option_for_output_kernels(self, fko_p4e, p4e):
+        a = fko_p4e.analyze(get_kernel("dcopy").hil)
+        sp = build_space(a, p4e)
+        assert sp.wnt_options == [False, True]
+
+    def test_space_size_counts_cross_product(self, fko_p4e, p4e, ddot_src):
+        a = fko_p4e.analyze(ddot_src)
+        sp = build_space(a, p4e)
+        assert sp.size > 10000  # the space the line search avoids sweeping
+
+    def test_opteron_space_has_prefetchw(self, fko_opt, opt):
+        a = fko_opt.analyze(get_kernel("dcopy").hil)
+        sp = build_space(a, opt)
+        assert PrefetchHint.W in sp.hint_options
+
+
+class TestLineSearchMechanics:
+    def _search(self, evaluate, fko, machine, src, **kw):
+        a = fko.analyze(src)
+        sp = build_space(a, machine)
+        start = fko.defaults(src)
+        return LineSearch(evaluate, sp, start,
+                          output_arrays=a.output_arrays, **kw)
+
+    def test_result_no_worse_than_start(self, fko_p4e, p4e, ddot_src):
+        calls = []
+        def ev(params):
+            calls.append(params.key())
+            # arbitrary landscape: reward unroll 16 with prefetch
+            c = 10000.0
+            c -= 100 * min(params.unroll, 16)
+            for arr in ("X", "Y"):
+                if params.pf(arr).enabled:
+                    c -= params.pf(arr).dist / 16.0
+            return c
+        ls = self._search(ev, fko_p4e, p4e, ddot_src)
+        res = ls.run()
+        assert res.best_cycles <= res.start_cycles
+        assert res.best_params.unroll == 16
+
+    def test_eval_caching(self, fko_p4e, p4e, ddot_src):
+        seen = []
+        def ev(params):
+            seen.append(params.key())
+            return 100.0
+        ls = self._search(ev, fko_p4e, p4e, ddot_src)
+        ls.run()
+        assert len(seen) == len(set(seen))  # no duplicate evaluations
+
+    def test_budget_respected(self, fko_p4e, p4e, ddot_src):
+        def ev(params):
+            return 100.0
+        ls = self._search(ev, fko_p4e, p4e, ddot_src, max_evals=5)
+        res = ls.run()
+        assert res.n_evaluations <= 5
+
+    def test_zero_budget_rejected(self, fko_p4e, p4e, ddot_src):
+        with pytest.raises(SearchError):
+            self._search(lambda p: 1.0, fko_p4e, p4e, ddot_src, max_evals=0)
+
+    def test_ties_keep_incumbent(self, fko_p4e, p4e, ddot_src):
+        """On a flat landscape the search must return the FKO defaults."""
+        def ev(params):
+            return 1000.0
+        ls = self._search(ev, fko_p4e, p4e, ddot_src)
+        res = ls.run()
+        start = fko_p4e.defaults(ddot_src)
+        assert res.best_params.key() == start.key()
+
+    def test_phase_gain_product_equals_total(self, p4e, ddot_src):
+        fko = FKO(p4e)
+        spec = get_kernel("ddot")
+        tk = tune_kernel(spec, p4e, Context.OUT_OF_CACHE, 20000,
+                         run_tester=False)
+        gains = tk.search.phase_speedups()
+        product = 1.0
+        for p in PHASES:
+            product *= gains[p]
+        assert product == pytest.approx(tk.search.speedup_over_start,
+                                        rel=1e-6)
+
+    def test_history_records_phases(self, fko_p4e, p4e, ddot_src):
+        ls = self._search(lambda p: 100.0, fko_p4e, p4e, ddot_src)
+        ls.run()
+        phases = {ph for ph, _, _ in ls.history}
+        assert "PF DST" in phases and "UR" in phases
+
+
+class TestDrivers:
+    def test_ifko_beats_or_matches_fko(self, p4e):
+        spec = get_kernel("dasum")
+        fk = compile_default(spec, p4e, Context.OUT_OF_CACHE, 20000)
+        tk = tune_kernel(spec, p4e, Context.OUT_OF_CACHE, 20000,
+                         run_tester=False)
+        assert tk.mflops >= fk.mflops * 0.999
+
+    def test_tuned_kernel_passes_tester(self, p4e):
+        spec = get_kernel("daxpy")
+        tk = tune_kernel(spec, p4e, Context.OUT_OF_CACHE, 20000,
+                         run_tester=True)   # raises on failure
+        assert tk.params is tk.compiled.params
+
+    def test_tuned_result_reports_search(self, opt):
+        spec = get_kernel("dcopy")
+        tk = tune_kernel(spec, opt, Context.OUT_OF_CACHE, 20000,
+                         run_tester=False)
+        assert tk.search is not None
+        assert tk.search.n_evaluations > 10
+        assert tk.timing.cycles == pytest.approx(tk.search.best_cycles,
+                                                 rel=0.02)
+
+    def test_compile_default_is_fko_defaults(self, p4e, ddot_spec):
+        fk = compile_default(ddot_spec, p4e, Context.OUT_OF_CACHE, 20000)
+        d = FKO(p4e).defaults(ddot_spec.hil)
+        assert fk.compiled.params.key() == d.key()

@@ -1,0 +1,101 @@
+"""Tests for the timer (min-of-6 protocol) and the tester."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelTestFailure
+from repro.fko import FKO, TransformParams
+from repro.ir import Imm, Instruction, Opcode
+from repro.kernels import get_kernel
+from repro.machine import Context, summarize
+from repro.timing import Timer, paper_n
+from repro.timing.tester import DEFAULT_SIZES, make_inputs
+from repro.timing.tester import test_function as check_function
+
+
+class TestTimer:
+    def test_min_of_six(self, p4e, ddot_spec):
+        k = FKO(p4e).compile(ddot_spec.hil, TransformParams(sv=True))
+        t = Timer(p4e, Context.OUT_OF_CACHE, 20000)
+        res = t.time(k, ddot_spec)
+        assert len(res.samples) == 6
+        assert res.cycles == min(res.samples)
+
+    def test_deterministic(self, p4e, ddot_spec):
+        k = FKO(p4e).compile(ddot_spec.hil, TransformParams(sv=True))
+        t = Timer(p4e, Context.OUT_OF_CACHE, 20000)
+        assert t.time(k, ddot_spec).cycles == t.time(k, ddot_spec).cycles
+
+    def test_noise_is_multiplicative_and_small(self, p4e, ddot_spec):
+        k = FKO(p4e).compile(ddot_spec.hil, TransformParams(sv=True))
+        t = Timer(p4e, Context.OUT_OF_CACHE, 20000)
+        res = t.time(k, ddot_spec)
+        spread = (max(res.samples) - min(res.samples)) / min(res.samples)
+        assert 0 <= spread < 0.05
+
+    def test_mflops_uses_table1_flops(self, p4e):
+        spec = get_kernel("dcopy")    # "no floating point computation"
+        k = FKO(p4e).compile(spec.hil, TransformParams(sv=True))
+        t = Timer(p4e, Context.OUT_OF_CACHE, 20000)
+        res = t.time(k, spec)
+        expected = spec.flops(20000) / res.seconds / 1e6
+        assert res.mflops == pytest.approx(expected)
+
+    def test_paper_problem_sizes(self):
+        assert paper_n(Context.OUT_OF_CACHE) == 80000
+        assert paper_n(Context.IN_L2) == 1024
+
+
+class TestTester:
+    def test_accepts_correct_kernel(self, p4e, ddot_spec):
+        k = FKO(p4e).compile(ddot_spec.hil, TransformParams(sv=True))
+        check_function(k.fn, ddot_spec)
+
+    def test_catches_wrong_scalar_result(self, p4e, ddot_spec):
+        k = FKO(p4e).compile(ddot_spec.hil, TransformParams(sv=False))
+        # sabotage: turn the accumulate into a subtract
+        for block in k.fn.blocks:
+            for instr in block.instrs:
+                if instr.op is Opcode.FADD:
+                    instr.op = Opcode.FSUB
+        with pytest.raises(KernelTestFailure):
+            check_function(k.fn, ddot_spec)
+
+    def test_catches_wrong_array_output(self, p4e):
+        spec = get_kernel("dscal")
+        k = FKO(p4e).compile(spec.hil, TransformParams(sv=False, unroll=1))
+        # sabotage: double the pointer stride so odd elements are skipped
+        for block in k.fn.blocks:
+            for instr in block.instrs:
+                if instr.op is Opcode.ADD and isinstance(instr.srcs[1], Imm) \
+                        and instr.srcs[1].value == 8:
+                    instr.srcs = (instr.srcs[0], Imm(16))
+        with pytest.raises(Exception):   # fault or wrong output
+            check_function(k.fn, spec)
+
+    def test_catches_wrong_index(self, p4e):
+        spec = get_kernel("idamax")
+        k = FKO(p4e).compile(spec.hil, TransformParams(sv=False))
+        # sabotage: flip the comparison so it tracks the minimum
+        from repro.ir import Cond
+        for block in k.fn.blocks:
+            for instr in block.instrs:
+                if instr.cond is Cond.GT:
+                    instr.cond = Cond.LT
+        with pytest.raises(KernelTestFailure, match="index"):
+            check_function(k.fn, spec)
+
+    def test_sizes_cover_remainder_cases(self):
+        assert 0 in DEFAULT_SIZES and 1 in DEFAULT_SIZES
+        assert any(s % 8 not in (0, 1) for s in DEFAULT_SIZES)
+
+    def test_make_inputs_shapes(self, rng):
+        spec = get_kernel("daxpy")
+        arrays, scalars = make_inputs(spec, 10, rng)
+        assert set(arrays) == {"X", "Y"}
+        assert arrays["X"].dtype == np.float64
+        assert "alpha" in scalars and scalars["N"] == 10
+
+    def test_make_inputs_padded_for_n0(self, rng):
+        arrays, _ = make_inputs(get_kernel("sdot"), 0, rng)
+        assert len(arrays["X"]) == 1  # interpreter needs an allocation
