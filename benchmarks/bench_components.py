@@ -8,7 +8,7 @@ import pytest
 from repro.fko import FKO, TransformParams
 from repro.kernels import get_kernel
 from repro.machine import Context, pentium4e, summarize, time_kernel
-from repro.search import tune_kernel
+from repro.search import TuneConfig, tune_kernel
 
 P4E = pentium4e()
 DDOT = get_kernel("ddot")
@@ -45,7 +45,7 @@ def test_timing_model_in_l2(benchmark):
 def test_full_ifko_search_ddot(benchmark):
     res = benchmark.pedantic(
         lambda: tune_kernel(DDOT, P4E, Context.OUT_OF_CACHE, 20000,
-                            run_tester=False),
+                            config=TuneConfig(run_tester=False)),
         rounds=1, iterations=1)
     assert res.search.n_evaluations > 10
 

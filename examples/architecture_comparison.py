@@ -11,7 +11,7 @@ Also demonstrates the section 3.2 anecdote: icc refuses to vectorize
 the ATLAS loop form until the source is rewritten.
 """
 
-from repro import Context, get_kernel, get_machine, tune_kernel
+from repro import Context, TuneConfig, get_kernel, get_machine, tune_kernel
 from repro.refcomp import Icc, IccProf
 from repro.reporting import format_table
 
@@ -27,7 +27,7 @@ def main() -> int:
             ref = Icc().build(spec, machine, Context.OUT_OF_CACHE, N)
             prof = IccProf().build(spec, machine, Context.OUT_OF_CACHE, N)
             ifko = tune_kernel(spec, machine, Context.OUT_OF_CACHE, N,
-                               run_tester=False)
+                               config=TuneConfig(run_tester=False))
             rows.append([machine.name, kname,
                          f"{ref.mflops:.0f}", f"{prof.mflops:.0f}",
                          f"{ifko.mflops:.0f}",

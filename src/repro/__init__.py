@@ -27,6 +27,11 @@ Quick start::
     print(tuned.mflops, tuned.params.describe())
 """
 
+# defined before the subpackage imports so that submodules (the search
+# engine's cache keys, the experiment store's filenames) can do
+# ``from .. import __version__`` without an import-order trap
+__version__ = "1.1.0"
+
 from .errors import (HILError, HILSemanticError, HILSyntaxError, IRError,
                      IRVerifyError, KernelTestFailure, MachineError,
                      RegisterPressureError, ReproError, SearchError,
@@ -37,11 +42,10 @@ from .hil import compile_hil
 from .kernels import KERNEL_ORDER, KernelSpec, all_kernels, get_kernel
 from .machine import (Context, MachineConfig, get_machine, opteron,
                       pentium4e, run_function, summarize, time_kernel)
-from .search import (LineSearch, SearchResult, TunedKernel, build_space,
-                     compile_default, tune_kernel)
+from .search import (BatchResult, LineSearch, SearchResult, TuneConfig,
+                     TunedKernel, TuningJob, TuningSession, build_space,
+                     compile_default, registry_jobs, tune_kernel)
 from .timing import Timer, test_kernel
-
-__version__ = "1.0.0"
 
 __all__ = [
     # errors
@@ -58,8 +62,9 @@ __all__ = [
     "Context", "MachineConfig", "get_machine", "opteron", "pentium4e",
     "run_function", "summarize", "time_kernel",
     # search
-    "LineSearch", "SearchResult", "TunedKernel", "build_space",
-    "compile_default", "tune_kernel",
+    "BatchResult", "LineSearch", "SearchResult", "TuneConfig",
+    "TunedKernel", "TuningJob", "TuningSession", "build_space",
+    "compile_default", "registry_jobs", "tune_kernel",
     # timing
     "Timer", "test_kernel",
     "__version__",

@@ -6,18 +6,27 @@ command line; this module provides the same ergonomics::
     python -m repro analyze ddot --machine p4e
     python -m repro compile ddot --machine p4e --unroll 4 --ae 2 \\
         --prefetch X=nta:512 --asm
-    python -m repro tune dasum --machine opteron --context oc
+    python -m repro tune dasum --machine opteron --context oc --jobs 4
+    python -m repro tune-all --jobs 4 --cache-dir .repro-cache \\
+        --trace-out tune.jsonl
+    python -m repro trace tune.jsonl
     python -m repro kernels
-    python -m repro experiments fig2 table3
+    python -m repro experiments fig2 table3 --jobs 4
 
 ``analyze``/``compile``/``tune`` accept either a built-in kernel name
 (``ddot``, ``isamax``, ...) or a path to a ``.hil`` source file, so the
-tool works on user kernels exactly like the shipped ones.
+tool works on user kernels exactly like the shipped ones.  All tuning
+runs through the batch engine (:mod:`repro.search.engine`): ``--jobs``
+fans evaluations/jobs across worker processes, ``--cache-dir`` persists
+the evaluation cache across runs, ``--resume`` checkpoints a batch, and
+``--trace-out`` records a JSONL search trace that ``repro trace``
+summarizes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import Optional, Tuple
@@ -27,9 +36,10 @@ from .ir import PrefetchHint, emit_att, format_function
 from .kernels import KERNEL_ORDER, REGISTRY, get_kernel
 from .kernels.blas1 import KernelSpec
 from .machine import Context, get_machine
-from .search import LineSearch, build_space
+from .search import (TuneConfig, TuningSession, read_trace, registry_jobs,
+                     render_trace_summary, summarize_trace)
 from .timing.tester import test_function
-from .timing.timer import Timer, paper_n
+from .timing.timer import paper_n
 
 
 def _load_source(name_or_path: str) -> Tuple[str, Optional[KernelSpec]]:
@@ -51,6 +61,13 @@ def _context(value: str) -> Context:
     if value.lower() in ("ic", "inl2", "in-l2", "in-cache"):
         return Context.IN_L2
     raise argparse.ArgumentTypeError(f"unknown context {value!r}")
+
+
+def _jobs(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {jobs}")
+    return jobs
 
 
 def _parse_prefetch(items) -> dict:
@@ -125,6 +142,29 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _engine_config(args, run_tester: bool) -> TuneConfig:
+    """TuneConfig from the shared engine flags."""
+    return TuneConfig(max_evals=args.max_evals,
+                      run_tester=run_tester,
+                      jobs=args.jobs,
+                      cache_dir=args.cache_dir,
+                      trace=args.trace_out,
+                      timeout=args.timeout,
+                      resume=getattr(args, "resume", None),
+                      enable_block_fetch=getattr(args, "enable_block_fetch",
+                                                 False))
+
+
+def _file_spec(source: str, name: str, elem_size: int) -> KernelSpec:
+    """Wrap a user ``.hil`` source as a minimal KernelSpec so it runs
+    through the engine like a registry kernel.  With no reference
+    implementation the tester is skipped, and "FLOPs" are counted as
+    bytes moved (a neutral unit for user kernels)."""
+    return KernelSpec(name=name, base=name, precision="d", hil=source,
+                      vector_args=(), output_args=(),
+                      flops_per_elem=elem_size)
+
+
 def cmd_tune(args) -> int:
     source, spec = _load_source(args.kernel)
     machine = get_machine(args.machine)
@@ -135,50 +175,88 @@ def cmd_tune(args) -> int:
     if not analysis.has_tuned_loop:
         raise SystemExit("error: no @TUNE loop in kernel")
 
-    timer = Timer(machine, context, n)
-    flops = (spec.flops(n) if spec is not None
-             else analysis.elem.size * n)  # bytes as a neutral unit
+    if spec is None:
+        spec = _file_spec(source, pathlib.Path(args.kernel).stem,
+                          analysis.elem.size)
 
-    def evaluate(params: TransformParams) -> float:
-        k = fko.compile(source, params)
-        from .machine import summarize
-        return timer.time_summary(summarize(k.fn), flops,
-                                  ident=str(params.key())).cycles
-
-    space = build_space(analysis, machine,
-                        enable_block_fetch=args.enable_block_fetch)
-    start = fko.defaults(source)
-    result = LineSearch(evaluate, space, start,
-                        max_evals=args.max_evals,
-                        output_arrays=analysis.output_arrays).run()
-
-    best = fko.compile(source, result.best_params)
-    if spec is not None:
-        test_function(best.fn, spec)
-    from .machine import summarize
-    timing = timer.time_summary(summarize(best.fn), flops, ident="best")
+    config = _engine_config(args, run_tester=spec.name in REGISTRY)
+    with TuningSession(config) as session:
+        tuned = session.tune(spec, machine, context, n)
+    result = tuned.search
 
     print(f"# ifko: {args.kernel} on {machine.name}, {context.value}, N={n}")
     print(f"# evaluations: {result.n_evaluations}, "
           f"speedup over FKO defaults: {result.speedup_over_start:.2f}x")
+    if session.stats.cache_hits:
+        print(f"# evaluation cache: {session.stats.cache_hits} hits, "
+              f"{session.stats.evaluations} computed")
     print(f"# best parameters: {result.best_params.describe()}")
-    if spec is not None:
-        print(f"# performance: {timing.mflops:.1f} model-MFLOPS")
+    if spec.name in REGISTRY:
+        print(f"# performance: {tuned.timing.mflops:.1f} model-MFLOPS")
     gains = [(p, g) for p, g in result.phase_speedups().items()
              if abs(g - 1) > 0.002]
     if gains:
         print("# gains: " + "  ".join(f"{p}={100 * (g - 1):+.1f}%"
                                       for p, g in gains))
     if args.asm:
-        print(emit_att(best.fn))
+        print(emit_att(tuned.compiled.fn))
     elif args.verbose:
-        print(format_function(best.fn))
+        print(format_function(tuned.compiled.fn))
+    return 0
+
+
+def cmd_tune_all(args) -> int:
+    machines = [m.strip() for m in args.machine.split(",") if m.strip()]
+    kernels = ([k.strip() for k in args.kernels.split(",") if k.strip()]
+               if args.kernels else None)
+    for k in kernels or ():
+        if k not in REGISTRY:
+            raise SystemExit(f"error: unknown kernel {k!r}")
+    jobs = registry_jobs(kernels=kernels, machines=machines,
+                         contexts=(args.context,), n=args.n)
+    config = _engine_config(args, run_tester=args.test)
+    with TuningSession(config) as session:
+        batch = session.run(jobs)
+
+    print(f"# tune-all: {len(batch.results)}/{len(jobs)} jobs "
+          f"({len(batch.resumed)} resumed from checkpoint) "
+          f"in {batch.wall:.1f}s with jobs={args.jobs}")
+    s = session.stats
+    print(f"# evaluations: {s.evaluations} computed, {s.cache_hits} "
+          f"cache hits, {s.timeouts} timeouts, {s.faults} faults")
+    width = max(len(k) for k in (list(batch.results) + list(batch.errors)))
+    for job in jobs:
+        key = job.key()
+        if key in batch.errors:
+            print(f"  {key:{width}s}  ERROR: {batch.errors[key]}")
+            continue
+        tk = batch.results[key]
+        evals = tk.search.n_evaluations if tk.search else 0
+        print(f"  {key:{width}s}  {tk.mflops:8.1f} MFLOPS  "
+              f"evals={evals:<4d} {tk.params.describe()}")
+    return 1 if batch.errors else 0
+
+
+def cmd_trace(args) -> int:
+    try:
+        events = read_trace(args.file)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read trace {args.file!r}: {exc}")
+    if not events:
+        print(f"# trace: {args.file} is empty")
+        return 0
+    print(render_trace_summary(summarize_trace(events)))
     return 0
 
 
 def cmd_experiments(args) -> int:
     from .experiments.__main__ import main as exp_main
-    return exp_main(args.which)
+    argv = list(args.which)
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    return exp_main(argv)
 
 
 # ---------------------------------------------------------------------------
@@ -227,14 +305,30 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--verbose", "-v", action="store_true")
     pc.set_defaults(func=cmd_compile)
 
+    def add_engine(p, resume: bool = True):
+        """The batch-engine knobs shared by tune / tune-all."""
+        p.add_argument("--context", "-c", type=_context,
+                       default=Context.OUT_OF_CACHE,
+                       help="oc (out-of-cache) or ic (in-L2)")
+        p.add_argument("--n", type=int, default=None,
+                       help="problem size (default: paper sizes)")
+        p.add_argument("--max-evals", type=int, default=400)
+        p.add_argument("--jobs", "-j", type=_jobs, default=1,
+                       help="worker processes (1 = serial)")
+        p.add_argument("--cache-dir", default=None,
+                       help="persistent evaluation cache directory")
+        p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write a JSONL search trace to FILE")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="wall-clock seconds allowed per evaluation")
+        if resume:
+            p.add_argument("--resume", default=None, metavar="FILE",
+                           help="checkpoint completed jobs to FILE and "
+                                "skip them when re-run")
+
     pt = sub.add_parser("tune", help="run the full ifko empirical search")
     add_common(pt)
-    pt.add_argument("--context", "-c", type=_context,
-                    default=Context.OUT_OF_CACHE,
-                    help="oc (out-of-cache) or ic (in-L2)")
-    pt.add_argument("--n", type=int, default=None,
-                    help="problem size (default: paper sizes)")
-    pt.add_argument("--max-evals", type=int, default=400)
+    add_engine(pt, resume=False)
     pt.add_argument("--enable-block-fetch", action="store_true",
                     help="make the BF extension searchable")
     pt.add_argument("--asm", action="store_true",
@@ -242,10 +336,31 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--verbose", "-v", action="store_true")
     pt.set_defaults(func=cmd_tune)
 
+    pta = sub.add_parser("tune-all",
+                         help="batch-tune every registry kernel through "
+                              "the engine")
+    pta.add_argument("--machine", "-m", default="p4e",
+                     help="comma-separated machine list (default p4e)")
+    pta.add_argument("--kernels", default=None,
+                     help="comma-separated subset (default: all kernels)")
+    pta.add_argument("--test", action="store_true",
+                     help="verify each winner against the NumPy reference")
+    add_engine(pta)
+    pta.set_defaults(func=cmd_tune_all)
+
+    ptr = sub.add_parser("trace",
+                         help="summarize a JSONL search trace")
+    ptr.add_argument("file", help="trace file written by --trace-out")
+    ptr.set_defaults(func=cmd_trace)
+
     pe = sub.add_parser("experiments",
                         help="regenerate the paper's tables and figures")
     pe.add_argument("which", nargs="*",
                     help="subset, e.g. fig2 table3 (default: all)")
+    pe.add_argument("--jobs", "-j", type=_jobs, default=None,
+                    help="worker processes for the tuning engine")
+    pe.add_argument("--cache-dir", default=None,
+                    help="persist results + evaluation cache here")
     pe.set_defaults(func=cmd_experiments)
 
     return parser
@@ -253,7 +368,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:   # e.g. `python -m repro trace ... | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

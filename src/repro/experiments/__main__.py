@@ -5,10 +5,17 @@ Usage::
     python -m repro.experiments            # quick sizes (N=20000 ooc)
     REPRO_FULL=1 python -m repro.experiments   # paper sizes (N=80000)
     python -m repro.experiments fig2 table3    # a subset
+    python -m repro.experiments --jobs 4 --cache-dir .repro-cache
+
+``--jobs`` fans the tuning runs across worker processes and
+``--cache-dir`` persists both the per-figure summaries and the engine's
+per-evaluation cache, so a rerun reloads instead of re-tuning
+(``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` set the same defaults).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -16,11 +23,28 @@ from . import fig5, fig7, relative, table1, table2
 from .table3 import table3 as make_table3
 from .store import global_store
 
+ALL = ("table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig7")
 
-def main(argv) -> int:
-    wanted = set(a.lower() for a in argv) or {
-        "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig7"}
-    store = global_store()
+
+def main(argv, jobs=None, cache_dir=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="regenerate the paper's tables and figures")
+    parser.add_argument("which", nargs="*",
+                        help=f"subset of {', '.join(ALL)} (default: all)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for the tuning engine")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist results + evaluation cache here")
+    args = parser.parse_args(list(argv))
+
+    wanted = set(a.lower() for a in args.which) or set(ALL)
+    unknown = wanted - set(ALL)
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(sorted(unknown))}")
+    store = global_store(jobs=args.jobs if jobs is None else jobs,
+                         cache_dir=(args.cache_dir if cache_dir is None
+                                    else cache_dir))
     t0 = time.time()
     print(f"# repro experiment suite "
           f"({'quick' if store.quick else 'paper'} sizes)\n")

@@ -5,6 +5,11 @@ need the ifko search results, Figure 5 needs ifko timings across both
 contexts — all for the same configurations.  The store computes each
 result once per process and memoizes it.
 
+All tuning runs through one :class:`repro.search.TuningSession`, so the
+figures share the engine's persistent evaluation cache, can fan out
+across worker processes (``jobs`` argument or ``REPRO_JOBS``), and can
+be traced (``trace`` argument).
+
 Problem sizes default to the paper's (N=80000 out of cache, N=1024
 in-L2).  ``quick=True`` shrinks the out-of-cache N (same physics, fewer
 simulated lines) so the full suite runs fast under pytest; the
@@ -14,7 +19,10 @@ Setting ``REPRO_CACHE_DIR`` (or passing ``cache_dir``) additionally
 persists results to disk as JSON, the way an ATLAS install records its
 search results: a second run of the experiment suite reloads instead of
 re-tuning.  The cache key includes the package version and problem
-sizes, so stale entries are never reused across code changes.
+sizes, so stale entries are never reused across code changes.  Since
+``SearchResult`` round-trips through JSON, ifko rows reload complete
+with their search detail; the engine's per-evaluation cache lives in an
+``evals/`` subdirectory of the same tree.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from ..kernels import KERNEL_ORDER, get_kernel
 from ..machine import Context, get_machine
 from ..machine.config import MachineConfig
 from ..refcomp import ALL_COMPILERS
-from ..search import SearchResult, TunedKernel, compile_default, tune_kernel
+from ..search import SearchResult, TuneConfig, TunedKernel, TuningSession
 
 #: column order of the paper's figures
 METHODS = ("gcc+ref", "icc+ref", "icc+prof", "ATLAS", "FKO", "ifko")
@@ -60,7 +68,9 @@ class ResultStore:
     """Memoized (machine, context, kernel, method) -> MethodResult."""
 
     def __init__(self, quick: Optional[bool] = None,
-                 cache_dir: Optional[str] = None):
+                 cache_dir: Optional[str] = None,
+                 jobs: Optional[int] = None,
+                 trace: Optional[str] = None):
         if quick is None:
             quick = os.environ.get("REPRO_FULL", "") == ""
         self.quick = quick
@@ -71,10 +81,17 @@ class ResultStore:
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_JOBS", "1") or 1)
+        self.jobs = jobs
+        eval_cache = (str(self.cache_dir / "evals")
+                      if self.cache_dir is not None else None)
+        self.session = TuningSession(TuneConfig(
+            jobs=jobs, cache_dir=eval_cache, trace=trace, run_tester=False))
 
     # ------------------------------------------------------------------
-    # optional JSON persistence (search results only survive in summary
-    # form: mflops/cycles/label; SearchResult objects are recomputed)
+    # optional JSON persistence (search results round-trip through
+    # SearchResult.to_dict, so ifko rows reload with full detail)
     def _disk_path(self, key) -> Optional[pathlib.Path]:
         if self.cache_dir is None:
             return None
@@ -91,12 +108,16 @@ class ResultStore:
             return None
         try:
             data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            search = (SearchResult.from_dict(data["search"])
+                      if data.get("search") else None)
+        except (OSError, json.JSONDecodeError, KeyError, ValueError,
+                TypeError):
             return None
         return MethodResult(method=data["method"], kernel=data["kernel"],
                             mflops=data["mflops"], cycles=data["cycles"],
                             label=data.get("label", ""),
-                            starred=data.get("starred", False))
+                            starred=data.get("starred", False),
+                            search=search)
 
     def _save_disk(self, key, result: MethodResult) -> None:
         path = self._disk_path(key)
@@ -104,7 +125,9 @@ class ResultStore:
             return
         data = {"method": result.method, "kernel": result.kernel,
                 "mflops": result.mflops, "cycles": result.cycles,
-                "label": result.label, "starred": result.starred}
+                "label": result.label, "starred": result.starred,
+                "search": (result.search.to_dict()
+                           if result.search else None)}
         path.write_text(json.dumps(data, indent=1))
 
     # ------------------------------------------------------------------
@@ -115,9 +138,7 @@ class ResultStore:
             method: str) -> MethodResult:
         key = (machine.name, context, kernel, method)
         if key not in self._cache:
-            # disk results lack the SearchResult detail that Table 3 /
-            # Figure 7 need, so only non-search methods reload from disk
-            disk = self._load_disk(key) if method != "ifko" else None
+            disk = self._load_disk(key)
             if disk is not None:
                 self._cache[key] = disk
             else:
@@ -155,11 +176,11 @@ class ResultStore:
                                 res.timing.cycles, label=res.best_label,
                                 starred=res.is_assembly)
         if method == "FKO":
-            tk = compile_default(spec, machine, context, n)
+            tk = self.session.compile_default(spec, machine, context, n)
             return MethodResult(method, kernel, tk.mflops, tk.timing.cycles,
                                 label=tk.params.describe())
         if method == "ifko":
-            tk = tune_kernel(spec, machine, context, n, run_tester=False)
+            tk = self.session.tune(spec, machine, context, n)
             return MethodResult(method, kernel, tk.mflops, tk.timing.cycles,
                                 label=tk.params.describe(), search=tk.search)
         raise KeyError(f"unknown method {method!r}")
@@ -169,8 +190,14 @@ class ResultStore:
 _GLOBAL: Optional[ResultStore] = None
 
 
-def global_store(quick: Optional[bool] = None) -> ResultStore:
+def global_store(quick: Optional[bool] = None,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None) -> ResultStore:
     global _GLOBAL
-    if _GLOBAL is None or (quick is not None and _GLOBAL.quick != quick):
-        _GLOBAL = ResultStore(quick)
+    if (_GLOBAL is None
+            or (quick is not None and _GLOBAL.quick != quick)
+            or (jobs is not None and _GLOBAL.jobs != jobs)
+            or (cache_dir is not None
+                and _GLOBAL.cache_dir != pathlib.Path(cache_dir))):
+        _GLOBAL = ResultStore(quick, cache_dir=cache_dir, jobs=jobs)
     return _GLOBAL

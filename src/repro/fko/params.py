@@ -117,6 +117,37 @@ class TransformParams:
                 + (" BF=Y" if self.block_fetch else "")
                 + (f" {pf}" if pf else ""))
 
+    # -- JSON round-trip (evaluation cache, checkpoints, traces) --------
+    def to_dict(self) -> Dict:
+        return {
+            "sv": self.sv, "unroll": self.unroll, "lc": self.lc,
+            "ae": self.ae, "wnt": self.wnt, "block_fetch": self.block_fetch,
+            "copy_propagation": self.copy_propagation,
+            "peephole": self.peephole, "cf_cleanup": self.cf_cleanup,
+            "register_allocation": self.register_allocation,
+            "prefetch": {a: [p.hint.value if p.hint else None, p.dist]
+                         for a, p in sorted(self.prefetch.items())},
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "TransformParams":
+        prefetch = {
+            arr: PrefetchParams(PrefetchHint(hint) if hint else None,
+                                int(dist))
+            for arr, (hint, dist) in data.get("prefetch", {}).items()}
+        return TransformParams(
+            sv=bool(data.get("sv", True)),
+            unroll=int(data.get("unroll", 1)),
+            lc=bool(data.get("lc", True)),
+            ae=int(data.get("ae", 1)),
+            prefetch=prefetch,
+            wnt=bool(data.get("wnt", False)),
+            block_fetch=bool(data.get("block_fetch", False)),
+            copy_propagation=bool(data.get("copy_propagation", True)),
+            peephole=bool(data.get("peephole", True)),
+            cf_cleanup=bool(data.get("cf_cleanup", True)),
+            register_allocation=data.get("register_allocation", "global"))
+
 
 def fko_defaults(line_size: int, elem_size: int, veclen: int,
                  prefetch_arrays: Tuple[str, ...]) -> TransformParams:

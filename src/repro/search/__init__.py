@@ -1,14 +1,33 @@
-"""Iterative search drivers — the empirical half of ifko (section 2.3)."""
+"""Iterative search drivers — the empirical half of ifko (section 2.3).
+
+:mod:`~repro.search.linesearch` is the paper's modified line search;
+:mod:`~repro.search.engine` is the batch engine that runs many searches
+(and many candidate evaluations) in parallel behind the
+:class:`TuningSession` API, with a persistent evaluation cache
+(:mod:`~repro.search.evalcache`), JSONL search traces
+(:mod:`~repro.search.trace`) and checkpoint/resume.
+"""
 
 from .space import (DEFAULT_AES, DEFAULT_DIST_LINES, DEFAULT_UNROLLS,
                     SearchSpace, build_space)
-from .linesearch import PHASES, Evaluator, LineSearch, SearchResult
+from .linesearch import (PHASES, BatchEvaluator, Evaluator, LineSearch,
+                         SearchResult)
+from .config import TuneConfig
 from .drivers import TunedKernel, compile_default, tune_kernel
+from .engine import (BatchResult, EngineStats, TuningJob, TuningSession,
+                     evaluate_params, registry_jobs)
+from .evalcache import EvalCache, eval_key
+from .trace import (TraceWriter, read_trace, render_trace_summary,
+                    summarize_trace)
 from .alternatives import (STRATEGIES, exhaustive_search, genetic_search,
                            random_search, simulated_annealing)
 
 __all__ = ["DEFAULT_AES", "DEFAULT_DIST_LINES", "DEFAULT_UNROLLS",
-           "SearchSpace", "build_space", "PHASES", "Evaluator",
-           "LineSearch", "SearchResult", "TunedKernel", "compile_default",
-           "tune_kernel", "STRATEGIES", "exhaustive_search",
+           "SearchSpace", "build_space", "PHASES", "BatchEvaluator",
+           "Evaluator", "LineSearch", "SearchResult", "TuneConfig",
+           "TunedKernel", "compile_default", "tune_kernel",
+           "BatchResult", "EngineStats", "TuningJob", "TuningSession",
+           "evaluate_params", "registry_jobs", "EvalCache", "eval_key",
+           "TraceWriter", "read_trace", "render_trace_summary",
+           "summarize_trace", "STRATEGIES", "exhaustive_search",
            "genetic_search", "random_search", "simulated_annealing"]

@@ -1,0 +1,65 @@
+"""Tuning configuration — the one options object for ifko runs.
+
+`tune_kernel` historically accreted positional keywords (``max_evals``,
+``space``, ``run_tester``, ``start``); the engine adds five more
+(``jobs``, ``cache_dir``, ``trace``, ``timeout``, ``resume``).  Rather
+than a nine-keyword signature, everything that shapes *how* a search
+runs lives here, and the drivers take ``config=TuneConfig(...)``.  The
+old keywords still work through a deprecation shim in
+:func:`repro.search.drivers.tune_kernel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:   # only type hints; avoids import cycles
+    from ..fko.params import TransformParams
+    from .space import SearchSpace
+
+
+@dataclass
+class TuneConfig:
+    """Everything that shapes one ifko search except the problem itself
+    (kernel, machine, context, N stay as positional arguments)."""
+
+    #: evaluation budget of the line search
+    max_evals: int = 400
+    #: explicit search space (default: built from FKO's analysis)
+    space: Optional["SearchSpace"] = None
+    #: verify the winning kernel against the NumPy reference
+    run_tester: bool = True
+    #: starting point (default: FKO's static defaults)
+    start: Optional["TransformParams"] = None
+    #: worker processes; 1 = serial (no pool is ever created)
+    jobs: int = 1
+    #: directory of the persistent, content-addressed evaluation cache
+    #: shared across runs and processes; None disables persistence
+    cache_dir: Optional[str] = None
+    #: path of a JSON-lines search trace (one event per evaluation /
+    #: phase / cache hit); None disables tracing
+    trace: Optional[str] = None
+    #: wall-clock seconds allowed per evaluation; None = unlimited
+    timeout: Optional[float] = None
+    #: path of a batch checkpoint file: completed jobs are recorded
+    #: there and skipped when the batch is re-run; None disables
+    resume: Optional[str] = None
+    #: make the BF extension searchable (paper lists it as planned)
+    enable_block_fetch: bool = False
+    #: fraction a candidate must win by to displace the incumbent
+    min_gain: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_evals <= 0:
+            raise ValueError(f"max_evals must be positive, "
+                             f"got {self.max_evals}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, "
+                             f"got {self.timeout}")
+
+    def replace(self, **changes) -> "TuneConfig":
+        return dataclasses.replace(self, **changes)

@@ -10,28 +10,35 @@ the tester to ensure that the answer is correct."
 :func:`tune_kernel` is "ifko": analysis -> line search over the space
 -> best compiled kernel, verified by the tester.
 :func:`compile_default` is plain "FKO": static defaults, no search.
+
+Both are thin fronts over :class:`repro.search.engine.TuningSession`;
+how a search runs (budget, parallelism, caching, tracing, timeouts) is
+configured through :class:`repro.search.config.TuneConfig`.  The
+pre-engine keyword signature (``max_evals``/``space``/``run_tester``/
+``start``) still works through a deprecation shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-from ..errors import KernelTestFailure
 from ..fko import FKO, TransformParams
 from ..fko.pipeline import CompiledKernel
+from ..kernels import get_kernel
 from ..kernels.blas1 import KernelSpec
+from ..machine import Context, get_machine
 from ..machine.config import MachineConfig
-from ..machine.timing import Context
-from ..timing.timer import KernelTiming, Timer
-from ..timing.tester import test_kernel
-from .linesearch import LineSearch, SearchResult
-from .space import SearchSpace, build_space
+from ..timing.timer import KernelTiming
+from .config import TuneConfig
+from .linesearch import SearchResult
 
 
 @dataclass
 class TunedKernel:
-    """The product of one ifko tuning run."""
+    """The product of one ifko tuning run (``search=None`` when it came
+    from :func:`compile_default` — same shape, no empirical search)."""
 
     spec: KernelSpec
     machine: MachineConfig
@@ -49,47 +56,68 @@ class TunedKernel:
     def mflops(self) -> float:
         return self.timing.mflops
 
+    # -- JSON round-trip (evaluation cache, checkpoints, result store) --
+    def to_dict(self) -> Dict:
+        """Summary form: the compiled IR is not serialized — FKO is
+        deterministic, so ``from_dict`` recompiles it from the params."""
+        return {"kernel": self.spec.name, "machine": self.machine.name,
+                "context": self.context.value, "n": self.n,
+                "params": self.params.to_dict(),
+                "timing": self.timing.to_dict(),
+                "search": self.search.to_dict() if self.search else None}
 
-def _make_evaluator(fko: FKO, spec: KernelSpec, timer: Timer):
-    def evaluate(params: TransformParams) -> float:
-        compiled = fko.compile(spec.hil, params)
-        return timer.time(compiled, spec).cycles
-    return evaluate
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TunedKernel":
+        spec = get_kernel(data["kernel"])
+        machine = get_machine(data["machine"])
+        params = TransformParams.from_dict(data["params"])
+        compiled = FKO(machine).compile(spec.hil, params)
+        search = (SearchResult.from_dict(data["search"])
+                  if data.get("search") else None)
+        return cls(spec=spec, machine=machine,
+                   context=Context(data["context"]), n=int(data["n"]),
+                   compiled=compiled,
+                   timing=KernelTiming.from_dict(data["timing"]),
+                   search=search)
+
+
+_LEGACY_KEYS = ("max_evals", "space", "run_tester", "start")
+
+
+def _fold_legacy(config: Optional[TuneConfig], legacy: Dict) -> TuneConfig:
+    if legacy:
+        unknown = set(legacy) - set(_LEGACY_KEYS)
+        if unknown:
+            raise TypeError(f"tune_kernel() got unexpected keyword "
+                            f"argument(s) {sorted(unknown)}")
+        warnings.warn(
+            "passing max_evals/space/run_tester/start to tune_kernel() "
+            "directly is deprecated; use config=TuneConfig(...)",
+            DeprecationWarning, stacklevel=3)
+        return (config or TuneConfig()).replace(**legacy)
+    return config or TuneConfig()
 
 
 def compile_default(spec: KernelSpec, machine: MachineConfig,
-                    context: Context, n: int) -> TunedKernel:
+                    context: Context, n: int,
+                    config: Optional[TuneConfig] = None) -> TunedKernel:
     """Plain FKO: static transformation defaults, no empirical search."""
-    fko = FKO(machine)
-    timer = Timer(machine, context, n)
-    compiled = fko.compile(spec.hil)   # params=None -> defaults
-    timing = timer.time(compiled, spec)
-    return TunedKernel(spec=spec, machine=machine, context=context, n=n,
-                       compiled=compiled, timing=timing)
+    from .engine import TuningSession
+    with TuningSession(config) as session:
+        return session.compile_default(spec, machine, context, n)
 
 
 def tune_kernel(spec: KernelSpec, machine: MachineConfig, context: Context,
-                n: int, max_evals: int = 400,
-                space: Optional[SearchSpace] = None,
-                run_tester: bool = True,
-                start: Optional[TransformParams] = None) -> TunedKernel:
-    """ifko: iterative compilation of one kernel for one machine/context."""
-    fko = FKO(machine)
-    timer = Timer(machine, context, n)
-    analysis = fko.analyze(spec.hil)
-    if space is None:
-        space = build_space(analysis, machine)
-    if start is None:
-        start = fko.defaults(spec.hil)
+                n: int, config: Optional[TuneConfig] = None,
+                **legacy) -> TunedKernel:
+    """ifko: iterative compilation of one kernel for one machine/context.
 
-    search = LineSearch(_make_evaluator(fko, spec, timer), space, start,
-                        max_evals=max_evals,
-                        output_arrays=analysis.output_arrays)
-    result = search.run()
-
-    compiled = fko.compile(spec.hil, result.best_params)
-    if run_tester:
-        test_kernel(compiled, spec)   # "unnecessary in theory, useful in practice"
-    timing = timer.time(compiled, spec)
-    return TunedKernel(spec=spec, machine=machine, context=context, n=n,
-                       compiled=compiled, timing=timing, search=result)
+    ``config`` carries the how (budget, space, start point, tester,
+    ``jobs``, ``cache_dir``, ``trace``, ``timeout``); a one-shot session
+    is created around it.  For many kernels, or to share one pool and
+    cache, hold a :class:`~repro.search.engine.TuningSession` instead.
+    """
+    config = _fold_legacy(config, legacy)
+    from .engine import TuningSession
+    with TuningSession(config) as session:
+        return session.tune(spec, machine, context, n)

@@ -1,0 +1,626 @@
+"""The parallel batch-tuning engine behind the :class:`TuningSession` API.
+
+The paper's evaluation tunes 10+ kernels x 2 machines x 2 contexts, and
+each ifko run makes hundreds of compile+time evaluations.  All of that
+work is embarrassingly parallel at two grains, and this module exploits
+both through one ``concurrent.futures.ProcessPoolExecutor``:
+
+* **across jobs** — independent (kernel, machine, context, N) tuning
+  runs fan out whole, one search per worker process
+  (:meth:`TuningSession.run`);
+* **within a sweep** — a single search's candidate list fans out
+  per-evaluation (:meth:`TuningSession.tune` with ``jobs > 1``).
+
+Parallelism never changes the answer: the line search charges its
+budget and reduces each sweep in candidate order regardless of who
+computed the cycle counts, so ``jobs=N`` is bit-identical to ``jobs=1``
+(the simulated machines and the seeded timer noise are deterministic).
+
+Around the pool the session layers the robustness an overnight tuning
+run needs:
+
+* a persistent content-addressed **evaluation cache**
+  (:mod:`repro.search.evalcache`) shared across runs and processes;
+* per-evaluation **timeouts** and **retry-once** on
+  :class:`~repro.errors.SimulationFault`;
+* **checkpoint/resume** of partially completed batches to a JSON state
+  file;
+* a JSON-lines **trace** (:mod:`repro.search.trace`) of every
+  evaluation, cache hit and phase move;
+* graceful **fallback to serial** when ``jobs=1`` or the pool dies.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import pathlib
+import signal
+import tempfile
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import __version__
+from ..errors import ReproError, SimulationFault
+from ..fko import FKO, TransformParams
+from ..kernels import KERNEL_ORDER, REGISTRY, get_kernel
+from ..kernels.blas1 import KernelSpec
+from ..machine import Context, get_machine, summarize
+from ..machine.config import MachineConfig
+from ..timing.tester import test_kernel
+from ..timing.timer import Timer, paper_n
+from .config import TuneConfig
+from .drivers import TunedKernel
+from .evalcache import EvalCache, eval_key
+from .linesearch import LineSearch
+from .space import build_space
+from .trace import TraceWriter
+
+
+# ---------------------------------------------------------------------------
+# one evaluation: compile + time, with timeout and retry
+
+class EvalTimeout(ReproError):
+    """An evaluation exceeded the configured per-evaluation timeout."""
+
+
+class _alarm:
+    """SIGALRM-based wall-clock guard around one evaluation.  A no-op
+    when no timeout is set, off the main thread, or on platforms
+    without SIGALRM (evaluations then simply run to completion)."""
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self.active = (seconds is not None and hasattr(signal, "SIGALRM")
+                       and threading.current_thread()
+                       is threading.main_thread())
+        self._prev = None
+
+    def __enter__(self):
+        if self.active:
+            def _raise(signum, frame):
+                raise EvalTimeout(f"evaluation exceeded {self.seconds}s")
+            self._prev = signal.signal(signal.SIGALRM, _raise)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+        return self
+
+    def __exit__(self, *exc):
+        if self.active:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._prev)
+        return False
+
+
+def evaluate_params(fko: FKO, timer: Timer, hil: str,
+                    params: TransformParams, flops: float,
+                    ident_prefix: str,
+                    timeout: Optional[float] = None) -> Tuple[float, str]:
+    """One compile+time.  Returns ``(cycles, status)`` where status is
+    ``ok`` | ``retried`` | ``timeout`` | ``fault: ...``; failures come
+    back as ``inf`` cycles (the sweep just never picks them) instead of
+    killing a batch that has hours of work behind it."""
+    last = "ok"
+    for attempt in (0, 1):
+        try:
+            with _alarm(timeout):
+                compiled = fko.compile(hil, params)
+                timing = timer.time_summary(
+                    summarize(compiled.fn), flops,
+                    ident=f"{ident_prefix}{params.key()}")
+            return timing.cycles, ("ok" if attempt == 0 else "retried")
+        except SimulationFault as exc:   # transient by definition: retry once
+            last = f"fault: {exc}"
+        except EvalTimeout:
+            return float("inf"), "timeout"
+    return float("inf"), last
+
+
+# ---------------------------------------------------------------------------
+# pool workers (top-level so they pickle by name; the per-process
+# FKO/Timer pairs are memoized because every candidate of a sweep
+# shares them)
+
+_WORKER_TOOLS: Dict[Tuple[str, str, int], Tuple[FKO, Timer]] = {}
+
+
+def _worker_tools(machine_name: str, context_value: str,
+                  n: int) -> Tuple[FKO, Timer]:
+    key = (machine_name, context_value, int(n))
+    if key not in _WORKER_TOOLS:
+        machine = get_machine(machine_name)
+        context = Context(context_value)
+        _WORKER_TOOLS[key] = (FKO(machine), Timer(machine, context, n))
+    return _WORKER_TOOLS[key]
+
+
+def _eval_worker(payload: Dict) -> Dict:
+    """Evaluate one candidate in a worker (within-sweep fan-out)."""
+    fko, timer = _worker_tools(payload["machine"], payload["context"],
+                               payload["n"])
+    params = TransformParams.from_dict(payload["params"])
+    t0 = time.perf_counter()
+    cycles, status = evaluate_params(fko, timer, payload["hil"], params,
+                                     payload["flops"], payload["ident"],
+                                     payload["timeout"])
+    return {"cycles": cycles, "status": status,
+            "wall": time.perf_counter() - t0}
+
+
+def _job_worker(payload: Dict) -> Dict:
+    """Run one whole tuning job serially in a worker (job-level
+    fan-out).  Trace events are buffered and shipped back so the parent
+    stays the only writer of the trace file."""
+    job = TuningJob.from_dict(payload["job"])
+    config = TuneConfig(jobs=1, trace=None, resume=None,
+                        **payload["config"])
+    session = TuningSession(config, collect_events=True)
+    try:
+        tuned = session.tune(job.kernel, job.machine, job.context, job.n,
+                             max_evals=job.max_evals)
+        return {"ok": True, "result": tuned.to_dict(),
+                "events": session.drain_events(),
+                "stats": session.stats.to_dict()}
+    except Exception as exc:   # noqa: BLE001 — report, parent decides
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}",
+                "events": session.drain_events(),
+                "stats": session.stats.to_dict()}
+    finally:
+        session.close()
+
+
+# ---------------------------------------------------------------------------
+# jobs, stats, batch results
+
+@dataclass
+class TuningJob:
+    """One unit of batch work: tune ``kernel`` on ``machine`` in
+    ``context`` at size ``n``.  Kernel and machine are held by registry
+    *name* so a job pickles as a handful of strings."""
+
+    kernel: str
+    machine: str
+    context: Context
+    n: int
+    max_evals: Optional[int] = None    # per-job budget override
+
+    def __post_init__(self):
+        if isinstance(self.kernel, KernelSpec):
+            self.kernel = self.kernel.name
+        if isinstance(self.machine, MachineConfig):
+            self.machine = self.machine.name
+        # canonicalize aliases ("P4E", "pentium4", ...) so checkpoint
+        # keys match however the job was constructed
+        self.machine = get_machine(self.machine).name.lower()
+        if isinstance(self.context, str):
+            self.context = Context(self.context)
+        if self.kernel not in REGISTRY:
+            raise KeyError(f"unknown kernel {self.kernel!r}")
+
+    def key(self) -> str:
+        return f"{self.kernel}:{self.machine}:{self.context.value}:{self.n}"
+
+    def to_dict(self) -> Dict:
+        return {"kernel": self.kernel, "machine": self.machine,
+                "context": self.context.value, "n": self.n,
+                "max_evals": self.max_evals}
+
+    @staticmethod
+    def from_dict(data: Dict) -> "TuningJob":
+        return TuningJob(kernel=data["kernel"], machine=data["machine"],
+                         context=Context(data["context"]), n=int(data["n"]),
+                         max_evals=data.get("max_evals"))
+
+
+def registry_jobs(kernels: Optional[Sequence[str]] = None,
+                  machines: Sequence[str] = ("p4e",),
+                  contexts: Sequence[Context] = (Context.OUT_OF_CACHE,),
+                  n: Optional[int] = None) -> List[TuningJob]:
+    """The full batch for ``tune-all``: every registry kernel crossed
+    with the requested machines and contexts (paper N per context when
+    ``n`` is None)."""
+    jobs = []
+    for kernel in (kernels or KERNEL_ORDER):
+        for machine in machines:
+            for context in contexts:
+                jobs.append(TuningJob(kernel, machine, context,
+                                      n or paper_n(context)))
+    return jobs
+
+
+@dataclass
+class EngineStats:
+    """Counters across one session (workers report theirs back and the
+    parent merges, so these are batch-wide totals)."""
+
+    evaluations: int = 0      # real compile+time runs
+    cache_hits: int = 0       # served from the persistent cache
+    timeouts: int = 0
+    faults: int = 0           # evaluations lost to a double SimulationFault
+    retries: int = 0          # evaluations that succeeded on retry
+    jobs_completed: int = 0
+    jobs_resumed: int = 0
+
+    def to_dict(self) -> Dict:
+        return dict(self.__dict__)
+
+    def merge(self, other: Optional[Dict]) -> None:
+        for k, v in (other or {}).items():
+            if hasattr(self, k):
+                setattr(self, k, getattr(self, k) + int(v))
+
+
+@dataclass
+class BatchResult:
+    """What :meth:`TuningSession.run` hands back."""
+
+    results: Dict[str, TunedKernel]
+    errors: Dict[str, str] = field(default_factory=dict)
+    resumed: List[str] = field(default_factory=list)
+    wall: float = 0.0
+
+    def __getitem__(self, job_key: str) -> TunedKernel:
+        return self.results[job_key]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def to_dict(self) -> Dict:
+        return {"results": {k: tk.to_dict()
+                            for k, tk in self.results.items()},
+                "errors": dict(self.errors),
+                "resumed": list(self.resumed), "wall": self.wall}
+
+
+# ---------------------------------------------------------------------------
+# the cache-, trace- and fault-aware evaluator handed to LineSearch
+
+class _Evaluator:
+    def __init__(self, session: "TuningSession", spec: KernelSpec,
+                 machine: MachineConfig, context: Context, n: int,
+                 fko: FKO, timer: Timer):
+        self.session = session
+        self.spec = spec
+        self.machine = machine
+        self.context = context
+        self.n = n
+        self.fko = fko
+        self.timer = timer
+        self.flops = spec.flops(n)
+        self.ident = f"{spec.name}|"
+        self.job = (f"{spec.name}:{machine.name.lower()}"
+                    f":{context.value}:{n}")
+        self.search: Optional[LineSearch] = None   # set post-construction
+
+    def _phase(self) -> str:
+        return self.search.phase if self.search is not None else ""
+
+    def _digest(self, params: TransformParams) -> str:
+        return eval_key(self.spec.hil, self.machine.name, self.context,
+                        self.n, params.key(), __version__)
+
+    def __call__(self, params: TransformParams) -> float:
+        return self.many([params])[0]
+
+    def many(self, batch: List[TransformParams]) -> List[float]:
+        session = self.session
+        cycles: List[Optional[float]] = [None] * len(batch)
+
+        to_run: List[int] = []
+        digests = [self._digest(p) for p in batch]
+        for i, params in enumerate(batch):
+            hit = (session.cache.get(digests[i])
+                   if session.cache is not None else None)
+            if hit is not None:
+                cycles[i] = hit
+                session.stats.cache_hits += 1
+                session.emit("cache-hit", job=self.job, phase=self._phase(),
+                             params=params.describe(), cycles=hit, wall=0.0)
+            else:
+                to_run.append(i)
+
+        pool = session.pool() if len(to_run) > 1 else None
+        if pool is not None:
+            payloads = [{"hil": self.spec.hil, "machine": self.machine.name,
+                         "context": self.context.value, "n": self.n,
+                         "flops": self.flops, "ident": self.ident,
+                         "timeout": session.config.timeout,
+                         "params": batch[i].to_dict()} for i in to_run]
+            try:
+                outcomes = list(pool.map(_eval_worker, payloads))
+            except BrokenProcessPool:
+                session.mark_pool_broken(self.job)
+            else:
+                for i, outcome in zip(to_run, outcomes):
+                    cycles[i] = self._record(batch[i], digests[i], outcome)
+                to_run = []
+
+        for i in to_run:   # serial path, and fallback after a dead pool
+            t0 = time.perf_counter()
+            c, status = evaluate_params(self.fko, self.timer, self.spec.hil,
+                                        batch[i], self.flops, self.ident,
+                                        session.config.timeout)
+            cycles[i] = self._record(batch[i], digests[i],
+                                     {"cycles": c, "status": status,
+                                      "wall": time.perf_counter() - t0})
+        return cycles
+
+    def _record(self, params: TransformParams, digest: str,
+                outcome: Dict) -> float:
+        session = self.session
+        c, status = outcome["cycles"], outcome["status"]
+        session.stats.evaluations += 1
+        if status == "timeout":
+            session.stats.timeouts += 1
+        elif status == "retried":
+            session.stats.retries += 1
+        elif status != "ok":
+            session.stats.faults += 1
+        # only completed measurements are worth remembering: a timeout
+        # or fault may be transient, so the next run should try again
+        if session.cache is not None and status in ("ok", "retried"):
+            session.cache.put(digest, c, meta={"kernel": self.spec.name,
+                                               "machine": self.machine.name,
+                                               "context": self.context.value,
+                                               "n": self.n,
+                                               "params": params.describe()})
+        session.emit("eval", job=self.job, phase=self._phase(),
+                     params=params.describe(), cycles=c,
+                     wall=outcome["wall"], status=status)
+        return c
+
+
+# ---------------------------------------------------------------------------
+# the session
+
+class TuningSession:
+    """Owns the worker pool, the persistent evaluation cache, the trace
+    writer and batch checkpoints.  Use it as a context manager::
+
+        with TuningSession(TuneConfig(jobs=4, cache_dir=".cache")) as s:
+            batch = s.run(registry_jobs(machines=["p4e", "opteron"]))
+    """
+
+    def __init__(self, config: Optional[TuneConfig] = None,
+                 collect_events: bool = False):
+        self.config = config or TuneConfig()
+        self.cache = (EvalCache(self.config.cache_dir)
+                      if self.config.cache_dir else None)
+        self.stats = EngineStats()
+        self._trace = (TraceWriter(self.config.trace)
+                       if (self.config.trace or collect_events) else None)
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_broken = False
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._trace is not None:
+            self._trace.close()
+
+    def __enter__(self) -> "TuningSession":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- pool / trace plumbing -----------------------------------------
+    def pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+        """The executor, or None when running serially (``jobs=1``, a
+        previously broken pool, or a platform that cannot fork)."""
+        if self.config.jobs <= 1 or self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.config.jobs)
+            except (OSError, ValueError):
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    def mark_pool_broken(self, job: Optional[str] = None) -> None:
+        self._pool_broken = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self.emit("pool-broken", job=job)
+
+    def emit(self, event: str, **fields) -> None:
+        if self._trace is not None:
+            self._trace.emit(event, **fields)
+
+    def drain_events(self) -> List[Dict]:
+        return self._trace.drain() if self._trace is not None else []
+
+    # -- single-kernel tuning ------------------------------------------
+    def tune(self, spec: Union[str, KernelSpec],
+             machine: Union[str, MachineConfig], context: Context, n: int,
+             max_evals: Optional[int] = None) -> TunedKernel:
+        """ifko one kernel: analysis -> line search -> verified best.
+        With ``jobs > 1`` the sweep candidates fan across the pool."""
+        spec = get_kernel(spec) if isinstance(spec, str) else spec
+        machine = (get_machine(machine) if isinstance(machine, str)
+                   else machine)
+        config = self.config
+        fko = FKO(machine)
+        timer = Timer(machine, context, n)
+        analysis = fko.analyze(spec.hil)
+        space = config.space or build_space(
+            analysis, machine, enable_block_fetch=config.enable_block_fetch)
+        start = config.start or fko.defaults(spec.hil)
+
+        evaluator = _Evaluator(self, spec, machine, context, n, fko, timer)
+        search = LineSearch(evaluator, space, start,
+                            max_evals=max_evals or config.max_evals,
+                            min_gain=config.min_gain,
+                            output_arrays=analysis.output_arrays,
+                            evaluate_many=evaluator.many)
+        evaluator.search = search
+
+        self.emit("job-start", job=evaluator.job, kernel=spec.name,
+                  machine=machine.name, context=context.value, n=n,
+                  space=space.size)
+        result = search.run()
+
+        compiled = fko.compile(spec.hil, result.best_params)
+        if config.run_tester and spec.name in REGISTRY:
+            test_kernel(compiled, spec)
+        timing = timer.time(compiled, spec)
+        self.emit("job-end", job=evaluator.job,
+                  best_cycles=result.best_cycles,
+                  evaluations=result.n_evaluations, mflops=timing.mflops,
+                  params=result.best_params.describe())
+        self.stats.jobs_completed += 1
+        return TunedKernel(spec=spec, machine=machine, context=context, n=n,
+                           compiled=compiled, timing=timing, search=result)
+
+    def compile_default(self, spec: Union[str, KernelSpec],
+                        machine: Union[str, MachineConfig],
+                        context: Context, n: int) -> TunedKernel:
+        """Plain FKO (static defaults, no search) in the same
+        fully-populated result shape, just with ``search=None``."""
+        spec = get_kernel(spec) if isinstance(spec, str) else spec
+        machine = (get_machine(machine) if isinstance(machine, str)
+                   else machine)
+        fko = FKO(machine)
+        timer = Timer(machine, context, n)
+        compiled = fko.compile(spec.hil)   # params=None -> defaults
+        timing = timer.time(compiled, spec)
+        return TunedKernel(spec=spec, machine=machine, context=context, n=n,
+                           compiled=compiled, timing=timing, search=None)
+
+    # -- batch tuning ---------------------------------------------------
+    def run(self, jobs: Sequence[Union[TuningJob, Dict]]) -> BatchResult:
+        """Tune a batch of independent jobs, fanning whole jobs across
+        the pool; each worker runs its search serially, so per-job
+        results are bit-identical to a serial batch."""
+        jobs = [j if isinstance(j, TuningJob) else TuningJob.from_dict(j)
+                for j in jobs]
+        t0 = time.perf_counter()
+        completed = self._load_checkpoint()
+        results: Dict[str, TunedKernel] = {}
+        errors: Dict[str, str] = {}
+        resumed: List[str] = []
+
+        self.emit("batch-start", jobs=[j.key() for j in jobs],
+                  njobs=len(jobs))
+        pending: List[TuningJob] = []
+        for job in jobs:
+            key = job.key()
+            if key in completed:
+                try:
+                    results[key] = TunedKernel.from_dict(completed[key])
+                except (ReproError, KeyError, ValueError, TypeError):
+                    pending.append(job)   # corrupt entry: recompute
+                    continue
+                resumed.append(key)
+                self.stats.jobs_resumed += 1
+                self.emit("job-resumed", job=key)
+            else:
+                pending.append(job)
+
+        retry_serially: List[TuningJob] = []
+        pool = self.pool() if len(pending) > 1 else None
+        if pool is not None:
+            blob = self._worker_config()
+            futures = {pool.submit(_job_worker,
+                                   {"job": job.to_dict(), "config": blob}):
+                       job for job in pending}
+            try:
+                for fut in concurrent.futures.as_completed(futures):
+                    job = futures[fut]
+                    outcome = fut.result()
+                    self._absorb(job, outcome, results, errors,
+                                 retry_serially, completed)
+            except BrokenProcessPool:
+                self.mark_pool_broken()   # leftovers re-run serially below
+
+        leftovers = [job for job in pending
+                     if job.key() not in results
+                     and job.key() not in errors] + retry_serially
+        for job in leftovers:
+            key = job.key()
+            errors.pop(key, None)
+            try:
+                tuned = self.tune(job.kernel, job.machine, job.context,
+                                  job.n, max_evals=job.max_evals)
+            except Exception as exc:   # noqa: BLE001 — keep batch alive
+                errors[key] = f"{type(exc).__name__}: {exc}"
+                self.emit("job-error", job=key, error=errors[key])
+                continue
+            results[key] = tuned
+            completed[key] = tuned.to_dict()
+            self._save_checkpoint(completed)
+
+        wall = time.perf_counter() - t0
+        self.emit("batch-end", completed=len(results), errors=len(errors),
+                  wall=wall)
+        return BatchResult(results=results, errors=errors, resumed=resumed,
+                           wall=wall)
+
+    def _absorb(self, job: TuningJob, outcome: Dict,
+                results: Dict[str, TunedKernel], errors: Dict[str, str],
+                retry_serially: List[TuningJob],
+                completed: Dict[str, Dict]) -> None:
+        key = job.key()
+        if self._trace is not None:
+            self._trace.write_many(outcome.get("events") or [])
+        self.stats.merge(outcome.get("stats"))
+        if outcome.get("ok"):
+            results[key] = TunedKernel.from_dict(outcome["result"])
+            completed[key] = outcome["result"]
+            self._save_checkpoint(completed)
+        elif "SimulationFault" in (outcome.get("error") or ""):
+            retry_serially.append(job)   # the engine's retry-once, job grain
+        else:
+            errors[key] = outcome.get("error") or "unknown worker failure"
+            self.emit("job-error", job=key, error=errors[key])
+
+    def _worker_config(self) -> Dict:
+        """The picklable TuneConfig subset a job worker rebuilds from
+        (space/start stay parent-side: batch jobs are registry kernels
+        whose space comes from their own analysis)."""
+        return {"max_evals": self.config.max_evals,
+                "run_tester": self.config.run_tester,
+                "cache_dir": self.config.cache_dir,
+                "timeout": self.config.timeout,
+                "enable_block_fetch": self.config.enable_block_fetch,
+                "min_gain": self.config.min_gain}
+
+    # -- checkpointing --------------------------------------------------
+    def _load_checkpoint(self) -> Dict[str, Dict]:
+        path = self.config.resume
+        if not path or not os.path.exists(path):
+            return {}
+        try:
+            state = json.loads(pathlib.Path(path).read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if state.get("version") != __version__:
+            return {}   # results from another code version: recompute
+        return dict(state.get("completed", {}))
+
+    def _save_checkpoint(self, completed: Dict[str, Dict]) -> None:
+        path = self.config.resume
+        if not path:
+            return
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        state = {"version": __version__, "completed": completed}
+        fd, tmp = tempfile.mkstemp(dir=target.parent, prefix=".ckpt-")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(state, fh, indent=1)
+            os.replace(tmp, target)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

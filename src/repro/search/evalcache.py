@@ -1,0 +1,99 @@
+"""Persistent, content-addressed cache of kernel evaluations.
+
+Every ifko evaluation is a pure function of (kernel source, machine,
+context, problem size, transform parameters, code version): the
+simulated machines are deterministic and the timer's pseudo-noise is
+seeded from the same identity.  That makes evaluations perfectly
+cacheable *across runs and processes* — the way an ATLAS install
+records its search so a reinstall does not re-time the world.
+
+The cache is a directory of tiny JSON files named by the SHA-256 of the
+key tuple ``(hil_hash, machine, context, n, params.key(), __version__)``.
+One file per entry keeps concurrent writers trivially safe (each write
+is an atomic ``os.replace``), and including ``__version__`` in the key
+means stale entries are never reused across code changes — they are
+simply never looked up again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional, Tuple
+
+
+def eval_key(hil: str, machine_name: str, context, n: int,
+             params_key: Tuple, version: str) -> str:
+    """SHA-256 digest naming one evaluation.
+
+    ``context`` may be a :class:`repro.machine.Context` or its string
+    value; ``params_key`` is ``TransformParams.key()`` (a nested tuple
+    of primitives, so its ``repr`` is stable).
+    """
+    hil_hash = hashlib.sha256(hil.encode()).hexdigest()
+    ctx = getattr(context, "value", str(context))
+    blob = repr((hil_hash, machine_name, ctx, int(n), params_key, version))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class EvalCache:
+    """Disk dictionary: evaluation digest -> cycle count."""
+
+    def __init__(self, root: str):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, digest: str) -> pathlib.Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[float]:
+        """Cycles for ``digest``, or None (corrupt entries count as
+        misses and are recomputed, never raised)."""
+        try:
+            data = json.loads(self._path(digest).read_text())
+            cycles = float(data["cycles"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return cycles
+
+    def put(self, digest: str, cycles: float,
+            meta: Optional[Dict] = None) -> None:
+        """Record an evaluation.  Atomic (write-then-rename), so a
+        concurrent reader sees either nothing or the full entry."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = dict(meta or {})
+        data["cycles"] = float(cycles)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(data, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return   # a cache that cannot write is merely cold
+        self.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        n = 0
+        for f in self.root.glob("*/*.json"):
+            try:
+                f.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n

@@ -38,6 +38,10 @@ from ..ir import PrefetchHint
 from .space import SearchSpace
 
 Evaluator = Callable[[TransformParams], float]   # -> cycles (lower = better)
+#: optional vectorized evaluator: a whole candidate list at once (the
+#: engine fans these across its worker pool); must return cycles in the
+#: same order as its input
+BatchEvaluator = Callable[[List[TransformParams]], List[float]]
 
 #: phase names in Figure 7's legend order (BF is this reproduction's
 #: extension: the block-fetch transform the paper lists as planned)
@@ -55,6 +59,8 @@ class SearchResult:
 
     @property
     def speedup_over_start(self) -> float:
+        if self.best_cycles == self.start_cycles:
+            return 1.0   # covers inf == inf (every evaluation failed)
         return self.start_cycles / self.best_cycles if self.best_cycles else 1.0
 
     def phase_speedups(self) -> Dict[str, float]:
@@ -62,15 +68,53 @@ class SearchResult:
         Figure 7 decomposition); the product equals the total speedup."""
         return {p: self.phase_gains.get(p, 1.0) for p in PHASES}
 
+    # -- JSON round-trip (evaluation cache, checkpoints, result store) --
+    def to_dict(self) -> Dict:
+        return {"best_params": self.best_params.to_dict(),
+                "best_cycles": self.best_cycles,
+                "start_cycles": self.start_cycles,
+                "n_evaluations": self.n_evaluations,
+                "phase_gains": dict(self.phase_gains),
+                "history": [[phase, _jsonable(key), cycles]
+                            for phase, key, cycles in self.history]}
+
+    @staticmethod
+    def from_dict(data: Dict) -> "SearchResult":
+        return SearchResult(
+            best_params=TransformParams.from_dict(data["best_params"]),
+            best_cycles=float(data["best_cycles"]),
+            start_cycles=float(data["start_cycles"]),
+            n_evaluations=int(data["n_evaluations"]),
+            phase_gains={p: float(g)
+                         for p, g in data.get("phase_gains", {}).items()},
+            history=[(phase, _tupled(key), float(cycles))
+                     for phase, key, cycles in data.get("history", [])])
+
+
+def _jsonable(obj):
+    """Nested params-key tuple -> nested JSON list."""
+    if isinstance(obj, tuple):
+        return [_jsonable(x) for x in obj]
+    return obj
+
+
+def _tupled(obj):
+    """Inverse of :func:`_jsonable`."""
+    if isinstance(obj, list):
+        return tuple(_tupled(x) for x in obj)
+    return obj
+
 
 class LineSearch:
     def __init__(self, evaluate: Evaluator, space: SearchSpace,
                  start: TransformParams, max_evals: int = 500,
                  min_gain: float = 0.005,
-                 output_arrays: Sequence[str] = ()):
+                 output_arrays: Sequence[str] = (),
+                 evaluate_many: Optional[BatchEvaluator] = None):
         if max_evals <= 0:
             raise SearchError("max_evals must be positive")
         self.evaluate_raw = evaluate
+        self.evaluate_many = evaluate_many
         self.space = space
         self.start = start
         self.max_evals = max_evals
@@ -81,27 +125,58 @@ class LineSearch:
         self._cache: Dict[Tuple, float] = {}
         self.n_evaluations = 0
         self.history: List[Tuple[str, Tuple, float]] = []
-        self._phase = "start"
+        #: name of the sweep phase currently evaluating (trace observers
+        #: read this through the engine's evaluator)
+        self.phase = "start"
 
     # ------------------------------------------------------------------
     def _eval(self, params: TransformParams) -> float:
-        key = params.key()
-        if key in self._cache:
-            return self._cache[key]
-        if self.n_evaluations >= self.max_evals:
-            return float("inf")
-        self.n_evaluations += 1
-        cycles = self.evaluate_raw(params)
-        self._cache[key] = cycles
-        self.history.append((self._phase, key, cycles))
-        return cycles
+        return self._eval_batch([params])[0]
+
+    def _eval_batch(self, candidates: List[TransformParams]) -> List[float]:
+        """Evaluate a candidate list with semantics identical to
+        one-at-a-time evaluation (memoization, budget consumption and
+        history all happen in candidate order), but let the *uncached*
+        evaluations fan out through ``evaluate_many`` when the caller
+        provided one.  This is what keeps ``jobs=N`` bit-identical to
+        ``jobs=1``: parallelism only changes who computes the cycle
+        counts, never which candidates are charged to the budget or how
+        the sweep reduces them."""
+        out: List[Optional[float]] = [None] * len(candidates)
+        fresh: List[Tuple[int, TransformParams, Tuple]] = []
+        batch_pos: Dict[Tuple, int] = {}   # key -> position of first use
+        for i, params in enumerate(candidates):
+            key = params.key()
+            if key in self._cache:
+                out[i] = self._cache[key]
+            elif key in batch_pos:
+                continue                   # duplicate: filled in below
+            elif self.n_evaluations >= self.max_evals:
+                out[i] = float("inf")
+            else:
+                self.n_evaluations += 1
+                batch_pos[key] = i
+                fresh.append((i, params, key))
+        if fresh:
+            if self.evaluate_many is not None and len(fresh) > 1:
+                values = self.evaluate_many([p for _, p, _ in fresh])
+            else:
+                values = [self.evaluate_raw(p) for _, p, _ in fresh]
+            for (i, _, key), cycles in zip(fresh, values):
+                self._cache[key] = cycles
+                self.history.append((self.phase, key, cycles))
+                out[i] = cycles
+        for i, params in enumerate(candidates):   # resolve duplicates
+            if out[i] is None:
+                out[i] = self._cache.get(params.key(), float("inf"))
+        return out
 
     def _sweep(self, base: TransformParams, best: float,
                candidates) -> Tuple[TransformParams, float]:
         """Try each candidate; move only on strict improvement."""
+        candidates = list(candidates)
         best_params = base
-        for params in candidates:
-            c = self._eval(params)
+        for params, c in zip(candidates, self._eval_batch(candidates)):
             if c < best * (1.0 - self.min_gain):
                 best, best_params = c, params
         return best_params, best
@@ -111,14 +186,14 @@ class LineSearch:
         sp = self.space
         gains: Dict[str, float] = {p: 1.0 for p in PHASES}
 
-        self._phase = "start"
+        self.phase = "start"
         base = self.start
         best = self._eval(base)
         start_cycles = best
 
         def attributed(phase: str, cands) -> None:
             nonlocal base, best
-            self._phase = phase
+            self.phase = phase
             before = best
             base, best = self._sweep(base, best, cands)
             if best > 0:

@@ -1,0 +1,180 @@
+"""Structured search tracing — one JSON-lines event per evaluation.
+
+The engine records what the search *did* (every compile+time, every
+cache hit, every phase move, every job boundary) so a run can be
+audited after the fact: how many evaluations a figure cost, where the
+wall time went, whether a warm-cache rerun really re-evaluated nothing.
+ELAPS (Peise & Bientinesi) treats performance experiments as jobs with
+recorded measurement traces; this is that idea for the ifko search.
+
+Event schema (all events share ``t`` — POSIX timestamp — and ``event``):
+
+========== =========================================================
+event      extra fields
+========== =========================================================
+batch-start  jobs (list of job keys), njobs
+job-start    job, kernel, machine, context, n, space (cardinality)
+eval         job, phase, params (describe()), cycles, wall, status
+             (``ok`` | ``retried`` | ``timeout`` | ``fault: ...``)
+cache-hit    job, phase, params, cycles, wall (0.0)
+phase        job, phase, cycles (best so far entering the phase)
+job-end      job, best_cycles, evaluations, mflops, params
+job-resumed  job (reloaded from a checkpoint, no search ran)
+job-error    job, error
+pool-broken  job (optional) — worker pool died, run fell back serial
+batch-end    completed, errors, wall
+========== =========================================================
+
+Failed evaluations carry ``cycles: null`` (the search treats them as
+infinitely slow); JSON stays strict.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import time
+from collections import Counter
+from typing import Dict, List, Optional
+
+TRACE_VERSION = 1
+
+
+class TraceWriter:
+    """Appends JSON-lines events to a file (or buffers them when
+    constructed with ``path=None`` — the engine's worker processes do
+    this and ship the buffer back to the parent, which owns the file)."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = pathlib.Path(path) if path else None
+        self.buffer: List[Dict] = []
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", buffering=1)
+
+    def emit(self, event: str, **fields) -> Dict:
+        record = {"t": time.time(), "event": event}
+        for k, v in fields.items():
+            if isinstance(v, float) and not math.isfinite(v):
+                v = None
+            record[k] = v
+        self.write(record)
+        return record
+
+    def write(self, record: Dict) -> None:
+        if self._fh is not None:
+            self._fh.write(json.dumps(record) + "\n")
+        else:
+            self.buffer.append(record)
+
+    def write_many(self, records: List[Dict]) -> None:
+        for r in records:
+            self.write(r)
+
+    def drain(self) -> List[Dict]:
+        out, self.buffer = self.buffer, []
+        return out
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_trace(path: str) -> List[Dict]:
+    """Load a JSONL trace; malformed lines are skipped, not fatal."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return events
+
+
+def summarize_trace(events: List[Dict]) -> Dict:
+    """Aggregate a trace into the numbers a human asks first:
+    evaluations vs cache hits, wall time, phase mix, per-job results."""
+    totals = Counter()
+    phases = Counter()
+    statuses = Counter()
+    eval_wall = 0.0
+    jobs: Dict[str, Dict] = {}
+
+    def job_entry(key):
+        return jobs.setdefault(key, {"evaluations": 0, "cache_hits": 0,
+                                     "best_cycles": None, "mflops": None,
+                                     "params": None, "status": "ran"})
+
+    for ev in events:
+        kind = ev.get("event", "?")
+        totals[kind] += 1
+        job = ev.get("job")
+        if kind == "eval":
+            phases[ev.get("phase", "?")] += 1
+            statuses[ev.get("status", "ok")] += 1
+            eval_wall += ev.get("wall") or 0.0
+            if job:
+                job_entry(job)["evaluations"] += 1
+        elif kind == "cache-hit":
+            if job:
+                job_entry(job)["cache_hits"] += 1
+        elif kind == "job-end" and job:
+            entry = job_entry(job)
+            entry["best_cycles"] = ev.get("best_cycles")
+            entry["mflops"] = ev.get("mflops")
+            entry["params"] = ev.get("params")
+        elif kind == "job-resumed" and job:
+            job_entry(job)["status"] = "resumed"
+        elif kind == "job-error" and job:
+            entry = job_entry(job)
+            entry["status"] = "error"
+            entry["error"] = ev.get("error")
+
+    return {"n_events": len(events),
+            "events": dict(totals),
+            "evaluations": totals["eval"],
+            "cache_hits": totals["cache-hit"],
+            "eval_wall": eval_wall,
+            "statuses": dict(statuses),
+            "phases": dict(phases),
+            "jobs": jobs}
+
+
+def render_trace_summary(summary: Dict) -> str:
+    lines = [f"# trace: {summary['n_events']} events, "
+             f"{summary['evaluations']} evaluations, "
+             f"{summary['cache_hits']} cache hits, "
+             f"{summary['eval_wall']:.2f}s in evaluation"]
+    bad = {k: v for k, v in summary["statuses"].items() if k != "ok"}
+    if bad:
+        lines.append("# non-ok evaluations: "
+                     + "  ".join(f"{k}={v}" for k, v in sorted(bad.items())))
+    if summary["phases"]:
+        lines.append("# evaluations by phase: "
+                     + "  ".join(f"{p}={n}" for p, n in
+                                 sorted(summary["phases"].items())))
+    if summary["jobs"]:
+        lines.append(f"# jobs ({len(summary['jobs'])}):")
+        width = max(len(k) for k in summary["jobs"])
+        for key, j in summary["jobs"].items():
+            desc = (f"  {key:{width}s}  evals={j['evaluations']:<4d} "
+                    f"hits={j['cache_hits']:<4d}")
+            if j["status"] == "resumed":
+                desc += " [resumed from checkpoint]"
+            elif j["status"] == "error":
+                desc += f" [ERROR: {j.get('error')}]"
+            elif j["best_cycles"] is not None:
+                desc += f" best={j['best_cycles']:.0f}cy"
+                if j["mflops"] is not None:
+                    desc += f" {j['mflops']:.1f}MFLOPS"
+                if j["params"]:
+                    desc += f"  {j['params']}"
+            lines.append(desc)
+    return "\n".join(lines)

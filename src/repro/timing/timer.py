@@ -44,6 +44,25 @@ class KernelTiming:
         return (f"<{self.machine}/{self.context.value} N={self.n}: "
                 f"{self.cycles:.0f} cy, {self.mflops:.1f} MFLOPS>")
 
+    # -- JSON round-trip (evaluation cache, checkpoints) ----------------
+    # ``raw`` (the per-level TimingResult breakdown) is derived data and
+    # is not serialized; a reloaded timing carries ``raw=None``.
+    def to_dict(self) -> dict:
+        return {"cycles": self.cycles, "seconds": self.seconds,
+                "mflops": self.mflops, "n": self.n, "machine": self.machine,
+                "context": self.context.value,
+                "samples": [float(s) for s in self.samples]}
+
+    @staticmethod
+    def from_dict(data: dict) -> "KernelTiming":
+        return KernelTiming(cycles=float(data["cycles"]),
+                            seconds=float(data["seconds"]),
+                            mflops=float(data["mflops"]),
+                            n=int(data["n"]), machine=data["machine"],
+                            context=Context(data["context"]),
+                            samples=[float(s) for s in
+                                     data.get("samples", [])])
+
 
 class Timer:
     def __init__(self, machine: MachineConfig, context: Context,

@@ -97,6 +97,54 @@ class TestTune:
         assert rc == 0 and "BF=Y" in out
 
 
+class TestTuneAllAndTrace:
+    def test_tune_all_filtered_with_trace(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        rc, out, _ = run(capsys, "tune-all", "--kernels", "ddot,dasum",
+                         "--n", "4000", "--max-evals", "30",
+                         "--trace-out", str(trace))
+        assert rc == 0
+        assert "2/2 jobs" in out
+        assert "ddot:p4e:out-of-cache:4000" in out
+        assert "dasum:p4e:out-of-cache:4000" in out
+        assert trace.exists()
+
+        rc, out, _ = run(capsys, "trace", str(trace))
+        assert rc == 0
+        assert "# trace:" in out and "evaluations by phase" in out
+        assert "ddot:p4e:out-of-cache:4000" in out
+
+    def test_tune_all_cache_and_resume(self, capsys, tmp_path):
+        state = tmp_path / "batch.json"
+        cache = tmp_path / "evals"
+        args = ("tune-all", "--kernels", "ddot", "--n", "4000",
+                "--max-evals", "30", "--cache-dir", str(cache),
+                "--resume", str(state))
+        rc, out, _ = run(capsys, *args)
+        assert rc == 0 and "0 resumed" in out
+        rc, out, _ = run(capsys, *args)
+        assert rc == 0
+        assert "1 resumed" in out
+        assert "1/1 jobs" in out
+
+    def test_tune_all_rejects_unknown_kernel(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tune-all", "--kernels", "zgemm"])
+
+    def test_tune_warm_cache_reports_hits(self, capsys, tmp_path):
+        args = ("tune", "ddot", "--n", "4000", "--max-evals", "30",
+                "--cache-dir", str(tmp_path / "evals"))
+        rc, _, _ = run(capsys, *args)
+        assert rc == 0
+        rc, out, _ = run(capsys, *args)
+        assert rc == 0
+        assert "# evaluation cache:" in out
+
+    def test_trace_missing_file_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "/nonexistent/trace.jsonl"])
+
+
 class TestParser:
     def test_context_parsing(self):
         p = build_parser()

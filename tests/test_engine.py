@@ -1,0 +1,383 @@
+"""Tests for the batch tuning engine (repro.search.engine).
+
+Covers the engine's contract surface:
+
+* parallel == serial, bit-identical, at both fan-out grains;
+* the persistent evaluation cache (warm rerun = zero evaluations);
+* checkpoint/resume of a batch;
+* JSON round-trips of params / search results / tuned kernels;
+* robustness: retry-once on SimulationFault, per-eval timeouts;
+* the deprecation shim over the old tune_kernel keyword signature;
+* the JSONL trace and its summary.
+"""
+
+import json
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationFault
+from repro.fko import FKO, TransformParams
+from repro.kernels import KERNEL_ORDER, get_kernel
+from repro.machine import Context
+from repro.search import (EvalCache, SearchResult, TuneConfig, TunedKernel,
+                          TuningJob, TuningSession, compile_default,
+                          eval_key, evaluate_params, read_trace,
+                          registry_jobs, render_trace_summary,
+                          summarize_trace, tune_kernel)
+from repro.timing.timer import Timer
+
+N = 4000
+EVALS = 40
+
+
+def _config(**kw):
+    kw.setdefault("run_tester", False)
+    kw.setdefault("max_evals", EVALS)
+    return TuneConfig(**kw)
+
+
+@pytest.fixture(scope="module")
+def serial_ddot():
+    with TuningSession(_config()) as s:
+        return s.tune("ddot", "p4e", Context.OUT_OF_CACHE, N)
+
+
+# ---------------------------------------------------------------------------
+# determinism: jobs=N must be bit-identical to jobs=1
+
+class TestParallelEqualsSerial:
+    def test_candidate_fanout_matches_serial(self, serial_ddot):
+        with TuningSession(_config(jobs=4)) as s:
+            par = s.tune("ddot", "p4e", Context.OUT_OF_CACHE, N)
+        assert par.params.key() == serial_ddot.params.key()
+        assert par.search.best_cycles == serial_ddot.search.best_cycles
+        assert par.search.history == serial_ddot.search.history
+
+    def test_job_fanout_matches_serial(self):
+        jobs = [TuningJob(k, "p4e", Context.OUT_OF_CACHE, N, max_evals=EVALS)
+                for k in ("ddot", "dasum")]
+        with TuningSession(_config(jobs=1)) as s:
+            serial = s.run(jobs)
+        with TuningSession(_config(jobs=4)) as s:
+            par = s.run(jobs)
+        assert not serial.errors and not par.errors
+        assert len(par) == len(serial) == 2
+        for job in jobs:
+            a, b = serial[job.key()], par[job.key()]
+            assert a.params.key() == b.params.key()
+            assert a.search.best_cycles == b.search.best_cycles
+            assert a.timing.cycles == b.timing.cycles
+
+
+# ---------------------------------------------------------------------------
+# persistent evaluation cache
+
+class TestEvalCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = EvalCache(str(tmp_path))
+        cache.put("ab" * 32, 123.5, meta={"kernel": "ddot"})
+        assert cache.get("ab" * 32) == 123.5
+        assert len(cache) == 1
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_absent_is_miss(self, tmp_path):
+        cache = EvalCache(str(tmp_path))
+        assert cache.get("cd" * 32) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = EvalCache(str(tmp_path))
+        cache.put("ef" * 32, 7.0)
+        for f in tmp_path.rglob("*.json"):
+            f.write_text("{not json")
+        assert EvalCache(str(tmp_path)).get("ef" * 32) is None
+
+    def test_eval_key_sensitivity(self):
+        base = eval_key("hil", "p4e", Context.OUT_OF_CACHE, N, "k", "1.1.0")
+        assert base == eval_key("hil", "p4e", Context.OUT_OF_CACHE, N,
+                                "k", "1.1.0")
+        assert base != eval_key("hil2", "p4e", Context.OUT_OF_CACHE, N,
+                                "k", "1.1.0")
+        assert base != eval_key("hil", "opteron", Context.OUT_OF_CACHE, N,
+                                "k", "1.1.0")
+        assert base != eval_key("hil", "p4e", Context.IN_L2, N, "k", "1.1.0")
+        assert base != eval_key("hil", "p4e", Context.OUT_OF_CACHE, N + 1,
+                                "k", "1.1.0")
+        assert base != eval_key("hil", "p4e", Context.OUT_OF_CACHE, N,
+                                "k2", "1.1.0")
+        assert base != eval_key("hil", "p4e", Context.OUT_OF_CACHE, N,
+                                "k", "9.9.9")
+
+    def test_warm_rerun_is_all_cache_hits(self, tmp_path, serial_ddot):
+        cache_dir = str(tmp_path / "evals")
+        with TuningSession(_config(cache_dir=cache_dir)) as s:
+            cold = s.tune("ddot", "p4e", Context.OUT_OF_CACHE, N)
+            n_cold = s.stats.evaluations
+        assert n_cold > 0
+        with TuningSession(_config(cache_dir=cache_dir)) as s:
+            warm = s.tune("ddot", "p4e", Context.OUT_OF_CACHE, N)
+            assert s.stats.evaluations == 0
+            assert s.stats.cache_hits == n_cold
+        # cached cycles are real measurements: same best as uncached runs
+        assert warm.params.key() == cold.params.key()
+        assert warm.params.key() == serial_ddot.params.key()
+        assert warm.search.best_cycles == serial_ddot.search.best_cycles
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / resume
+
+class TestCheckpointResume:
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        state = str(tmp_path / "batch.json")
+        j1 = TuningJob("ddot", "p4e", Context.OUT_OF_CACHE, N,
+                       max_evals=EVALS)
+        j2 = TuningJob("dasum", "p4e", Context.OUT_OF_CACHE, N,
+                       max_evals=EVALS)
+        with TuningSession(_config(resume=state)) as s:
+            first = s.run([j1])
+        assert not first.resumed and j1.key() in first.results
+        saved = json.loads((tmp_path / "batch.json").read_text())
+        assert j1.key() in saved["completed"]
+
+        with TuningSession(_config(resume=state)) as s:
+            second = s.run([j1, j2])
+            assert s.stats.jobs_resumed == 1
+        assert second.resumed == [j1.key()]
+        assert len(second) == 2
+        assert (second[j1.key()].params.key()
+                == first[j1.key()].params.key())
+
+    def test_stale_version_checkpoint_is_ignored(self, tmp_path):
+        state = tmp_path / "batch.json"
+        job = TuningJob("ddot", "p4e", Context.OUT_OF_CACHE, N,
+                        max_evals=EVALS)
+        state.write_text(json.dumps(
+            {"version": "0.0.0", "completed": {job.key(): {"bogus": 1}}}))
+        with TuningSession(_config(resume=str(state))) as s:
+            batch = s.run([job])
+        assert not batch.resumed
+        assert job.key() in batch.results
+
+    def test_corrupt_checkpoint_is_ignored(self, tmp_path):
+        state = tmp_path / "batch.json"
+        state.write_text("{truncated")
+        job = TuningJob("ddot", "p4e", Context.OUT_OF_CACHE, N,
+                        max_evals=EVALS)
+        with TuningSession(_config(resume=str(state))) as s:
+            batch = s.run([job])
+        assert job.key() in batch.results
+
+
+# ---------------------------------------------------------------------------
+# robustness: retry and timeout around one evaluation
+
+class _FlakyFKO:
+    """Delegates to a real FKO after raising N SimulationFaults."""
+
+    def __init__(self, machine, failures):
+        self.real = FKO(machine)
+        self.failures = failures
+
+    def compile(self, hil, params=None):
+        if self.failures > 0:
+            self.failures -= 1
+            raise SimulationFault("injected")
+        return self.real.compile(hil, params)
+
+
+class _SlowFKO:
+    def __init__(self, machine, delay):
+        self.real = FKO(machine)
+        self.delay = delay
+
+    def compile(self, hil, params=None):
+        time.sleep(self.delay)
+        return self.real.compile(hil, params)
+
+
+class TestRobustness:
+    def test_single_fault_is_retried(self, p4e, ddot_spec):
+        fko = _FlakyFKO(p4e, failures=1)
+        timer = Timer(p4e, Context.OUT_OF_CACHE, N)
+        cycles, status = evaluate_params(
+            fko, timer, ddot_spec.hil, TransformParams(),
+            ddot_spec.flops(N), "ddot|")
+        assert status == "retried"
+        assert cycles > 0 and cycles != float("inf")
+
+    def test_double_fault_returns_inf(self, p4e, ddot_spec):
+        fko = _FlakyFKO(p4e, failures=2)
+        timer = Timer(p4e, Context.OUT_OF_CACHE, N)
+        cycles, status = evaluate_params(
+            fko, timer, ddot_spec.hil, TransformParams(),
+            ddot_spec.flops(N), "ddot|")
+        assert cycles == float("inf")
+        assert status.startswith("fault:")
+
+    def test_timeout_returns_inf(self, p4e, ddot_spec):
+        fko = _SlowFKO(p4e, delay=0.5)
+        timer = Timer(p4e, Context.OUT_OF_CACHE, N)
+        cycles, status = evaluate_params(
+            fko, timer, ddot_spec.hil, TransformParams(),
+            ddot_spec.flops(N), "ddot|", timeout=0.05)
+        assert cycles == float("inf")
+        assert status == "timeout"
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trips
+
+_params_st = st.builds(
+    TransformParams,
+    sv=st.booleans(),
+    unroll=st.sampled_from([1, 2, 4, 8, 16]),
+    lc=st.booleans(),
+    ae=st.sampled_from([1, 2, 4]),
+    wnt=st.booleans(),
+)
+
+
+class TestRoundTrips:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(p=_params_st)
+    def test_params_roundtrip_preserves_key(self, p):
+        again = TransformParams.from_dict(json.loads(
+            json.dumps(p.to_dict())))
+        assert again.key() == p.key()
+
+    def test_params_roundtrip_keeps_prefetch(self):
+        from repro.ir import PrefetchHint
+        p = TransformParams(sv=True, unroll=8).with_pf(
+            "X", PrefetchHint.NTA, 512)
+        again = TransformParams.from_dict(p.to_dict())
+        assert again.key() == p.key()
+        assert again.describe() == p.describe()
+
+    def test_search_result_roundtrip(self, serial_ddot):
+        sr = serial_ddot.search
+        again = SearchResult.from_dict(json.loads(json.dumps(sr.to_dict())))
+        assert again.best_params.key() == sr.best_params.key()
+        assert again.best_cycles == sr.best_cycles
+        assert again.n_evaluations == sr.n_evaluations
+        assert again.history == sr.history
+        assert again.phase_gains == sr.phase_gains
+        assert again.start_cycles == sr.start_cycles
+
+    def test_tuned_kernel_roundtrip(self, serial_ddot):
+        again = TunedKernel.from_dict(json.loads(
+            json.dumps(serial_ddot.to_dict())))
+        assert again.params.key() == serial_ddot.params.key()
+        assert again.mflops == serial_ddot.mflops
+        assert again.timing.cycles == serial_ddot.timing.cycles
+        assert again.context is serial_ddot.context
+        assert again.n == serial_ddot.n
+        assert again.compiled.fn is not None   # recompiled, not serialized
+        assert (again.search.best_cycles
+                == serial_ddot.search.best_cycles)
+
+    def test_compile_default_roundtrip_keeps_search_none(self, p4e,
+                                                         ddot_spec):
+        tk = compile_default(ddot_spec, p4e, Context.OUT_OF_CACHE, N)
+        assert tk.search is None and tk.mflops > 0
+        again = TunedKernel.from_dict(tk.to_dict())
+        assert again.search is None
+        assert again.timing.cycles == tk.timing.cycles
+
+
+# ---------------------------------------------------------------------------
+# the deprecation shim over the pre-engine keyword signature
+
+class TestLegacySignature:
+    def test_legacy_kwargs_warn_and_match_config(self, p4e, ddot_spec,
+                                                 serial_ddot):
+        with pytest.warns(DeprecationWarning, match="TuneConfig"):
+            old = tune_kernel(ddot_spec, p4e, Context.OUT_OF_CACHE, N,
+                              max_evals=EVALS, run_tester=False)
+        assert old.params.key() == serial_ddot.params.key()
+        assert old.search.best_cycles == serial_ddot.search.best_cycles
+
+    def test_unknown_kwarg_raises(self, p4e, ddot_spec):
+        with pytest.raises(TypeError, match="bogus"):
+            tune_kernel(ddot_spec, p4e, Context.OUT_OF_CACHE, N, bogus=1)
+
+    def test_config_object_is_the_front_door(self, p4e, ddot_spec,
+                                             serial_ddot):
+        tk = tune_kernel(ddot_spec, p4e, Context.OUT_OF_CACHE, N,
+                         config=_config())
+        assert tk.params.key() == serial_ddot.params.key()
+
+
+# ---------------------------------------------------------------------------
+# jobs and batch plumbing
+
+class TestTuningJob:
+    def test_normalizes_objects_to_names(self, p4e, ddot_spec):
+        job = TuningJob(ddot_spec, p4e, Context.OUT_OF_CACHE, N)
+        assert job.kernel == "ddot" and job.machine == "p4e"
+        assert job.key() == f"ddot:p4e:out-of-cache:{N}"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            TuningJob("zgemm", "p4e", Context.OUT_OF_CACHE, N)
+
+    def test_dict_roundtrip(self):
+        job = TuningJob("ddot", "opteron", Context.IN_L2, 1024,
+                        max_evals=99)
+        again = TuningJob.from_dict(job.to_dict())
+        assert again == job
+
+    def test_registry_jobs_cover_registry(self):
+        jobs = registry_jobs()
+        assert [j.kernel for j in jobs] == list(KERNEL_ORDER)
+        both = registry_jobs(kernels=["ddot"],
+                             machines=["p4e", "opteron"],
+                             contexts=[Context.OUT_OF_CACHE, Context.IN_L2])
+        assert len(both) == 4
+        assert len({j.key() for j in both}) == 4
+
+
+# ---------------------------------------------------------------------------
+# tracing
+
+class TestTrace:
+    def test_trace_records_search_and_summarizes(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        with TuningSession(_config(trace=str(out))) as s:
+            tk = s.tune("ddot", "p4e", Context.OUT_OF_CACHE, N)
+            n_evals = s.stats.evaluations
+        events = read_trace(str(out))
+        kinds = {e["event"] for e in events}
+        assert {"job-start", "eval", "job-end"} <= kinds
+        summary = summarize_trace(events)
+        assert summary["evaluations"] == n_evals
+        assert summary["cache_hits"] == 0
+        job = next(iter(summary["jobs"].values()))
+        assert job["evaluations"] == n_evals
+        assert job["best_cycles"] == tk.search.best_cycles
+        text = render_trace_summary(summary)
+        assert "# trace:" in text and "evaluations by phase" in text
+
+    def test_read_trace_skips_malformed_lines(self, tmp_path):
+        f = tmp_path / "t.jsonl"
+        f.write_text('{"event": "eval", "wall": 0.1}\n'
+                     "NOT JSON\n"
+                     '{"event": "cache-hit"}\n')
+        events = read_trace(str(f))
+        assert len(events) == 2
+        summary = summarize_trace(events)
+        assert summary["evaluations"] == 1
+        assert summary["cache_hits"] == 1
+
+    def test_nonfinite_cycles_serialize_as_null(self, tmp_path):
+        from repro.search import TraceWriter
+        out = tmp_path / "t.jsonl"
+        w = TraceWriter(str(out))
+        w.emit("eval", cycles=float("inf"), wall=0.0, status="timeout")
+        w.close()
+        ev = read_trace(str(out))[0]
+        assert ev["cycles"] is None

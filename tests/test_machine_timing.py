@@ -115,13 +115,13 @@ class TestMemorySide:
         "provides a very good measure of how bus-bound an operation is"
         — swap (2 read + 2 write streams) gains far more from cache
         residency than asum (1 read stream, compute-limited)."""
-        from repro.search import tune_kernel
+        from repro.search import TuneConfig, tune_kernel
         def ratio(name):
             spec = get_kernel(name)
             oc = tune_kernel(spec, p4e, Context.OUT_OF_CACHE, 20000,
-                             run_tester=False)
+                             config=TuneConfig(run_tester=False))
             ic = tune_kernel(spec, p4e, Context.IN_L2, 1024,
-                             run_tester=False)
+                             config=TuneConfig(run_tester=False))
             return ic.mflops / oc.mflops
         assert ratio("dswap") > ratio("dasum")
 

@@ -7,8 +7,8 @@ from repro.fko import FKO, PrefetchParams, TransformParams
 from repro.ir import PrefetchHint
 from repro.kernels import get_kernel
 from repro.machine import Context
-from repro.search import (LineSearch, build_space, compile_default,
-                          tune_kernel)
+from repro.search import (LineSearch, TuneConfig, build_space,
+                          compile_default, tune_kernel)
 from repro.search.linesearch import PHASES
 
 
@@ -102,7 +102,7 @@ class TestLineSearchMechanics:
         fko = FKO(p4e)
         spec = get_kernel("ddot")
         tk = tune_kernel(spec, p4e, Context.OUT_OF_CACHE, 20000,
-                         run_tester=False)
+                         config=TuneConfig(run_tester=False))
         gains = tk.search.phase_speedups()
         product = 1.0
         for p in PHASES:
@@ -122,19 +122,19 @@ class TestDrivers:
         spec = get_kernel("dasum")
         fk = compile_default(spec, p4e, Context.OUT_OF_CACHE, 20000)
         tk = tune_kernel(spec, p4e, Context.OUT_OF_CACHE, 20000,
-                         run_tester=False)
+                         config=TuneConfig(run_tester=False))
         assert tk.mflops >= fk.mflops * 0.999
 
     def test_tuned_kernel_passes_tester(self, p4e):
         spec = get_kernel("daxpy")
         tk = tune_kernel(spec, p4e, Context.OUT_OF_CACHE, 20000,
-                         run_tester=True)   # raises on failure
+                         config=TuneConfig(run_tester=True))   # raises on failure
         assert tk.params is tk.compiled.params
 
     def test_tuned_result_reports_search(self, opt):
         spec = get_kernel("dcopy")
         tk = tune_kernel(spec, opt, Context.OUT_OF_CACHE, 20000,
-                         run_tester=False)
+                         config=TuneConfig(run_tester=False))
         assert tk.search is not None
         assert tk.search.n_evaluations > 10
         assert tk.timing.cycles == pytest.approx(tk.search.best_cycles,
