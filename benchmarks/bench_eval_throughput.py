@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Evaluation-throughput harness for the search engine's hot path.
+
+Measures three things and writes ``results/BENCH_eval_throughput.json``:
+
+1. **Divergence gate** — fast (steady-state replay) vs full-walk cycles
+   across kernels x machines x contexts x params.  The contract is
+   bit-identical equality; ANY divergence makes the script exit
+   nonzero.  Everything else (slow hardware, low speedup) is reported
+   but never fails the run — CI uses this as a non-gating smoke job
+   whose only hard failure is divergence.
+2. **Timing-path speedup** — wall time of ``LoopTimer.time`` with
+   ``fast=True`` vs ``fast=False`` on pre-built loop summaries; the
+   paper-size out-of-cache path (N=80000) is reported separately since
+   that is where the acceptance criterion (>= 5x) lives.
+3. **End-to-end eval throughput** — full compile+time evaluations per
+   second through ``FKO`` + ``Timer`` (front-end cache warm, the way a
+   line search actually uses them), serial and optionally with
+   ``--jobs N`` worker processes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_eval_throughput.py
+    PYTHONPATH=src python benchmarks/bench_eval_throughput.py --quick
+    PYTHONPATH=src python benchmarks/bench_eval_throughput.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fko import FKO, PrefetchParams, TransformParams
+from repro.ir import PrefetchHint
+from repro.kernels import KERNEL_ORDER, get_kernel
+from repro.machine import (Context, LoopTimer, get_machine, opteron,
+                           pentium4e, summarize)
+from repro.timing.timer import Timer, paper_n
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def _params_list(spec):
+    arrs = list(spec.vector_args)
+    out = [TransformParams(),
+           TransformParams(sv=True, unroll=8, ae=4)]
+    if arrs:
+        pf = {a: PrefetchParams(PrefetchHint.NTA, 512) for a in arrs}
+        out.append(TransformParams(sv=True, unroll=8, ae=4, prefetch=pf))
+    if spec.output_args:
+        out.append(TransformParams(sv=True, unroll=4, wnt=True))
+    return out
+
+
+def _cases(quick: bool):
+    kernels = ["ddot", "daxpy", "dscal"] if quick else KERNEL_ORDER
+    machines = [pentium4e(), opteron()]
+    contexts = [Context.OUT_OF_CACHE, Context.IN_L2]
+    for kname in kernels:
+        spec = get_kernel(kname)
+        for mach in machines:
+            for ctx in contexts:
+                for params in _params_list(spec):
+                    yield spec, mach, ctx, params
+
+
+# ---------------------------------------------------------------------------
+# 1. divergence gate + 2. timing-path speedup
+
+def timing_path(quick: bool):
+    mismatches = []
+    t_fast = t_slow = 0.0
+    t_fast_ooc80k = t_slow_ooc80k = 0.0
+    n_cases = 0
+    fko_by_mach = {}
+    for spec, mach, ctx, params in _cases(quick):
+        fko = fko_by_mach.setdefault(mach.name, FKO(mach))
+        summary = summarize(fko.compile(spec.hil, params).fn)
+        n = paper_n(ctx)
+        t0 = time.perf_counter()
+        fast = LoopTimer(mach, ctx, fast=True).time(summary, n)
+        t1 = time.perf_counter()
+        slow = LoopTimer(mach, ctx, fast=False).time(summary, n)
+        t2 = time.perf_counter()
+        t_fast += t1 - t0
+        t_slow += t2 - t1
+        if ctx is Context.OUT_OF_CACHE:
+            t_fast_ooc80k += t1 - t0
+            t_slow_ooc80k += t2 - t1
+        n_cases += 1
+        if fast.cycles != slow.cycles:
+            mismatches.append({
+                "kernel": spec.name, "machine": mach.name,
+                "context": ctx.value, "n": n,
+                "params": params.describe(),
+                "fast_cycles": fast.cycles, "slow_cycles": slow.cycles})
+    return {"cases": n_cases,
+            "mismatches": mismatches,
+            "fast_wall_s": round(t_fast, 4),
+            "slow_wall_s": round(t_slow, 4),
+            "speedup": round(t_slow / t_fast, 2) if t_fast > 0 else None,
+            "speedup_ooc_n80000": (round(t_slow_ooc80k / t_fast_ooc80k, 2)
+                                   if t_fast_ooc80k > 0 else None)}
+
+
+# ---------------------------------------------------------------------------
+# 3. end-to-end eval throughput
+
+def _eval_batch(machine_name, context_value, kernel, n, keys, fast=True):
+    """Run a batch of full evaluations; returns wall seconds.  Module
+    level so worker processes can import it."""
+    mach = get_machine(machine_name)
+    spec = get_kernel(kernel)
+    fko = FKO(mach)
+    timer = Timer(mach, Context(context_value), n, fast=fast)
+    t0 = time.perf_counter()
+    for unroll, ae in keys:
+        params = TransformParams(sv=True, unroll=unroll, ae=ae)
+        timer.time(fko.compile(spec.hil, params), spec)
+    return time.perf_counter() - t0
+
+
+def eval_throughput(quick: bool, jobs: int):
+    unrolls = [1, 2, 4, 8] if quick else [1, 2, 3, 4, 6, 8, 12, 16]
+    keys = [(u, ae) for u in unrolls for ae in (1, 2, 4)]
+    batches = []
+    kernels = ["ddot", "daxpy"] if quick else ["ddot", "daxpy", "dscal",
+                                               "dasum"]
+    for kernel in kernels:
+        for mname in ("p4e", "opteron"):
+            for ctx in (Context.OUT_OF_CACHE, Context.IN_L2):
+                batches.append((mname, ctx.value, kernel, paper_n(ctx), keys))
+    n_evals = len(batches) * len(keys)
+
+    t0 = time.perf_counter()
+    for batch in batches:
+        _eval_batch(*batch)
+    serial_wall = time.perf_counter() - t0
+    out = {"evaluations": n_evals,
+           "serial_wall_s": round(serial_wall, 3),
+           "serial_evals_per_sec": round(n_evals / serial_wall, 1)}
+
+    if jobs > 1:
+        import concurrent.futures as cf
+        t0 = time.perf_counter()
+        with cf.ProcessPoolExecutor(max_workers=jobs) as pool:
+            list(pool.map(_eval_batch_star, batches))
+        par_wall = time.perf_counter() - t0
+        out.update(jobs=jobs, parallel_wall_s=round(par_wall, 3),
+                   parallel_evals_per_sec=round(n_evals / par_wall, 1),
+                   parallel_speedup=round(serial_wall / par_wall, 2))
+    return out
+
+
+def _eval_batch_star(batch):
+    return _eval_batch(*batch)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small case set (CI smoke)")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="also measure parallel throughput with N workers")
+    ap.add_argument("--out", default=str(RESULTS / "BENCH_eval_throughput.json"))
+    args = ap.parse_args(argv)
+
+    print("== timing-path: fast vs full walk ==")
+    tp = timing_path(args.quick)
+    print(f"cases: {tp['cases']}, mismatches: {len(tp['mismatches'])}")
+    print(f"fast {tp['fast_wall_s']}s vs slow {tp['slow_wall_s']}s "
+          f"-> {tp['speedup']}x (OOC N=80000: {tp['speedup_ooc_n80000']}x)")
+
+    print("== end-to-end eval throughput ==")
+    et = eval_throughput(args.quick, args.jobs)
+    print(f"{et['evaluations']} evaluations, serial "
+          f"{et['serial_evals_per_sec']} evals/s")
+    if args.jobs > 1:
+        print(f"jobs={args.jobs}: {et['parallel_evals_per_sec']} evals/s "
+              f"({et['parallel_speedup']}x)")
+
+    report = {"quick": args.quick, "timing_path": tp,
+              "eval_throughput": et}
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if tp["mismatches"]:
+        print("FAIL: fast/slow divergence detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

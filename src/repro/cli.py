@@ -152,7 +152,8 @@ def _engine_config(args, run_tester: bool) -> TuneConfig:
                       timeout=args.timeout,
                       resume=getattr(args, "resume", None),
                       enable_block_fetch=getattr(args, "enable_block_fetch",
-                                                 False))
+                                                 False),
+                      fast_timing=not getattr(args, "no_fast_timing", False))
 
 
 def _file_spec(source: str, name: str, elem_size: int) -> KernelSpec:
@@ -224,6 +225,9 @@ def cmd_tune_all(args) -> int:
     s = session.stats
     print(f"# evaluations: {s.evaluations} computed, {s.cache_hits} "
           f"cache hits, {s.timeouts} timeouts, {s.faults} faults")
+    print(f"# throughput: {s.throughput(batch.wall):.1f} evals/s, "
+          f"cache hit rate {s.cache_hit_rate:.1%}, "
+          f"fast-path {s.fast_path}/slow-path {s.slow_path}")
     width = max(len(k) for k in (list(batch.results) + list(batch.errors)))
     for job in jobs:
         key = job.key()
@@ -321,6 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a JSONL search trace to FILE")
         p.add_argument("--timeout", type=float, default=None,
                        help="wall-clock seconds allowed per evaluation")
+        p.add_argument("--no-fast-timing", action="store_true",
+                       help="disable the timing model's steady-state "
+                            "extrapolation (bit-identical, just slower)")
         if resume:
             p.add_argument("--resume", default=None, metavar="FILE",
                            help="checkpoint completed jobs to FILE and "

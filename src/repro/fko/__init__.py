@@ -16,7 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Optional, Set, Union
+from typing import Optional, Set, Tuple, Union
 
 from ..hil import compile_hil
 from ..hil.lower import lower
@@ -24,6 +24,7 @@ from ..hil.parser import parse
 from ..hil.semantic import check
 from ..ir import Function
 from ..machine.config import MachineConfig
+from ..util import LRUCache
 from .analysis import KernelAnalysis, analyze
 from .params import PrefetchParams, TransformParams, fko_defaults
 from .pipeline import CompiledKernel, compile_kernel
@@ -33,35 +34,75 @@ __all__ = ["FKO", "KernelAnalysis", "analyze", "PrefetchParams",
            "TransformParams", "fko_defaults", "CompiledKernel",
            "compile_kernel", "clone_function"]
 
+#: parse -> check -> lower results keyed by source text (the front end
+#: is machine-independent; the per-machine analysis memo lives on each
+#: FKO instance).  Shared module-wide: the search recompiles the same
+#: handful of kernel sources hundreds of times.
+_FRONT_END_CACHE = LRUCache(maxsize=64)
+
+
+def _front_end_cached(source: str) -> Tuple[Function, frozenset]:
+    hit = _FRONT_END_CACHE.get(source)
+    if hit is None:
+        checked = check(parse(source))
+        hit = (lower(checked), frozenset(checked.noprefetch))
+        _FRONT_END_CACHE.put(source, hit)
+    return hit
+
 
 class FKO:
-    """Front door: parses HIL (or takes IR), analyzes, and compiles."""
+    """Front door: parses HIL (or takes IR), analyzes, and compiles.
+
+    Front-end products and per-kernel analyses are cached: the lowered
+    :class:`Function` for a source string is built once (module-wide)
+    and :func:`compile_kernel` receives it to clone, while ``analyze``
+    results are memoized per (source, machine) on the instance.  Both
+    are safe because the pipeline never mutates its input function and
+    an analysis references only clone-shared value objects.
+    """
 
     def __init__(self, machine: MachineConfig):
         self.machine = machine
+        self._analysis_cache = LRUCache(maxsize=64)
 
     # ------------------------------------------------------------------
     def front_end(self, source: Union[str, Function]):
-        """HIL source -> (Function, noprefetch mark-up set)."""
+        """HIL source -> (Function, noprefetch mark-up set).
+
+        Returns a private clone of the cached lowered function, so
+        callers may mutate it freely."""
         if isinstance(source, Function):
             return source, set()
-        checked = check(parse(source))
-        return lower(checked), set(checked.noprefetch)
+        fn, noprefetch = _front_end_cached(source)
+        return clone_function(fn), set(noprefetch)
 
     def analyze(self, source: Union[str, Function]) -> KernelAnalysis:
-        fn, noprefetch = self.front_end(source)
         from .controlflow import cleanup_cfg
-        work = clone_function(fn)
-        cleanup_cfg(work)
-        return analyze(work, self.machine, noprefetch)
+        if isinstance(source, Function):
+            work = clone_function(source)
+            cleanup_cfg(work)
+            return analyze(work, self.machine, set())
+        result = self._analysis_cache.get(source)
+        if result is None:
+            fn, noprefetch = _front_end_cached(source)
+            work = clone_function(fn)
+            cleanup_cfg(work)
+            result = analyze(work, self.machine, set(noprefetch))
+            self._analysis_cache.put(source, result)
+        return result
 
     def compile(self, source: Union[str, Function],
                 params: Optional[TransformParams] = None,
                 debug_verify: bool = False) -> CompiledKernel:
-        fn, noprefetch = self.front_end(source)
+        if isinstance(source, Function):
+            return compile_kernel(source, self.machine, params,
+                                  noprefetch=set(),
+                                  debug_verify=debug_verify)
+        fn, noprefetch = _front_end_cached(source)
         return compile_kernel(fn, self.machine, params,
-                              noprefetch=noprefetch,
-                              debug_verify=debug_verify)
+                              noprefetch=set(noprefetch),
+                              debug_verify=debug_verify,
+                              analysis=self.analyze(source))
 
     def defaults(self, source: Union[str, Function]) -> TransformParams:
         """FKO's static default parameters for this kernel (section 2.3)."""

@@ -54,15 +54,20 @@ class CompiledKernel:
 def compile_kernel(fn: Function, machine: MachineConfig,
                    params: Optional[TransformParams] = None,
                    noprefetch: Optional[Set[str]] = None,
-                   debug_verify: bool = False) -> CompiledKernel:
+                   debug_verify: bool = False,
+                   analysis: Optional[KernelAnalysis] = None) -> CompiledKernel:
     """Apply the FKO pipeline to a lowered kernel.
 
     ``params=None`` compiles with FKO's static defaults (the paper's
-    plain-"FKO" configuration — no empirical search).
+    plain-"FKO" configuration — no empirical search).  ``analysis`` may
+    carry a precomputed analysis of this kernel (clones share the
+    register value objects an analysis refers to, so an analysis of one
+    clone is valid for any other); it is recomputed here when absent.
     """
     work = clone_function(fn)
     cleanup_cfg(work)
-    analysis = analyze(work, machine, noprefetch)
+    if analysis is None:
+        analysis = analyze(work, machine, noprefetch)
 
     if params is None:
         veclen = analysis.veclen if analysis.vectorizable else 1

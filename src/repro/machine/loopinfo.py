@@ -52,6 +52,10 @@ class LoopSummary:
     # deeply than the machine's default write buffers (AMD's "block
     # prefetch" technique, section 3.3 / [14])
     write_batch_override: Optional[int] = None
+    # per-machine memo for the resolved cycles-per-trip bounds (owned by
+    # repro.machine.timing; a summary's body never changes once built)
+    _cpi_cache: Dict[Tuple[str, str], float] = field(
+        default_factory=dict, repr=False, compare=False)
 
     @property
     def has_loop(self) -> bool:
@@ -95,7 +99,23 @@ def _block_weights(fn: Function, body_names: List[str], latch: str,
 
 
 def summarize(fn: Function, rare_weight: float = 0.01) -> LoopSummary:
-    """Build the timing summary for a compiled kernel function."""
+    """Build the timing summary for a compiled kernel function.
+
+    The summary is memoized on the function object: compiled functions
+    are never structurally mutated afterwards, and every consumer of a
+    candidate (timer, store, diagnostics) wants the same summary."""
+    memo = getattr(fn, "_summary_memo", None)
+    if memo is not None and memo[0] == rare_weight:
+        return memo[1]
+    summary = _summarize(fn, rare_weight)
+    try:
+        fn._summary_memo = (rare_weight, summary)
+    except AttributeError:
+        pass
+    return summary
+
+
+def _summarize(fn: Function, rare_weight: float) -> LoopSummary:
     loop = fn.loop
     if loop is None:
         return LoopSummary(fn, 0, [], {},

@@ -50,6 +50,10 @@ class TuneConfig:
     enable_block_fetch: bool = False
     #: fraction a candidate must win by to displace the incumbent
     min_gain: float = 0.005
+    #: steady-state extrapolation in the timing model (bit-identical to
+    #: the full walk; False forces the full per-line walk everywhere —
+    #: the escape hatch the equivalence suite exercises)
+    fast_timing: bool = True
 
     def __post_init__(self) -> None:
         if self.max_evals <= 0:

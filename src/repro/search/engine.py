@@ -21,8 +21,10 @@ run needs:
 
 * a persistent content-addressed **evaluation cache**
   (:mod:`repro.search.evalcache`) shared across runs and processes;
-* per-evaluation **timeouts** and **retry-once** on
-  :class:`~repro.errors.SimulationFault`;
+* per-evaluation **timeouts**; :class:`~repro.errors.SimulationFault`
+  is recorded immediately (the simulated machine is deterministic, so
+  identical inputs fault identically — nothing to retry at the
+  evaluation grain);
 * **checkpoint/resume** of partially completed batches to a JSON state
   file;
 * a JSON-lines **trace** (:mod:`repro.search.trace`) of every
@@ -53,6 +55,7 @@ from ..machine import Context, get_machine, summarize
 from ..machine.config import MachineConfig
 from ..timing.tester import test_kernel
 from ..timing.timer import Timer, paper_n
+from ..util import LRUCache
 from .config import TuneConfig
 from .drivers import TunedKernel
 from .evalcache import EvalCache, eval_key
@@ -98,56 +101,67 @@ class _alarm:
 def evaluate_params(fko: FKO, timer: Timer, hil: str,
                     params: TransformParams, flops: float,
                     ident_prefix: str,
-                    timeout: Optional[float] = None) -> Tuple[float, str]:
-    """One compile+time.  Returns ``(cycles, status)`` where status is
-    ``ok`` | ``retried`` | ``timeout`` | ``fault: ...``; failures come
-    back as ``inf`` cycles (the sweep just never picks them) instead of
-    killing a batch that has hours of work behind it."""
-    last = "ok"
-    for attempt in (0, 1):
-        try:
-            with _alarm(timeout):
-                compiled = fko.compile(hil, params)
-                timing = timer.time_summary(
-                    summarize(compiled.fn), flops,
-                    ident=f"{ident_prefix}{params.key()}")
-            return timing.cycles, ("ok" if attempt == 0 else "retried")
-        except SimulationFault as exc:   # transient by definition: retry once
-            last = f"fault: {exc}"
-        except EvalTimeout:
-            return float("inf"), "timeout"
-    return float("inf"), last
+                    timeout: Optional[float] = None
+                    ) -> Tuple[float, str, Dict]:
+    """One compile+time.  Returns ``(cycles, status, meta)`` where
+    status is ``ok`` | ``timeout`` | ``fault: ...``; failures come back
+    as ``inf`` cycles (the sweep just never picks them) instead of
+    killing a batch that has hours of work behind it.  ``meta`` reports
+    whether the timing model's steady-state fast path fired.
+
+    A :class:`SimulationFault` is terminal: the simulated machine is
+    deterministic, so re-running the identical (kernel, params) inputs
+    would fault identically — the fault is recorded immediately instead
+    of compiling and timing a doomed candidate twice."""
+    try:
+        with _alarm(timeout):
+            compiled = fko.compile(hil, params)
+            timing = timer.time_summary(
+                summarize(compiled.fn), flops,
+                ident=f"{ident_prefix}{params.key()}")
+    except SimulationFault as exc:
+        return float("inf"), f"fault: {exc}", {"fast": False}
+    except EvalTimeout:
+        return float("inf"), "timeout", {"fast": False}
+    raw = timing.raw
+    meta = {"fast": bool(raw is not None
+                         and raw.stats.lines_extrapolated > 0)}
+    return timing.cycles, "ok", meta
 
 
 # ---------------------------------------------------------------------------
 # pool workers (top-level so they pickle by name; the per-process
 # FKO/Timer pairs are memoized because every candidate of a sweep
-# shares them)
+# shares them — bounded, because a long tune-all batch walks many
+# (machine, context, N) combinations through the same worker)
 
-_WORKER_TOOLS: Dict[Tuple[str, str, int], Tuple[FKO, Timer]] = {}
+_WORKER_TOOLS = LRUCache(maxsize=8)
 
 
-def _worker_tools(machine_name: str, context_value: str,
-                  n: int) -> Tuple[FKO, Timer]:
-    key = (machine_name, context_value, int(n))
-    if key not in _WORKER_TOOLS:
+def _worker_tools(machine_name: str, context_value: str, n: int,
+                  fast: bool = True) -> Tuple[FKO, Timer]:
+    key = (machine_name, context_value, int(n), bool(fast))
+    tools = _WORKER_TOOLS.get(key)
+    if tools is None:
         machine = get_machine(machine_name)
         context = Context(context_value)
-        _WORKER_TOOLS[key] = (FKO(machine), Timer(machine, context, n))
-    return _WORKER_TOOLS[key]
+        tools = (FKO(machine), Timer(machine, context, n, fast=fast))
+        _WORKER_TOOLS.put(key, tools)
+    return tools
 
 
 def _eval_worker(payload: Dict) -> Dict:
     """Evaluate one candidate in a worker (within-sweep fan-out)."""
     fko, timer = _worker_tools(payload["machine"], payload["context"],
-                               payload["n"])
+                               payload["n"], payload.get("fast", True))
     params = TransformParams.from_dict(payload["params"])
     t0 = time.perf_counter()
-    cycles, status = evaluate_params(fko, timer, payload["hil"], params,
-                                     payload["flops"], payload["ident"],
-                                     payload["timeout"])
+    cycles, status, meta = evaluate_params(fko, timer, payload["hil"],
+                                           params, payload["flops"],
+                                           payload["ident"],
+                                           payload["timeout"])
     return {"cycles": cycles, "status": status,
-            "wall": time.perf_counter() - t0}
+            "wall": time.perf_counter() - t0, "fast": meta.get("fast")}
 
 
 def _job_worker(payload: Dict) -> Dict:
@@ -239,8 +253,9 @@ class EngineStats:
     evaluations: int = 0      # real compile+time runs
     cache_hits: int = 0       # served from the persistent cache
     timeouts: int = 0
-    faults: int = 0           # evaluations lost to a double SimulationFault
-    retries: int = 0          # evaluations that succeeded on retry
+    faults: int = 0           # evaluations lost to a SimulationFault
+    fast_path: int = 0        # evaluations timed via steady-state replay
+    slow_path: int = 0        # evaluations that walked every line
     jobs_completed: int = 0
     jobs_resumed: int = 0
 
@@ -251,6 +266,15 @@ class EngineStats:
         for k, v in (other or {}).items():
             if hasattr(self, k):
                 setattr(self, k, getattr(self, k) + int(v))
+
+    def throughput(self, wall: float) -> float:
+        """Real evaluations per second over ``wall`` seconds."""
+        return self.evaluations / wall if wall > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        seen = self.evaluations + self.cache_hits
+        return self.cache_hits / seen if seen else 0.0
 
 
 @dataclass
@@ -328,6 +352,7 @@ class _Evaluator:
                          "context": self.context.value, "n": self.n,
                          "flops": self.flops, "ident": self.ident,
                          "timeout": session.config.timeout,
+                         "fast": session.config.fast_timing,
                          "params": batch[i].to_dict()} for i in to_run]
             try:
                 outcomes = list(pool.map(_eval_worker, payloads))
@@ -340,12 +365,13 @@ class _Evaluator:
 
         for i in to_run:   # serial path, and fallback after a dead pool
             t0 = time.perf_counter()
-            c, status = evaluate_params(self.fko, self.timer, self.spec.hil,
-                                        batch[i], self.flops, self.ident,
-                                        session.config.timeout)
+            c, status, meta = evaluate_params(
+                self.fko, self.timer, self.spec.hil, batch[i], self.flops,
+                self.ident, session.config.timeout)
             cycles[i] = self._record(batch[i], digests[i],
                                      {"cycles": c, "status": status,
-                                      "wall": time.perf_counter() - t0})
+                                      "wall": time.perf_counter() - t0,
+                                      "fast": meta.get("fast")})
         return cycles
 
     def _record(self, params: TransformParams, digest: str,
@@ -355,13 +381,15 @@ class _Evaluator:
         session.stats.evaluations += 1
         if status == "timeout":
             session.stats.timeouts += 1
-        elif status == "retried":
-            session.stats.retries += 1
         elif status != "ok":
             session.stats.faults += 1
+        elif outcome.get("fast"):
+            session.stats.fast_path += 1
+        else:
+            session.stats.slow_path += 1
         # only completed measurements are worth remembering: a timeout
-        # or fault may be transient, so the next run should try again
-        if session.cache is not None and status in ("ok", "retried"):
+        # may be transient, so the next run should try again
+        if session.cache is not None and status == "ok":
             session.cache.put(digest, c, meta={"kernel": self.spec.name,
                                                "machine": self.machine.name,
                                                "context": self.context.value,
@@ -369,7 +397,8 @@ class _Evaluator:
                                                "params": params.describe()})
         session.emit("eval", job=self.job, phase=self._phase(),
                      params=params.describe(), cycles=c,
-                     wall=outcome["wall"], status=status)
+                     wall=outcome["wall"], status=status,
+                     fast=bool(outcome.get("fast")))
         return c
 
 
@@ -394,6 +423,10 @@ class TuningSession:
                        if (self.config.trace or collect_events) else None)
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_broken = False
+        # FKO/Timer pairs reused across the jobs of a batch (an FKO
+        # carries warm front-end/analysis caches; a Timer is immutable
+        # per (machine, context, n))
+        self._tools = LRUCache(maxsize=8)
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -439,6 +472,18 @@ class TuningSession:
     def drain_events(self) -> List[Dict]:
         return self._trace.drain() if self._trace is not None else []
 
+    def _session_tools(self, machine: MachineConfig,
+                       context: Context, n: int) -> Tuple[FKO, Timer]:
+        key = (machine.name, context.value, int(n),
+               self.config.fast_timing)
+        tools = self._tools.get(key)
+        if tools is None:
+            tools = (FKO(machine),
+                     Timer(machine, context, n,
+                           fast=self.config.fast_timing))
+            self._tools.put(key, tools)
+        return tools
+
     # -- single-kernel tuning ------------------------------------------
     def tune(self, spec: Union[str, KernelSpec],
              machine: Union[str, MachineConfig], context: Context, n: int,
@@ -449,8 +494,7 @@ class TuningSession:
         machine = (get_machine(machine) if isinstance(machine, str)
                    else machine)
         config = self.config
-        fko = FKO(machine)
-        timer = Timer(machine, context, n)
+        fko, timer = self._session_tools(machine, context, n)
         analysis = fko.analyze(spec.hil)
         space = config.space or build_space(
             analysis, machine, enable_block_fetch=config.enable_block_fetch)
@@ -489,8 +533,7 @@ class TuningSession:
         spec = get_kernel(spec) if isinstance(spec, str) else spec
         machine = (get_machine(machine) if isinstance(machine, str)
                    else machine)
-        fko = FKO(machine)
-        timer = Timer(machine, context, n)
+        fko, timer = self._session_tools(machine, context, n)
         compiled = fko.compile(spec.hil)   # params=None -> defaults
         timing = timer.time(compiled, spec)
         return TunedKernel(spec=spec, machine=machine, context=context, n=n,
@@ -560,8 +603,13 @@ class TuningSession:
             self._save_checkpoint(completed)
 
         wall = time.perf_counter() - t0
+        stats = self.stats
         self.emit("batch-end", completed=len(results), errors=len(errors),
-                  wall=wall)
+                  wall=wall, evaluations=stats.evaluations,
+                  cache_hits=stats.cache_hits,
+                  evals_per_sec=round(stats.throughput(wall), 2),
+                  cache_hit_rate=round(stats.cache_hit_rate, 4),
+                  fast_path=stats.fast_path, slow_path=stats.slow_path)
         return BatchResult(results=results, errors=errors, resumed=resumed,
                            wall=wall)
 
@@ -592,7 +640,8 @@ class TuningSession:
                 "cache_dir": self.config.cache_dir,
                 "timeout": self.config.timeout,
                 "enable_block_fetch": self.config.enable_block_fetch,
-                "min_gain": self.config.min_gain}
+                "min_gain": self.config.min_gain,
+                "fast_timing": self.config.fast_timing}
 
     # -- checkpointing --------------------------------------------------
     def _load_checkpoint(self) -> Dict[str, Dict]:

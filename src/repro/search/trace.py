@@ -15,14 +15,16 @@ event      extra fields
 batch-start  jobs (list of job keys), njobs
 job-start    job, kernel, machine, context, n, space (cardinality)
 eval         job, phase, params (describe()), cycles, wall, status
-             (``ok`` | ``retried`` | ``timeout`` | ``fault: ...``)
+             (``ok`` | ``timeout`` | ``fault: ...``), fast (True when
+             the timing model's steady-state replay fired)
 cache-hit    job, phase, params, cycles, wall (0.0)
 phase        job, phase, cycles (best so far entering the phase)
 job-end      job, best_cycles, evaluations, mflops, params
 job-resumed  job (reloaded from a checkpoint, no search ran)
 job-error    job, error
 pool-broken  job (optional) — worker pool died, run fell back serial
-batch-end    completed, errors, wall
+batch-end    completed, errors, wall, evaluations, cache_hits,
+             evals_per_sec, cache_hit_rate, fast_path, slow_path
 ========== =========================================================
 
 Failed evaluations carry ``cycles: null`` (the search treats them as
@@ -105,6 +107,9 @@ def summarize_trace(events: List[Dict]) -> Dict:
     phases = Counter()
     statuses = Counter()
     eval_wall = 0.0
+    fast_path = 0
+    slow_path = 0
+    batch_wall = 0.0
     jobs: Dict[str, Dict] = {}
 
     def job_entry(key):
@@ -120,8 +125,14 @@ def summarize_trace(events: List[Dict]) -> Dict:
             phases[ev.get("phase", "?")] += 1
             statuses[ev.get("status", "ok")] += 1
             eval_wall += ev.get("wall") or 0.0
+            if ev.get("fast"):
+                fast_path += 1
+            else:
+                slow_path += 1
             if job:
                 job_entry(job)["evaluations"] += 1
+        elif kind == "batch-end":
+            batch_wall += ev.get("wall") or 0.0
         elif kind == "cache-hit":
             if job:
                 job_entry(job)["cache_hits"] += 1
@@ -137,11 +148,19 @@ def summarize_trace(events: List[Dict]) -> Dict:
             entry["status"] = "error"
             entry["error"] = ev.get("error")
 
+    n_evals = totals["eval"]
+    n_hits = totals["cache-hit"]
+    seen = n_evals + n_hits
+    wall = batch_wall or eval_wall
     return {"n_events": len(events),
             "events": dict(totals),
-            "evaluations": totals["eval"],
-            "cache_hits": totals["cache-hit"],
+            "evaluations": n_evals,
+            "cache_hits": n_hits,
             "eval_wall": eval_wall,
+            "evals_per_sec": (n_evals / wall) if wall > 0 else 0.0,
+            "cache_hit_rate": (n_hits / seen) if seen else 0.0,
+            "fast_path": fast_path,
+            "slow_path": slow_path,
             "statuses": dict(statuses),
             "phases": dict(phases),
             "jobs": jobs}
@@ -152,6 +171,12 @@ def render_trace_summary(summary: Dict) -> str:
              f"{summary['evaluations']} evaluations, "
              f"{summary['cache_hits']} cache hits, "
              f"{summary['eval_wall']:.2f}s in evaluation"]
+    if summary["evaluations"] or summary["cache_hits"]:
+        lines.append(
+            f"# throughput: {summary.get('evals_per_sec', 0.0):.1f} evals/s, "
+            f"cache hit rate {summary.get('cache_hit_rate', 0.0):.1%}, "
+            f"fast-path {summary.get('fast_path', 0)}"
+            f"/slow-path {summary.get('slow_path', 0)}")
     bad = {k: v for k, v in summary["statuses"].items() if k != "ok"}
     if bad:
         lines.append("# non-ok evaluations: "

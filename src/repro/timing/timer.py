@@ -66,13 +66,15 @@ class KernelTiming:
 
 class Timer:
     def __init__(self, machine: MachineConfig, context: Context,
-                 n: int, repeats: int = 6, noise: float = 0.003):
+                 n: int, repeats: int = 6, noise: float = 0.003,
+                 fast: bool = True):
         self.machine = machine
         self.context = context
         self.n = n
         self.repeats = repeats
         self.noise = noise
-        self._loop_timer = LoopTimer(machine, context)
+        self.fast = fast
+        self._loop_timer = LoopTimer(machine, context, fast=fast)
 
     def time_summary(self, summary: LoopSummary, flops: float,
                      ident: str = "") -> KernelTiming:
