@@ -63,9 +63,8 @@ def test_ablation_line_vs_random_search(benchmark, results_dir):
     start = fko.defaults(spec.hil)
 
     def run():
-        ls = LineSearch(evaluate, space, start,
-                        output_arrays=a.output_arrays)
-        line = ls.run()
+        ls = LineSearch(space, start, output_arrays=a.output_arrays)
+        line = ls.run(evaluate)
         rand = _random_search(evaluate, space, ls.n_evaluations)
         return line, rand
 
@@ -87,11 +86,11 @@ def test_ablation_seeding(benchmark, results_dir):
     space = build_space(a, P4E)
 
     def run():
-        seeded = LineSearch(evaluate, space, fko.defaults(spec.hil),
-                            output_arrays=a.output_arrays).run()
-        cold = LineSearch(evaluate, space,
+        seeded = LineSearch(space, fko.defaults(spec.hil),
+                            output_arrays=a.output_arrays).run(evaluate)
+        cold = LineSearch(space,
                           TransformParams(sv=False, unroll=1, ae=1),
-                          output_arrays=a.output_arrays).run()
+                          output_arrays=a.output_arrays).run(evaluate)
         return seeded, cold
 
     seeded, cold = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -208,8 +207,8 @@ def test_ablation_block_fetch_closes_dcopy_gap(benchmark, results_dir):
         out = {}
         for bf in (False, True):
             space = build_space(a, P4E, enable_block_fetch=bf)
-            r = LineSearch(ev, space, fko.defaults(spec.hil),
-                           output_arrays=a.output_arrays).run()
+            r = LineSearch(space, fko.defaults(spec.hil),
+                           output_arrays=a.output_arrays).run(ev)
             out[bf] = r.best_cycles
         out["atlas"] = atlas_search(spec, P4E, Context.OUT_OF_CACHE, N,
                                     run_tester=False).timing.cycles
@@ -247,8 +246,8 @@ def test_ablation_search_strategies(benchmark, results_dir):
         return cache[key]
 
     def run():
-        line = LineSearch(ev, space, start,
-                          output_arrays=a.output_arrays).run()
+        line = LineSearch(space, start,
+                          output_arrays=a.output_arrays).run(ev)
         budget = line.n_evaluations
         return {
             "line": (line.best_cycles, line.n_evaluations),

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Strategy race: every registered global-search strategy on the full
+kernel x machine x context grid at equal evaluation budget.
+
+Each grid point is tuned once per strategy through the same
+:class:`TuningSession` machinery (same budget accounting, same
+evaluation cache, same simulated machines), so the comparison is at
+equal measured-compilation cost.  Writes
+``results/BENCH_strategies.json`` with per-point best cycles, speedups
+over the FKO-defaults start, and a summary of who won where.
+
+The one hard failure (nonzero exit) is a *structured-search regression*:
+``anneal`` or ``genetic`` losing to uniform ``random`` sampling on any
+grid point at equal budget.  Everything else (who wins overall, wall
+time) is reported but never fails the run — CI uses this as a
+non-gating smoke job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_strategies.py
+    PYTHONPATH=src python benchmarks/bench_strategies.py --quick
+    PYTHONPATH=src python benchmarks/bench_strategies.py --budget 64 --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.kernels import KERNEL_ORDER
+from repro.machine import Context
+from repro.search import TuneConfig, TuningSession
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+STRATEGIES = ("line", "random", "anneal", "genetic")
+
+#: small enough to keep the full race to minutes, big enough that the
+#: out-of-cache physics (prefetch, bus) dominates like at the paper's N
+SIZES = {Context.OUT_OF_CACHE: 8000, Context.IN_L2: 1024}
+
+
+def _grid(quick: bool):
+    kernels = ["ddot", "dasum", "dcopy"] if quick else list(KERNEL_ORDER)
+    machines = ["p4e"] if quick else ["p4e", "opteron"]
+    for kernel in kernels:
+        for machine in machines:
+            for ctx, n in SIZES.items():
+                yield kernel, machine, ctx, n
+
+
+def race(quick: bool, budget: int, seed: int, jobs: int):
+    grid = {}
+    walls = {}
+    for strategy in STRATEGIES:
+        cfg = TuneConfig(strategy=strategy, seed=seed, max_evals=budget,
+                         run_tester=False, jobs=jobs)
+        t0 = time.perf_counter()
+        with TuningSession(cfg) as session:
+            for kernel, machine, ctx, n in _grid(quick):
+                r = session.tune(kernel, machine, ctx, n).search
+                point = grid.setdefault(
+                    f"{kernel}:{machine}:{ctx.value}:{n}",
+                    {"start_cycles": r.start_cycles})
+                point[strategy] = {
+                    "best_cycles": r.best_cycles,
+                    "n_evaluations": r.n_evaluations,
+                    "speedup_over_start": round(r.speedup_over_start, 4),
+                }
+        walls[strategy] = round(time.perf_counter() - t0, 2)
+    return grid, walls
+
+
+def summarize(grid):
+    wins = dict.fromkeys(STRATEGIES, 0)
+    regressions = []
+    for key, point in sorted(grid.items()):
+        best = min(point[s]["best_cycles"] for s in STRATEGIES)
+        for s in STRATEGIES:
+            if point[s]["best_cycles"] == best:
+                wins[s] += 1
+        for s in ("anneal", "genetic"):
+            if point[s]["best_cycles"] > point["random"]["best_cycles"]:
+                regressions.append({
+                    "point": key, "strategy": s,
+                    "best_cycles": point[s]["best_cycles"],
+                    "random_cycles": point["random"]["best_cycles"]})
+    return {"points": len(grid), "wins_or_ties": wins,
+            "random_regressions": regressions}
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small grid (CI smoke)")
+    ap.add_argument("--budget", type=int, default=48,
+                    help="max_evals given to every strategy")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="random seed of the seeded strategies")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="worker processes per tuning session")
+    ap.add_argument("--out", default=str(RESULTS / "BENCH_strategies.json"))
+    args = ap.parse_args(argv)
+
+    grid, walls = race(args.quick, args.budget, args.seed, args.jobs)
+    summary = summarize(grid)
+
+    print(f"== strategy race: {summary['points']} grid points, "
+          f"budget {args.budget}, seed {args.seed} ==")
+    for s in STRATEGIES:
+        print(f"{s:8s} wins-or-ties {summary['wins_or_ties'][s]:3d} "
+              f"points in {walls[s]}s")
+    for reg in summary["random_regressions"]:
+        print(f"REGRESSION: {reg['strategy']} lost to random on "
+              f"{reg['point']} ({reg['best_cycles']:.0f} vs "
+              f"{reg['random_cycles']:.0f} cycles)", file=sys.stderr)
+
+    report = {"quick": args.quick, "budget": args.budget, "seed": args.seed,
+              "jobs": args.jobs, "strategies": list(STRATEGIES),
+              "sizes": {c.value: n for c, n in SIZES.items()},
+              "wall_s": walls, "grid": grid, "summary": summary}
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if summary["random_regressions"]:
+        print("FAIL: structured search lost to uniform random sampling",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

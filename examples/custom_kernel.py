@@ -62,8 +62,8 @@ def main() -> int:
 
     space = build_space(analysis, machine)
     start = fko.defaults(HIL)
-    result = LineSearch(evaluate, space, start,
-                        output_arrays=analysis.output_arrays).run()
+    result = LineSearch(space, start,
+                        output_arrays=analysis.output_arrays).run(evaluate)
 
     best = fko.compile(HIL, result.best_params)
     timing = timer.time_summary(summarize(best.fn), flops, ident="best")

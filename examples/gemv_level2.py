@@ -51,8 +51,8 @@ def main() -> int:
 
     space = build_space(analysis, machine)
     start = fko.defaults(spec.hil)
-    result = LineSearch(evaluate, space, start,
-                        output_arrays=analysis.output_arrays).run()
+    result = LineSearch(space, start,
+                        output_arrays=analysis.output_arrays).run(evaluate)
     best = fko.compile(spec.hil, result.best_params)
     timing = timer.time_summary(summarize(best.fn), spec.flops(M, N),
                                 ident="best")

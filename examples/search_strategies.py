@@ -42,8 +42,8 @@ def main() -> int:
                         aes=(1, 2, 4), dist_lines=(2, 4, 8, 16, 24))
     start = fko.defaults(spec.hil)
 
-    line = LineSearch(evaluate, space, start,
-                      output_arrays=analysis.output_arrays).run()
+    line = LineSearch(space, start,
+                      output_arrays=analysis.output_arrays).run(evaluate)
     budget = line.n_evaluations
     gold = exhaustive_search(evaluate, space, start, max_evals=10 ** 6)
 

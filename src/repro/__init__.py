@@ -42,10 +42,62 @@ from .hil import compile_hil
 from .kernels import KERNEL_ORDER, KernelSpec, all_kernels, get_kernel
 from .machine import (Context, MachineConfig, get_machine, opteron,
                       pentium4e, run_function, summarize, time_kernel)
-from .search import (BatchResult, LineSearch, SearchResult, TuneConfig,
-                     TunedKernel, TuningJob, TuningSession, build_space,
-                     compile_default, registry_jobs, tune_kernel)
+from .search import (BatchResult, LineSearch, Searcher, SearchResult,
+                     TuneConfig, TunedKernel, TuningJob, TuningSession,
+                     build_space, compile_default, make_searcher,
+                     registry_jobs, searcher_names, tune_kernel)
 from .timing import Timer, test_kernel
+from .timing.timer import paper_n
+
+
+# ---------------------------------------------------------------------------
+# the three-verb public API: repro.tune / repro.compile / repro.analyze.
+# Thin coercing fronts over the full drivers — kernels, machines and
+# contexts may be given by registry name, N defaults to the paper's
+# problem size for the context.
+
+def _coerce(kernel, machine, context):
+    spec = get_kernel(kernel) if isinstance(kernel, str) else kernel
+    mach = get_machine(machine) if isinstance(machine, str) else machine
+    ctx = context if isinstance(context, Context) else Context(context)
+    return spec, mach, ctx
+
+
+def tune(kernel, machine="p4e", context=Context.OUT_OF_CACHE,
+         n=None, config=None, **options) -> TunedKernel:
+    """Empirically tune one kernel (ifko: analysis -> search -> best).
+
+    ``kernel``/``machine``/``context`` accept registry names ("ddot",
+    "p4e", "out-of-cache") or the full objects; ``n`` defaults to the
+    paper's problem size for the context.  Keyword ``options`` are
+    :class:`TuneConfig` fields (``strategy="anneal"``, ``seed=3``,
+    ``max_evals=100``, ...); pass ``config=TuneConfig(...)`` instead to
+    reuse a prepared configuration (the two are mutually exclusive).
+    """
+    if config is not None and options:
+        raise TypeError("pass either config= or TuneConfig field "
+                        "keywords, not both")
+    spec, mach, ctx = _coerce(kernel, machine, context)
+    cfg = config if config is not None else TuneConfig(**options)
+    return tune_kernel(spec, mach, ctx, n if n is not None else paper_n(ctx),
+                       config=cfg)
+
+
+def compile(kernel, machine="p4e", context=Context.OUT_OF_CACHE,  # noqa: A001
+            n=None, config=None) -> TunedKernel:
+    """Compile one kernel with FKO's static defaults (no search) and
+    time it — the "FKO" baseline :func:`tune` is measured against."""
+    spec, mach, ctx = _coerce(kernel, machine, context)
+    return compile_default(spec, mach, ctx,
+                           n if n is not None else paper_n(ctx),
+                           config=config)
+
+
+def analyze(kernel, machine="p4e") -> KernelAnalysis:
+    """FKO's kernel analysis — the feedback that seeds the search."""
+    spec = get_kernel(kernel) if isinstance(kernel, str) else kernel
+    mach = get_machine(machine) if isinstance(machine, str) else machine
+    return FKO(mach).analyze(spec.hil)
 
 __all__ = [
     # errors
@@ -62,10 +114,13 @@ __all__ = [
     "Context", "MachineConfig", "get_machine", "opteron", "pentium4e",
     "run_function", "summarize", "time_kernel",
     # search
-    "BatchResult", "LineSearch", "SearchResult", "TuneConfig",
+    "BatchResult", "LineSearch", "Searcher", "SearchResult", "TuneConfig",
     "TunedKernel", "TuningJob", "TuningSession", "build_space",
-    "compile_default", "registry_jobs", "tune_kernel",
+    "compile_default", "make_searcher", "registry_jobs", "searcher_names",
+    "tune_kernel",
     # timing
-    "Timer", "test_kernel",
+    "Timer", "paper_n", "test_kernel",
+    # the three-verb facade
+    "tune", "compile", "analyze",
     "__version__",
 ]

@@ -37,7 +37,7 @@ from .kernels import KERNEL_ORDER, REGISTRY, get_kernel
 from .kernels.blas1 import KernelSpec
 from .machine import Context, get_machine
 from .search import (TuneConfig, TuningSession, read_trace, registry_jobs,
-                     render_trace_summary, summarize_trace)
+                     render_trace_summary, searcher_names, summarize_trace)
 from .timing.tester import test_function
 from .timing.timer import paper_n
 
@@ -146,6 +146,8 @@ def _engine_config(args, run_tester: bool) -> TuneConfig:
     """TuneConfig from the shared engine flags."""
     return TuneConfig(max_evals=args.max_evals,
                       run_tester=run_tester,
+                      strategy=getattr(args, "strategy", "line"),
+                      seed=getattr(args, "seed", 0),
                       jobs=args.jobs,
                       cache_dir=args.cache_dir,
                       trace=args.trace_out,
@@ -186,6 +188,7 @@ def cmd_tune(args) -> int:
     result = tuned.search
 
     print(f"# ifko: {args.kernel} on {machine.name}, {context.value}, N={n}")
+    print(f"# strategy: {config.strategy} (seed {config.seed})")
     print(f"# evaluations: {result.n_evaluations}, "
           f"speedup over FKO defaults: {result.speedup_over_start:.2f}x")
     if session.stats.cache_hits:
@@ -317,6 +320,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--n", type=int, default=None,
                        help="problem size (default: paper sizes)")
         p.add_argument("--max-evals", type=int, default=400)
+        p.add_argument("--strategy", default="line",
+                       choices=searcher_names(),
+                       help="global-search strategy (default: the "
+                            "paper's modified line search)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="random seed of the strategy (ignored by "
+                            "the deterministic line search)")
         p.add_argument("--jobs", "-j", type=_jobs, default=1,
                        help="worker processes (1 = serial)")
         p.add_argument("--cache-dir", default=None,

@@ -7,8 +7,10 @@ result once per process and memoizes it.
 
 All tuning runs through one :class:`repro.search.TuningSession`, so the
 figures share the engine's persistent evaluation cache, can fan out
-across worker processes (``jobs`` argument or ``REPRO_JOBS``), and can
-be traced (``trace`` argument).
+across worker processes (``jobs`` argument or ``REPRO_JOBS``), can be
+traced (``trace`` argument), and can swap the global-search strategy
+(``strategy``/``seed`` arguments or ``REPRO_STRATEGY``/``REPRO_SEED``)
+to regenerate the figures under an alternative searcher.
 
 Problem sizes default to the paper's (N=80000 out of cache, N=1024
 in-L2).  ``quick=True`` shrinks the out-of-cache N (same physics, fewer
@@ -70,7 +72,9 @@ class ResultStore:
     def __init__(self, quick: Optional[bool] = None,
                  cache_dir: Optional[str] = None,
                  jobs: Optional[int] = None,
-                 trace: Optional[str] = None):
+                 trace: Optional[str] = None,
+                 strategy: Optional[str] = None,
+                 seed: Optional[int] = None):
         if quick is None:
             quick = os.environ.get("REPRO_FULL", "") == ""
         self.quick = quick
@@ -84,10 +88,17 @@ class ResultStore:
         if jobs is None:
             jobs = int(os.environ.get("REPRO_JOBS", "1") or 1)
         self.jobs = jobs
+        if strategy is None:
+            strategy = os.environ.get("REPRO_STRATEGY", "") or "line"
+        self.strategy = strategy
+        if seed is None:
+            seed = int(os.environ.get("REPRO_SEED", "0") or 0)
+        self.seed = seed
         eval_cache = (str(self.cache_dir / "evals")
                       if self.cache_dir is not None else None)
         self.session = TuningSession(TuneConfig(
-            jobs=jobs, cache_dir=eval_cache, trace=trace, run_tester=False))
+            jobs=jobs, cache_dir=eval_cache, trace=trace, run_tester=False,
+            strategy=strategy, seed=seed))
 
     # ------------------------------------------------------------------
     # optional JSON persistence (search results round-trip through
@@ -98,8 +109,12 @@ class ResultStore:
         from .. import __version__
         mname, ctx, kernel, method = key
         n = self.n_for(ctx)
+        # non-default strategy/seed runs are tagged so they never alias
+        # the canonical line-search rows (default filenames unchanged)
+        tag = ("" if (self.strategy, self.seed) == ("line", 0)
+               else f"_{self.strategy}{self.seed}")
         fname = (f"v{__version__}_{mname}_{ctx.name}_{n}_{kernel}_"
-                 f"{method.replace('+', '_')}.json")
+                 f"{method.replace('+', '_')}{tag}.json")
         return self.cache_dir / fname
 
     def _load_disk(self, key) -> Optional[MethodResult]:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from ..ir import PrefetchHint
+from ..util import check_schema
 
 
 @dataclass(frozen=True)
@@ -120,6 +121,7 @@ class TransformParams:
     # -- JSON round-trip (evaluation cache, checkpoints, traces) --------
     def to_dict(self) -> Dict:
         return {
+            "schema": 1,
             "sv": self.sv, "unroll": self.unroll, "lc": self.lc,
             "ae": self.ae, "wnt": self.wnt, "block_fetch": self.block_fetch,
             "copy_propagation": self.copy_propagation,
@@ -131,6 +133,7 @@ class TransformParams:
 
     @staticmethod
     def from_dict(data: Dict) -> "TransformParams":
+        check_schema(data, "TransformParams")
         prefetch = {
             arr: PrefetchParams(PrefetchHint(hint) if hint else None,
                                 int(dist))

@@ -1,17 +1,22 @@
 """Iterative search drivers — the empirical half of ifko (section 2.3).
 
-:mod:`~repro.search.linesearch` is the paper's modified line search;
-:mod:`~repro.search.engine` is the batch engine that runs many searches
-(and many candidate evaluations) in parallel behind the
-:class:`TuningSession` API, with a persistent evaluation cache
-(:mod:`~repro.search.evalcache`), JSONL search traces
+:mod:`~repro.search.strategies` defines the seeded ask/tell
+:class:`Searcher` protocol and the name-based strategy registry;
+:mod:`~repro.search.linesearch` is the paper's modified line search
+(the first registered strategy); :mod:`~repro.search.engine` is the
+batch engine that runs many searches (and many candidate evaluations)
+in parallel behind the :class:`TuningSession` API, with a persistent
+evaluation cache (:mod:`~repro.search.evalcache`), JSONL search traces
 (:mod:`~repro.search.trace`) and checkpoint/resume.
 """
 
 from .space import (DEFAULT_AES, DEFAULT_DIST_LINES, DEFAULT_UNROLLS,
                     SearchSpace, build_space)
-from .linesearch import (PHASES, BatchEvaluator, Evaluator, LineSearch,
-                         SearchResult)
+from .strategies import (SEARCHERS, AnnealSearch, BatchEvaluator, Evaluator,
+                         ExhaustiveSearch, GeneticSearch, RandomSearch,
+                         Searcher, make_searcher, register_searcher,
+                         searcher_names)
+from .linesearch import PHASES, LineSearch, SearchResult
 from .config import TuneConfig
 from .drivers import TunedKernel, compile_default, tune_kernel
 from .engine import (BatchResult, EngineStats, TuningJob, TuningSession,
@@ -23,7 +28,10 @@ from .alternatives import (STRATEGIES, exhaustive_search, genetic_search,
                            random_search, simulated_annealing)
 
 __all__ = ["DEFAULT_AES", "DEFAULT_DIST_LINES", "DEFAULT_UNROLLS",
-           "SearchSpace", "build_space", "PHASES", "BatchEvaluator",
+           "SearchSpace", "build_space", "SEARCHERS", "Searcher",
+           "make_searcher", "register_searcher", "searcher_names",
+           "AnnealSearch", "ExhaustiveSearch", "GeneticSearch",
+           "RandomSearch", "PHASES", "BatchEvaluator",
            "Evaluator", "LineSearch", "SearchResult", "TuneConfig",
            "TunedKernel", "compile_default", "tune_kernel",
            "BatchResult", "EngineStats", "TuningJob", "TuningSession",

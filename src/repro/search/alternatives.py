@@ -1,265 +1,68 @@
-"""Alternative search strategies over the same optimization space.
+"""Functional fronts over the alternative search strategies.
 
 "There are several ways of performing this search, including simulated
 annealing and genetic algorithms.  We currently use a much simpler
 technique, a modified line search." (section 2.3)
 
-This module implements the alternatives the paper names — plus plain
-random sampling and a small exhaustive grid — behind one interface, so
-the paper's argument ("a simple but intelligently designed search ...
-reduces the problem of search to a low order term") can be tested
-rather than taken on faith.  See ``benchmarks/bench_ablations.py`` and
-the search-strategy example.
-
-All strategies share the evaluation-count budget accounting and cache
-of :class:`~repro.search.linesearch.LineSearch`, so comparisons are at
-equal measured-compilation cost.
+The strategies themselves live in :mod:`repro.search.strategies` as
+ask/tell :class:`~repro.search.strategies.Searcher` classes (registered
+as ``random`` / ``anneal`` / ``genetic`` / ``exhaustive``); these
+one-call wrappers keep the original functional interface for ablation
+scripts and notebooks that just want ``result = strategy(evaluate,
+space, start, budget)``.  All strategies share the same budget
+accounting and memo cache (the :class:`Searcher` base class), so
+comparisons are at equal measured-compilation cost.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict
 
-import numpy as np
-
-from ..errors import SearchError
-from ..fko.params import PrefetchParams, TransformParams
-from ..ir import PrefetchHint
-from .linesearch import Evaluator, SearchResult
+from ..fko.params import TransformParams
+from .linesearch import SearchResult
 from .space import SearchSpace
+from .strategies import (AnnealSearch, Evaluator, ExhaustiveSearch,
+                         GeneticSearch, RandomSearch)
 
-
-@dataclass
-class _Budgeted:
-    """Shared evaluation bookkeeping (cache + budget) for the strategies."""
-
-    evaluate_raw: Evaluator
-    max_evals: int
-    cache: Dict[Tuple, float] = field(default_factory=dict)
-    n_evaluations: int = 0
-    history: List[Tuple[str, Tuple, float]] = field(default_factory=list)
-
-    def __call__(self, params: TransformParams, phase: str = "") -> float:
-        key = params.key()
-        if key in self.cache:
-            return self.cache[key]
-        if self.n_evaluations >= self.max_evals:
-            return float("inf")
-        self.n_evaluations += 1
-        cycles = self.evaluate_raw(params)
-        self.cache[key] = cycles
-        self.history.append((phase, key, cycles))
-        return cycles
-
-
-def _random_point(space: SearchSpace, rng: np.random.Generator,
-                  ) -> TransformParams:
-    p = TransformParams(
-        sv=bool(rng.choice(space.sv_options)),
-        unroll=int(rng.choice(space.unroll_options)),
-        ae=int(rng.choice(space.ae_options)),
-        wnt=bool(rng.choice(space.wnt_options)),
-    )
-    for arr in space.prefetch_arrays:
-        d = int(rng.choice(space.dist_options))
-        h = rng.choice(space.hint_options) if d > 0 else None
-        p.prefetch[arr] = PrefetchParams(h, d)
-    return p
-
-
-def _neighbor(space: SearchSpace, rng: np.random.Generator,
-              params: TransformParams) -> TransformParams:
-    """One random single-coordinate move (the annealer's proposal)."""
-    moves = ["unroll", "ae"]
-    if len(space.sv_options) > 1:
-        moves.append("sv")
-    if len(space.wnt_options) > 1:
-        moves.append("wnt")
-    for arr in space.prefetch_arrays:
-        moves.append(f"dist:{arr}")
-        moves.append(f"hint:{arr}")
-    move = rng.choice(moves)
-
-    def step(options, value):
-        i = options.index(value) if value in options else 0
-        j = min(len(options) - 1, max(0, i + int(rng.choice([-1, 1]))))
-        return options[j]
-
-    if move == "sv":
-        return params.copy(sv=not params.sv)
-    if move == "wnt":
-        return params.copy(wnt=not params.wnt)
-    if move == "unroll":
-        return params.copy(unroll=step(space.unroll_options, params.unroll))
-    if move == "ae":
-        return params.copy(ae=step(space.ae_options, params.ae))
-    kind, arr = move.split(":")
-    pf = params.pf(arr)
-    if kind == "dist":
-        d = step(space.dist_options, pf.dist)
-        h = (pf.hint or PrefetchHint.NTA) if d > 0 else None
-        return params.with_pf(arr, h, d)
-    hints = list(space.hint_options)
-    h = hints[int(rng.integers(len(hints)))]
-    d = pf.dist if pf.dist > 0 else space.line * 2
-    return params.with_pf(arr, h, d)
-
-
-# ---------------------------------------------------------------------------
-# strategies
 
 def random_search(evaluate: Evaluator, space: SearchSpace,
                   start: TransformParams, max_evals: int = 100,
                   seed: int = 0) -> SearchResult:
     """Uniform random sampling of the space (the geometry-only baseline)."""
-    if max_evals <= 0:
-        raise SearchError("max_evals must be positive")
-    budget = _Budgeted(evaluate, max_evals)
-    rng = np.random.default_rng(seed)
-    best_params = start
-    best = budget(start, "start")
-    start_cycles = best
-    for _ in range(max_evals * 20):
-        if budget.n_evaluations >= max_evals:
-            break
-        cand = _random_point(space, rng)
-        c = budget(cand, "random")
-        if c < best:
-            best, best_params = c, cand
-    return SearchResult(best_params=best_params, best_cycles=best,
-                        start_cycles=start_cycles,
-                        n_evaluations=budget.n_evaluations,
-                        history=budget.history)
+    return RandomSearch(space, start, max_evals=max_evals,
+                        seed=seed).run(evaluate)
 
 
 def simulated_annealing(evaluate: Evaluator, space: SearchSpace,
                         start: TransformParams, max_evals: int = 100,
-                        seed: int = 0, t0: float = 0.10,
-                        cooling: float = 0.97) -> SearchResult:
-    """Single-coordinate-move simulated annealing.
-
-    Temperature is relative (fraction of current cycles): a move that is
-    ``d`` fractionally worse is accepted with probability
-    ``exp(-d / T)``; T cools geometrically per evaluation.
-    """
-    if max_evals <= 0:
-        raise SearchError("max_evals must be positive")
-    budget = _Budgeted(evaluate, max_evals)
-    rng = np.random.default_rng(seed)
-    cur = start
-    cur_c = budget(start, "start")
-    start_cycles = cur_c
-    best, best_c = cur, cur_c
-    temp = t0
-    for _ in range(max_evals * 20):
-        if budget.n_evaluations >= max_evals:
-            break
-        cand = _neighbor(space, rng, cur)
-        c = budget(cand, "anneal")
-        if not math.isfinite(c):
-            break
-        delta = (c - cur_c) / max(cur_c, 1e-9)
-        if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-6)):
-            cur, cur_c = cand, c
-        if c < best_c:
-            best, best_c = cand, c
-        temp *= cooling
-    return SearchResult(best_params=best, best_cycles=best_c,
-                        start_cycles=start_cycles,
-                        n_evaluations=budget.n_evaluations,
-                        history=budget.history)
+                        seed: int = 0, t0: float = 0.05,
+                        cooling: float = 0.95,
+                        explore: float = 0.85) -> SearchResult:
+    """Explore-then-anneal simulated annealing (see
+    :class:`~repro.search.strategies.AnnealSearch`)."""
+    return AnnealSearch(space, start, t0=t0, cooling=cooling,
+                        explore=explore, max_evals=max_evals,
+                        seed=seed).run(evaluate)
 
 
 def genetic_search(evaluate: Evaluator, space: SearchSpace,
                    start: TransformParams, max_evals: int = 100,
                    seed: int = 0, population: int = 12,
                    elite: int = 3, mutation: float = 0.35) -> SearchResult:
-    """A small generational GA: tournament-free elitist selection,
-    uniform crossover over the parameter coordinates, single-coordinate
-    mutation."""
-    if max_evals <= 0:
-        raise SearchError("max_evals must be positive")
-    budget = _Budgeted(evaluate, max_evals)
-    rng = np.random.default_rng(seed)
-
-    def crossover(a: TransformParams, b: TransformParams) -> TransformParams:
-        child = TransformParams(
-            sv=a.sv if rng.random() < 0.5 else b.sv,
-            unroll=a.unroll if rng.random() < 0.5 else b.unroll,
-            ae=a.ae if rng.random() < 0.5 else b.ae,
-            wnt=a.wnt if rng.random() < 0.5 else b.wnt)
-        for arr in space.prefetch_arrays:
-            src = a if rng.random() < 0.5 else b
-            child.prefetch[arr] = src.pf(arr)
-        return child
-
-    # generation 0: the seed plus random immigrants
-    pop: List[Tuple[float, TransformParams]] = []
-    pop.append((budget(start, "gen0"), start))
-    start_cycles = pop[0][0]
-    while len(pop) < population and budget.n_evaluations < max_evals:
-        cand = _random_point(space, rng)
-        pop.append((budget(cand, "gen0"), cand))
-
-    for _gen in range(max_evals):
-        if budget.n_evaluations >= max_evals:
-            break
-        pop.sort(key=lambda t: t[0])
-        parents = pop[:max(elite, 2)]
-        children: List[Tuple[float, TransformParams]] = list(parents)
-        proposals = 0
-        while len(children) < population \
-                and budget.n_evaluations < max_evals \
-                and proposals < population * 20:
-            proposals += 1
-            i = int(rng.integers(len(parents)))
-            j = int(rng.integers(len(parents)))
-            child = crossover(parents[i][1], parents[j][1])
-            if rng.random() < mutation:
-                child = _neighbor(space, rng, child)
-            children.append((budget(child, "ga"), child))
-        if proposals >= population * 20 and len(children) <= len(parents):
-            break  # space exhausted: every proposal is already cached
-        pop = children
-
-    pop.sort(key=lambda t: t[0])
-    best_c, best = pop[0]
-    return SearchResult(best_params=best, best_cycles=best_c,
-                        start_cycles=start_cycles,
-                        n_evaluations=budget.n_evaluations,
-                        history=budget.history)
+    """A small generational GA (see
+    :class:`~repro.search.strategies.GeneticSearch`)."""
+    return GeneticSearch(space, start, population=population, elite=elite,
+                         mutation=mutation, max_evals=max_evals,
+                         seed=seed).run(evaluate)
 
 
 def exhaustive_search(evaluate: Evaluator, space: SearchSpace,
                       start: TransformParams,
                       max_evals: int = 100000) -> SearchResult:
-    """Full cross-product sweep, restricted to a *shared* prefetch
-    distance/hint across arrays to keep it tractable.  The gold standard
-    the cheap searches are judged against in the ablation."""
-    budget = _Budgeted(evaluate, max_evals)
-    best_params = start
-    best = budget(start, "start")
-    start_cycles = best
-    pf_options: List[Tuple[Optional[PrefetchHint], int]] = [(None, 0)]
-    pf_options += [(h, d) for d in space.dist_options if d > 0
-                   for h in space.hint_options]
-    for sv in space.sv_options:
-        for wnt in space.wnt_options:
-            for ur in space.unroll_options:
-                for ae in space.ae_options:
-                    for hint, dist in pf_options:
-                        p = TransformParams(sv=sv, unroll=ur, ae=ae, wnt=wnt)
-                        for arr in space.prefetch_arrays:
-                            p.prefetch[arr] = PrefetchParams(hint, dist)
-                        c = budget(p, "grid")
-                        if c < best:
-                            best, best_params = c, p
-    return SearchResult(best_params=best_params, best_cycles=best,
-                        start_cycles=start_cycles,
-                        n_evaluations=budget.n_evaluations,
-                        history=budget.history)
+    """Full cross-product sweep with a shared prefetch configuration —
+    the gold standard the cheap searches are judged against."""
+    return ExhaustiveSearch(space, start,
+                            max_evals=max_evals).run(evaluate)
 
 
 STRATEGIES: Dict[str, Callable] = {

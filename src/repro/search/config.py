@@ -2,11 +2,12 @@
 
 `tune_kernel` historically accreted positional keywords (``max_evals``,
 ``space``, ``run_tester``, ``start``); the engine adds five more
-(``jobs``, ``cache_dir``, ``trace``, ``timeout``, ``resume``).  Rather
-than a nine-keyword signature, everything that shapes *how* a search
-runs lives here, and the drivers take ``config=TuneConfig(...)``.  The
-old keywords still work through a deprecation shim in
-:func:`repro.search.drivers.tune_kernel`.
+(``jobs``, ``cache_dir``, ``trace``, ``timeout``, ``resume``) and the
+strategy layer two more (``strategy``, ``seed``).  Rather than an
+eleven-keyword signature, everything that shapes *how* a search runs
+lives here, and the drivers take ``config=TuneConfig(...)`` — the only
+spelling (the pre-engine keyword shim was removed after its
+deprecation window).
 """
 
 from __future__ import annotations
@@ -50,6 +51,12 @@ class TuneConfig:
     enable_block_fetch: bool = False
     #: fraction a candidate must win by to displace the incumbent
     min_gain: float = 0.005
+    #: global-search strategy, by registry name ("line" is the paper's
+    #: modified line search; see ``repro.search.searcher_names()``)
+    strategy: str = "line"
+    #: seed of the strategy's random stream (the line search ignores it
+    #: — the sweep is deterministic by construction)
+    seed: int = 0
     #: steady-state extrapolation in the timing model (bit-identical to
     #: the full walk; False forces the full per-line walk everywhere —
     #: the escape hatch the equivalence suite exercises)
@@ -64,6 +71,20 @@ class TuneConfig:
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, "
                              f"got {self.timeout}")
+        # a negative min_gain would make every candidate "win" (each
+        # move only needs to beat best * (1 - min_gain) > best), so the
+        # search would thrash between equivalent points
+        if self.min_gain < 0:
+            raise ValueError(f"min_gain must be >= 0, got {self.min_gain}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise ValueError(f"seed must be a non-negative integer, "
+                             f"got {self.seed!r}")
+        from .strategies import searcher_names
+        if self.strategy not in searcher_names():
+            raise ValueError(
+                f"unknown search strategy {self.strategy!r}; valid "
+                f"strategies: {', '.join(searcher_names())}")
 
     def replace(self, **changes) -> "TuneConfig":
         return dataclasses.replace(self, **changes)

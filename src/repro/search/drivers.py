@@ -7,20 +7,20 @@ empirically tuned parameter, the search invokes FKO to perform the
 transformation, the timer to determine its effect on performance, and
 the tester to ensure that the answer is correct."
 
-:func:`tune_kernel` is "ifko": analysis -> line search over the space
+:func:`tune_kernel` is "ifko": analysis -> global search over the space
 -> best compiled kernel, verified by the tester.
 :func:`compile_default` is plain "FKO": static defaults, no search.
 
 Both are thin fronts over :class:`repro.search.engine.TuningSession`;
-how a search runs (budget, parallelism, caching, tracing, timeouts) is
-configured through :class:`repro.search.config.TuneConfig`.  The
-pre-engine keyword signature (``max_evals``/``space``/``run_tester``/
-``start``) still works through a deprecation shim.
+how a search runs (budget, strategy, parallelism, caching, tracing,
+timeouts) is configured through ``config=TuneConfig(...)`` — the only
+spelling: the pre-engine keyword shim (``max_evals``/``space``/
+``run_tester``/``start`` as direct keywords) finished its deprecation
+window and was removed.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -31,6 +31,7 @@ from ..kernels.blas1 import KernelSpec
 from ..machine import Context, get_machine
 from ..machine.config import MachineConfig
 from ..timing.timer import KernelTiming
+from ..util import check_schema
 from .config import TuneConfig
 from .linesearch import SearchResult
 
@@ -60,7 +61,8 @@ class TunedKernel:
     def to_dict(self) -> Dict:
         """Summary form: the compiled IR is not serialized — FKO is
         deterministic, so ``from_dict`` recompiles it from the params."""
-        return {"kernel": self.spec.name, "machine": self.machine.name,
+        return {"schema": 1,
+                "kernel": self.spec.name, "machine": self.machine.name,
                 "context": self.context.value, "n": self.n,
                 "params": self.params.to_dict(),
                 "timing": self.timing.to_dict(),
@@ -68,6 +70,7 @@ class TunedKernel:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TunedKernel":
+        check_schema(data, "TunedKernel")
         spec = get_kernel(data["kernel"])
         machine = get_machine(data["machine"])
         params = TransformParams.from_dict(data["params"])
@@ -81,23 +84,6 @@ class TunedKernel:
                    search=search)
 
 
-_LEGACY_KEYS = ("max_evals", "space", "run_tester", "start")
-
-
-def _fold_legacy(config: Optional[TuneConfig], legacy: Dict) -> TuneConfig:
-    if legacy:
-        unknown = set(legacy) - set(_LEGACY_KEYS)
-        if unknown:
-            raise TypeError(f"tune_kernel() got unexpected keyword "
-                            f"argument(s) {sorted(unknown)}")
-        warnings.warn(
-            "passing max_evals/space/run_tester/start to tune_kernel() "
-            "directly is deprecated; use config=TuneConfig(...)",
-            DeprecationWarning, stacklevel=3)
-        return (config or TuneConfig()).replace(**legacy)
-    return config or TuneConfig()
-
-
 def compile_default(spec: KernelSpec, machine: MachineConfig,
                     context: Context, n: int,
                     config: Optional[TuneConfig] = None) -> TunedKernel:
@@ -108,16 +94,16 @@ def compile_default(spec: KernelSpec, machine: MachineConfig,
 
 
 def tune_kernel(spec: KernelSpec, machine: MachineConfig, context: Context,
-                n: int, config: Optional[TuneConfig] = None,
-                **legacy) -> TunedKernel:
+                n: int, config: Optional[TuneConfig] = None) -> TunedKernel:
     """ifko: iterative compilation of one kernel for one machine/context.
 
     ``config`` carries the how (budget, space, start point, tester,
-    ``jobs``, ``cache_dir``, ``trace``, ``timeout``); a one-shot session
-    is created around it.  For many kernels, or to share one pool and
-    cache, hold a :class:`~repro.search.engine.TuningSession` instead.
+    ``jobs``, ``cache_dir``, ``trace``, ``timeout``, ``strategy``,
+    ``seed``); a one-shot session is created around it.  For many
+    kernels, or to share one pool and cache, hold a
+    :class:`~repro.search.engine.TuningSession` instead.
     """
-    config = _fold_legacy(config, legacy)
+    config = config or TuneConfig()
     from .engine import TuningSession
     with TuningSession(config) as session:
         return session.tune(spec, machine, context, n)

@@ -11,10 +11,12 @@ both through one ``concurrent.futures.ProcessPoolExecutor``:
 * **within a sweep** — a single search's candidate list fans out
   per-evaluation (:meth:`TuningSession.tune` with ``jobs > 1``).
 
-Parallelism never changes the answer: the line search charges its
-budget and reduces each sweep in candidate order regardless of who
-computed the cycle counts, so ``jobs=N`` is bit-identical to ``jobs=1``
-(the simulated machines and the seeded timer noise are deterministic).
+Parallelism never changes the answer: every search strategy (the
+ask/tell :class:`~repro.search.strategies.Searcher` protocol — line
+search, random, annealing, genetic) charges its budget and reduces each
+asked batch in candidate order regardless of who computed the cycle
+counts, so ``jobs=N`` is bit-identical to ``jobs=1`` (the simulated
+machines and the seeded timer noise are deterministic).
 
 Around the pool the session layers the robustness an overnight tuning
 run needs:
@@ -59,8 +61,8 @@ from ..util import LRUCache
 from .config import TuneConfig
 from .drivers import TunedKernel
 from .evalcache import EvalCache, eval_key
-from .linesearch import LineSearch
 from .space import build_space
+from .strategies import Searcher, make_searcher
 from .trace import TraceWriter
 
 
@@ -317,7 +319,7 @@ class _Evaluator:
         self.ident = f"{spec.name}|"
         self.job = (f"{spec.name}:{machine.name.lower()}"
                     f":{context.value}:{n}")
-        self.search: Optional[LineSearch] = None   # set post-construction
+        self.search: Optional[Searcher] = None   # set post-construction
 
     def _phase(self) -> str:
         return self.search.phase if self.search is not None else ""
@@ -488,8 +490,16 @@ class TuningSession:
     def tune(self, spec: Union[str, KernelSpec],
              machine: Union[str, MachineConfig], context: Context, n: int,
              max_evals: Optional[int] = None) -> TunedKernel:
-        """ifko one kernel: analysis -> line search -> verified best.
-        With ``jobs > 1`` the sweep candidates fan across the pool."""
+        """ifko one kernel: analysis -> global search -> verified best.
+
+        The strategy is picked by ``config.strategy`` (the paper's line
+        search by default); any registered strategy is driven through
+        the same ask/tell loop, so every strategy shares the budget
+        accounting, the persistent evaluation cache and — with
+        ``jobs > 1`` — the per-batch fan-out across the worker pool.
+        Candidates are charged and reduced in ask-order, which keeps
+        each strategy bit-identical between ``jobs=1`` and ``jobs=N``.
+        """
         spec = get_kernel(spec) if isinstance(spec, str) else spec
         machine = (get_machine(machine) if isinstance(machine, str)
                    else machine)
@@ -501,17 +511,26 @@ class TuningSession:
         start = config.start or fko.defaults(spec.hil)
 
         evaluator = _Evaluator(self, spec, machine, context, n, fko, timer)
-        search = LineSearch(evaluator, space, start,
-                            max_evals=max_evals or config.max_evals,
-                            min_gain=config.min_gain,
-                            output_arrays=analysis.output_arrays,
-                            evaluate_many=evaluator.many)
-        evaluator.search = search
+        searcher = make_searcher(config.strategy, space, start,
+                                 max_evals=max_evals or config.max_evals,
+                                 min_gain=config.min_gain,
+                                 seed=config.seed,
+                                 output_arrays=analysis.output_arrays)
+        evaluator.search = searcher
 
         self.emit("job-start", job=evaluator.job, kernel=spec.name,
                   machine=machine.name, context=context.value, n=n,
-                  space=space.size)
-        result = search.run()
+                  space=space.size, strategy=searcher.name,
+                  seed=config.seed)
+        while not searcher.finished:
+            batch = searcher.ask()
+            cycles = evaluator.many(batch)
+            searcher.tell(list(zip(batch, cycles)))
+            self.emit("round", job=evaluator.job, strategy=searcher.name,
+                      round=searcher.rounds, phase=searcher.phase,
+                      evaluations=searcher.n_evaluations,
+                      best_cycles=searcher.best_cycles)
+        result = searcher.result()
 
         compiled = fko.compile(spec.hil, result.best_params)
         if config.run_tester and spec.name in REGISTRY:
@@ -641,6 +660,8 @@ class TuningSession:
                 "timeout": self.config.timeout,
                 "enable_block_fetch": self.config.enable_block_fetch,
                 "min_gain": self.config.min_gain,
+                "strategy": self.config.strategy,
+                "seed": self.config.seed,
                 "fast_timing": self.config.fast_timing}
 
     # -- checkpointing --------------------------------------------------

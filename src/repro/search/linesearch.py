@@ -25,23 +25,23 @@ usually smallest/simplest — value):
 
 The per-phase best cycles are recorded so Figure 7's speedup
 decomposition can be regenerated.
+
+:class:`LineSearch` is the first registered strategy behind the ask/tell
+:class:`~repro.search.strategies.Searcher` protocol; its sweep plan —
+and therefore its evaluation order, budget charging and results — is
+unchanged from the pre-protocol implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
-from ..errors import SearchError
-from ..fko.params import PrefetchParams, TransformParams
 from ..ir import PrefetchHint
-from .space import SearchSpace
-
-Evaluator = Callable[[TransformParams], float]   # -> cycles (lower = better)
-#: optional vectorized evaluator: a whole candidate list at once (the
-#: engine fans these across its worker pool); must return cycles in the
-#: same order as its input
-BatchEvaluator = Callable[[List[TransformParams]], List[float]]
+from ..fko.params import TransformParams
+from ..util import check_schema
+from .strategies import (BatchEvaluator, Evaluator, Plan, Searcher,
+                         register_searcher)
 
 #: phase names in Figure 7's legend order (BF is this reproduction's
 #: extension: the block-fetch transform the paper lists as planned)
@@ -65,12 +65,15 @@ class SearchResult:
 
     def phase_speedups(self) -> Dict[str, float]:
         """Multiplicative gain attributed to each tuning phase (the
-        Figure 7 decomposition); the product equals the total speedup."""
+        Figure 7 decomposition); the product equals the total speedup.
+        Only the line search attributes gains; other strategies report
+        an empty ``phase_gains`` (every phase shows as 1.0)."""
         return {p: self.phase_gains.get(p, 1.0) for p in PHASES}
 
     # -- JSON round-trip (evaluation cache, checkpoints, result store) --
     def to_dict(self) -> Dict:
-        return {"best_params": self.best_params.to_dict(),
+        return {"schema": 1,
+                "best_params": self.best_params.to_dict(),
                 "best_cycles": self.best_cycles,
                 "start_cycles": self.start_cycles,
                 "n_evaluations": self.n_evaluations,
@@ -80,6 +83,7 @@ class SearchResult:
 
     @staticmethod
     def from_dict(data: Dict) -> "SearchResult":
+        check_schema(data, "SearchResult")
         return SearchResult(
             best_params=TransformParams.from_dict(data["best_params"]),
             best_cycles=float(data["best_cycles"]),
@@ -105,104 +109,52 @@ def _tupled(obj):
     return obj
 
 
-class LineSearch:
-    def __init__(self, evaluate: Evaluator, space: SearchSpace,
-                 start: TransformParams, max_evals: int = 500,
-                 min_gain: float = 0.005,
-                 output_arrays: Sequence[str] = (),
-                 evaluate_many: Optional[BatchEvaluator] = None):
-        if max_evals <= 0:
-            raise SearchError("max_evals must be positive")
-        self.evaluate_raw = evaluate
-        self.evaluate_many = evaluate_many
-        self.space = space
-        self.start = start
-        self.max_evals = max_evals
-        self.output_arrays = list(output_arrays)
-        # a move requires improvement beyond timing noise, so plateaus
-        # and noise-level ties resolve to the incumbent (FKO defaults)
-        self.min_gain = min_gain
-        self._cache: Dict[Tuple, float] = {}
-        self.n_evaluations = 0
-        self.history: List[Tuple[str, Tuple, float]] = []
-        #: name of the sweep phase currently evaluating (trace observers
-        #: read this through the engine's evaluator)
-        self.phase = "start"
+@register_searcher
+class LineSearch(Searcher):
+    """The paper's modified line search as an ask/tell strategy.
 
-    # ------------------------------------------------------------------
-    def _eval(self, params: TransformParams) -> float:
-        return self._eval_batch([params])[0]
+    The plan proposes each phase's candidate list as one batch — the
+    engine fans uncached candidates across its worker pool — and keeps
+    the best-so-far as the new base, moving only on strict improvement
+    beyond ``min_gain``.  ``seed`` is accepted for protocol uniformity
+    but unused: the sweep is fully deterministic by construction.
+    """
 
-    def _eval_batch(self, candidates: List[TransformParams]) -> List[float]:
-        """Evaluate a candidate list with semantics identical to
-        one-at-a-time evaluation (memoization, budget consumption and
-        history all happen in candidate order), but let the *uncached*
-        evaluations fan out through ``evaluate_many`` when the caller
-        provided one.  This is what keeps ``jobs=N`` bit-identical to
-        ``jobs=1``: parallelism only changes who computes the cycle
-        counts, never which candidates are charged to the budget or how
-        the sweep reduces them."""
-        out: List[Optional[float]] = [None] * len(candidates)
-        fresh: List[Tuple[int, TransformParams, Tuple]] = []
-        batch_pos: Dict[Tuple, int] = {}   # key -> position of first use
-        for i, params in enumerate(candidates):
-            key = params.key()
-            if key in self._cache:
-                out[i] = self._cache[key]
-            elif key in batch_pos:
-                continue                   # duplicate: filled in below
-            elif self.n_evaluations >= self.max_evals:
-                out[i] = float("inf")
-            else:
-                self.n_evaluations += 1
-                batch_pos[key] = i
-                fresh.append((i, params, key))
-        if fresh:
-            if self.evaluate_many is not None and len(fresh) > 1:
-                values = self.evaluate_many([p for _, p, _ in fresh])
-            else:
-                values = [self.evaluate_raw(p) for _, p, _ in fresh]
-            for (i, _, key), cycles in zip(fresh, values):
-                self._cache[key] = cycles
-                self.history.append((self.phase, key, cycles))
-                out[i] = cycles
-        for i, params in enumerate(candidates):   # resolve duplicates
-            if out[i] is None:
-                out[i] = self._cache.get(params.key(), float("inf"))
-        return out
+    name = "line"
 
-    def _sweep(self, base: TransformParams, best: float,
-               candidates) -> Tuple[TransformParams, float]:
-        """Try each candidate; move only on strict improvement."""
-        candidates = list(candidates)
-        best_params = base
-        for params, c in zip(candidates, self._eval_batch(candidates)):
-            if c < best * (1.0 - self.min_gain):
-                best, best_params = c, params
-        return best_params, best
-
-    # ------------------------------------------------------------------
-    def run(self) -> SearchResult:
+    def _plan(self) -> Plan:
         sp = self.space
-        gains: Dict[str, float] = {p: 1.0 for p in PHASES}
+        gains = {p: 1.0 for p in PHASES}
+        self.phase_gains = gains
 
         self.phase = "start"
         base = self.start
-        best = self._eval(base)
-        start_cycles = best
+        (best,) = yield [base]
+        self.start_cycles = best
+        self.best_params, self.best_cycles = base, best
 
-        def attributed(phase: str, cands) -> None:
+        def attributed(phase: str, cands) -> Plan:
+            """Try each candidate; move only on strict improvement;
+            credit the phase with the multiplicative gain."""
             nonlocal base, best
             self.phase = phase
             before = best
-            base, best = self._sweep(base, best, cands)
+            cands = list(cands)
+            cycles = yield cands
+            best_params = base
+            for params, c in zip(cands, cycles):
+                if c < best * (1.0 - self.min_gain):
+                    best, best_params = c, params
+            base = best_params
             if best > 0:
                 gains[phase] *= before / best
+            self.best_params, self.best_cycles = base, best
 
         # --- SV
         if len(sp.sv_options) > 1:
-            attributed("SV", [base.copy(sv=v) for v in sp.sv_options
-                              if v != base.sv])
+            yield from attributed("SV", [base.copy(sv=v)
+                                         for v in sp.sv_options
+                                         if v != base.sv])
 
         # --- WNT (with its known PF interaction: a non-temporal store
         # needs no read-for-ownership, so the best WNT configuration may
@@ -222,7 +174,7 @@ class LineSearch:
             return cands
 
         if len(sp.wnt_options) > 1:
-            attributed("WNT", wnt_candidates(base))
+            yield from attributed("WNT", wnt_candidates(base))
 
         # --- PF distance.  The streams advance in lockstep, so array
         # distances interact strongly: sweep one distance applied to
@@ -244,62 +196,59 @@ class LineSearch:
                         cands.append(c)
             return cands
 
-        attributed("PF DST", pf_dist_candidates(base))
+        yield from attributed("PF DST", pf_dist_candidates(base))
         for arr in sp.prefetch_arrays:
             hint = base.pf(arr).hint or PrefetchHint.NTA
-            attributed("PF DST",
-                       [base.with_pf(arr, hint if d > 0 else None, d)
-                        for d in sp.dist_options
-                        if d != base.pf(arr).dist])
+            yield from attributed(
+                "PF DST", [base.with_pf(arr, hint if d > 0 else None, d)
+                           for d in sp.dist_options
+                           if d != base.pf(arr).dist])
 
         # --- PF instruction flavor at the chosen distance
         for arr in sp.prefetch_arrays:
             cur = base.pf(arr)
             if not cur.enabled:
                 continue
-            attributed("PF INS", [base.with_pf(arr, h, cur.dist)
-                                  for h in sp.hint_options
-                                  if h is not cur.hint])
+            yield from attributed("PF INS", [base.with_pf(arr, h, cur.dist)
+                                             for h in sp.hint_options
+                                             if h is not cur.hint])
 
         # --- UR
-        attributed("UR", [base.copy(unroll=u) for u in sp.unroll_options
-                          if u != base.unroll])
+        yield from attributed("UR", [base.copy(unroll=u)
+                                     for u in sp.unroll_options
+                                     if u != base.unroll])
 
         # --- AE, then the restricted (UR, AE) 2-D refinement
         if len(sp.ae_options) > 1:
-            attributed("AE", [base.copy(ae=a) for a in sp.ae_options
-                              if a != base.ae])
+            yield from attributed("AE", [base.copy(ae=a)
+                                         for a in sp.ae_options
+                                         if a != base.ae])
             urs = _neighbors(sp.unroll_options, base.unroll)
             aes = _neighbors(sp.ae_options, base.ae)
-            attributed("AE", [base.copy(unroll=u, ae=a)
-                              for u in urs for a in aes
-                              if (u, a) != (base.unroll, base.ae)])
+            yield from attributed("AE", [base.copy(unroll=u, ae=a)
+                                         for u in urs for a in aes
+                                         if (u, a) != (base.unroll, base.ae)])
 
         # --- BF (extension): block-fetch scheduling
         if len(sp.block_fetch_options) > 1:
-            attributed("BF", [base.copy(block_fetch=v)
-                              for v in sp.block_fetch_options
-                              if v != base.block_fetch])
+            yield from attributed("BF", [base.copy(block_fetch=v)
+                                         for v in sp.block_fetch_options
+                                         if v != base.block_fetch])
 
         # --- revisit round: transforms whose payoff only appears once
         # the prefetch distances stopped the latency stalls (e.g. WNT's
         # bus saving on a now-bandwidth-bound loop)
         if len(sp.wnt_options) > 1:
-            attributed("WNT", wnt_candidates(base))
+            yield from attributed("WNT", wnt_candidates(base))
         for arr in sp.prefetch_arrays:
             hint = base.pf(arr).hint or PrefetchHint.NTA
-            attributed("PF DST",
-                       [base.with_pf(arr, hint if d > 0 else None, d)
-                        for d in sp.dist_options
-                        if d != base.pf(arr).dist])
-        attributed("UR", [base.copy(unroll=u) for u in sp.unroll_options
-                          if u != base.unroll])
-
-        return SearchResult(best_params=base, best_cycles=best,
-                            start_cycles=start_cycles,
-                            n_evaluations=self.n_evaluations,
-                            phase_gains=gains,
-                            history=self.history)
+            yield from attributed(
+                "PF DST", [base.with_pf(arr, hint if d > 0 else None, d)
+                           for d in sp.dist_options
+                           if d != base.pf(arr).dist])
+        yield from attributed("UR", [base.copy(unroll=u)
+                                     for u in sp.unroll_options
+                                     if u != base.unroll])
 
 
 def _neighbors(options: List, value, radius: int = 1) -> List:

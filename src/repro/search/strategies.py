@@ -1,0 +1,582 @@
+"""Pluggable global-search strategies — the ask/tell ``Searcher`` protocol.
+
+The paper names its own search as the weakest link: "There are several
+ways of performing this search, including simulated annealing and
+genetic algorithms.  We currently use a much simpler technique, a
+modified line search" (section 2.3), and lists more sophisticated
+searches as future work.  This module is that extension point: every
+global search is a :class:`Searcher` — an object that *asks* for a
+batch of candidate :class:`~repro.fko.params.TransformParams` and is
+*told* their cycle counts — registered under a short name so drivers
+pick a strategy by string (``TuneConfig(strategy="anneal")``).
+
+The protocol::
+
+    searcher = make_searcher("genetic", space=space, start=start,
+                             max_evals=200, seed=7)
+    while not searcher.finished:
+        batch = searcher.ask()          # candidates needing cycles
+        cycles = evaluate_batch(batch)  # caller: serial, pooled, cached...
+        searcher.tell(list(zip(batch, cycles)))
+    result = searcher.result()          # a SearchResult
+
+Why ask/tell?  Because it splits *what to try next* (strategy logic,
+pure and seeded) from *how evaluations happen* (the engine's worker
+pool, persistent cache and trace).  The base class owns the budget
+bookkeeping exactly as the line search always did: candidates are
+deduplicated against an in-memory memo, charged to ``max_evals`` in
+ask-order, and recorded to ``history`` in ask-order — regardless of
+who computes the cycle counts or in what order they finish.  That is
+the invariant that makes every strategy deterministic under a fixed
+seed and bit-identical between ``jobs=1`` and ``jobs=N``: parallelism
+only changes who fills in the numbers, never which candidates are
+charged or how the strategy reduces them.
+
+Strategies are implemented as *plan coroutines*: :meth:`Searcher._plan`
+is a generator that yields raw candidate batches and receives their
+cycles (cached values are resolved internally and never re-asked), so
+strategy code reads like the straight-line algorithm it is.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (Callable, Dict, Generator, List, Optional, Sequence,
+                    Tuple, Type)
+
+import numpy as np
+
+from ..errors import SearchError
+from ..fko.params import PrefetchParams, TransformParams
+from ..ir import PrefetchHint
+from .space import SearchSpace
+
+Evaluator = Callable[[TransformParams], float]   # -> cycles (lower = better)
+#: optional vectorized evaluator: a whole candidate list at once (the
+#: engine fans these across its worker pool); must return cycles in the
+#: same order as its input
+BatchEvaluator = Callable[[List[TransformParams]], List[float]]
+
+#: what a plan yields (candidates) and receives (their cycles)
+Plan = Generator[List[TransformParams], List[float], None]
+
+
+class Searcher:
+    """Base class of all search strategies: budget accounting, memo
+    cache, history and the ask/tell state machine.  Subclasses override
+    :meth:`_plan` (and :attr:`name` for the registry)."""
+
+    #: registry name (subclasses set it; see :func:`register_searcher`)
+    name = "?"
+
+    def __init__(self, space: SearchSpace, start: TransformParams,
+                 max_evals: int = 400, min_gain: float = 0.005,
+                 seed: int = 0, output_arrays: Sequence[str] = ()):
+        if max_evals <= 0:
+            raise SearchError("max_evals must be positive")
+        if min_gain < 0:
+            raise SearchError(f"min_gain must be >= 0, got {min_gain}")
+        self.space = space
+        self.start = start
+        self.max_evals = max_evals
+        # a move requires improvement beyond timing noise, so plateaus
+        # and noise-level ties resolve to the incumbent (FKO defaults)
+        self.min_gain = min_gain
+        self.seed = seed
+        self.output_arrays = list(output_arrays)
+
+        self.n_evaluations = 0
+        self.history: List[Tuple[str, Tuple, float]] = []
+        #: label of the strategy step currently evaluating (trace
+        #: observers and ``history`` read this)
+        self.phase = "start"
+        #: completed ask/tell exchanges (a "round"; the GA's generation)
+        self.rounds = 0
+        self.best_params = start
+        self.best_cycles = float("inf")
+        self.start_cycles = float("inf")
+        self.phase_gains: Dict[str, float] = {}
+
+        self._memo: Dict[Tuple, float] = {}
+        self._finished = False
+        self._raw: List[TransformParams] = []
+        self._out: List[Optional[float]] = []
+        self._fresh: List[Tuple[int, TransformParams, Tuple]] = []
+        self._gen = self._plan()
+        self._advance(None)
+
+    # -- the protocol ---------------------------------------------------
+    def ask(self) -> List[TransformParams]:
+        """The next batch of candidates needing evaluation, in the order
+        they were charged to the budget.  Never empty while not
+        :attr:`finished`; cached and over-budget candidates are resolved
+        internally and never re-asked."""
+        if self._finished:
+            raise SearchError(f"{self.name} search already finished")
+        return [params for _, params, _ in self._fresh]
+
+    def tell(self, results: Sequence[Tuple[TransformParams, float]]) -> None:
+        """Report cycles for the batch from :meth:`ask`, same order.
+        Accepts ``(params, cycles)`` pairs (or bare cycle floats)."""
+        if self._finished:
+            raise SearchError(f"{self.name} search already finished")
+        if len(results) != len(self._fresh):
+            raise SearchError(
+                f"tell() got {len(results)} results for a batch of "
+                f"{len(self._fresh)} candidates")
+        for (i, _, key), item in zip(self._fresh, results):
+            cycles = float(item[1] if isinstance(item, (tuple, list))
+                           else item)
+            self._memo[key] = cycles
+            self.history.append((self.phase, key, cycles))
+            self._out[i] = cycles
+        self.rounds += 1
+        self._advance(self._resolved())
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def result(self) -> "SearchResult":
+        from .linesearch import SearchResult
+        if not self._finished:
+            raise SearchError(
+                f"{self.name} search still in progress "
+                f"({self.n_evaluations}/{self.max_evals} evaluations)")
+        return SearchResult(best_params=self.best_params,
+                            best_cycles=self.best_cycles,
+                            start_cycles=self.start_cycles,
+                            n_evaluations=self.n_evaluations,
+                            phase_gains=dict(self.phase_gains),
+                            history=self.history)
+
+    # -- convenience driver (serial callers, tests, examples) -----------
+    def run(self, evaluate: Evaluator,
+            evaluate_many: Optional[BatchEvaluator] = None
+            ) -> "SearchResult":
+        """Drive ask/tell to completion against a plain evaluator.
+        ``evaluate_many`` (when given) receives every multi-candidate
+        batch — the engine points it at its worker pool."""
+        while not self._finished:
+            batch = self.ask()
+            if evaluate_many is not None and len(batch) > 1:
+                cycles = evaluate_many(batch)
+            else:
+                cycles = [evaluate(p) for p in batch]
+            self.tell(list(zip(batch, cycles)))
+        return self.result()
+
+    # -- plan plumbing --------------------------------------------------
+    def _plan(self) -> Plan:
+        raise NotImplementedError
+
+    def _advance(self, cycles: Optional[List[float]]) -> None:
+        """Feed the last batch's cycles to the plan, then pull batches
+        until one needs fresh evaluations (or the plan ends).  Batches
+        fully resolved by the memo/budget are answered immediately."""
+        while True:
+            try:
+                raw = self._gen.send(cycles)
+            except StopIteration:
+                self._finished = True
+                self._raw, self._out, self._fresh = [], [], []
+                return
+            cycles = self._ingest(raw)
+            if cycles is None:      # fresh work pending: caller's turn
+                return
+
+    def _ingest(self, raw: List[TransformParams]) -> Optional[List[float]]:
+        """Bookkeeping identical to one-at-a-time evaluation: memo
+        lookups, budget charged in candidate order, duplicates folded.
+        Returns the full cycle list when nothing fresh is needed."""
+        out: List[Optional[float]] = [None] * len(raw)
+        fresh: List[Tuple[int, TransformParams, Tuple]] = []
+        batch_pos: Dict[Tuple, int] = {}   # key -> position of first use
+        for i, params in enumerate(raw):
+            key = params.key()
+            if key in self._memo:
+                out[i] = self._memo[key]
+            elif key in batch_pos:
+                continue                   # duplicate: filled in below
+            elif self.n_evaluations >= self.max_evals:
+                out[i] = float("inf")
+            else:
+                self.n_evaluations += 1
+                batch_pos[key] = i
+                fresh.append((i, params, key))
+        self._raw, self._out, self._fresh = raw, out, fresh
+        if fresh:
+            return None
+        return self._resolved()
+
+    def _resolved(self) -> List[float]:
+        for i, params in enumerate(self._raw):
+            if self._out[i] is None:       # duplicate within the batch
+                self._out[i] = self._memo.get(params.key(), float("inf"))
+        return self._out
+
+    def _note(self, params: TransformParams, cycles: float) -> None:
+        """Track the global best (strict improvement keeps the earliest
+        winner, so ties resolve deterministically)."""
+        if cycles < self.best_cycles:
+            self.best_cycles, self.best_params = cycles, params
+
+
+# ---------------------------------------------------------------------------
+# the registry
+
+#: name -> Searcher subclass.  Populated by :func:`register_searcher`;
+#: ``repro.search`` imports every strategy module, so the registry is
+#: complete whenever the package is imported.
+SEARCHERS: Dict[str, Type[Searcher]] = {}
+
+
+def register_searcher(cls: Type[Searcher]) -> Type[Searcher]:
+    """Class decorator: make ``cls`` available to ``make_searcher`` (and
+    therefore to ``TuneConfig.strategy`` and ``repro tune --strategy``)
+    under ``cls.name``."""
+    if not cls.name or cls.name == "?":
+        raise ValueError(f"{cls.__name__} needs a registry name")
+    SEARCHERS[cls.name] = cls
+    return cls
+
+
+def _ensure_registered() -> None:
+    # the line search lives in its own module; importing it here (not at
+    # module top, which would be circular) completes the registry even
+    # when this module is imported directly
+    from . import linesearch   # noqa: F401
+
+
+def searcher_names() -> List[str]:
+    """Registered strategy names, sorted."""
+    _ensure_registered()
+    return sorted(SEARCHERS)
+
+
+def make_searcher(name: str, space: SearchSpace, start: TransformParams,
+                  **kwargs) -> Searcher:
+    """Instantiate a registered strategy by name."""
+    _ensure_registered()
+    if name not in SEARCHERS:
+        raise SearchError(
+            f"unknown search strategy {name!r}; valid strategies: "
+            f"{', '.join(sorted(SEARCHERS))}")
+    return SEARCHERS[name](space, start, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# shared space geometry (seeded candidate generation + neighbor moves)
+
+def _random_point(space: SearchSpace, rng: np.random.Generator,
+                  ) -> TransformParams:
+    p = TransformParams(
+        sv=bool(rng.choice(space.sv_options)),
+        unroll=int(rng.choice(space.unroll_options)),
+        ae=int(rng.choice(space.ae_options)),
+        wnt=bool(rng.choice(space.wnt_options)),
+    )
+    for arr in space.prefetch_arrays:
+        d = int(rng.choice(space.dist_options))
+        h = rng.choice(space.hint_options) if d > 0 else None
+        p.prefetch[arr] = PrefetchParams(h, d)
+    return p
+
+
+def _neighbor(space: SearchSpace, rng: np.random.Generator,
+              params: TransformParams,
+              coarse: bool = False) -> TransformParams:
+    """One random single-coordinate move on the option grids (the
+    annealer's proposal, the GA's mutation).  Fine moves take the same
+    +/-1 steps the line search's restricted 2-D refinements walk;
+    ``coarse`` moves redraw the chosen coordinate uniformly — a Gibbs
+    step that crosses deceptive valleys (e.g. a prefetch distance whose
+    only good value is "off") in one proposal."""
+    moves = ["unroll", "ae"]
+    if len(space.sv_options) > 1:
+        moves.append("sv")
+    if len(space.wnt_options) > 1:
+        moves.append("wnt")
+    for arr in space.prefetch_arrays:
+        moves.append(f"dist:{arr}")
+        moves.append(f"hint:{arr}")
+        # prefetch fully on/off as its own move: stepping a distance
+        # down to 0 one option at a time almost never survives a walk,
+        # but "off" is often the winning value (WNT'd outputs)
+        moves.append(f"pftoggle:{arr}")
+    move = rng.choice(moves)
+
+    def step(options, value):
+        if coarse:
+            return options[int(rng.integers(len(options)))]
+        i = options.index(value) if value in options else 0
+        j = min(len(options) - 1, max(0, i + int(rng.choice([-1, 1]))))
+        return options[j]
+
+    if move == "sv":
+        return params.copy(sv=not params.sv)
+    if move == "wnt":
+        return params.copy(wnt=not params.wnt)
+    if move == "unroll":
+        return params.copy(unroll=step(space.unroll_options, params.unroll))
+    if move == "ae":
+        return params.copy(ae=step(space.ae_options, params.ae))
+    kind, arr = move.split(":")
+    pf = params.pf(arr)
+    if kind == "pftoggle":
+        if pf.enabled:
+            return params.with_pf(arr, None, 0)
+        return params.with_pf(arr, PrefetchHint.NTA, space.line * 2)
+    if kind == "dist":
+        d = step(space.dist_options, pf.dist)
+        h = (pf.hint or PrefetchHint.NTA) if d > 0 else None
+        return params.with_pf(arr, h, d)
+    hints = list(space.hint_options)
+    h = hints[int(rng.integers(len(hints)))]
+    d = pf.dist if pf.dist > 0 else space.line * 2
+    return params.with_pf(arr, h, d)
+
+
+# ---------------------------------------------------------------------------
+# strategies
+
+@register_searcher
+class RandomSearch(Searcher):
+    """Uniform random sampling of the space — the geometry-only
+    baseline every smarter strategy has to beat."""
+
+    name = "random"
+    #: candidates asked per round (parallel fan-out grain; the answer is
+    #: identical for any batch size, only wall time changes)
+    batch = 8
+
+    def _plan(self) -> Plan:
+        rng = np.random.default_rng(self.seed)
+        self.phase = "start"
+        (c0,) = yield [self.start]
+        self.start_cycles = c0
+        self._note(self.start, c0)
+        self.phase = "random"
+        attempts = 0
+        while (self.n_evaluations < self.max_evals
+               and attempts < self.max_evals * 20):
+            k = min(self.batch, self.max_evals - self.n_evaluations)
+            cands = [_random_point(self.space, rng) for _ in range(k)]
+            attempts += k
+            cycles = yield cands
+            for params, c in zip(cands, cycles):
+                self._note(params, c)
+
+
+@register_searcher
+class AnnealSearch(Searcher):
+    """Single-coordinate-move simulated annealing (one of the two
+    alternatives section 2.3 names).
+
+    The schedule is explore-then-anneal (annealing with random
+    initialization).  The hot phase spends ``explore`` of the budget on
+    uniform sampling — drawing the *identical* point stream
+    :class:`RandomSearch` draws under the same seed, so the walk starts
+    from a basin at least as good as random sampling finds at that
+    budget share.  The cold phase is a Metropolis walk from the best
+    point found: temperature is relative (fraction of current cycles),
+    a move ``d`` fractionally worse is accepted with probability
+    ``exp(-d / T)``, and T cools geometrically per proposal.  Cold
+    proposals are inherently sequential (each depends on the last
+    acceptance), so they are single-candidate batches — that half of
+    the search gains nothing from the worker pool, and the trace shows
+    it honestly.
+    """
+
+    name = "anneal"
+
+    def __init__(self, space: SearchSpace, start: TransformParams,
+                 t0: float = 0.05, cooling: float = 0.95,
+                 explore: float = 0.85, **kwargs):
+        self.t0 = t0
+        self.cooling = cooling
+        self.explore = explore
+        super().__init__(space, start, **kwargs)
+
+    def _plan(self) -> Plan:
+        rng = np.random.default_rng(self.seed)
+        self.phase = "start"
+        (c0,) = yield [self.start]
+        self.start_cycles = c0
+        self._note(self.start, c0)
+
+        # hot phase: uniform exploration, random search's exact stream
+        self.phase = "explore"
+        n_explore = max(1, int(self.max_evals * self.explore))
+        drawn = 0
+        while drawn < n_explore and self.n_evaluations < self.max_evals:
+            k = min(8, n_explore - drawn)
+            cands = [_random_point(self.space, rng) for _ in range(k)]
+            drawn += k
+            cycles = yield cands
+            for params, c in zip(cands, cycles):
+                self._note(params, c)
+
+        # cold phase: Metropolis walk from the exploration winner
+        self.phase = "anneal"
+        cur, cur_c = self.best_params, self.best_cycles
+        if not math.isfinite(cur_c):
+            cur, cur_c = self.start, c0
+        temp = self.t0
+        for _ in range(self.max_evals * 20):
+            if self.n_evaluations >= self.max_evals:
+                break
+            cand = _neighbor(self.space, rng, cur,
+                             coarse=bool(rng.random() < 0.5))
+            (c,) = yield [cand]
+            if math.isfinite(c):
+                delta = (c - cur_c) / max(cur_c, 1e-9)
+                if (delta <= 0
+                        or rng.random() < math.exp(-delta / max(temp, 1e-6))):
+                    cur, cur_c = cand, c
+                self._note(cand, c)
+            temp *= self.cooling
+
+
+@register_searcher
+class GeneticSearch(Searcher):
+    """A small generational GA (the other named alternative):
+    elitist selection, uniform crossover over the parameter
+    coordinates, single-coordinate mutation, plus a steady trickle of
+    random immigrants (``immigrants`` per generation).
+
+    Like :class:`AnnealSearch`, initialization is seeded sampling: the
+    first generation spends ``explore`` of the budget on uniform points
+    drawn from a dedicated rng whose stream is *identical* to
+    :class:`RandomSearch`'s under the same seed (immigrants continue
+    that same stream), so the population's coverage of the space is a
+    strict prefix of what random sampling would have evaluated — the
+    crossover/mutation tail only has to improve on it.  GA operator
+    draws come from a second rng so they never desynchronize the
+    mirror stream.  Each generation is one ask() batch, so its
+    individuals evaluate concurrently under ``jobs=N``."""
+
+    name = "genetic"
+
+    def __init__(self, space: SearchSpace, start: TransformParams,
+                 population: int = 12, elite: int = 3,
+                 mutation: float = 0.35, immigrants: int = 3,
+                 explore: float = 0.5, **kwargs):
+        if population < 2:
+            raise SearchError(f"population must be >= 2, got {population}")
+        self.population = population
+        self.elite = elite
+        self.mutation = mutation
+        self.immigrants = immigrants
+        self.explore = explore
+        super().__init__(space, start, **kwargs)
+
+    def _crossover(self, rng: np.random.Generator, a: TransformParams,
+                   b: TransformParams) -> TransformParams:
+        child = TransformParams(
+            sv=a.sv if rng.random() < 0.5 else b.sv,
+            unroll=a.unroll if rng.random() < 0.5 else b.unroll,
+            ae=a.ae if rng.random() < 0.5 else b.ae,
+            wnt=a.wnt if rng.random() < 0.5 else b.wnt)
+        for arr in self.space.prefetch_arrays:
+            src = a if rng.random() < 0.5 else b
+            child.prefetch[arr] = src.pf(arr)
+        return child
+
+    def _plan(self) -> Plan:
+        # random search's exact point stream (gen0 + immigrants) ...
+        mirror = np.random.default_rng(self.seed)
+        # ... kept separate from GA operator draws so crossover and
+        # mutation never desynchronize it
+        rng = np.random.default_rng([self.seed, 1])
+        # generation 0: the seed point plus the explore share of the
+        # budget in seeded uniform samples
+        self.phase = "gen0"
+        n0 = min(self.max_evals,
+                 max(self.population, int(self.max_evals * self.explore)))
+        gen0 = [self.start] + [_random_point(self.space, mirror)
+                               for _ in range(n0 - 1)]
+        cycles = yield gen0
+        self.start_cycles = cycles[0]
+        pop = list(zip(cycles, gen0))
+        for c, p in pop:
+            self._note(p, c)
+
+        self.phase = "ga"
+        dry = 0
+        for _gen in range(self.max_evals):
+            if self.n_evaluations >= self.max_evals:
+                break
+            pop.sort(key=lambda t: t[0])
+            pop = pop[:self.population]     # working set: the fittest
+            parents = pop[:max(self.elite, 2)]
+            n_children = self.population - len(parents)
+            n_fresh = min(self.immigrants, n_children)
+            if dry:
+                # last generation added nothing new (memo hits only):
+                # spend it all on exploration instead of re-breeding
+                n_fresh = n_children
+            children = [self._crossover(rng, parents[int(rng.integers(
+                len(parents)))][1], parents[int(rng.integers(
+                    len(parents)))][1])
+                for _ in range(n_children - n_fresh)]
+            children = [(_neighbor(self.space, rng, ch)
+                         if rng.random() < self.mutation else ch)
+                        for ch in children]
+            children += [_random_point(self.space, mirror)
+                         for _ in range(n_fresh)]
+            before = self.n_evaluations
+            cycles = yield children
+            for p, c in zip(children, cycles):
+                self._note(p, c)
+            pop = parents + list(zip(cycles, children))
+            if self.n_evaluations == before:
+                dry += 1          # every child was already in the memo
+                if dry >= 4:
+                    break         # space (or budget) genuinely exhausted
+            else:
+                dry = 0
+
+
+@register_searcher
+class ExhaustiveSearch(Searcher):
+    """Full cross-product sweep, restricted to a *shared* prefetch
+    distance/hint across arrays to keep it tractable.  The gold
+    standard the cheap searches are judged against in the ablations."""
+
+    name = "exhaustive"
+    batch = 16
+
+    def _plan(self) -> Plan:
+        sp = self.space
+        self.phase = "start"
+        (c0,) = yield [self.start]
+        self.start_cycles = c0
+        self._note(self.start, c0)
+        self.phase = "grid"
+        pf_options: List[Tuple[Optional[PrefetchHint], int]] = [(None, 0)]
+        pf_options += [(h, d) for d in sp.dist_options if d > 0
+                       for h in sp.hint_options]
+        chunk: List[TransformParams] = []
+
+        def flush():
+            batch = list(chunk)
+            del chunk[:]
+            cycles = yield batch
+            for params, c in zip(batch, cycles):
+                self._note(params, c)
+
+        for sv in sp.sv_options:
+            for wnt in sp.wnt_options:
+                for ur in sp.unroll_options:
+                    for ae in sp.ae_options:
+                        for hint, dist in pf_options:
+                            p = TransformParams(sv=sv, unroll=ur, ae=ae,
+                                                wnt=wnt)
+                            for arr in sp.prefetch_arrays:
+                                p.prefetch[arr] = PrefetchParams(hint, dist)
+                            chunk.append(p)
+                            if len(chunk) >= self.batch:
+                                yield from flush()
+        if chunk:
+            yield from flush()

@@ -13,12 +13,16 @@ Event schema (all events share ``t`` — POSIX timestamp — and ``event``):
 event      extra fields
 ========== =========================================================
 batch-start  jobs (list of job keys), njobs
-job-start    job, kernel, machine, context, n, space (cardinality)
+job-start    job, kernel, machine, context, n, space (cardinality),
+             strategy (registry name), seed
 eval         job, phase, params (describe()), cycles, wall, status
              (``ok`` | ``timeout`` | ``fault: ...``), fast (True when
              the timing model's steady-state replay fired)
 cache-hit    job, phase, params, cycles, wall (0.0)
 phase        job, phase, cycles (best so far entering the phase)
+round        job, strategy, round (ask/tell cycle — a line-search
+             phase batch, an anneal proposal, a GA generation),
+             phase, evaluations (budget charged so far), best_cycles
 job-end      job, best_cycles, evaluations, mflops, params
 job-resumed  job (reloaded from a checkpoint, no search ran)
 job-error    job, error

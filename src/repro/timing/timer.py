@@ -21,6 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..fko.pipeline import CompiledKernel
+from ..util import check_schema
 from ..kernels.blas1 import KernelSpec
 from ..machine.config import MachineConfig
 from ..machine.loopinfo import LoopSummary, summarize
@@ -48,13 +49,15 @@ class KernelTiming:
     # ``raw`` (the per-level TimingResult breakdown) is derived data and
     # is not serialized; a reloaded timing carries ``raw=None``.
     def to_dict(self) -> dict:
-        return {"cycles": self.cycles, "seconds": self.seconds,
+        return {"schema": 1,
+                "cycles": self.cycles, "seconds": self.seconds,
                 "mflops": self.mflops, "n": self.n, "machine": self.machine,
                 "context": self.context.value,
                 "samples": [float(s) for s in self.samples]}
 
     @staticmethod
     def from_dict(data: dict) -> "KernelTiming":
+        check_schema(data, "KernelTiming")
         return KernelTiming(cycles=float(data["cycles"]),
                             seconds=float(data["seconds"]),
                             mflops=float(data["mflops"]),

@@ -49,3 +49,30 @@ class LRUCache:
 
     def clear(self) -> None:
         self._data.clear()
+
+
+# ---------------------------------------------------------------------------
+# serialization schema versioning
+
+#: current schema of every ``to_dict`` payload (TunedKernel,
+#: SearchResult, TransformParams, KernelTiming).  Bump only when a
+#: payload changes shape incompatibly; readers accept anything <= this.
+SCHEMA_VERSION = 1
+
+
+def check_schema(data: dict, what: str) -> int:
+    """Validate the ``schema`` field of a serialized payload.
+
+    Missing means schema 1 (every pre-versioning payload), so old
+    caches, checkpoints and result stores keep loading.  A schema from
+    the future is an error — silently misreading it would be worse.
+    """
+    schema = data.get("schema", 1)
+    try:
+        schema = int(schema)
+    except (TypeError, ValueError):
+        raise ValueError(f"{what}: bad schema field {schema!r}")
+    if not 1 <= schema <= SCHEMA_VERSION:
+        raise ValueError(f"{what}: unsupported schema {schema} "
+                         f"(this build reads <= {SCHEMA_VERSION})")
+    return schema

@@ -294,19 +294,17 @@ class TestRoundTrips:
 
 
 # ---------------------------------------------------------------------------
-# the deprecation shim over the pre-engine keyword signature
+# config=TuneConfig(...) is the only spelling (the pre-engine keyword
+# shim finished its deprecation window and was removed)
 
-class TestLegacySignature:
-    def test_legacy_kwargs_warn_and_match_config(self, p4e, ddot_spec,
-                                                 serial_ddot):
-        with pytest.warns(DeprecationWarning, match="TuneConfig"):
-            old = tune_kernel(ddot_spec, p4e, Context.OUT_OF_CACHE, N,
-                              max_evals=EVALS, run_tester=False)
-        assert old.params.key() == serial_ddot.params.key()
-        assert old.search.best_cycles == serial_ddot.search.best_cycles
+class TestConfigOnlySignature:
+    def test_legacy_kwargs_are_gone(self, p4e, ddot_spec):
+        with pytest.raises(TypeError):
+            tune_kernel(ddot_spec, p4e, Context.OUT_OF_CACHE, N,
+                        max_evals=EVALS, run_tester=False)
 
     def test_unknown_kwarg_raises(self, p4e, ddot_spec):
-        with pytest.raises(TypeError, match="bogus"):
+        with pytest.raises(TypeError):
             tune_kernel(ddot_spec, p4e, Context.OUT_OF_CACHE, N, bogus=1)
 
     def test_config_object_is_the_front_door(self, p4e, ddot_spec,

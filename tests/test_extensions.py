@@ -68,8 +68,8 @@ class TestBlockFetch:
             return timer.time(fko.compile(spec.hil, params), spec).cycles
 
         space = build_space(a, p4e, enable_block_fetch=True)
-        res = LineSearch(ev, space, fko.defaults(spec.hil),
-                         output_arrays=a.output_arrays).run()
+        res = LineSearch(space, fko.defaults(spec.hil),
+                         output_arrays=a.output_arrays).run(ev)
         assert res.best_params.block_fetch
         assert res.phase_speedups()["BF"] > 1.05
 

@@ -157,5 +157,5 @@ def test_search_never_worse_than_start(dists):
     def ev(p):
         return timer.time(fko.compile(spec.hil, p), spec).cycles
 
-    res = LineSearch(ev, space, start, output_arrays=a.output_arrays).run()
+    res = LineSearch(space, start, output_arrays=a.output_arrays).run(ev)
     assert res.best_cycles <= res.start_cycles

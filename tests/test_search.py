@@ -46,12 +46,11 @@ class TestSpace:
 
 
 class TestLineSearchMechanics:
-    def _search(self, evaluate, fko, machine, src, **kw):
+    def _search(self, fko, machine, src, **kw):
         a = fko.analyze(src)
         sp = build_space(a, machine)
         start = fko.defaults(src)
-        return LineSearch(evaluate, sp, start,
-                          output_arrays=a.output_arrays, **kw)
+        return LineSearch(sp, start, output_arrays=a.output_arrays, **kw)
 
     def test_result_no_worse_than_start(self, fko_p4e, p4e, ddot_src):
         calls = []
@@ -64,8 +63,8 @@ class TestLineSearchMechanics:
                 if params.pf(arr).enabled:
                     c -= params.pf(arr).dist / 16.0
             return c
-        ls = self._search(ev, fko_p4e, p4e, ddot_src)
-        res = ls.run()
+        ls = self._search(fko_p4e, p4e, ddot_src)
+        res = ls.run(ev)
         assert res.best_cycles <= res.start_cycles
         assert res.best_params.unroll == 16
 
@@ -74,27 +73,26 @@ class TestLineSearchMechanics:
         def ev(params):
             seen.append(params.key())
             return 100.0
-        ls = self._search(ev, fko_p4e, p4e, ddot_src)
-        ls.run()
+        ls = self._search(fko_p4e, p4e, ddot_src)
+        ls.run(ev)
         assert len(seen) == len(set(seen))  # no duplicate evaluations
 
     def test_budget_respected(self, fko_p4e, p4e, ddot_src):
         def ev(params):
             return 100.0
-        ls = self._search(ev, fko_p4e, p4e, ddot_src, max_evals=5)
-        res = ls.run()
+        res = self._search(fko_p4e, p4e, ddot_src, max_evals=5).run(ev)
         assert res.n_evaluations <= 5
 
     def test_zero_budget_rejected(self, fko_p4e, p4e, ddot_src):
         with pytest.raises(SearchError):
-            self._search(lambda p: 1.0, fko_p4e, p4e, ddot_src, max_evals=0)
+            self._search(fko_p4e, p4e, ddot_src, max_evals=0)
 
     def test_ties_keep_incumbent(self, fko_p4e, p4e, ddot_src):
         """On a flat landscape the search must return the FKO defaults."""
         def ev(params):
             return 1000.0
-        ls = self._search(ev, fko_p4e, p4e, ddot_src)
-        res = ls.run()
+        ls = self._search(fko_p4e, p4e, ddot_src)
+        res = ls.run(ev)
         start = fko_p4e.defaults(ddot_src)
         assert res.best_params.key() == start.key()
 
@@ -111,8 +109,8 @@ class TestLineSearchMechanics:
                                         rel=1e-6)
 
     def test_history_records_phases(self, fko_p4e, p4e, ddot_src):
-        ls = self._search(lambda p: 100.0, fko_p4e, p4e, ddot_src)
-        ls.run()
+        ls = self._search(fko_p4e, p4e, ddot_src)
+        ls.run(lambda p: 100.0)
         phases = {ph for ph, _, _ in ls.history}
         assert "PF DST" in phases and "UR" in phases
 

@@ -79,8 +79,8 @@ class TestAgainstExhaustive:
         fraction of the evaluations."""
         _, a, space, start, evaluate = setup
         gold = exhaustive_search(evaluate, space, start, max_evals=100000)
-        ls = LineSearch(evaluate, space, start,
-                        output_arrays=a.output_arrays).run()
+        ls = LineSearch(space, start,
+                        output_arrays=a.output_arrays).run(evaluate)
         # within noise of the exhaustive optimum...
         assert ls.best_cycles <= gold.best_cycles * 1.03
         # ...at a small fraction of the cost
