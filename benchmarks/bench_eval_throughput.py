@@ -17,6 +17,12 @@ Measures three things and writes ``results/BENCH_eval_throughput.json``:
    second through ``FKO`` + ``Timer`` (front-end cache warm, the way a
    line search actually uses them), serial and optionally with
    ``--jobs N`` worker processes.
+4. **Observability overhead guard** — ``evaluate_params`` with the
+   ``repro.obs`` instrumentation *disabled* vs the bare compile+time
+   loop of (3), measured paired and interleaved in one process
+   (best-of-k, so machine load cancels out).  Disabled instrumentation
+   costing more than 3% is a hard failure — the second gating check
+   besides divergence.  The *enabled* cost is reported informationally.
 
 Usage::
 
@@ -161,12 +167,65 @@ def _eval_batch_star(batch):
     return _eval_batch(*batch)
 
 
+# ---------------------------------------------------------------------------
+# 4. observability overhead guard
+
+def _evaluate_batch(machine_name, context_value, kernel, n, keys,
+                    observe=False):
+    """The same work as ``_eval_batch`` but through the engine's
+    ``evaluate_params`` front door, with obs off or on."""
+    from repro.search import evaluate_params
+    mach = get_machine(machine_name)
+    spec = get_kernel(kernel)
+    fko = FKO(mach)
+    timer = Timer(mach, Context(context_value), n, fast=True)
+    flops = spec.flops(n)
+    t0 = time.perf_counter()
+    for unroll, ae in keys:
+        params = TransformParams(sv=True, unroll=unroll, ae=ae)
+        evaluate_params(fko, timer, spec.hil, params, flops, "bench|",
+                        observe=observe)
+    return time.perf_counter() - t0
+
+
+def obs_overhead(quick: bool, threshold: float = 0.03):
+    """Paired best-of-k: bare loop vs obs-disabled vs obs-enabled.
+    Interleaving the three variants within each rep keeps transient
+    machine load from biasing any single variant."""
+    unrolls = [1, 2, 4, 8] if quick else [1, 2, 3, 4, 6, 8, 12, 16]
+    keys = [(u, ae) for u in unrolls for ae in (1, 2, 4)]
+    ctx = Context.OUT_OF_CACHE
+    case = ("p4e", ctx.value, "ddot", paper_n(ctx), keys)
+    reps = 3 if quick else 5
+    # warm every path once (imports, front-end caches, allocator pools)
+    _eval_batch(*case)
+    _evaluate_batch(*case)
+    _evaluate_batch(*case, observe=True)
+    bare = disabled = enabled = float("inf")
+    for _ in range(reps):
+        bare = min(bare, _eval_batch(*case))
+        disabled = min(disabled, _evaluate_batch(*case))
+        enabled = min(enabled, _evaluate_batch(*case, observe=True))
+    overhead_disabled = disabled / bare - 1.0
+    overhead_enabled = enabled / bare - 1.0
+    return {"evaluations_per_rep": len(keys), "reps": reps,
+            "bare_wall_s": round(bare, 4),
+            "disabled_wall_s": round(disabled, 4),
+            "enabled_wall_s": round(enabled, 4),
+            "overhead_disabled": round(overhead_disabled, 4),
+            "overhead_enabled": round(overhead_enabled, 4),
+            "threshold": threshold,
+            "ok": overhead_disabled <= threshold}
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="small case set (CI smoke)")
     ap.add_argument("--jobs", type=int, default=1,
                     help="also measure parallel throughput with N workers")
+    ap.add_argument("--obs-threshold", type=float, default=0.03,
+                    help="max tolerated obs-disabled overhead (fraction)")
     ap.add_argument("--out", default=str(RESULTS / "BENCH_eval_throughput.json"))
     args = ap.parse_args(argv)
 
@@ -184,17 +243,30 @@ def main(argv=None):
         print(f"jobs={args.jobs}: {et['parallel_evals_per_sec']} evals/s "
               f"({et['parallel_speedup']}x)")
 
+    print("== observability overhead (disabled must be <= "
+          f"{args.obs_threshold:.0%}) ==")
+    oo = obs_overhead(args.quick, args.obs_threshold)
+    print(f"bare {oo['bare_wall_s']}s, obs-disabled {oo['disabled_wall_s']}s "
+          f"({oo['overhead_disabled']:+.1%}), obs-enabled "
+          f"{oo['enabled_wall_s']}s ({oo['overhead_enabled']:+.1%})")
+
     report = {"quick": args.quick, "timing_path": tp,
-              "eval_throughput": et}
+              "eval_throughput": et, "obs_overhead": oo}
     out = pathlib.Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
 
+    rc = 0
     if tp["mismatches"]:
         print("FAIL: fast/slow divergence detected", file=sys.stderr)
-        return 1
-    return 0
+        rc = 1
+    if not oo["ok"]:
+        print(f"FAIL: disabled observability costs "
+              f"{oo['overhead_disabled']:+.1%} of eval throughput "
+              f"(threshold {args.obs_threshold:.0%})", file=sys.stderr)
+        rc = 1
+    return rc
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ from .hil import compile_hil
 from .kernels import KERNEL_ORDER, KernelSpec, all_kernels, get_kernel
 from .machine import (Context, MachineConfig, get_machine, opteron,
                       pentium4e, run_function, summarize, time_kernel)
+from . import obs
 from .search import (BatchResult, LineSearch, Searcher, SearchResult,
                      TuneConfig, TunedKernel, TuningJob, TuningSession,
                      build_space, compile_default, make_searcher,
@@ -120,6 +121,8 @@ __all__ = [
     "tune_kernel",
     # timing
     "Timer", "paper_n", "test_kernel",
+    # observability
+    "obs",
     # the three-verb facade
     "tune", "compile", "analyze",
     "__version__",

@@ -8,8 +8,10 @@ command line; this module provides the same ergonomics::
         --prefetch X=nta:512 --asm
     python -m repro tune dasum --machine opteron --context oc --jobs 4
     python -m repro tune-all --jobs 4 --cache-dir .repro-cache \\
-        --trace-out tune.jsonl
+        --trace-out tune.jsonl --observe
     python -m repro trace tune.jsonl
+    python -m repro trace tune.jsonl --perfetto tune.perfetto.json
+    python -m repro report tune.jsonl -o report.md
     python -m repro kernels
     python -m repro experiments fig2 table3 --jobs 4
 
@@ -36,6 +38,7 @@ from .ir import PrefetchHint, emit_att, format_function
 from .kernels import KERNEL_ORDER, REGISTRY, get_kernel
 from .kernels.blas1 import KernelSpec
 from .machine import Context, get_machine
+from .obs import render_report, write_perfetto
 from .search import (TuneConfig, TuningSession, read_trace, registry_jobs,
                      render_trace_summary, searcher_names, summarize_trace)
 from .timing.tester import test_function
@@ -155,7 +158,8 @@ def _engine_config(args, run_tester: bool) -> TuneConfig:
                       resume=getattr(args, "resume", None),
                       enable_block_fetch=getattr(args, "enable_block_fetch",
                                                  False),
-                      fast_timing=not getattr(args, "no_fast_timing", False))
+                      fast_timing=not getattr(args, "no_fast_timing", False),
+                      observe=getattr(args, "observe", False))
 
 
 def _file_spec(source: str, name: str, elem_size: int) -> KernelSpec:
@@ -252,7 +256,30 @@ def cmd_trace(args) -> int:
     if not events:
         print(f"# trace: {args.file} is empty")
         return 0
+    if args.perfetto:
+        doc = write_perfetto(events, args.perfetto)
+        print(f"# perfetto: {len(doc['traceEvents'])} trace events "
+              f"-> {args.perfetto} (open in https://ui.perfetto.dev "
+              f"or chrome://tracing)")
+        return 0
     print(render_trace_summary(summarize_trace(events)))
+    return 0
+
+
+def cmd_report(args) -> int:
+    try:
+        events = read_trace(args.file)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read trace {args.file!r}: {exc}")
+    if not events:
+        print(f"# trace: {args.file} is empty")
+        return 1
+    text = render_report(events, title=args.title)
+    if args.out:
+        pathlib.Path(args.out).write_text(text)
+        print(f"# report -> {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -338,6 +365,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-fast-timing", action="store_true",
                        help="disable the timing model's steady-state "
                             "extrapolation (bit-identical, just slower)")
+        p.add_argument("--observe", action="store_true",
+                       help="record pass-level compile spans and cycle "
+                            "attribution into the trace (schema v2; "
+                            "non-perturbing — results are bit-identical)")
         if resume:
             p.add_argument("--resume", default=None, metavar="FILE",
                            help="checkpoint completed jobs to FILE and "
@@ -368,7 +399,21 @@ def build_parser() -> argparse.ArgumentParser:
     ptr = sub.add_parser("trace",
                          help="summarize a JSONL search trace")
     ptr.add_argument("file", help="trace file written by --trace-out")
+    ptr.add_argument("--perfetto", default=None, metavar="FILE",
+                     help="export the trace as Chrome-trace-event JSON "
+                          "for ui.perfetto.dev instead of summarizing")
     ptr.set_defaults(func=cmd_trace)
+
+    pr = sub.add_parser("report",
+                        help="render a markdown run report from a trace "
+                             "(pass costs + cycle attribution need a "
+                             "trace recorded with --observe)")
+    pr.add_argument("file", help="trace file written by --trace-out")
+    pr.add_argument("--out", "-o", default=None, metavar="FILE",
+                    help="write the report to FILE instead of stdout")
+    pr.add_argument("--title", default=None,
+                    help="report title (default: generic)")
+    pr.set_defaults(func=cmd_report)
 
     pe = sub.add_parser("experiments",
                         help="regenerate the paper's tables and figures")

@@ -19,6 +19,7 @@ from typing import Dict, List
 from ..errors import TransformError
 from ..ir import (Function, Instruction, Opcode, RegClass, VReg)
 from ..ir.operands import is_reg
+from ..obs.core import count as _obs_count
 from .loopshape import get_or_create_drain
 
 
@@ -97,4 +98,5 @@ def expand_accumulators(fn: Function, accumulators: List[VReg],
                                        comment="AE combine"))
         drain.instrs[0:0] = combine
         expanded += 1
+    _obs_count("ae.expanded", expanded)
     return expanded

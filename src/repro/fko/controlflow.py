@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from ..ir import BasicBlock, Function, Instruction, Label, Opcode
+from ..obs.core import count as _obs_count
 
 
 def _descriptor_names(fn: Function) -> Set[str]:
@@ -202,6 +203,7 @@ def add_explicit_terminators(fn: Function, region: List[str]) -> None:
 def cleanup_cfg(fn: Function, max_iters: int = 8) -> bool:
     """Run all control-flow cleanups to a fixed point."""
     any_change = False
+    n_blocks_before = len(fn.blocks)
     for _ in range(max_iters):
         changed = False
         changed |= remove_unreachable(fn)
@@ -212,4 +214,7 @@ def cleanup_cfg(fn: Function, max_iters: int = 8) -> bool:
         any_change |= changed
         if not changed:
             break
+    removed = n_blocks_before - len(fn.blocks)
+    if removed:
+        _obs_count("cfg.blocks_removed", removed)
     return any_change

@@ -21,6 +21,7 @@ from typing import Dict, List, Set
 from ..ir import Function, Instruction, Mem, Opcode, Reg
 from ..ir.dataflow import Liveness
 from ..ir.operands import is_reg
+from ..obs.core import count as _obs_count
 
 _COPY_OPS = (Opcode.MOV, Opcode.FMOV, Opcode.VMOV)
 
@@ -33,6 +34,7 @@ _SIDE_EFFECTS = {Opcode.ST, Opcode.FST, Opcode.FSTNT, Opcode.VST,
 def propagate_copies(fn: Function) -> bool:
     """Forward copy propagation within each block."""
     changed = False
+    n_rewritten = 0
     for block in fn.blocks:
         available: Dict[Reg, Reg] = {}
 
@@ -52,6 +54,7 @@ def propagate_copies(fn: Function) -> bool:
                 ni = instr.substitute(sub)
                 instr.dst, instr.srcs = ni.dst, ni.srcs
                 changed = True
+                n_rewritten += 1
             # update available set
             for d in instr.regs_written():
                 kill(d)
@@ -60,12 +63,15 @@ def propagate_copies(fn: Function) -> bool:
                     and instr.dst.rclass is instr.srcs[0].rclass \
                     and instr.dst.dtype == instr.srcs[0].dtype:
                 available[instr.dst] = instr.srcs[0]
+    if n_rewritten:
+        _obs_count("cp.rewritten", n_rewritten)
     return changed
 
 
 def eliminate_dead_code(fn: Function) -> bool:
     """Remove side-effect-free instructions whose destination is dead."""
     changed = False
+    n_removed = 0
     lv = Liveness(fn)
     for block in fn.blocks:
         live_after = lv.per_instruction(block)
@@ -79,12 +85,16 @@ def eliminate_dead_code(fn: Function) -> bool:
             if instr.op in _COPY_OPS and len(instr.srcs) == 1 \
                     and instr.srcs[0] == instr.dst:
                 changed = True
+                n_removed += 1
                 continue
             if instr.dst in live:
                 keep.append(instr)
                 continue
             changed = True  # dead value: drop it
+            n_removed += 1
         block.instrs = keep
+    if n_removed:
+        _obs_count("cp.dead_removed", n_removed)
     return changed
 
 

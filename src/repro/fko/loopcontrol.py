@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ..errors import TransformError
 from ..ir import Cond, Function, Instruction, Label, Opcode
+from ..obs.core import count as _obs_count
 
 
 def optimize_loop_control(fn: Function) -> None:
@@ -63,3 +64,4 @@ def optimize_loop_control(fn: Function) -> None:
     # the old header remains as the zero-trip guard; the rotated loop's
     # header (back edge target) is now the body entry
     loop.header = body_entry
+    _obs_count("lc.rotated")

@@ -17,6 +17,7 @@ from typing import Iterable, Optional, Set
 
 from ..errors import TransformError
 from ..ir import Function, Opcode
+from ..obs.core import count as _obs_count
 
 _NT = {Opcode.FST: Opcode.FSTNT, Opcode.VST: Opcode.VSTNT}
 
@@ -41,4 +42,5 @@ def apply_nontemporal(fn: Function,
                     continue
                 instr.op = _NT[instr.op]
                 converted += 1
+    _obs_count("wnt.converted", converted)
     return converted

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Set
 from ..ir import Function, Imm, Instruction, Mem, Opcode, Reg
 from ..ir.dataflow import Liveness
 from ..ir.operands import is_reg
+from ..obs.core import count as _obs_count
 
 #: ops accepting a memory second source; FSUB/VSUB only fold src2
 _FOLDABLE = {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FMAX,
@@ -90,6 +91,7 @@ def fold_loads(fn: Function) -> bool:
             dead.add(i)
             changed = True
         if dead:
+            _obs_count("peep.folded_loads", len(dead))
             block.instrs = [ins for i, ins in enumerate(block.instrs)
                             if i not in dead]
     return changed
@@ -98,6 +100,7 @@ def fold_loads(fn: Function) -> bool:
 def remove_trivial(fn: Function) -> bool:
     """Drop arithmetic no-ops and self-moves."""
     changed = False
+    n_removed = 0
     for block in fn.blocks:
         keep: List[Instruction] = []
         for instr in block.instrs:
@@ -107,16 +110,21 @@ def remove_trivial(fn: Function) -> bool:
                     and isinstance(instr.srcs[1], Imm) \
                     and instr.srcs[1].value == 0:
                 changed = True
+                n_removed += 1
                 continue
             if instr.op in (Opcode.MOV, Opcode.FMOV, Opcode.VMOV) \
                     and len(instr.srcs) == 1 and instr.srcs[0] == instr.dst:
                 changed = True
+                n_removed += 1
                 continue
             if instr.op is Opcode.NOP:
                 changed = True
+                n_removed += 1
                 continue
             keep.append(instr)
         block.instrs = keep
+    if n_removed:
+        _obs_count("peep.trivial_removed", n_removed)
     return changed
 
 

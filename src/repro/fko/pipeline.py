@@ -20,6 +20,7 @@ from typing import Dict, Optional, Set, Union
 from ..errors import TransformError
 from ..ir import Function, verify
 from ..machine.config import MachineConfig
+from ..obs.core import active as _obs_active
 from .accexpand import expand_accumulators
 from .analysis import KernelAnalysis, analyze
 from .clonefn import clone_function
@@ -51,6 +52,20 @@ class CompiledKernel:
         return bool(self.applied.get("sv"))
 
 
+def _run_pass(col, work: Function, name: str, thunk):
+    """Execute one pipeline pass, recording a span on the active
+    collector.  ``applied`` is inferred from the thunk's return value:
+    ``None`` means the pass ran unconditionally, a falsy count/flag
+    means it found nothing to do.  With no collector this is a plain
+    call — no timing, no IR snapshotting."""
+    if col is None:
+        return thunk()
+    with col.pass_span(name, work) as span:
+        result = thunk()
+        span.applied = True if result is None else bool(result)
+    return result
+
+
 def compile_kernel(fn: Function, machine: MachineConfig,
                    params: Optional[TransformParams] = None,
                    noprefetch: Optional[Set[str]] = None,
@@ -64,8 +79,9 @@ def compile_kernel(fn: Function, machine: MachineConfig,
     register value objects an analysis refers to, so an analysis of one
     clone is valid for any other); it is recomputed here when absent.
     """
+    col = _obs_active()
     work = clone_function(fn)
-    cleanup_cfg(work)
+    _run_pass(col, work, "cfg", lambda: cleanup_cfg(work))
     if analysis is None:
         analysis = analyze(work, machine, noprefetch)
 
@@ -79,26 +95,29 @@ def compile_kernel(fn: Function, machine: MachineConfig,
     if analysis.has_tuned_loop:
         # --- fundamental transformations, fixed order ------------------
         if params.sv and analysis.vectorizable:
-            vectorize(work, analysis)
+            _run_pass(col, work, "sv", lambda: vectorize(work, analysis))
             applied["sv"] = True
             if debug_verify:
                 verify(work)
 
         u = min(max(1, params.unroll), analysis.max_unroll)
         if u > 1:
-            unroll(work, u)
+            _run_pass(col, work, "ur", lambda: unroll(work, u))
             applied["unroll"] = u
             if debug_verify:
                 verify(work)
 
         if params.lc:
-            optimize_loop_control(work)
+            _run_pass(col, work, "lc",
+                      lambda: optimize_loop_control(work))
             applied["lc"] = True
             if debug_verify:
                 verify(work)
 
         if params.ae > 1 and analysis.accumulators:
-            n = expand_accumulators(work, analysis.accumulators, params.ae)
+            n = _run_pass(col, work, "ae",
+                          lambda: expand_accumulators(
+                              work, analysis.accumulators, params.ae))
             if n:
                 applied["ae"] = params.ae
             if debug_verify:
@@ -107,13 +126,17 @@ def compile_kernel(fn: Function, machine: MachineConfig,
         pf = {a: p for a, p in params.prefetch.items()
               if p.enabled and a in analysis.prefetch_arrays}
         if pf:
-            n = insert_prefetches(work, pf, machine.l1.line)
+            n = _run_pass(col, work, "pf",
+                          lambda: insert_prefetches(work, pf,
+                                                    machine.l1.line))
             applied["prefetch"] = n
             if debug_verify:
                 verify(work)
 
         if params.wnt and analysis.output_arrays:
-            n = apply_nontemporal(work, analysis.output_arrays)
+            n = _run_pass(col, work, "wnt",
+                          lambda: apply_nontemporal(
+                              work, analysis.output_arrays))
             if n:
                 applied["wnt"] = True
             if debug_verify:
@@ -131,11 +154,14 @@ def compile_kernel(fn: Function, machine: MachineConfig,
     for _ in range(4):
         changed = False
         if params.copy_propagation:
-            changed |= run_copy_opt(work)
+            changed |= _run_pass(col, work, "copy-prop",
+                                 lambda: run_copy_opt(work))
         if params.peephole:
-            changed |= run_peephole(work)
+            changed |= _run_pass(col, work, "peephole",
+                                 lambda: run_peephole(work))
         if params.cf_cleanup:
-            changed |= cleanup_cfg(work)
+            changed |= _run_pass(col, work, "cfg",
+                                 lambda: cleanup_cfg(work))
         if not changed:
             break
     if debug_verify:
@@ -143,12 +169,14 @@ def compile_kernel(fn: Function, machine: MachineConfig,
 
     allocation = None
     if params.register_allocation != "off":
-        allocation = allocate_registers(work, machine,
-                                        params.register_allocation)
+        allocation = _run_pass(col, work, "regalloc",
+                               lambda: allocate_registers(
+                                   work, machine,
+                                   params.register_allocation))
         applied["spilled"] = allocation.n_spilled
 
     if params.cf_cleanup:
-        cleanup_cfg(work)
+        _run_pass(col, work, "cfg", lambda: cleanup_cfg(work))
     verify(work)
 
     return CompiledKernel(fn=work, params=params, analysis=analysis,

@@ -20,6 +20,7 @@ from typing import Dict, List
 
 from ..errors import TransformError
 from ..ir import (Function, Instruction, Mem, Opcode, PrefetchHint, VReg)
+from ..obs.core import count as _obs_count
 from .params import PrefetchParams
 
 
@@ -74,4 +75,5 @@ def insert_prefetches(fn: Function, prefetch: Dict[str, PrefetchParams],
         body.instrs.insert(pos, instr)
         work_len += 1
         pos += step + 1
+    _obs_count("pf.inserted", inserted)
     return inserted

@@ -32,6 +32,7 @@ from ..ir.dataflow import Liveness
 from ..ir.operands import is_reg
 from ..machine.config import MachineConfig
 from ..machine.registers import GP_NAMES, SP, XMM_NAMES
+from ..obs.core import active as _obs_active
 
 
 @dataclass
@@ -310,4 +311,10 @@ def allocate_registers(fn: Function, machine: MachineConfig,
             slots[r] = fn.new_stack_slot(r.dtype)
         result.spilled = slots
         _spill_rewrite(fn, slots, scratch, result)
+    col = _obs_active()
+    if col is not None:
+        col.count("ra.allocated", len(result.mapping))
+        col.count("ra.spilled", result.n_spilled)
+        col.count("ra.spill_loads", result.n_spill_loads)
+        col.count("ra.spill_stores", result.n_spill_stores)
     return result

@@ -27,6 +27,7 @@ from ..errors import TransformError
 from ..ir import (DType, Function, Imm, Instruction, Label, LoopDescriptor,
                   Mem, Opcode, RegClass, VReg)
 from ..ir.operands import is_reg
+from ..obs.core import count as _obs_count
 from .clonefn import clone_region, private_registers
 from .controlflow import add_explicit_terminators
 from .loopshape import ensure_cleanup_loop, set_main_bound
@@ -50,6 +51,7 @@ def unroll(fn: Function, factor: int) -> None:
         _unroll_multi(fn, loop, factor)
     loop.unroll = factor
     set_main_bound(fn, loop, loop.veclen * factor)
+    _obs_count("ur.replicated_trips", factor - 1)
 
 
 def _is_ptr_update(instr: Instruction) -> bool:

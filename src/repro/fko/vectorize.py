@@ -27,6 +27,7 @@ from ..ir import (DType, Function, Imm, Instruction, Mem, Opcode, RegClass,
                   SCALAR_TO_VECTOR, VReg, VecType, sse)
 from ..ir.dataflow import Liveness
 from ..ir.operands import is_reg
+from ..obs.core import active as _obs_active
 from .analysis import KernelAnalysis
 from .loopshape import ensure_cleanup_loop, get_or_create_drain, set_main_bound
 
@@ -151,3 +152,9 @@ def vectorize(fn: Function, analysis: KernelAnalysis) -> None:
     set_main_bound(fn, loop, vl)
     loop.vectorized = True
     loop.veclen = vl
+    col = _obs_active()
+    if col is not None:
+        widened = set(SCALAR_TO_VECTOR.values())
+        col.count("sv.widened",
+                  sum(1 for i in body.instrs if i.op in widened))
+        col.count("sv.broadcasts", len(invariants))

@@ -47,7 +47,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..ir import Instruction, Mem, Opcode, PrefetchHint
 from ..ir.operands import is_reg
-from .config import MachineConfig
+from .config import MachineConfig, get_machine
 from .loopinfo import LoopSummary, StreamInfo
 
 #: stop looking for a steady state after this many distinct state
@@ -99,6 +99,46 @@ class TimingResult:
     def mflops(self, flops: float, freq_hz: float) -> float:
         secs = self.seconds(freq_hz)
         return flops / secs / 1e6 if secs > 0 else 0.0
+
+    def attribution(self, mach: Optional[MachineConfig] = None) -> Dict:
+        """Where the cycles went — the per-evaluation decomposition the
+        simulator already computes internally, surfaced as plain data
+        (the reproduction's Figure-7 analogue, at eval grain).
+
+        * ``compute`` — the steady-state CPU bound (``cpi x trips``);
+        * ``memory_stall`` — cycles the walk stalled waiting on lines;
+        * ``prefetch_waste`` — bus cycles burned fetching lines that
+          were evicted before use (``wasted lines x line transfer``;
+          their downstream re-fetch stalls are part of
+          ``memory_stall``, so the two overlap by design);
+        * ``other`` — prologue, scalar-cleanup remainder and write
+          drain, i.e. ``total - compute - memory_stall`` clamped at 0.
+
+        Derived purely from already-recorded :class:`TimingStats` —
+        calling this can never perturb a measurement."""
+        if mach is None:
+            mach = get_machine(self.machine)
+        s = self.stats
+        line = mach.l1.line
+        if self.context is Context.OUT_OF_CACHE:
+            read_dur = line / mach.bus_bpc
+        else:
+            read_dur = line / mach.l2.fill_bpc
+        other = self.cycles - s.cpu_cycles - s.stall_cycles
+        return {"total": self.cycles,
+                "compute": s.cpu_cycles,
+                "memory_stall": s.stall_cycles,
+                "prefetch_waste": s.prefetch_wasted * read_dur,
+                "other": other if other > 0.0 else 0.0,
+                "bus_busy": s.bus_busy_cycles,
+                "prefetch_issued": s.prefetch_issued,
+                "prefetch_dropped": s.prefetch_dropped,
+                "prefetch_wasted": s.prefetch_wasted,
+                "demand_misses": s.demand_misses,
+                "hw_prefetches": s.hw_prefetches,
+                "lines": s.lines_processed,
+                "lines_extrapolated": s.lines_extrapolated,
+                "steady_period": s.steady_period}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,59 @@
+"""Cheap structural IR statistics for pass-level telemetry.
+
+A :class:`PassSpan` snapshots a function before and after each
+transform pass; the *delta* is what the pass did to the code shape —
+how many instructions unrolling replicated, how many blocks a CFG
+cleanup removed, how much virtual-register pressure accumulator
+expansion added.  Only executed when a collector is installed, so the
+walk's cost never touches the disabled-mode hot path.
+
+"vreg pressure" here is the static count of distinct virtual registers
+referenced anywhere in the function (destinations, sources, and the
+base/index registers of memory operands) — a deliberate proxy: the true
+max-live number is the register allocator's business, and its
+spills/reloads are reported separately through the regalloc pass's
+detail counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.operands import Mem, VReg
+
+
+@dataclass(frozen=True)
+class IRSnapshot:
+    """Structural size of one function at a point in the pipeline."""
+
+    instrs: int
+    blocks: int
+    vregs: int
+
+
+def ir_snapshot(fn) -> IRSnapshot:
+    """Count instructions, basic blocks and distinct virtual registers."""
+    n_instrs = 0
+    vregs = set()
+    add = vregs.add
+    for block in fn.blocks:
+        n_instrs += len(block.instrs)
+        for instr in block.instrs:
+            dst = instr.dst
+            if type(dst) is VReg:
+                add(dst)
+            elif type(dst) is Mem:
+                if type(dst.base) is VReg:
+                    add(dst.base)
+                if type(dst.index) is VReg:
+                    add(dst.index)
+            for src in instr.srcs:
+                if type(src) is VReg:
+                    add(src)
+                elif type(src) is Mem:
+                    if type(src.base) is VReg:
+                        add(src.base)
+                    if type(src.index) is VReg:
+                        add(src.index)
+    return IRSnapshot(instrs=n_instrs, blocks=len(fn.blocks),
+                      vregs=len(vregs))

@@ -61,6 +61,11 @@ class TuneConfig:
     #: the full walk; False forces the full per-line walk everywhere —
     #: the escape hatch the equivalence suite exercises)
     fast_timing: bool = True
+    #: collect pass-level compile spans and cycle attribution per eval
+    #: and fold them into the trace (schema v2 ``pass`` / ``attribution``
+    #: events).  Observation never perturbs results: cycles, cache keys
+    #: and search decisions are bit-identical with it on or off
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.max_evals <= 0:

@@ -55,6 +55,7 @@ from ..kernels import KERNEL_ORDER, REGISTRY, get_kernel
 from ..kernels.blas1 import KernelSpec
 from ..machine import Context, get_machine, summarize
 from ..machine.config import MachineConfig
+from ..obs.core import Collector, use as _obs_use
 from ..timing.tester import test_kernel
 from ..timing.timer import Timer, paper_n
 from ..util import LRUCache
@@ -103,21 +104,33 @@ class _alarm:
 def evaluate_params(fko: FKO, timer: Timer, hil: str,
                     params: TransformParams, flops: float,
                     ident_prefix: str,
-                    timeout: Optional[float] = None
-                    ) -> Tuple[float, str, Dict]:
+                    timeout: Optional[float] = None,
+                    observe: bool = False) -> Tuple[float, str, Dict]:
     """One compile+time.  Returns ``(cycles, status, meta)`` where
     status is ``ok`` | ``timeout`` | ``fault: ...``; failures come back
     as ``inf`` cycles (the sweep just never picks them) instead of
     killing a batch that has hours of work behind it.  ``meta`` reports
     whether the timing model's steady-state fast path fired.
 
+    ``observe=True`` additionally collects pass-level compile telemetry
+    (an :mod:`repro.obs` collector around the compile) and the timing
+    model's cycle attribution, returned as ``meta["passes"]`` /
+    ``meta["attribution"]``.  Observation reads state the compile and
+    the simulator produce anyway, so cycles, cache keys and search
+    decisions are bit-identical with it on or off.
+
     A :class:`SimulationFault` is terminal: the simulated machine is
     deterministic, so re-running the identical (kernel, params) inputs
     would fault identically — the fault is recorded immediately instead
     of compiling and timing a doomed candidate twice."""
+    col = Collector() if observe else None
     try:
         with _alarm(timeout):
-            compiled = fko.compile(hil, params)
+            if col is not None:
+                with _obs_use(col):
+                    compiled = fko.compile(hil, params)
+            else:
+                compiled = fko.compile(hil, params)
             timing = timer.time_summary(
                 summarize(compiled.fn), flops,
                 ident=f"{ident_prefix}{params.key()}")
@@ -128,6 +141,10 @@ def evaluate_params(fko: FKO, timer: Timer, hil: str,
     raw = timing.raw
     meta = {"fast": bool(raw is not None
                          and raw.stats.lines_extrapolated > 0)}
+    if col is not None:
+        meta["passes"] = col.passes
+        if raw is not None:
+            meta["attribution"] = raw.attribution(timer.machine)
     return timing.cycles, "ok", meta
 
 
@@ -161,9 +178,15 @@ def _eval_worker(payload: Dict) -> Dict:
     cycles, status, meta = evaluate_params(fko, timer, payload["hil"],
                                            params, payload["flops"],
                                            payload["ident"],
-                                           payload["timeout"])
-    return {"cycles": cycles, "status": status,
-            "wall": time.perf_counter() - t0, "fast": meta.get("fast")}
+                                           payload["timeout"],
+                                           observe=payload.get("observe",
+                                                               False))
+    out = {"cycles": cycles, "status": status,
+           "wall": time.perf_counter() - t0, "fast": meta.get("fast")}
+    if payload.get("observe"):
+        out["passes"] = meta.get("passes")
+        out["attribution"] = meta.get("attribution")
+    return out
 
 
 def _job_worker(payload: Dict) -> Dict:
@@ -173,19 +196,17 @@ def _job_worker(payload: Dict) -> Dict:
     job = TuningJob.from_dict(payload["job"])
     config = TuneConfig(jobs=1, trace=None, resume=None,
                         **payload["config"])
-    session = TuningSession(config, collect_events=True)
-    try:
-        tuned = session.tune(job.kernel, job.machine, job.context, job.n,
-                             max_evals=job.max_evals)
-        return {"ok": True, "result": tuned.to_dict(),
-                "events": session.drain_events(),
-                "stats": session.stats.to_dict()}
-    except Exception as exc:   # noqa: BLE001 — report, parent decides
-        return {"ok": False, "error": f"{type(exc).__name__}: {exc}",
-                "events": session.drain_events(),
-                "stats": session.stats.to_dict()}
-    finally:
-        session.close()
+    with TuningSession(config, collect_events=True) as session:
+        try:
+            tuned = session.tune(job.kernel, job.machine, job.context, job.n,
+                                 max_evals=job.max_evals)
+            return {"ok": True, "result": tuned.to_dict(),
+                    "events": session.drain_events(),
+                    "stats": session.stats.to_dict()}
+        except Exception as exc:   # noqa: BLE001 — report, parent decides
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}",
+                    "events": session.drain_events(),
+                    "stats": session.stats.to_dict()}
 
 
 # ---------------------------------------------------------------------------
@@ -355,6 +376,7 @@ class _Evaluator:
                          "flops": self.flops, "ident": self.ident,
                          "timeout": session.config.timeout,
                          "fast": session.config.fast_timing,
+                         "observe": session.config.observe,
                          "params": batch[i].to_dict()} for i in to_run]
             try:
                 outcomes = list(pool.map(_eval_worker, payloads))
@@ -369,11 +391,14 @@ class _Evaluator:
             t0 = time.perf_counter()
             c, status, meta = evaluate_params(
                 self.fko, self.timer, self.spec.hil, batch[i], self.flops,
-                self.ident, session.config.timeout)
+                self.ident, session.config.timeout,
+                observe=session.config.observe)
             cycles[i] = self._record(batch[i], digests[i],
                                      {"cycles": c, "status": status,
                                       "wall": time.perf_counter() - t0,
-                                      "fast": meta.get("fast")})
+                                      "fast": meta.get("fast"),
+                                      "passes": meta.get("passes"),
+                                      "attribution": meta.get("attribution")})
         return cycles
 
     def _record(self, params: TransformParams, digest: str,
@@ -397,10 +422,23 @@ class _Evaluator:
                                                "context": self.context.value,
                                                "n": self.n,
                                                "params": params.describe()})
-        session.emit("eval", job=self.job, phase=self._phase(),
-                     params=params.describe(), cycles=c,
+        desc = params.describe()
+        phase = self._phase()
+        # observation rows bracket the eval: every pass record first,
+        # the eval itself, then its cycle attribution — one contiguous,
+        # deterministic per-candidate group in the trace regardless of
+        # whether the outcome came from a worker or the serial path
+        for p in outcome.get("passes") or ():
+            session.emit("pass", job=self.job, phase=phase,
+                         params=desc, **p)
+        session.emit("eval", job=self.job, phase=phase,
+                     params=desc, cycles=c,
                      wall=outcome["wall"], status=status,
                      fast=bool(outcome.get("fast")))
+        attribution = outcome.get("attribution")
+        if attribution is not None:
+            session.emit("attribution", job=self.job, phase=phase,
+                         params=desc, **attribution)
         return c
 
 
@@ -562,7 +600,20 @@ class TuningSession:
     def run(self, jobs: Sequence[Union[TuningJob, Dict]]) -> BatchResult:
         """Tune a batch of independent jobs, fanning whole jobs across
         the pool; each worker runs its search serially, so per-job
-        results are bit-identical to a serial batch."""
+        results are bit-identical to a serial batch.
+
+        If the batch dies with an unhandled exception the session is
+        closed on the way out, so the trace file handle does not leak
+        and the partial trace is flushed and readable — callers that
+        skipped the ``with`` block still get a usable trace."""
+        try:
+            return self._run_batch(jobs)
+        except BaseException:
+            self.close()
+            raise
+
+    def _run_batch(self, jobs: Sequence[Union[TuningJob, Dict]]
+                   ) -> BatchResult:
         jobs = [j if isinstance(j, TuningJob) else TuningJob.from_dict(j)
                 for j in jobs]
         t0 = time.perf_counter()
@@ -662,7 +713,8 @@ class TuningSession:
                 "min_gain": self.config.min_gain,
                 "strategy": self.config.strategy,
                 "seed": self.config.seed,
-                "fast_timing": self.config.fast_timing}
+                "fast_timing": self.config.fast_timing,
+                "observe": self.config.observe}
 
     # -- checkpointing --------------------------------------------------
     def _load_checkpoint(self) -> Dict[str, Dict]:

@@ -7,7 +7,9 @@ wall time went, whether a warm-cache rerun really re-evaluated nothing.
 ELAPS (Peise & Bientinesi) treats performance experiments as jobs with
 recorded measurement traces; this is that idea for the ifko search.
 
-Event schema (all events share ``t`` — POSIX timestamp — and ``event``):
+Event schema v2 (all events share ``t`` — POSIX timestamp — and
+``event``; v2 adds the ``pass`` and ``attribution`` kinds, emitted only
+when the session observes with ``TuneConfig(observe=True)``):
 
 ========== =========================================================
 event      extra fields
@@ -15,9 +17,20 @@ event      extra fields
 batch-start  jobs (list of job keys), njobs
 job-start    job, kernel, machine, context, n, space (cardinality),
              strategy (registry name), seed
+pass         job, phase, params, pass (pipeline pass name), wall,
+             applied (False = no-op), instrs/blocks/vregs (IR size
+             after the pass), d_instrs/d_blocks/d_vregs (the pass's
+             delta), detail (per-transform counters, e.g. regalloc's
+             ``ra.spill_loads``) — one per executed pass, emitted
+             before the eval they belong to
 eval         job, phase, params (describe()), cycles, wall, status
              (``ok`` | ``timeout`` | ``fault: ...``), fast (True when
              the timing model's steady-state replay fired)
+attribution  job, phase, params, total, compute, memory_stall,
+             prefetch_waste, other, bus_busy, prefetch_issued/
+             dropped/wasted, demand_misses, hw_prefetches, lines,
+             lines_extrapolated, steady_period — the timing model's
+             cycle decomposition for the eval just recorded
 cache-hit    job, phase, params, cycles, wall (0.0)
 phase        job, phase, cycles (best so far entering the phase)
 round        job, strategy, round (ask/tell cycle — a line-search
@@ -32,7 +45,8 @@ batch-end    completed, errors, wall, evaluations, cache_hits,
 ========== =========================================================
 
 Failed evaluations carry ``cycles: null`` (the search treats them as
-infinitely slow); JSON stays strict.
+infinitely slow); non-finite floats are sanitized to null recursively,
+including inside nested payloads, so JSON stays strict.
 """
 
 from __future__ import annotations
@@ -44,13 +58,30 @@ import time
 from collections import Counter
 from typing import Dict, List, Optional
 
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+
+def _sanitize(value):
+    """Replace non-finite floats with None, recursively: event payloads
+    nest (``params`` dicts, attribution breakdowns, detail counters),
+    and an ``Infinity`` smuggled inside a list or dict would produce
+    JSON that strict parsers reject."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
 
 
 class TraceWriter:
     """Appends JSON-lines events to a file (or buffers them when
     constructed with ``path=None`` — the engine's worker processes do
-    this and ship the buffer back to the parent, which owns the file)."""
+    this and ship the buffer back to the parent, which owns the file).
+
+    Usable as a context manager; the file handle is closed on exit
+    whether the block completed or raised."""
 
     def __init__(self, path: Optional[str] = None):
         self.path = pathlib.Path(path) if path else None
@@ -60,12 +91,17 @@ class TraceWriter:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a", buffering=1)
 
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
     def emit(self, event: str, **fields) -> Dict:
         record = {"t": time.time(), "event": event}
         for k, v in fields.items():
-            if isinstance(v, float) and not math.isfinite(v):
-                v = None
-            record[k] = v
+            record[k] = _sanitize(v)
         self.write(record)
         return record
 
@@ -89,9 +125,22 @@ class TraceWriter:
             self._fh = None
 
 
-def read_trace(path: str) -> List[Dict]:
-    """Load a JSONL trace; malformed lines are skipped, not fatal."""
-    events = []
+class TraceEvents(List[Dict]):
+    """A list of trace events that remembers how many lines could not
+    be parsed.  It behaves exactly like a plain list (existing callers
+    are unaffected); ``malformed`` lets consumers report skips instead
+    of hiding a truncated or corrupted trace."""
+
+    def __init__(self, events=(), malformed: int = 0):
+        super().__init__(events)
+        self.malformed = malformed
+
+
+def read_trace(path: str) -> TraceEvents:
+    """Load a JSONL trace; malformed lines are skipped, not fatal —
+    but they are *counted* (``.malformed`` on the returned list), and
+    ``summarize_trace`` surfaces the count."""
+    events = TraceEvents()
     with open(path) as fh:
         for line in fh:
             line = line.strip()
@@ -100,7 +149,7 @@ def read_trace(path: str) -> List[Dict]:
             try:
                 events.append(json.loads(line))
             except json.JSONDecodeError:
-                continue
+                events.malformed += 1
     return events
 
 
@@ -157,6 +206,7 @@ def summarize_trace(events: List[Dict]) -> Dict:
     seen = n_evals + n_hits
     wall = batch_wall or eval_wall
     return {"n_events": len(events),
+            "malformed_lines": getattr(events, "malformed", 0),
             "events": dict(totals),
             "evaluations": n_evals,
             "cache_hits": n_hits,
@@ -175,6 +225,9 @@ def render_trace_summary(summary: Dict) -> str:
              f"{summary['evaluations']} evaluations, "
              f"{summary['cache_hits']} cache hits, "
              f"{summary['eval_wall']:.2f}s in evaluation"]
+    if summary.get("malformed_lines"):
+        lines.append(f"# WARNING: {summary['malformed_lines']} malformed "
+                     f"line(s) skipped while reading the trace")
     if summary["evaluations"] or summary["cache_hits"]:
         lines.append(
             f"# throughput: {summary.get('evals_per_sec', 0.0):.1f} evals/s, "
