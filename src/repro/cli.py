@@ -9,6 +9,8 @@ command line; this module provides the same ergonomics::
     python -m repro tune dasum --machine opteron --context oc --jobs 4
     python -m repro tune-all --jobs 4 --cache-dir .repro-cache \\
         --trace-out tune.jsonl --observe
+    python -m repro fuzz --seed 0 --budget 200 --artifact-dir fuzz-out
+    python -m repro fuzz --replay fuzz-out/fuzz-ddot-p4e-return-1.json
     python -m repro trace tune.jsonl
     python -m repro trace tune.jsonl --perfetto tune.perfetto.json
     python -m repro report tune.jsonl -o report.md
@@ -159,7 +161,9 @@ def _engine_config(args, run_tester: bool) -> TuneConfig:
                       enable_block_fetch=getattr(args, "enable_block_fetch",
                                                  False),
                       fast_timing=not getattr(args, "no_fast_timing", False),
-                      observe=getattr(args, "observe", False))
+                      observe=getattr(args, "observe", False),
+                      verify_ir=getattr(args, "verify_ir", False),
+                      test_best=getattr(args, "test_best", False))
 
 
 def _file_spec(source: str, name: str, elem_size: int) -> KernelSpec:
@@ -283,6 +287,34 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .qa import replay_artifact, run_fuzz
+
+    if args.replay:
+        try:
+            result = replay_artifact(args.replay)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(
+                f"error: cannot replay artifact {args.replay!r}: {exc}")
+        print(f"# replay: {args.replay}")
+        print(result.describe())
+        return 1 if result.observed is not None else 0
+
+    machines = [m.strip() for m in args.machine.split(",") if m.strip()]
+    kernels = ([k.strip() for k in args.kernels.split(",") if k.strip()]
+               if args.kernels else None)
+    for k in kernels or ():
+        if k not in REGISTRY:
+            raise SystemExit(f"error: unknown kernel {k!r}")
+    report = run_fuzz(seed=args.seed, budget=args.budget,
+                      kernels=kernels, machines=machines,
+                      shrink=not args.no_shrink,
+                      artifact_dir=args.artifact_dir,
+                      log=(print if args.verbose else None))
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def cmd_experiments(args) -> int:
     from .experiments.__main__ import main as exp_main
     argv = list(args.which)
@@ -369,6 +401,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record pass-level compile spans and cycle "
                             "attribution into the trace (schema v2; "
                             "non-perturbing — results are bit-identical)")
+        p.add_argument("--verify-ir", action="store_true",
+                       help="run the IR verifier at every pass boundary "
+                            "of every evaluation's compile "
+                            "(non-perturbing; a violation fails loudly)")
+        p.add_argument("--test-best", action="store_true",
+                       help="tester-check the winning kernel before it "
+                            "is reported; a rejection is recorded as a "
+                            "best-rejected trace event")
         if resume:
             p.add_argument("--resume", default=None, metavar="FILE",
                            help="checkpoint completed jobs to FILE and "
@@ -414,6 +454,37 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--title", default=None,
                     help="report title (default: generic)")
     pr.set_defaults(func=cmd_report)
+
+    pf = sub.add_parser("fuzz",
+                        help="differentially fuzz the transform space: "
+                             "every sample compiles with pass-boundary "
+                             "IR verification and is checked against "
+                             "the untransformed baseline and the NumPy "
+                             "reference; failures are shrunk to minimal "
+                             "JSON repro artifacts")
+    pf.add_argument("--seed", type=int, default=0,
+                    help="fuzz seed (the sample stream is deterministic "
+                         "per seed)")
+    pf.add_argument("--budget", type=int, default=200,
+                    help="number of samples to check (default 200)")
+    pf.add_argument("--machine", "-m", default="p4e,opteron",
+                    help="comma-separated machine list "
+                         "(default: both machines)")
+    pf.add_argument("--kernels", default=None,
+                    help="comma-separated subset (default: all kernels)")
+    pf.add_argument("--artifact-dir", default=None, metavar="DIR",
+                    help="write one JSON repro artifact per distinct "
+                         "failure into DIR")
+    pf.add_argument("--no-shrink", action="store_true",
+                    help="keep raw failing samples instead of greedily "
+                         "minimizing them")
+    pf.add_argument("--replay", default=None, metavar="FILE",
+                    help="re-run a repro artifact and report whether "
+                         "the identical failure reproduces (exit 0 = "
+                         "clean, 1 = still failing)")
+    pf.add_argument("--verbose", "-v", action="store_true",
+                    help="print each failure as it is found")
+    pf.set_defaults(func=cmd_fuzz)
 
     pe = sub.add_parser("experiments",
                         help="regenerate the paper's tables and figures")

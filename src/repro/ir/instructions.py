@@ -143,6 +143,10 @@ class OpInfo:
 
     timing_class: str
     sets_flags: bool = False
+    #: overwrites the flags register without leaving a condition a JCC
+    #: could meaningfully test (x86 integer ALU ops write EFLAGS as a
+    #: side effect); a compare's flags do not survive past one of these
+    clobbers_flags: bool = False
     is_branch: bool = False
     is_terminator: bool = False
     commutative: bool = False
@@ -166,10 +170,12 @@ OP_INFO: dict[Opcode, OpInfo] = {
     Opcode.VSTNT:  OpInfo("vstnt", has_dst=False, n_srcs=2),
     Opcode.VBCAST: OpInfo("bcast", n_srcs=1),
     Opcode.VZERO:  OpInfo("mov", n_srcs=0),
-    Opcode.ADD:    OpInfo("iadd", commutative=True, n_srcs=2),
-    Opcode.SUB:    OpInfo("iadd", n_srcs=2),
-    Opcode.IMUL:   OpInfo("imul", commutative=True, n_srcs=2),
-    Opcode.NEG:    OpInfo("iadd", n_srcs=1),
+    Opcode.ADD:    OpInfo("iadd", commutative=True, n_srcs=2,
+                          clobbers_flags=True),
+    Opcode.SUB:    OpInfo("iadd", n_srcs=2, clobbers_flags=True),
+    Opcode.IMUL:   OpInfo("imul", commutative=True, n_srcs=2,
+                          clobbers_flags=True),
+    Opcode.NEG:    OpInfo("iadd", n_srcs=1, clobbers_flags=True),
     Opcode.FADD:   OpInfo("fadd", commutative=True, n_srcs=2),
     Opcode.FSUB:   OpInfo("fadd", n_srcs=2),
     Opcode.FMUL:   OpInfo("fmul", commutative=True, n_srcs=2),

@@ -111,9 +111,11 @@ def verify(fn: Function) -> None:
                 if not flags_valid:
                     _fail(fn, block, instr,
                           "conditional branch with no preceding compare "
-                          "in this block")
+                          "in this block (or flags clobbered in between)")
             if info.sets_flags:
                 flags_valid = True
+            elif info.clobbers_flags:
+                flags_valid = False
             # stores: srcs = (mem, value)
             if instr.is_store:
                 if not isinstance(instr.srcs[0], Mem):

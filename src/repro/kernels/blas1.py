@@ -35,6 +35,11 @@ class KernelSpec:
     hil: str
     vector_args: Tuple[str, ...]
     output_args: Tuple[str, ...]      # vectors written
+    #: output vectors whose elements are each fed by a reduction (e.g. a
+    #: gemv-style dot per element) — the tester allows these an
+    #: association-tolerant bound scaled by the real reduction length,
+    #: where plain element-wise outputs must match bitwise
+    reduction_outputs: Tuple[str, ...] = ()
     scalar_args: Tuple[str, ...] = ()
     returns: Optional[str] = None     # 'float' | 'int' | None
     flops_per_elem: int = 1           # Table 1 FLOPs column / N

@@ -1,0 +1,40 @@
+"""Differential correctness QA — the fuzzing harness around the tester.
+
+The paper keeps a tester in the loop because empirical compilation is
+only trustworthy when every candidate is provably correct ("unnecessary
+in theory, but useful in practice", section 2.1).  The tester and the
+IR verifier exist, but on their own nothing *drives* them across the
+transform space — a miscompiling transform combination the search never
+happens to test would be accepted as a "fast" kernel.  This package is
+that driver:
+
+* :mod:`~repro.qa.sampler` — a seeded fuzzer that samples
+  (kernel x machine x full ``TransformParams`` space x problem sizes,
+  including the 0/1/remainder-loop edge cases);
+* :mod:`~repro.qa.differ` — compiles each sample with pass-boundary IR
+  verification forced on, runs it through the functional interpreter,
+  and differentially compares the result against both the untransformed
+  baseline compile and the NumPy reference, with association-aware
+  tolerances for reductions;
+* :mod:`~repro.qa.shrink` — greedy parameter/size minimization of any
+  failure down to a minimal reproducer;
+* :mod:`~repro.qa.artifacts` — JSON repro artifacts that replay via
+  ``repro fuzz --replay``;
+* :mod:`~repro.qa.fuzz` — the budgeted driver tying it all together
+  (the ``repro fuzz`` CLI and the CI fuzz-smoke job call this).
+"""
+
+from __future__ import annotations
+
+from .artifacts import load_artifact, replay_artifact, save_artifact
+from .differ import BASELINE_PARAMS, FuzzFailure, check_sample
+from .fuzz import FuzzReport, run_fuzz
+from .sampler import FuzzSample, iter_samples, sample_sizes
+from .shrink import shrink_failure, simpler_neighbors
+
+__all__ = [
+    "BASELINE_PARAMS", "FuzzFailure", "FuzzReport", "FuzzSample",
+    "check_sample", "iter_samples", "load_artifact", "replay_artifact",
+    "run_fuzz", "sample_sizes", "save_artifact", "shrink_failure",
+    "simpler_neighbors",
+]

@@ -1,0 +1,70 @@
+"""Repro artifacts — failures as replayable JSON.
+
+A fuzz failure is only useful if someone else (CI, the developer who
+gets the bug report, the regression suite) can re-run it.  An artifact
+is one JSON file holding the minimal failing sample, the stage it died
+in and the exact error text; ``repro fuzz --replay FILE`` re-checks it
+and reports whether the identical failure still reproduces — the whole
+pipeline is deterministic, so "same sample" means "same failure" until
+the bug is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from .. import __version__
+from .differ import FuzzFailure, check_sample
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of re-running an artifact's sample."""
+
+    artifact: FuzzFailure            # what the artifact claims
+    observed: Optional[FuzzFailure]  # what re-checking produced (None = clean)
+
+    @property
+    def reproduced(self) -> bool:
+        """True when the identical failure (stage and error) fired."""
+        return (self.observed is not None
+                and self.observed.stage == self.artifact.stage
+                and self.observed.error == self.artifact.error)
+
+    def describe(self) -> str:
+        if self.reproduced:
+            return f"reproduced: {self.observed.describe()}"
+        if self.observed is None:
+            return (f"did NOT reproduce (sample is clean now): "
+                    f"{self.artifact.describe()}")
+        return (f"failed DIFFERENTLY:\n  artifact: "
+                f"{self.artifact.describe()}\n  observed: "
+                f"{self.observed.describe()}")
+
+
+def save_artifact(failure: FuzzFailure,
+                  path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write one failure as a JSON repro artifact."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    data = failure.to_dict()
+    data["version"] = __version__
+    target.write_text(json.dumps(data, indent=1) + "\n")
+    return target
+
+
+def load_artifact(path: Union[str, pathlib.Path]) -> FuzzFailure:
+    data = json.loads(pathlib.Path(path).read_text())
+    return FuzzFailure.from_dict(data)
+
+
+def replay_artifact(source: Union[str, pathlib.Path, FuzzFailure]
+                    ) -> ReplayResult:
+    """Re-run an artifact's sample and compare against what it
+    recorded.  Accepts a path or an in-memory failure."""
+    failure = (source if isinstance(source, FuzzFailure)
+               else load_artifact(source))
+    return ReplayResult(artifact=failure, observed=check_sample(failure.sample))

@@ -1,0 +1,214 @@
+"""Differential checking of one fuzz sample.
+
+Each sample is compiled with pass-boundary IR verification forced on,
+executed in the functional interpreter, and compared against two
+independent oracles:
+
+* the **untransformed baseline** — the same kernel compiled with every
+  searchable transform disabled (scalar code, no unrolling, one
+  accumulator).  The baseline rounds at every step exactly like the
+  candidate, so element-wise outputs must agree *bitwise*;
+* the **NumPy reference** — the tester's oracle, independent of the
+  whole compiler stack.
+
+Reductions legitimately reorder their adds under SV/AE, so scalar
+results get an association-aware relative bound (the tester's
+``eps * max(4, N) * 8``, which scales with the number of reordered
+summands); integer results (iamax) must match exactly.  Everything
+else — element-wise outputs, NaN positions — must match bitwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError, SimulationFault
+from ..fko import FKO, TransformParams
+from ..ir import Function
+from ..kernels import get_kernel
+from ..machine import get_machine
+from ..machine.interp import run_function
+from ..timing.tester import _tolerance, make_inputs
+from .sampler import FuzzSample
+
+#: every searchable transform off — the closest legal compile to the
+#: untransformed kernel (repeatable cleanup passes stay on: they are
+#: not searched and the baseline must still be valid allocatable code)
+BASELINE_PARAMS = TransformParams(sv=False, unroll=1, lc=False, ae=1,
+                                  wnt=False)
+
+
+@dataclass
+class FuzzFailure:
+    """One confirmed disagreement, attributed to a pipeline stage.
+
+    ``stage`` is where the sample died: ``compile`` (transform error or
+    pass-boundary IR verification), ``run`` (interpreter fault),
+    ``output`` / ``return`` (differential mismatch vs the oracles), or
+    ``baseline`` (the untransformed compile itself is broken — an
+    infrastructure bug, reported loudly rather than masked).
+    """
+
+    sample: FuzzSample
+    stage: str
+    error: str
+    shrunk_from: Optional[FuzzSample] = None
+    shrink_steps: int = 0
+
+    def describe(self) -> str:
+        return f"[{self.stage}] {self.sample.describe()}: {self.error}"
+
+    def to_dict(self) -> Dict:
+        out = {"schema": 1, "sample": self.sample.to_dict(),
+               "stage": self.stage, "error": self.error,
+               "shrink_steps": self.shrink_steps}
+        if self.shrunk_from is not None:
+            out["shrunk_from"] = self.shrunk_from.to_dict()
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict) -> "FuzzFailure":
+        shrunk_from = data.get("shrunk_from")
+        return FuzzFailure(
+            sample=FuzzSample.from_dict(data["sample"]),
+            stage=data["stage"], error=data["error"],
+            shrunk_from=(FuzzSample.from_dict(shrunk_from)
+                         if shrunk_from else None),
+            shrink_steps=int(data.get("shrink_steps", 0)))
+
+
+# ---------------------------------------------------------------------------
+
+_FKO_MEMO: Dict[str, FKO] = {}
+_BASELINE_MEMO: Dict[Tuple[str, str], Function] = {}
+
+
+def _fko(machine: str) -> FKO:
+    fko = _FKO_MEMO.get(machine)
+    if fko is None:
+        fko = _FKO_MEMO[machine] = FKO(get_machine(machine))
+    return fko
+
+
+def _baseline_fn(kernel: str, machine: str) -> Function:
+    key = (kernel, machine)
+    fn = _BASELINE_MEMO.get(key)
+    if fn is None:
+        compiled = _fko(machine).compile(get_kernel(kernel).hil,
+                                         BASELINE_PARAMS, debug_verify=True)
+        fn = _BASELINE_MEMO[key] = compiled.fn
+    return fn
+
+
+def _input_rng(sample: FuzzSample) -> np.random.Generator:
+    """Inputs are a pure function of (kernel, n) — candidate, baseline
+    and reference all see identical data, the seed is stable across
+    processes (no PYTHONHASHSEED dependence), and shrinking the
+    parameters never changes the data that exposed the bug."""
+    digest = hashlib.sha256(
+        f"repro.qa:{sample.kernel}:{sample.n}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def check_sample(sample: FuzzSample) -> Optional[FuzzFailure]:
+    """Compile, verify, run and differentially compare one sample.
+    Returns ``None`` when the sample is clean."""
+    spec = get_kernel(sample.kernel)
+    n = sample.n
+
+    # 1. compile with pass-boundary IR verification forced on
+    try:
+        compiled = _fko(sample.machine).compile(spec.hil, sample.params,
+                                                debug_verify=True)
+    except ReproError as exc:
+        return FuzzFailure(sample, "compile",
+                           f"{type(exc).__name__}: {exc}")
+
+    # 2. untransformed baseline (a broken baseline is an infrastructure
+    # bug: surface it as its own stage instead of blaming the sample)
+    try:
+        baseline_fn = _baseline_fn(sample.kernel, sample.machine)
+    except ReproError as exc:
+        return FuzzFailure(sample, "baseline",
+                           f"{type(exc).__name__}: {exc}")
+
+    arrays, scalars = make_inputs(spec, n, _input_rng(sample))
+    fscalars = {k: v for k, v in scalars.items() if k != "N"}
+
+    # 3. run the candidate
+    got_arrays = {k: v.copy() for k, v in arrays.items()}
+    try:
+        got = run_function(compiled.fn, got_arrays, {"N": n, **fscalars})
+    except SimulationFault as exc:
+        return FuzzFailure(sample, "run", f"SimulationFault: {exc}")
+
+    # 4. run the baseline on identical data
+    base_arrays = {k: v.copy() for k, v in arrays.items()}
+    try:
+        base = run_function(baseline_fn, base_arrays, {"N": n, **fscalars})
+    except SimulationFault as exc:
+        return FuzzFailure(sample, "baseline",
+                           f"SimulationFault: {exc}")
+
+    # 5. NumPy reference on identical data
+    from ..kernels.blas1 import reference
+    ref_arrays = {k: v.copy() for k, v in arrays.items()}
+    ref = reference(spec, {k: v[:n] for k, v in ref_arrays.items()},
+                    fscalars)
+
+    # 6. vector outputs
+    for name in spec.output_args:
+        cand, refv = got_arrays[name][:n], ref_arrays[name][:n]
+        basev = base_arrays[name][:n]
+        if name in spec.reduction_outputs:
+            tol = _tolerance(spec, n)
+            for oracle, want in (("baseline", basev), ("reference", refv)):
+                if not np.allclose(cand, want, rtol=tol, atol=0):
+                    return FuzzFailure(
+                        sample, "output",
+                        f"array {name} diverges from {oracle} beyond the "
+                        f"association tolerance {tol:.3e}")
+        else:
+            for oracle, want in (("baseline", basev), ("reference", refv)):
+                if cand.tobytes() != want.tobytes():
+                    diff = np.nonzero(
+                        cand.view(f"i{cand.dtype.itemsize}")
+                        != want.view(f"i{want.dtype.itemsize}"))[0]
+                    bad = int(diff[0]) if len(diff) else 0
+                    return FuzzFailure(
+                        sample, "output",
+                        f"array {name}[{bad}] = {cand[bad]!r} vs {oracle} "
+                        f"{want[bad]!r} (element-wise outputs must match "
+                        f"bitwise)")
+
+    # 7. scalar result
+    if spec.returns is not None:
+        if got.ret is None:
+            return FuzzFailure(sample, "return",
+                               f"kernel returned nothing, expected {ref!r}")
+        if base.ret is None:
+            return FuzzFailure(sample, "baseline",
+                               "baseline compile returned nothing")
+        if spec.returns == "int":
+            if int(got.ret) != int(ref) or int(got.ret) != int(base.ret):
+                return FuzzFailure(
+                    sample, "return",
+                    f"returned index {int(got.ret)}, reference "
+                    f"{int(ref)}, baseline {int(base.ret)}")
+        else:
+            tol = _tolerance(spec, n)
+            for oracle, want in (("baseline", float(base.ret)),
+                                 ("reference", float(ref))):
+                denom = max(1.0, abs(want))
+                if not abs(float(got.ret) - want) / denom <= tol:
+                    return FuzzFailure(
+                        sample, "return",
+                        f"returned {float(got.ret)!r}, {oracle} expected "
+                        f"{want!r} (rel err "
+                        f"{abs(float(got.ret) - want) / denom:.3e}, "
+                        f"tol {tol:.3e})")
+    return None

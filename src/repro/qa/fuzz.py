@@ -1,0 +1,118 @@
+"""The budgeted fuzz driver behind ``repro fuzz`` and the CI smoke job.
+
+Draws ``budget`` samples from the seeded sampler, differentially checks
+each, greedily shrinks every failure to its minimal repro and (when an
+artifact directory is given) writes one JSON artifact per distinct
+failure.  Failures are deduplicated by (kernel, machine, stage) — one
+miscompiling transform tends to fire on many samples, and one minimal
+artifact per bug is what a human wants to look at; the total raw count
+is still reported.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .differ import FuzzFailure, check_sample
+from .sampler import DEFAULT_MACHINES, FuzzSample, iter_samples
+from .shrink import shrink_failure
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzz run found."""
+
+    seed: int
+    budget: int
+    checked: int = 0
+    raw_failures: int = 0                       # before deduplication
+    failures: List[FuzzFailure] = field(default_factory=list)   # shrunk
+    coverage: Dict[str, int] = field(default_factory=dict)      # cell -> n
+    artifacts: List[str] = field(default_factory=list)
+    wall: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [f"# fuzz: seed={self.seed} budget={self.budget} "
+                 f"checked={self.checked} in {self.wall:.1f}s"]
+        cells = len(self.coverage)
+        per = sorted(self.coverage.values())
+        if per:
+            lines.append(f"# coverage: {cells} (kernel, machine) cells, "
+                         f"{per[0]}..{per[-1]} samples each")
+        if self.ok:
+            lines.append("# no differential failures")
+        else:
+            lines.append(f"# FAILURES: {len(self.failures)} distinct "
+                         f"({self.raw_failures} raw)")
+            for f in self.failures:
+                lines.append(f"#   {f.describe()}")
+                if f.shrunk_from is not None and f.shrink_steps:
+                    lines.append(f"#     shrunk in {f.shrink_steps} steps "
+                                 f"from {f.shrunk_from.describe()}")
+        for a in self.artifacts:
+            lines.append(f"# artifact: {a}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed, "budget": self.budget,
+                "checked": self.checked, "raw_failures": self.raw_failures,
+                "failures": [f.to_dict() for f in self.failures],
+                "coverage": dict(self.coverage),
+                "artifacts": list(self.artifacts), "wall": self.wall}
+
+
+def run_fuzz(seed: int = 0, budget: int = 200,
+             kernels: Optional[Sequence[str]] = None,
+             machines: Sequence[str] = DEFAULT_MACHINES,
+             shrink: bool = True,
+             artifact_dir: Optional[str] = None,
+             check: Callable[[FuzzSample], Optional[FuzzFailure]]
+             = check_sample,
+             log: Optional[Callable[[str], None]] = None) -> FuzzReport:
+    """Run one seeded, budgeted fuzz campaign.
+
+    Deterministic per (seed, budget, kernels, machines): the sample
+    stream, the failures and the shrunk repros all replay identically.
+    ``check`` is injectable for tests (and by ``--replay``-style
+    tooling) — the default is the real differential checker.
+    """
+    report = FuzzReport(seed=seed, budget=budget)
+    seen: Dict[Tuple[str, str, str], FuzzFailure] = {}
+    t0 = time.perf_counter()
+    for sample in iter_samples(seed, budget, kernels=kernels,
+                               machines=machines):
+        cell = f"{sample.kernel}@{sample.machine}"
+        report.coverage[cell] = report.coverage.get(cell, 0) + 1
+        failure = check(sample)
+        report.checked += 1
+        if failure is None:
+            continue
+        report.raw_failures += 1
+        if log is not None:
+            log(f"FAIL {failure.describe()}")
+        key = (sample.kernel, sample.machine, failure.stage)
+        if key in seen:
+            continue
+        if shrink:
+            failure = shrink_failure(failure, check=check)
+            if log is not None and failure.shrink_steps:
+                log(f"  shrunk ({failure.shrink_steps} steps) -> "
+                    f"{failure.sample.describe()}")
+        seen[key] = failure
+        report.failures.append(failure)
+        if artifact_dir is not None:
+            from .artifacts import save_artifact
+            name = (f"fuzz-{sample.kernel}-{sample.machine}"
+                    f"-{failure.stage}-{len(report.failures)}.json")
+            path = save_artifact(failure,
+                                 pathlib.Path(artifact_dir) / name)
+            report.artifacts.append(str(path))
+    report.wall = time.perf_counter() - t0
+    return report

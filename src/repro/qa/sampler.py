@@ -1,0 +1,137 @@
+"""Seeded sampling of the fuzz space.
+
+One :class:`FuzzSample` is a point in
+(kernel x machine x ``TransformParams`` space x problem size).  The
+sampler is deterministic per seed — the whole point of a fuzz seed is
+that CI and a developer's shell replay the identical sample stream —
+and walks the (kernel, machine) grid round-robin so that any budget
+``>= len(kernels) * len(machines)`` covers every kernel on every
+machine.
+
+Problem sizes are edge-biased: 0 and 1 (empty/degenerate loops), sizes
+straddling the vector width and the unrolled-body trip count (the
+remainder-loop corner cases the chosen ``unroll`` actually creates),
+plus a uniform draw for everything in between.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..fko import FKO, PrefetchParams, TransformParams
+from ..kernels import KERNEL_ORDER, get_kernel
+from ..machine import get_machine
+from ..search.space import SearchSpace, build_space
+
+DEFAULT_MACHINES = ("p4e", "opteron")
+
+#: repeatable-pass ablation draws: mostly the normal all-on pipeline,
+#: with occasional single-switch ablations (each is a legal compile the
+#: search could visit via an explicit TuneConfig.space)
+_REGALLOC_CHOICES = ("global", "global", "global", "local", "off")
+
+
+@dataclass(frozen=True)
+class FuzzSample:
+    """One fuzzed compile: a kernel, a machine, a full parameter point
+    and a problem size."""
+
+    kernel: str
+    machine: str
+    n: int
+    params: TransformParams
+
+    def key(self) -> Tuple:
+        return (self.kernel, self.machine, self.n, self.params.key())
+
+    def describe(self) -> str:
+        return (f"{self.kernel}@{self.machine} N={self.n} "
+                f"[{self.params.describe()}]")
+
+    def to_dict(self) -> Dict:
+        return {"kernel": self.kernel, "machine": self.machine,
+                "n": self.n, "params": self.params.to_dict()}
+
+    @staticmethod
+    def from_dict(data: Dict) -> "FuzzSample":
+        return FuzzSample(kernel=data["kernel"], machine=data["machine"],
+                          n=int(data["n"]),
+                          params=TransformParams.from_dict(data["params"]))
+
+
+# ---------------------------------------------------------------------------
+
+_SPACE_MEMO: Dict[Tuple[str, str], Tuple[SearchSpace, int]] = {}
+
+
+def _space_for(kernel: str, machine: str) -> Tuple[SearchSpace, int]:
+    """(search space, veclen) for one (kernel, machine) — memoized, the
+    sampler asks for the same handful over and over."""
+    key = (kernel, machine)
+    hit = _SPACE_MEMO.get(key)
+    if hit is None:
+        mach = get_machine(machine)
+        analysis = FKO(mach).analyze(get_kernel(kernel).hil)
+        space = build_space(analysis, mach, enable_block_fetch=True)
+        veclen = analysis.veclen if analysis.vectorizable else 1
+        hit = (space, max(1, veclen))
+        _SPACE_MEMO[key] = hit
+    return hit
+
+
+def sample_sizes(unroll: int, veclen: int, sv: bool) -> List[int]:
+    """The edge-biased size pool for one parameter point: empty and
+    degenerate loops, one-off-the-remainder boundaries of the actual
+    unrolled trip (``unroll * veclen`` elements per iteration when SV
+    applies), and a couple of comfortably-interior sizes."""
+    step = unroll * (veclen if sv else 1)
+    pool = {0, 1, 2, 3, step - 1, step, step + 1,
+            2 * step - 1, 2 * step + 1, 33, 100, 257}
+    return sorted(s for s in pool if s >= 0)
+
+
+def _draw_params(rng: random.Random, space: SearchSpace) -> TransformParams:
+    params = TransformParams(
+        sv=rng.choice(space.sv_options),
+        unroll=rng.choice(space.unroll_options or [1]),
+        lc=rng.random() < 0.9,
+        ae=rng.choice(space.ae_options),
+        wnt=rng.choice(space.wnt_options),
+        block_fetch=rng.choice(space.block_fetch_options),
+        copy_propagation=rng.random() < 0.85,
+        peephole=rng.random() < 0.85,
+        cf_cleanup=rng.random() < 0.85,
+        register_allocation=rng.choice(_REGALLOC_CHOICES),
+    )
+    nonzero_dists = [d for d in space.dist_options if d > 0]
+    for arr in space.prefetch_arrays:
+        if space.hint_options and nonzero_dists and rng.random() < 0.5:
+            params.prefetch[arr] = PrefetchParams(
+                rng.choice(space.hint_options), rng.choice(nonzero_dists))
+    return params
+
+
+def iter_samples(seed: int, budget: int,
+                 kernels: Optional[Sequence[str]] = None,
+                 machines: Sequence[str] = DEFAULT_MACHINES
+                 ) -> Iterator[FuzzSample]:
+    """Yield ``budget`` deterministic samples for ``seed``.
+
+    The (kernel, machine) grid is walked round-robin, so every cell is
+    visited ``budget // len(grid)`` times (+/- 1); parameters and the
+    problem size are drawn fresh per sample from one seeded stream.
+    """
+    rng = random.Random(seed)
+    kernels = list(kernels or KERNEL_ORDER)
+    grid = [(k, m) for k in kernels for m in machines]
+    if not grid:
+        return
+    for i in range(budget):
+        kernel, machine = grid[i % len(grid)]
+        space, veclen = _space_for(kernel, machine)
+        params = _draw_params(rng, space)
+        sizes = sample_sizes(params.unroll, veclen, params.sv)
+        n = rng.choice(sizes)
+        yield FuzzSample(kernel=kernel, machine=machine, n=n, params=params)

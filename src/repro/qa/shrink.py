@@ -1,0 +1,98 @@
+"""Greedy failure minimization.
+
+A raw fuzz failure fires with whatever parameter soup the sampler drew
+— unrolling, accumulators, prefetches and a 257-element problem all at
+once.  The shrinker walks the sample toward the untransformed baseline
+one step at a time (drop a transform, halve a factor, shrink the
+problem), keeping a step only if the *same stage* still fails, until no
+single simplification reproduces the failure.  The result is the
+minimal repro that lands in the JSON artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from .differ import FuzzFailure, check_sample
+from .sampler import FuzzSample
+
+#: hard cap on accepted shrink steps — every accepted step strictly
+#: simplifies, so real shrinks converge in far fewer; the cap only
+#: guards against a pathological (e.g. flaky) predicate
+MAX_STEPS = 200
+
+
+def _with_params(sample: FuzzSample, params) -> FuzzSample:
+    return FuzzSample(kernel=sample.kernel, machine=sample.machine,
+                      n=sample.n, params=params)
+
+
+def simpler_neighbors(sample: FuzzSample) -> Iterator[FuzzSample]:
+    """One-step-simpler variants of ``sample``, most aggressive first.
+
+    Deterministic order: problem size first (a small N makes every
+    later re-check cheap), then transform knobs toward the baseline,
+    then ablated repeatable passes back to their defaults.
+    """
+    p = sample.params
+    for m in sorted({0, 1, 2, 3, sample.n // 2, sample.n - 1}):
+        if 0 <= m < sample.n:
+            yield FuzzSample(kernel=sample.kernel, machine=sample.machine,
+                             n=m, params=p)
+    if p.sv:
+        yield _with_params(sample, p.copy(sv=False))
+    if p.wnt:
+        yield _with_params(sample, p.copy(wnt=False))
+    if p.block_fetch:
+        yield _with_params(sample, p.copy(block_fetch=False))
+    if p.unroll > 1:
+        for u in sorted({1, 2, p.unroll // 2, p.unroll - 1}):
+            if 1 <= u < p.unroll:
+                yield _with_params(sample, p.copy(unroll=u))
+    if p.ae > 1:
+        for a in sorted({1, 2, p.ae // 2, p.ae - 1}):
+            if 1 <= a < p.ae:
+                yield _with_params(sample, p.copy(ae=a))
+    if p.lc:
+        yield _with_params(sample, p.copy(lc=False))
+    for arr in sorted(p.prefetch):
+        trimmed = p.copy()
+        del trimmed.prefetch[arr]
+        yield _with_params(sample, trimmed)
+    if not p.copy_propagation:
+        yield _with_params(sample, p.copy(copy_propagation=True))
+    if not p.peephole:
+        yield _with_params(sample, p.copy(peephole=True))
+    if not p.cf_cleanup:
+        yield _with_params(sample, p.copy(cf_cleanup=True))
+    if p.register_allocation != "global":
+        yield _with_params(sample, p.copy(register_allocation="global"))
+
+
+def shrink_failure(failure: FuzzFailure,
+                   check: Callable[[FuzzSample], Optional[FuzzFailure]]
+                   = check_sample) -> FuzzFailure:
+    """Greedily minimize ``failure``.
+
+    Repeatedly tries every one-step simplification and accepts the
+    first that still fails *at the same stage*; stops when none does
+    (1-minimality: every strictly simpler neighbor of the result
+    passes, or fails differently).  The returned failure remembers the
+    original sample in ``shrunk_from``.
+    """
+    original = failure.shrunk_from or failure.sample
+    current = failure
+    steps = 0
+    progressed = True
+    while progressed and steps < MAX_STEPS:
+        progressed = False
+        for candidate in simpler_neighbors(current.sample):
+            result = check(candidate)
+            if result is not None and result.stage == failure.stage:
+                current = result
+                steps += 1
+                progressed = True
+                break
+    return FuzzFailure(sample=current.sample, stage=current.stage,
+                       error=current.error, shrunk_from=original,
+                       shrink_steps=steps)

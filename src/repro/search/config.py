@@ -66,6 +66,16 @@ class TuneConfig:
     #: events).  Observation never perturbs results: cycles, cache keys
     #: and search decisions are bit-identical with it on or off
     observe: bool = False
+    #: run the IR verifier at every pass boundary of every evaluation's
+    #: compile (the pipeline's ``debug_verify``).  Verification only
+    #: observes: cycles, cache keys and search decisions are
+    #: bit-identical with it on or off — a violation raises instead
+    verify_ir: bool = False
+    #: tester-check the winning kernel before it is returned/stored; a
+    #: failure emits a ``best-rejected`` trace event and raises
+    #: :class:`~repro.errors.KernelTestFailure` (``run_tester`` does the
+    #: same check silently — ``test_best`` is the audited spelling)
+    test_best: bool = False
 
     def __post_init__(self) -> None:
         if self.max_evals <= 0:

@@ -49,7 +49,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import __version__
-from ..errors import ReproError, SimulationFault
+from ..errors import KernelTestFailure, ReproError, SimulationFault
 from ..fko import FKO, TransformParams
 from ..kernels import KERNEL_ORDER, REGISTRY, get_kernel
 from ..kernels.blas1 import KernelSpec
@@ -105,7 +105,8 @@ def evaluate_params(fko: FKO, timer: Timer, hil: str,
                     params: TransformParams, flops: float,
                     ident_prefix: str,
                     timeout: Optional[float] = None,
-                    observe: bool = False) -> Tuple[float, str, Dict]:
+                    observe: bool = False,
+                    verify_ir: bool = False) -> Tuple[float, str, Dict]:
     """One compile+time.  Returns ``(cycles, status, meta)`` where
     status is ``ok`` | ``timeout`` | ``fault: ...``; failures come back
     as ``inf`` cycles (the sweep just never picks them) instead of
@@ -119,6 +120,12 @@ def evaluate_params(fko: FKO, timer: Timer, hil: str,
     the simulator produce anyway, so cycles, cache keys and search
     decisions are bit-identical with it on or off.
 
+    ``verify_ir=True`` runs the IR verifier at every pass boundary of
+    the compile.  Like observation it never perturbs the result — a
+    clean compile produces bit-identical cycles; a violation surfaces
+    as an :class:`~repro.errors.IRVerifyError` fault instead of a
+    silently miscompiled candidate.
+
     A :class:`SimulationFault` is terminal: the simulated machine is
     deterministic, so re-running the identical (kernel, params) inputs
     would fault identically — the fault is recorded immediately instead
@@ -128,9 +135,10 @@ def evaluate_params(fko: FKO, timer: Timer, hil: str,
         with _alarm(timeout):
             if col is not None:
                 with _obs_use(col):
-                    compiled = fko.compile(hil, params)
+                    compiled = fko.compile(hil, params,
+                                           debug_verify=verify_ir)
             else:
-                compiled = fko.compile(hil, params)
+                compiled = fko.compile(hil, params, debug_verify=verify_ir)
             timing = timer.time_summary(
                 summarize(compiled.fn), flops,
                 ident=f"{ident_prefix}{params.key()}")
@@ -180,7 +188,9 @@ def _eval_worker(payload: Dict) -> Dict:
                                            payload["ident"],
                                            payload["timeout"],
                                            observe=payload.get("observe",
-                                                               False))
+                                                               False),
+                                           verify_ir=payload.get("verify_ir",
+                                                                 False))
     out = {"cycles": cycles, "status": status,
            "wall": time.perf_counter() - t0, "fast": meta.get("fast")}
     if payload.get("observe"):
@@ -377,6 +387,7 @@ class _Evaluator:
                          "timeout": session.config.timeout,
                          "fast": session.config.fast_timing,
                          "observe": session.config.observe,
+                         "verify_ir": session.config.verify_ir,
                          "params": batch[i].to_dict()} for i in to_run]
             try:
                 outcomes = list(pool.map(_eval_worker, payloads))
@@ -392,7 +403,8 @@ class _Evaluator:
             c, status, meta = evaluate_params(
                 self.fko, self.timer, self.spec.hil, batch[i], self.flops,
                 self.ident, session.config.timeout,
-                observe=session.config.observe)
+                observe=session.config.observe,
+                verify_ir=session.config.verify_ir)
             cycles[i] = self._record(batch[i], digests[i],
                                      {"cycles": c, "status": status,
                                       "wall": time.perf_counter() - t0,
@@ -570,9 +582,21 @@ class TuningSession:
                       best_cycles=searcher.best_cycles)
         result = searcher.result()
 
-        compiled = fko.compile(spec.hil, result.best_params)
-        if config.run_tester and spec.name in REGISTRY:
-            test_kernel(compiled, spec)
+        compiled = fko.compile(spec.hil, result.best_params,
+                               debug_verify=config.verify_ir)
+        if (config.run_tester or config.test_best) and spec.name in REGISTRY:
+            try:
+                test_kernel(compiled, spec)
+            except KernelTestFailure as exc:
+                # the winner failed the tester: never hand it back as a
+                # "fast" kernel — record the rejection in the trace and
+                # surface the failure
+                if config.test_best:
+                    self.emit("best-rejected", job=evaluator.job,
+                              params=result.best_params.describe(),
+                              best_cycles=result.best_cycles,
+                              error=str(exc))
+                raise
         timing = timer.time(compiled, spec)
         self.emit("job-end", job=evaluator.job,
                   best_cycles=result.best_cycles,
@@ -714,7 +738,9 @@ class TuningSession:
                 "strategy": self.config.strategy,
                 "seed": self.config.seed,
                 "fast_timing": self.config.fast_timing,
-                "observe": self.config.observe}
+                "observe": self.config.observe,
+                "verify_ir": self.config.verify_ir,
+                "test_best": self.config.test_best}
 
     # -- checkpointing --------------------------------------------------
     def _load_checkpoint(self) -> Dict[str, Dict]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import pathlib
 import tempfile
@@ -54,11 +55,17 @@ class EvalCache:
 
     def get(self, digest: str) -> Optional[float]:
         """Cycles for ``digest``, or None (corrupt entries count as
-        misses and are recomputed, never raised)."""
+        misses and are recomputed, never raised).  Non-finite cycle
+        counts are corrupt by definition — a NaN/inf served as a hit
+        would poison every search that touches the entry — so they too
+        count as misses and are recomputed."""
         try:
             data = json.loads(self._path(digest).read_text())
             cycles = float(data["cycles"])
         except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        if not math.isfinite(cycles):
             self.misses += 1
             return None
         self.hits += 1
@@ -67,7 +74,12 @@ class EvalCache:
     def put(self, digest: str, cycles: float,
             meta: Optional[Dict] = None) -> None:
         """Record an evaluation.  Atomic (write-then-rename), so a
-        concurrent reader sees either nothing or the full entry."""
+        concurrent reader sees either nothing or the full entry.
+        Non-finite cycle counts are refused outright: failed
+        evaluations (``inf``) are not measurements, and persisting one
+        would poison searches across runs."""
+        if not math.isfinite(cycles):
+            return
         path = self._path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         data = dict(meta or {})

@@ -36,6 +36,9 @@ phase        job, phase, cycles (best so far entering the phase)
 round        job, strategy, round (ask/tell cycle — a line-search
              phase batch, an anneal proposal, a GA generation),
              phase, evaluations (budget charged so far), best_cycles
+best-rejected  job, params, best_cycles, error — the search's winning
+             kernel failed the tester (``TuneConfig.test_best``); the
+             job raises instead of storing the kernel
 job-end      job, best_cycles, evaluations, mflops, params
 job-resumed  job (reloaded from a checkpoint, no search ran)
 job-error    job, error

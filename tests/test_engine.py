@@ -95,6 +95,26 @@ class TestEvalCache:
             f.write_text("{not json")
         assert EvalCache(str(tmp_path)).get("ef" * 32) is None
 
+    @pytest.mark.parametrize("bad", ["NaN", "Infinity", "-Infinity"])
+    def test_nonfinite_entry_is_miss(self, tmp_path, bad):
+        # a NaN/inf cycle count from disk used to be served as a hit,
+        # poisoning every search that touched the entry
+        cache = EvalCache(str(tmp_path))
+        cache.put("ab" * 32, 7.0)
+        for f in tmp_path.rglob("*.json"):
+            f.write_text('{"cycles": %s}' % bad)
+        fresh = EvalCache(str(tmp_path))
+        assert fresh.get("ab" * 32) is None
+        assert fresh.misses == 1 and fresh.hits == 0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_nonfinite_put_refused(self, tmp_path, bad):
+        cache = EvalCache(str(tmp_path))
+        cache.put("cd" * 32, bad)
+        assert cache.stores == 0 and len(cache) == 0
+        assert cache.get("cd" * 32) is None
+
     def test_eval_key_sensitivity(self):
         base = eval_key("hil", "p4e", Context.OUT_OF_CACHE, N, "k", "1.1.0")
         assert base == eval_key("hil", "p4e", Context.OUT_OF_CACHE, N,
@@ -182,11 +202,11 @@ class _FlakyFKO:
         self.real = FKO(machine)
         self.failures = failures
 
-    def compile(self, hil, params=None):
+    def compile(self, hil, params=None, debug_verify=False):
         if self.failures > 0:
             self.failures -= 1
             raise SimulationFault("injected")
-        return self.real.compile(hil, params)
+        return self.real.compile(hil, params, debug_verify=debug_verify)
 
 
 class _SlowFKO:
@@ -194,9 +214,9 @@ class _SlowFKO:
         self.real = FKO(machine)
         self.delay = delay
 
-    def compile(self, hil, params=None):
+    def compile(self, hil, params=None, debug_verify=False):
         time.sleep(self.delay)
-        return self.real.compile(hil, params)
+        return self.real.compile(hil, params, debug_verify=debug_verify)
 
 
 class TestRobustness:

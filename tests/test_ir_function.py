@@ -88,6 +88,37 @@ class TestVerifier:
         with pytest.raises(IRVerifyError, match="no preceding compare"):
             verify(fn)
 
+    def test_jcc_with_clobbered_flags_rejected(self):
+        # CMP ... ; ADD ... ; JCC — the ADD overwrites EFLAGS, so the
+        # branch no longer tests the compare's result
+        fn = Function("f", [])
+        b = IRBuilder(fn)
+        b.new_block("entry")
+        x = b.gp("x")
+        b.mov(x, Imm(1))
+        b.cmp(x, Imm(0))
+        b.add(x, x, Imm(1))
+        b.jcc(Cond.GT, "entry")
+        b.new_block("exit")
+        b.ret()
+        with pytest.raises(IRVerifyError, match="clobbered|no preceding"):
+            verify(fn)
+
+    def test_jcc_after_recompare_accepted(self):
+        # a fresh compare after the clobber makes the branch valid again
+        fn = Function("f", [])
+        b = IRBuilder(fn)
+        b.new_block("entry")
+        x = b.gp("x")
+        b.mov(x, Imm(1))
+        b.cmp(x, Imm(0))
+        b.add(x, x, Imm(1))
+        b.cmp(x, Imm(0))
+        b.jcc(Cond.GT, "entry")
+        b.new_block("exit")
+        b.ret()
+        verify(fn)
+
     def test_terminator_mid_block_rejected(self):
         fn = Function("f", [])
         b = IRBuilder(fn)

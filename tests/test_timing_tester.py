@@ -85,6 +85,76 @@ class TestTester:
         with pytest.raises(KernelTestFailure, match="index"):
             check_function(k.fn, spec)
 
+    def test_one_ulp_array_error_is_caught(self, p4e, monkeypatch):
+        # element-wise outputs must match bitwise: a 1-ulp error used to
+        # slip through the old rtol = eps*32 vector check
+        import repro.timing.tester as tester_mod
+        spec = get_kernel("dscal")
+        k = FKO(p4e).compile(spec.hil, TransformParams(sv=False))
+        real_run = tester_mod.run_function
+
+        def perturbed(fn, arrays, scalars=None, **kw):
+            result = real_run(fn, arrays, scalars, **kw)
+            if len(arrays["X"]) and scalars.get("N"):
+                arrays["X"][0] = np.nextafter(arrays["X"][0], np.inf)
+            return result
+
+        monkeypatch.setattr(tester_mod, "run_function", perturbed)
+        with pytest.raises(KernelTestFailure, match="bitwise"):
+            check_function(k.fn, spec, sizes=(8,))
+
+    def test_reduction_fed_output_uses_real_n_tolerance(self, p4e,
+                                                        monkeypatch):
+        # the same 1-ulp perturbation is legal on an output declared
+        # reduction-fed (association-tolerant, scaled by the real N)
+        import dataclasses
+        import repro.timing.tester as tester_mod
+        spec = get_kernel("dscal")
+        red_spec = dataclasses.replace(spec, reduction_outputs=("X",))
+        k = FKO(p4e).compile(spec.hil, TransformParams(sv=False))
+        real_run = tester_mod.run_function
+
+        def perturbed(fn, arrays, scalars=None, **kw):
+            result = real_run(fn, arrays, scalars, **kw)
+            if len(arrays["X"]) and scalars.get("N"):
+                arrays["X"][0] = np.nextafter(arrays["X"][0], np.inf)
+            return result
+
+        monkeypatch.setattr(tester_mod, "run_function", perturbed)
+        check_function(k.fn, red_spec, sizes=(8,))   # must not raise
+
+    def test_missing_scalar_return_is_hard_failure(self, p4e, ddot_spec,
+                                                   monkeypatch):
+        # a missing return used to be coerced to 0.0 and silently pass
+        # whenever the reference was near zero
+        import repro.timing.tester as tester_mod
+        k = FKO(p4e).compile(ddot_spec.hil, TransformParams(sv=True))
+        real_run = tester_mod.run_function
+
+        def no_ret(fn, arrays, scalars=None, **kw):
+            result = real_run(fn, arrays, scalars, **kw)
+            result.ret = None
+            return result
+
+        monkeypatch.setattr(tester_mod, "run_function", no_ret)
+        with pytest.raises(KernelTestFailure, match="returned nothing"):
+            check_function(k.fn, ddot_spec, sizes=(0,))
+
+    def test_nan_scalar_return_is_caught(self, p4e, ddot_spec, monkeypatch):
+        # NaN disagreement was masked by `rel_err > tol` being False
+        import repro.timing.tester as tester_mod
+        k = FKO(p4e).compile(ddot_spec.hil, TransformParams(sv=True))
+        real_run = tester_mod.run_function
+
+        def nan_ret(fn, arrays, scalars=None, **kw):
+            result = real_run(fn, arrays, scalars, **kw)
+            result.ret = float("nan")
+            return result
+
+        monkeypatch.setattr(tester_mod, "run_function", nan_ret)
+        with pytest.raises(KernelTestFailure):
+            check_function(k.fn, ddot_spec, sizes=(8,))
+
     def test_sizes_cover_remainder_cases(self):
         assert 0 in DEFAULT_SIZES and 1 in DEFAULT_SIZES
         assert any(s % 8 not in (0, 1) for s in DEFAULT_SIZES)
