@@ -16,7 +16,10 @@ The package implements the paper's complete system, in Python:
 * **baselines** (:mod:`repro.refcomp`, :mod:`repro.atlas`) — modeled
   gcc/icc/icc+prof and the ATLAS hand-tuned kernel search;
 * **experiments** (:mod:`repro.experiments`) — regenerate every table
-  and figure of the paper's evaluation.
+  and figure of the paper's evaluation;
+* **service** (:mod:`repro.service` + :mod:`repro.client`) — tuning as
+  a service: the ``repro serve`` daemon (async job queue, request
+  dedup, persistent results) and the local/HTTP client facade.
 
 Quick start::
 
@@ -49,6 +52,9 @@ from .search import (BatchResult, LineSearch, Searcher, SearchResult,
                      registry_jobs, searcher_names, tune_kernel)
 from .timing import Timer, test_kernel
 from .timing.timer import paper_n
+from .service import TuneRequest, TuneResponse, history_digest
+from .client import (LocalClient, ServeClient, ServiceError, TuneClient,
+                     make_client)
 
 
 # ---------------------------------------------------------------------------
@@ -123,6 +129,9 @@ __all__ = [
     "Timer", "paper_n", "test_kernel",
     # observability
     "obs",
+    # service + client (tuning-as-a-service)
+    "TuneRequest", "TuneResponse", "history_digest", "TuneClient",
+    "LocalClient", "ServeClient", "ServiceError", "make_client",
     # the three-verb facade
     "tune", "compile", "analyze",
     "__version__",

@@ -9,6 +9,10 @@ command line; this module provides the same ergonomics::
     python -m repro tune dasum --machine opteron --context oc --jobs 4
     python -m repro tune-all --jobs 4 --cache-dir .repro-cache \\
         --trace-out tune.jsonl --observe
+    python -m repro serve --port 8642 --jobs 4 --cache-dir .repro-cache \\
+        --results-dir .repro-results
+    python -m repro tune ddot --serve-url http://127.0.0.1:8642
+    python -m repro fuzz --budget 50 --via-serve http://127.0.0.1:8642
     python -m repro fuzz --seed 0 --budget 200 --artifact-dir fuzz-out
     python -m repro fuzz --replay fuzz-out/fuzz-ddot-p4e-return-1.json
     python -m repro trace tune.jsonl
@@ -25,6 +29,11 @@ fans evaluations/jobs across worker processes, ``--cache-dir`` persists
 the evaluation cache across runs, ``--resume`` checkpoints a batch, and
 ``--trace-out`` records a JSONL search trace that ``repro trace``
 summarizes.
+
+Registry-kernel tuning goes through :mod:`repro.client` — the same
+request/response path whether the work runs in this process or in a
+``repro serve`` daemon (``--serve-url``), so the answers are
+bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -177,7 +186,74 @@ def _file_spec(source: str, name: str, elem_size: int) -> KernelSpec:
 
 
 def cmd_tune(args) -> int:
-    source, spec = _load_source(args.kernel)
+    if args.kernel in REGISTRY:
+        return _tune_service(args)
+    if getattr(args, "serve_url", None):
+        raise SystemExit("error: --serve-url tunes registry kernels only "
+                         "(a daemon cannot load local .hil files)")
+    return _tune_file_direct(args)
+
+
+def _tune_service(args) -> int:
+    """Registry kernels tune through :mod:`repro.client`: in-process by
+    default, against a ``repro serve`` daemon with ``--serve-url`` —
+    one code path, bit-identical answers."""
+    from .client import ServiceError, make_client
+    from .service import TuneRequest
+    try:
+        request = TuneRequest(
+            kernel=args.kernel, machine=args.machine, context=args.context,
+            n=args.n, strategy=args.strategy, seed=args.seed,
+            budget=args.max_evals, observe=args.observe,
+            verify_ir=args.verify_ir,
+            fast_timing=not args.no_fast_timing,
+            enable_block_fetch=args.enable_block_fetch,
+            timeout=args.timeout, test=True)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    config = _engine_config(args, run_tester=True)
+    try:
+        with make_client(getattr(args, "serve_url", None),
+                         config=config) as client:
+            response = client.tune(request)
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}")
+    tuned = response.tuned()
+    result = tuned.search
+
+    print(f"# ifko: {args.kernel} on {tuned.machine.name}, "
+          f"{request.context}, N={request.n}"
+          + (f" (via {args.serve_url})"
+             if getattr(args, "serve_url", None) else ""))
+    print(f"# strategy: {request.strategy} (seed {request.seed})")
+    if response.served_from:
+        print(f"# served from {response.served_from}: request "
+              f"{response.digest[:12]} already answered (no engine run)")
+    print(f"# evaluations: {result.n_evaluations}, "
+          f"speedup over FKO defaults: {result.speedup_over_start:.2f}x")
+    hits = response.stats.get("cache_hits", 0)
+    if hits:
+        print(f"# evaluation cache: {hits} hits, "
+              f"{response.stats.get('evaluations', 0)} computed")
+    print(f"# best parameters: {result.best_params.describe()}")
+    print(f"# performance: {tuned.timing.mflops:.1f} model-MFLOPS")
+    gains = [(p, g) for p, g in result.phase_speedups().items()
+             if abs(g - 1) > 0.002]
+    if gains:
+        print("# gains: " + "  ".join(f"{p}={100 * (g - 1):+.1f}%"
+                                      for p, g in gains))
+    if args.asm:
+        print(emit_att(tuned.compiled.fn))
+    elif args.verbose:
+        print(format_function(tuned.compiled.fn))
+    return 0
+
+
+def _tune_file_direct(args) -> int:
+    """User ``.hil`` kernels have no registry reference, so they tune
+    through an in-process session directly (the service only answers
+    for named registry kernels)."""
+    source, _ = _load_source(args.kernel)
     machine = get_machine(args.machine)
     context = args.context
     n = args.n or paper_n(context)
@@ -186,11 +262,10 @@ def cmd_tune(args) -> int:
     if not analysis.has_tuned_loop:
         raise SystemExit("error: no @TUNE loop in kernel")
 
-    if spec is None:
-        spec = _file_spec(source, pathlib.Path(args.kernel).stem,
-                          analysis.elem.size)
+    spec = _file_spec(source, pathlib.Path(args.kernel).stem,
+                      analysis.elem.size)
 
-    config = _engine_config(args, run_tester=spec.name in REGISTRY)
+    config = _engine_config(args, run_tester=False)
     with TuningSession(config) as session:
         tuned = session.tune(spec, machine, context, n)
     result = tuned.search
@@ -203,8 +278,6 @@ def cmd_tune(args) -> int:
         print(f"# evaluation cache: {session.stats.cache_hits} hits, "
               f"{session.stats.evaluations} computed")
     print(f"# best parameters: {result.best_params.describe()}")
-    if spec.name in REGISTRY:
-        print(f"# performance: {tuned.timing.mflops:.1f} model-MFLOPS")
     gains = [(p, g) for p, g in result.phase_speedups().items()
              if abs(g - 1) > 0.002]
     if gains:
@@ -226,6 +299,8 @@ def cmd_tune_all(args) -> int:
             raise SystemExit(f"error: unknown kernel {k!r}")
     jobs = registry_jobs(kernels=kernels, machines=machines,
                          contexts=(args.context,), n=args.n)
+    if getattr(args, "serve_url", None):
+        return _tune_all_via_serve(args, jobs)
     config = _engine_config(args, run_tester=args.test)
     with TuningSession(config) as session:
         batch = session.run(jobs)
@@ -250,6 +325,58 @@ def cmd_tune_all(args) -> int:
         print(f"  {key:{width}s}  {tk.mflops:8.1f} MFLOPS  "
               f"evals={evals:<4d} {tk.params.describe()}")
     return 1 if batch.errors else 0
+
+
+def _tune_all_via_serve(args, jobs) -> int:
+    """Batch-tune against a running daemon: submit everything up front
+    (identical requests coalesce on the daemon; repeats answer from its
+    result store), then collect in order."""
+    import time
+
+    from .client import ServeClient, ServiceError
+    from .service import TuneRequest
+
+    client = ServeClient(args.serve_url)
+    t0 = time.perf_counter()
+    tickets = []
+    for job in jobs:
+        request = TuneRequest(
+            kernel=job.kernel, machine=job.machine,
+            context=job.context, n=job.n,
+            strategy=args.strategy, seed=args.seed, budget=args.max_evals,
+            observe=args.observe, verify_ir=args.verify_ir,
+            fast_timing=not args.no_fast_timing,
+            timeout=args.timeout, test=args.test)
+        try:
+            tickets.append((job, client.submit(request)))
+        except ServiceError as exc:
+            raise SystemExit(f"error: {exc}")
+    print(f"# tune-all via {client.url}: {len(jobs)} jobs submitted")
+    errors = 0
+    width = max(len(j.key()) for j in jobs)
+    for job, ticket in tickets:
+        try:
+            response = client.wait(ticket["job_id"])
+        except (ServiceError, TimeoutError) as exc:
+            print(f"  {job.key():{width}s}  ERROR: {exc}")
+            errors += 1
+            continue
+        if not response.ok:
+            print(f"  {job.key():{width}s}  ERROR: {response.error}")
+            errors += 1
+            continue
+        tk = response.tuned()
+        evals = tk.search.n_evaluations if tk.search else 0
+        note = (f"  [{response.served_from}]"
+                if response.served_from else "")
+        print(f"  {job.key():{width}s}  {tk.mflops:8.1f} MFLOPS  "
+              f"evals={evals:<4d} {tk.params.describe()}{note}")
+    stats = client.stats()
+    print(f"# daemon: {stats.get('launched', 0)} engine runs, "
+          f"{stats.get('deduped', 0)} deduped, "
+          f"{stats.get('cache_answers', 0)} cache answers "
+          f"in {time.perf_counter() - t0:.1f}s")
+    return 1 if errors else 0
 
 
 def cmd_trace(args) -> int:
@@ -287,6 +414,15 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .service import serve
+    config = TuneConfig(jobs=args.jobs, cache_dir=args.cache_dir,
+                        trace=args.trace_out)
+    return serve(host=args.host, port=args.port, config=config,
+                 results_dir=args.results_dir, verbose=args.verbose,
+                 max_total_evals=args.max_total_evals)
+
+
 def cmd_fuzz(args) -> int:
     from .qa import replay_artifact, run_fuzz
 
@@ -306,11 +442,16 @@ def cmd_fuzz(args) -> int:
     for k in kernels or ():
         if k not in REGISTRY:
             raise SystemExit(f"error: unknown kernel {k!r}")
+    fuzz_kwargs = {}
+    if args.via_serve:
+        from .qa.fuzz import serve_check
+        fuzz_kwargs["check"] = serve_check(args.via_serve)
     report = run_fuzz(seed=args.seed, budget=args.budget,
                       kernels=kernels, machines=machines,
                       shrink=not args.no_shrink,
                       artifact_dir=args.artifact_dir,
-                      log=(print if args.verbose else None))
+                      log=(print if args.verbose else None),
+                      **fuzz_kwargs)
     print(report.describe())
     return 0 if report.ok else 1
 
@@ -419,6 +560,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine(pt, resume=False)
     pt.add_argument("--enable-block-fetch", action="store_true",
                     help="make the BF extension searchable")
+    pt.add_argument("--serve-url", default=None, metavar="URL",
+                    help="tune through a running `repro serve` daemon "
+                         "instead of in-process (registry kernels only; "
+                         "answers are bit-identical)")
     pt.add_argument("--asm", action="store_true",
                     help="emit the tuned kernel as AT&T assembly")
     pt.add_argument("--verbose", "-v", action="store_true")
@@ -433,8 +578,38 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated subset (default: all kernels)")
     pta.add_argument("--test", action="store_true",
                      help="verify each winner against the NumPy reference")
+    pta.add_argument("--serve-url", default=None, metavar="URL",
+                     help="submit the whole batch to a running "
+                          "`repro serve` daemon and collect the answers")
     add_engine(pta)
     pta.set_defaults(func=cmd_tune_all)
+
+    psv = sub.add_parser("serve",
+                         help="run the tuning daemon: a local HTTP/JSON "
+                              "API (/v1/tune, /v1/jobs, /v1/results, "
+                              "/v1/stats) over one shared engine session "
+                              "with request dedup and a persistent "
+                              "result store")
+    psv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    psv.add_argument("--port", type=int, default=8642,
+                     help="TCP port (default 8642; 0 picks a free one)")
+    psv.add_argument("--jobs", "-j", type=_jobs, default=1,
+                     help="worker processes per tuning job (1 = serial)")
+    psv.add_argument("--cache-dir", default=None,
+                     help="persistent evaluation cache directory "
+                          "(shared by every request)")
+    psv.add_argument("--results-dir", default=None, metavar="DIR",
+                     help="persist answered requests here; repeats are "
+                          "served instantly without re-tuning")
+    psv.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="append every job's JSONL search trace to FILE")
+    psv.add_argument("--max-total-evals", type=int, default=None,
+                     help="refuse new engine runs once this many "
+                          "evaluations have been spent across all jobs")
+    psv.add_argument("--verbose", "-v", action="store_true",
+                     help="log every HTTP request to stderr")
+    psv.set_defaults(func=cmd_serve)
 
     ptr = sub.add_parser("trace",
                          help="summarize a JSONL search trace")
@@ -478,6 +653,11 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--no-shrink", action="store_true",
                     help="keep raw failing samples instead of greedily "
                          "minimizing them")
+    pf.add_argument("--via-serve", default=None, metavar="URL",
+                    help="also compile every clean sample through a "
+                         "running `repro serve` daemon and fail on any "
+                         "IR divergence from the local compile (service "
+                         "soak mode)")
     pf.add_argument("--replay", default=None, metavar="FILE",
                     help="re-run a repro artifact and report whether "
                          "the identical failure reproduces (exit 0 = "

@@ -25,6 +25,12 @@ sizes, so stale entries are never reused across code changes.  Since
 ``SearchResult`` round-trips through JSON, ifko rows reload complete
 with their search detail; the engine's per-evaluation cache lives in an
 ``evals/`` subdirectory of the same tree.
+
+Setting ``REPRO_SERVE_URL`` (or passing ``serve_url``) routes the ifko
+rows through a running ``repro serve`` daemon instead of the in-process
+session: many experiment processes then share one engine, one
+evaluation cache and the daemon's persistent result store — with
+bit-identical answers, since the engine is deterministic.
 """
 
 from __future__ import annotations
@@ -74,7 +80,8 @@ class ResultStore:
                  jobs: Optional[int] = None,
                  trace: Optional[str] = None,
                  strategy: Optional[str] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 serve_url: Optional[str] = None):
         if quick is None:
             quick = os.environ.get("REPRO_FULL", "") == ""
         self.quick = quick
@@ -94,6 +101,10 @@ class ResultStore:
         if seed is None:
             seed = int(os.environ.get("REPRO_SEED", "0") or 0)
         self.seed = seed
+        if serve_url is None:
+            serve_url = os.environ.get("REPRO_SERVE_URL") or None
+        self.serve_url = serve_url
+        self._serve_client = None
         eval_cache = (str(self.cache_dir / "evals")
                       if self.cache_dir is not None else None)
         self.session = TuningSession(TuneConfig(
@@ -195,10 +206,30 @@ class ResultStore:
             return MethodResult(method, kernel, tk.mflops, tk.timing.cycles,
                                 label=tk.params.describe())
         if method == "ifko":
-            tk = self.session.tune(spec, machine, context, n)
+            tk = self._tune_ifko(spec, machine, context, n)
             return MethodResult(method, kernel, tk.mflops, tk.timing.cycles,
                                 label=tk.params.describe(), search=tk.search)
         raise KeyError(f"unknown method {method!r}")
+
+    def _tune_ifko(self, spec, machine: MachineConfig, context: Context,
+                   n: int) -> TunedKernel:
+        """The ifko rows optionally route through a running ``repro
+        serve`` daemon (``serve_url`` argument or ``REPRO_SERVE_URL``):
+        many experiment processes then share one engine, one evaluation
+        cache and the daemon's result store.  FKO is deterministic, so
+        the winner recompiled from the daemon's response is
+        bit-identical to an in-process tune."""
+        if self.serve_url:
+            if self._serve_client is None:
+                from ..client import ServeClient
+                self._serve_client = ServeClient(self.serve_url)
+            from ..service import TuneRequest
+            request = TuneRequest(kernel=spec.name, machine=machine.name,
+                                  context=context, n=n,
+                                  strategy=self.strategy, seed=self.seed,
+                                  test=False)
+            return self._serve_client.tune(request).tuned()
+        return self.session.tune(spec, machine, context, n)
 
 
 #: one store shared by all harnesses in a process

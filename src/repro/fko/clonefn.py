@@ -103,7 +103,13 @@ def clone_region(fn: Function, region: List[str], suffix: str,
     mapping = {name: f"{name}{suffix}" for name in region}
     rmap: Dict[Reg, Reg] = dict(reg_map or {})
     if rename_private:
-        for r in private_registers(fn, region):
+        # sorted by uid: this loop *mints* fresh VRegs, so iterating the
+        # set in hash order (which depends on absolute uid values, i.e.
+        # on how many compiles ran before) would hand out the new uids
+        # in a history-dependent order and change downstream uid-keyed
+        # decisions (allocation tie-breaks, spill-slot order)
+        for r in sorted(private_registers(fn, region),
+                        key=lambda r: r.uid):
             if shared and r in shared:
                 continue
             if r not in rmap:

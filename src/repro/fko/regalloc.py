@@ -110,12 +110,16 @@ def _build_intervals(fn: Function):
         in_loop = block.name in loop_blocks
         w = 10.0 if in_loop else 1.0
         span = block_span[block.name]
-        for r in lv.live_in[block.name]:
-            if isinstance(r, VReg):
-                touch(r, span[0], 0.0)
-        for r in lv.live_out[block.name]:
-            if isinstance(r, VReg):
-                touch(r, span[1], 0.0)
+        # sorted by uid: live sets hash on absolute uid values, which
+        # depend on how many compiles this process ran before — letting
+        # set order leak into interval order would make allocation
+        # tie-breaks (and so the emitted code) history-dependent
+        for r in sorted((r for r in lv.live_in[block.name]
+                         if isinstance(r, VReg)), key=lambda r: r.uid):
+            touch(r, span[0], 0.0)
+        for r in sorted((r for r in lv.live_out[block.name]
+                         if isinstance(r, VReg)), key=lambda r: r.uid):
+            touch(r, span[1], 0.0)
         for i, instr in enumerate(block.instrs):
             p = positions[(block.name, i)]
             for r in instr.regs_read():

@@ -78,7 +78,11 @@ def _unroll_single(fn: Function, loop: LoopDescriptor, u: int) -> None:
         delta = upd.srcs[1].value * (1 if upd.op is Opcode.ADD else -1)
         inc_bytes[upd.dst] = inc_bytes.get(upd.dst, 0) + delta
 
-    privates = private_registers(fn, [body.name])
+    # sorted: the per-copy rmap below mints fresh VRegs, and the minting
+    # order must not depend on set hash order (absolute uids vary with
+    # the process's compile history)
+    privates = sorted(private_registers(fn, [body.name]),
+                      key=lambda r: r.uid)
 
     def shift_mem(x, k: int):
         if isinstance(x, Mem) and x.base in inc_bytes:
@@ -109,7 +113,9 @@ def _unroll_single(fn: Function, loop: LoopDescriptor, u: int) -> None:
 def _unroll_multi(fn: Function, loop: LoopDescriptor, u: int) -> None:
     region = list(loop.body)
     add_explicit_terminators(fn, region)
-    privates = private_registers(fn, region)
+    # sorted for the same reason as in _unroll_single: fresh-VReg
+    # minting order must be history-independent
+    privates = sorted(private_registers(fn, region), key=lambda r: r.uid)
     counter = loop.counter
 
     counter_read = any(

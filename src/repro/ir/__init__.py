@@ -23,7 +23,8 @@ from .block import BasicBlock
 from .function import Function, LoopDescriptor, Param
 from .builder import IRBuilder
 from .dataflow import Liveness, max_register_pressure
-from .printer import format_function, print_function
+from .printer import (canonical_function_text, format_function,
+                      print_function)
 from .att import emit_att
 from .verifier import verify
 
@@ -35,5 +36,6 @@ __all__ = [
     "SCALAR_TO_VECTOR", "load_op_for", "store_op_for",
     "BasicBlock", "Function", "LoopDescriptor", "Param",
     "IRBuilder", "Liveness", "max_register_pressure",
-    "format_function", "print_function", "verify", "emit_att",
+    "canonical_function_text", "format_function", "print_function",
+    "verify", "emit_att",
 ]

@@ -8,6 +8,7 @@ interpreter consumes the IR objects directly.
 
 from __future__ import annotations
 
+import re
 from typing import List
 
 from .function import Function
@@ -44,6 +45,31 @@ def format_function(fn: Function) -> str:
         block_lines[0] += marker
         lines.extend(block_lines)
     return "\n".join(lines) + "\n"
+
+
+#: a printed virtual register: ``%name.uid`` (greedy name, so dotted
+#: names still leave the trailing ``.digits`` as the uid)
+_VREG_TOKEN = re.compile(r"%([\w.]+)\.(\d+)")
+
+
+def canonical_function_text(fn: Function) -> str:
+    """``format_function`` with virtual-register uids renumbered densely
+    by order of first appearance.
+
+    Raw uids come from a process-global counter, so the plain dump of a
+    function that still contains VRegs (e.g. compiled with register
+    allocation off) depends on how many compiles the process ran before.
+    Renumbering makes the text a pure function of the IR's structure —
+    two processes compiling the same point produce byte-identical text,
+    which is what content digests need.
+    """
+    mapping: dict = {}
+
+    def rename(m: "re.Match[str]") -> str:
+        idx = mapping.setdefault(m.group(2), len(mapping))
+        return f"%{m.group(1)}.{idx}"
+
+    return _VREG_TOKEN.sub(rename, format_function(fn))
 
 
 def print_function(fn: Function) -> None:

@@ -104,6 +104,29 @@ def _baseline_fn(kernel: str, machine: str) -> Function:
     return fn
 
 
+def compile_digest(sample: FuzzSample) -> Dict:
+    """Compile ``sample`` locally (IR verification on) and summarize
+    the result as content identity: the applied-transform list and a
+    SHA-256 over the printed IR.  The compile runs on a **fresh**
+    front-end: FKO's symbol generation is stateful across compiles
+    (reusing an instance shifts generated names), so only a cold
+    instance's first compile is canonical.  The text is the *canonical*
+    dump — virtual-register uids renumbered by first appearance — so
+    the digest is also independent of how far the process-global uid
+    counter had advanced before this compile (visible whenever VRegs
+    survive into the output, e.g. register allocation off).  Any
+    process compiling the same point must then produce the identical
+    digest — the ``--via-serve`` soak mode compares this against a
+    daemon's answer (``POST /v1/compile``), computed the same way."""
+    from ..ir import canonical_function_text
+    fko = FKO(get_machine(sample.machine))
+    compiled = fko.compile(get_kernel(sample.kernel).hil, sample.params,
+                           debug_verify=True)
+    text = canonical_function_text(compiled.fn)
+    return {"applied": list(compiled.applied),
+            "ir_digest": hashlib.sha256(text.encode()).hexdigest()}
+
+
 def _input_rng(sample: FuzzSample) -> np.random.Generator:
     """Inputs are a pure function of (kernel, n) — candidate, baseline
     and reference all see identical data, the seed is stable across

@@ -16,9 +16,56 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .differ import FuzzFailure, check_sample
+from .differ import FuzzFailure, check_sample, compile_digest
 from .sampler import DEFAULT_MACHINES, FuzzSample, iter_samples
 from .shrink import shrink_failure
+
+
+def serve_check(url: str,
+                base: Callable[[FuzzSample],
+                               Optional[FuzzFailure]] = check_sample
+                ) -> Callable[[FuzzSample], Optional[FuzzFailure]]:
+    """Wrap a sample checker so every clean sample is *also* compiled
+    by a running ``repro serve`` daemon and differentially compared
+    (applied transforms + IR content digest) against the local compile.
+
+    This makes the fuzzer double as a service soak test: thousands of
+    concurrent-ish small requests against a long-lived daemon, each one
+    a hard assertion that the service's compiler answers are
+    bit-identical to in-process compilation.  A divergence (or a
+    transport failure) is reported as a ``serve``-stage failure and
+    shrunk like any other.
+    """
+    from ..client import ServeClient, ServiceError
+    client = ServeClient(url)
+
+    def check(sample: FuzzSample) -> Optional[FuzzFailure]:
+        failure = base(sample)
+        if failure is not None:
+            return failure
+        try:
+            remote = client.compile(sample.kernel, sample.machine,
+                                    sample.params.to_dict())
+        except ServiceError as exc:
+            return FuzzFailure(sample, "serve", f"transport: {exc}")
+        if not remote.get("ok"):
+            # the local compile succeeded (base() passed); a daemon
+            # refusal on the same point is a divergence
+            return FuzzFailure(sample, "serve",
+                               f"daemon compile failed: "
+                               f"{remote.get('error')}")
+        local = compile_digest(sample)
+        if (remote.get("ir_digest") != local["ir_digest"]
+                or list(remote.get("applied") or []) != local["applied"]):
+            return FuzzFailure(
+                sample, "serve",
+                f"IR divergence: daemon "
+                f"{str(remote.get('ir_digest'))[:12]} "
+                f"(applied {remote.get('applied')}) vs local "
+                f"{local['ir_digest'][:12]} (applied {local['applied']})")
+        return None
+
+    return check
 
 
 @dataclass

@@ -103,3 +103,16 @@ class TuneConfig:
 
     def replace(self, **changes) -> "TuneConfig":
         return dataclasses.replace(self, **changes)
+
+    def to_public_dict(self) -> dict:
+        """The JSON-safe field subset — what the service daemon reports
+        under ``GET /v1/stats``.  ``space`` and ``start`` are live
+        objects (not wire data), so they are reported only by presence."""
+        out = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name in ("space", "start"):
+                out[f.name] = None if value is None else "<set>"
+            else:
+                out[f.name] = value
+        return out

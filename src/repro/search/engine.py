@@ -32,6 +32,12 @@ run needs:
 * a JSON-lines **trace** (:mod:`repro.search.trace`) of every
   evaluation, cache hit and phase move;
 * graceful **fallback to serial** when ``jobs=1`` or the pool dies.
+
+Worker-pool lifecycle (and the fair-queue / in-flight-dedup / budget
+primitives the service daemon builds on) live one layer down in
+:mod:`repro.search.scheduler`; how requests arrive and results leave is
+the transport layer's business — this session for in-process callers,
+:mod:`repro.service` for HTTP clients.
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ import signal
 import tempfile
 import threading
 import time
+import warnings
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -62,6 +69,7 @@ from ..util import LRUCache
 from .config import TuneConfig
 from .drivers import TunedKernel
 from .evalcache import EvalCache, eval_key
+from .scheduler import Scheduler
 from .space import build_space
 from .strategies import Searcher, make_searcher
 from .trace import TraceWriter
@@ -206,7 +214,7 @@ def _job_worker(payload: Dict) -> Dict:
     job = TuningJob.from_dict(payload["job"])
     config = TuneConfig(jobs=1, trace=None, resume=None,
                         **payload["config"])
-    with TuningSession(config, collect_events=True) as session:
+    with TuningSession(config, buffer_events=True) as session:
         try:
             tuned = session.tune(job.kernel, job.machine, job.context, job.n,
                                  max_evals=job.max_evals)
@@ -458,23 +466,34 @@ class _Evaluator:
 # the session
 
 class TuningSession:
-    """Owns the worker pool, the persistent evaluation cache, the trace
-    writer and batch checkpoints.  Use it as a context manager::
+    """The in-process transport over the engine + scheduler layers.
+
+    Owns the scheduler (and through it the worker pool), the persistent
+    evaluation cache, the trace writer and batch checkpoints.  Use it
+    as a context manager::
 
         with TuningSession(TuneConfig(jobs=4, cache_dir=".cache")) as s:
             batch = s.run(registry_jobs(machines=["p4e", "opteron"]))
     """
 
     def __init__(self, config: Optional[TuneConfig] = None,
-                 collect_events: bool = False):
+                 buffer_events: bool = False, *,
+                 collect_events: Optional[bool] = None):
+        if collect_events is not None:
+            warnings.warn(
+                "TuningSession(collect_events=...) is deprecated and will "
+                "be removed after one release; use buffer_events=...",
+                DeprecationWarning, stacklevel=2)
+            buffer_events = collect_events
         self.config = config or TuneConfig()
         self.cache = (EvalCache(self.config.cache_dir)
                       if self.config.cache_dir else None)
         self.stats = EngineStats()
         self._trace = (TraceWriter(self.config.trace)
-                       if (self.config.trace or collect_events) else None)
-        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
-        self._pool_broken = False
+                       if (self.config.trace or buffer_events) else None)
+        # the scheduling layer owns the worker-pool lifecycle; the
+        # session is just its first transport
+        self.scheduler = Scheduler(self.config.jobs)
         # FKO/Timer pairs reused across the jobs of a batch (an FKO
         # carries warm front-end/analysis caches; a Timer is immutable
         # per (machine, context, n))
@@ -482,9 +501,10 @@ class TuningSession:
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        """Idempotent teardown: the scheduler's pool is cancelled and
+        shut down (no orphaned workers) and the trace file is closed —
+        safe from error paths, including a mid-batch KeyboardInterrupt."""
+        self.scheduler.shutdown()
         if self._trace is not None:
             self._trace.close()
 
@@ -499,23 +519,17 @@ class TuningSession:
     def pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
         """The executor, or None when running serially (``jobs=1``, a
         previously broken pool, or a platform that cannot fork)."""
-        if self.config.jobs <= 1 or self._pool_broken:
-            return None
-        if self._pool is None:
-            try:
-                self._pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=self.config.jobs)
-            except (OSError, ValueError):
-                self._pool_broken = True
-                return None
-        return self._pool
+        return self.scheduler.pool()
 
     def mark_pool_broken(self, job: Optional[str] = None) -> None:
-        self._pool_broken = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        self.scheduler.mark_broken()
         self.emit("pool-broken", job=job)
+
+    @property
+    def trace_writer(self) -> Optional[TraceWriter]:
+        """The session's trace writer (None when tracing is off) — the
+        seam a transport subscribes to for live event streaming."""
+        return self._trace
 
     def emit(self, event: str, **fields) -> None:
         if self._trace is not None:
@@ -549,7 +563,27 @@ class TuningSession:
         ``jobs > 1`` — the per-batch fan-out across the worker pool.
         Candidates are charged and reduced in ask-order, which keeps
         each strategy bit-identical between ``jobs=1`` and ``jobs=N``.
+
+        A ``KeyboardInterrupt`` (or any other non-``Exception``) during
+        the search tears the session down on the way out — the
+        scheduler's pool is shut down with futures cancelled and the
+        trace file is closed — so an interrupted interactive run leaves
+        no orphaned workers and a readable partial trace.  Ordinary
+        exceptions propagate without closing: a batch (:meth:`run`)
+        keeps its session alive across individual job failures.
         """
+        try:
+            return self._tune(spec, machine, context, n,
+                              max_evals=max_evals)
+        except Exception:
+            raise
+        except BaseException:   # KeyboardInterrupt, SystemExit, ...
+            self.close()
+            raise
+
+    def _tune(self, spec: Union[str, KernelSpec],
+              machine: Union[str, MachineConfig], context: Context, n: int,
+              max_evals: Optional[int] = None) -> TunedKernel:
         spec = get_kernel(spec) if isinstance(spec, str) else spec
         machine = (get_machine(machine) if isinstance(machine, str)
                    else machine)

@@ -1,0 +1,221 @@
+"""The scheduling layer between the evaluation engine and a transport.
+
+The tuning stack separates into three layers with explicit seams:
+
+* **engine** — evaluate one candidate (compile + time), the pure
+  function at the bottom (:func:`repro.search.engine.evaluate_params`
+  and the ``TuningSession.tune`` loop around it);
+* **scheduler** — *this module*: who runs next and on what resources.
+  It owns the worker-pool lifecycle (:class:`Scheduler`), fair ordering
+  of queued work across clients (:class:`FairQueue`), coalescing of
+  identical in-flight requests (:class:`InflightTable`) and budget
+  accounting across jobs (:class:`BudgetLedger`);
+* **transport** — how requests arrive and results/progress leave:
+  the in-process :class:`~repro.search.engine.TuningSession` API, and
+  the HTTP daemon in :mod:`repro.service` that multiplexes many
+  clients onto one session.
+
+Nothing in here decides *what* a candidate costs — scheduling is pure
+bookkeeping, so every ordering decision is deterministic given the
+arrival order, which keeps the standing invariant (``jobs=1`` vs
+``jobs=N`` bit-identity) out of the scheduler's reach entirely.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from collections import OrderedDict, deque
+from typing import Dict, Hashable, Optional, Tuple
+
+
+class Scheduler:
+    """Worker-pool lifecycle, extracted from ``TuningSession``.
+
+    The session (and through it the service daemon) asks the scheduler
+    for an executor instead of owning one; a broken pool is remembered
+    so the engine degrades to serial exactly once instead of thrashing
+    through re-creation attempts.  ``shutdown`` is idempotent and safe
+    to call from error paths (including ``KeyboardInterrupt`` handling
+    mid-batch): it cancels queued futures and never blocks by default,
+    so no orphaned workers outlive the session.
+    """
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = int(jobs)
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._broken = False
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+        """The executor, or None when running serially (``jobs=1``, a
+        previously broken pool, or a platform that cannot fork)."""
+        if self.jobs <= 1 or self._broken:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.jobs)
+            except (OSError, ValueError):
+                self._broken = True
+                return None
+        return self._pool
+
+    def mark_broken(self) -> None:
+        """Remember that the pool died; subsequent ``pool()`` calls
+        return None so callers fall back to serial evaluation."""
+        self._broken = True
+        self.shutdown()
+
+    def shutdown(self, wait: bool = False) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=True)
+            self._pool = None
+
+
+class FairQueue:
+    """FIFO within a client, round-robin across clients.
+
+    A single greedy client enqueueing a hundred tune requests must not
+    starve everyone else: the queue keeps one FIFO lane per client key
+    and serves lanes round-robin, so each ``pop`` takes the next item
+    of the least-recently-served client.  With a single client this
+    degenerates to plain FIFO — arrival order, fully deterministic.
+    """
+
+    def __init__(self):
+        self._lanes: "OrderedDict[Hashable, deque]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._size = 0
+
+    def push(self, item, client: Hashable = "") -> None:
+        with self._lock:
+            lane = self._lanes.get(client)
+            if lane is None:
+                lane = self._lanes[client] = deque()
+            lane.append(item)
+            self._size += 1
+
+    def pop(self):
+        """Next item, or None when empty.  The served client's lane
+        moves to the back, which is the whole fairness policy."""
+        with self._lock:
+            while self._lanes:
+                client, lane = next(iter(self._lanes.items()))
+                if not lane:
+                    del self._lanes[client]
+                    continue
+                item = lane.popleft()
+                self._size -= 1
+                self._lanes.move_to_end(client)
+                if not lane:
+                    del self._lanes[client]
+                return item
+            return None
+
+    def remove(self, item) -> bool:
+        """Withdraw a queued item (e.g. a cancelled job); True if found."""
+        with self._lock:
+            for client, lane in list(self._lanes.items()):
+                try:
+                    lane.remove(item)
+                except ValueError:
+                    continue
+                self._size -= 1
+                if not lane:
+                    del self._lanes[client]
+                return True
+            return False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+
+class InflightTable:
+    """Coalesces identical concurrent requests onto one running job.
+
+    Keyed by the request's canonical digest: the first ``claim`` for a
+    digest creates the slot (``created=True``); every later claim while
+    the work is in flight returns the same slot (``created=False``), so
+    all subscribers end up watching the same job.  ``release`` frees
+    the digest once the work has a durable answer (or failed) — repeat
+    requests after that are the *result store's* business, not the
+    in-flight table's.
+    """
+
+    def __init__(self):
+        self._slots: Dict[str, object] = {}
+        self._lock = threading.Lock()
+        self.coalesced = 0
+
+    def claim(self, digest: str, make) -> Tuple[object, bool]:
+        with self._lock:
+            slot = self._slots.get(digest)
+            if slot is not None:
+                self.coalesced += 1
+                return slot, False
+            slot = make()
+            self._slots[digest] = slot
+            return slot, True
+
+    def get(self, digest: str):
+        with self._lock:
+            return self._slots.get(digest)
+
+    def release(self, digest: str) -> None:
+        with self._lock:
+            self._slots.pop(digest, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slots)
+
+
+class BudgetLedger:
+    """Evaluation-budget accounting across jobs.
+
+    Each job charges the evaluations (and cache hits) it actually
+    consumed; the ledger keeps per-job rows and running totals so a
+    long-lived daemon can report where its evaluation budget went
+    (``GET /v1/stats``) and enforce an optional global ceiling.
+    """
+
+    def __init__(self, max_total_evals: Optional[int] = None):
+        self.max_total_evals = max_total_evals
+        self._rows: Dict[str, Dict[str, int]] = {}
+        self._lock = threading.Lock()
+        self.total_evaluations = 0
+        self.total_cache_hits = 0
+
+    def charge(self, job_id: str, evaluations: int,
+               cache_hits: int = 0) -> None:
+        with self._lock:
+            row = self._rows.setdefault(job_id, {"evaluations": 0,
+                                                 "cache_hits": 0})
+            row["evaluations"] += int(evaluations)
+            row["cache_hits"] += int(cache_hits)
+            self.total_evaluations += int(evaluations)
+            self.total_cache_hits += int(cache_hits)
+
+    def exhausted(self) -> bool:
+        with self._lock:
+            return (self.max_total_evals is not None
+                    and self.total_evaluations >= self.max_total_evals)
+
+    def rows(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {k: dict(v) for k, v in self._rows.items()}
+
+    def to_dict(self) -> Dict:
+        with self._lock:
+            return {"total_evaluations": self.total_evaluations,
+                    "total_cache_hits": self.total_cache_hits,
+                    "max_total_evals": self.max_total_evals,
+                    "jobs": {k: dict(v) for k, v in self._rows.items()}}
+
+
+__all__ = ["Scheduler", "FairQueue", "InflightTable", "BudgetLedger"]

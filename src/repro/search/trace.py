@@ -90,9 +90,25 @@ class TraceWriter:
         self.path = pathlib.Path(path) if path else None
         self.buffer: List[Dict] = []
         self._fh = None
+        self._listeners: List = []
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a", buffering=1)
+
+    # -- live subscription (the transport layer's streaming seam) ------
+    def subscribe(self, listener) -> None:
+        """Register ``listener(record)`` to be called for every record
+        written (file-backed or buffered, locally emitted or shipped
+        back from a worker).  The service daemon uses this to route
+        events to per-job streams; a listener that raises is dropped
+        rather than allowed to poison the search."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def __enter__(self) -> "TraceWriter":
         return self
@@ -113,6 +129,11 @@ class TraceWriter:
             self._fh.write(json.dumps(record) + "\n")
         else:
             self.buffer.append(record)
+        for listener in list(self._listeners):
+            try:
+                listener(record)
+            except Exception:   # noqa: BLE001 — observers never perturb
+                self.unsubscribe(listener)
 
     def write_many(self, records: List[Dict]) -> None:
         for r in records:

@@ -1,0 +1,229 @@
+"""The versioned wire schema of the tuning service.
+
+A :class:`TuneRequest` names one tuning problem plus everything that
+shapes how it is searched — the same fields a local
+:class:`~repro.search.config.TuneConfig` run takes, minus the purely
+operational knobs (``jobs``, ``cache_dir``, ``trace``), which belong to
+the *daemon*, not the request.  Requests canonicalize on construction
+(machine aliases, context spellings, the paper's default N) so that
+every spelling of the same problem produces the same canonical
+:meth:`~TuneRequest.digest`; that digest is the service's unit of
+identity — it drives both in-flight coalescing (two concurrent
+identical requests share one engine run) and cache-backed instant
+answers (a repeat of a completed request is served from the result
+store without re-evaluation).
+
+Both payloads are schema-versioned with the repo-wide tolerant
+``from_dict`` convention: unknown keys are ignored (a newer client may
+send fields an older daemon does not know), missing optional keys take
+their defaults, and a schema number from the future is refused loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .. import __version__
+from ..kernels import REGISTRY
+from ..machine import Context, get_machine
+from ..search.config import TuneConfig
+from ..search.drivers import TunedKernel
+from ..search.linesearch import SearchResult
+from ..timing.timer import paper_n
+from ..util import check_schema
+
+
+def parse_context(value) -> Context:
+    """Canonicalize a context spelling: a :class:`Context`, its value
+    ("out-of-cache"), or the CLI short forms ("oc", "ic", "in-l2"...)."""
+    if isinstance(value, Context):
+        return value
+    v = str(value).lower()
+    if v in ("oc", "ooc", "out", "out-of-cache"):
+        return Context.OUT_OF_CACHE
+    if v in ("ic", "inl2", "in-l2", "in-cache"):
+        return Context.IN_L2
+    raise ValueError(f"unknown context {value!r}")
+
+
+def history_digest(search: Optional[SearchResult]) -> Optional[str]:
+    """SHA-256 over the search's full (phase, params-key, cycles)
+    history — the strongest cheap witness that two runs of the same
+    request walked the identical search.  The determinism acceptance
+    tests compare this digest between the daemon and the in-process
+    API."""
+    if search is None:
+        return None
+    blob = json.dumps(search.to_dict()["history"], sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class TuneRequest:
+    """One tuning problem, canonicalized and digestible.
+
+    ``budget`` is the evaluation budget (``TuneConfig.max_evals``);
+    ``test`` runs the tester on the winner before it is returned.  All
+    other fields mirror their :class:`TuneConfig` namesakes.
+    """
+
+    kernel: str
+    machine: str = "p4e"
+    context: str = "out-of-cache"
+    n: Optional[int] = None
+    strategy: str = "line"
+    seed: int = 0
+    budget: int = 400
+    observe: bool = False
+    verify_ir: bool = False
+    fast_timing: bool = True
+    min_gain: float = 0.005
+    enable_block_fetch: bool = False
+    timeout: Optional[float] = None
+    test: bool = True
+
+    def __post_init__(self):
+        if self.kernel not in REGISTRY:
+            raise ValueError(f"unknown kernel {self.kernel!r}; the "
+                             f"service tunes registry kernels")
+        self.machine = get_machine(self.machine).name.lower()
+        ctx = parse_context(self.context)
+        self.context = ctx.value
+        self.n = int(self.n) if self.n is not None else paper_n(ctx)
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        # borrow TuneConfig's validation for the search-shaping fields
+        # (strategy registry membership, seed/budget/min_gain ranges)
+        self.to_config()
+
+    # -- identity -------------------------------------------------------
+    def canonical(self) -> Dict:
+        """The digest-relevant fields in canonical form."""
+        return {"kernel": self.kernel, "machine": self.machine,
+                "context": self.context, "n": self.n,
+                "strategy": self.strategy, "seed": int(self.seed),
+                "budget": int(self.budget), "observe": bool(self.observe),
+                "verify_ir": bool(self.verify_ir),
+                "fast_timing": bool(self.fast_timing),
+                "min_gain": float(self.min_gain),
+                "enable_block_fetch": bool(self.enable_block_fetch),
+                "timeout": self.timeout, "test": bool(self.test)}
+
+    def digest(self) -> str:
+        """Canonical request identity: every spelling of the same
+        problem (machine aliases, context short forms, defaulted N)
+        digests identically; any field that could change the answer —
+        including the code version — changes the digest."""
+        blob = json.dumps({"v": __version__, **self.canonical()},
+                          sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def key(self) -> str:
+        """Human-readable job key (matches the engine's trace keys)."""
+        return f"{self.kernel}:{self.machine}:{self.context}:{self.n}"
+
+    # -- conversions ----------------------------------------------------
+    def to_config(self, base: Optional[TuneConfig] = None) -> TuneConfig:
+        """The per-request :class:`TuneConfig`: request fields override
+        the search-shaping knobs; operational knobs (``jobs``,
+        ``cache_dir``, ``trace``, ``resume``) come from ``base`` — the
+        daemon's own configuration."""
+        base = base if base is not None else TuneConfig()
+        return base.replace(
+            max_evals=int(self.budget), strategy=self.strategy,
+            seed=int(self.seed), observe=bool(self.observe),
+            verify_ir=bool(self.verify_ir),
+            fast_timing=bool(self.fast_timing),
+            min_gain=float(self.min_gain),
+            enable_block_fetch=bool(self.enable_block_fetch),
+            timeout=self.timeout, run_tester=bool(self.test),
+            space=None, start=None, resume=None)
+
+    def to_dict(self) -> Dict:
+        return {"schema": 1, **self.canonical()}
+
+    @staticmethod
+    def from_dict(data: Dict) -> "TuneRequest":
+        """Tolerant: unknown keys are ignored, ``max_evals`` is an
+        accepted alias for ``budget``, missing fields take defaults."""
+        check_schema(data, "TuneRequest")
+        if "kernel" not in data:
+            raise ValueError("TuneRequest: missing required field 'kernel'")
+        kw = {}
+        for name in ("kernel", "machine", "context", "n", "strategy",
+                     "seed", "budget", "observe", "verify_ir",
+                     "fast_timing", "min_gain", "enable_block_fetch",
+                     "timeout", "test"):
+            if name in data:
+                kw[name] = data[name]
+        if "budget" not in kw and "max_evals" in data:
+            kw["budget"] = data["max_evals"]
+        return TuneRequest(**kw)
+
+
+@dataclass
+class TuneResponse:
+    """What the service answers a :class:`TuneRequest` with.
+
+    ``result`` is the :class:`~repro.search.drivers.TunedKernel`
+    summary dict (FKO is deterministic, so the client can recompile the
+    winning kernel from it bit-identically); ``history_digest`` hashes
+    the full search history, and ``stats`` is the per-job slice of the
+    engine counters (evaluations actually run, cache hits, ...).
+    """
+
+    digest: str
+    job_id: str
+    status: str                      # queued | running | done | error
+    result: Optional[Dict] = None    # TunedKernel.to_dict()
+    history_digest: Optional[str] = None
+    stats: Dict = field(default_factory=dict)
+    wall: float = 0.0
+    error: Optional[str] = None
+    #: answered without an engine run: "store" (persistent result
+    #: store) or "memory" (completed job still resident); None = ran
+    served_from: Optional[str] = None
+
+    def __post_init__(self):
+        self._kernel: Optional[TunedKernel] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done" and self.error is None
+
+    def tuned(self) -> TunedKernel:
+        """The winning kernel, recompiled from the response (memoized;
+        the local transport attaches the original object instead)."""
+        if self._kernel is None:
+            if not self.ok or self.result is None:
+                raise ValueError(f"no result on a {self.status!r} "
+                                 f"response ({self.error})")
+            self._kernel = TunedKernel.from_dict(self.result)
+        return self._kernel
+
+    def to_dict(self) -> Dict:
+        return {"schema": 1, "digest": self.digest, "job_id": self.job_id,
+                "status": self.status, "result": self.result,
+                "history_digest": self.history_digest,
+                "stats": dict(self.stats), "wall": self.wall,
+                "error": self.error, "served_from": self.served_from}
+
+    @staticmethod
+    def from_dict(data: Dict) -> "TuneResponse":
+        check_schema(data, "TuneResponse")
+        return TuneResponse(
+            digest=data["digest"], job_id=data.get("job_id", ""),
+            status=data.get("status", "done"),
+            result=data.get("result"),
+            history_digest=data.get("history_digest"),
+            stats=dict(data.get("stats") or {}),
+            wall=float(data.get("wall") or 0.0),
+            error=data.get("error"),
+            served_from=data.get("served_from"))
+
+
+__all__ = ["TuneRequest", "TuneResponse", "history_digest",
+           "parse_context"]
