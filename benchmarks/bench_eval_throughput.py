@@ -23,6 +23,12 @@ Measures three things and writes ``results/BENCH_eval_throughput.json``:
    (best-of-k, so machine load cancels out).  Disabled instrumentation
    costing more than 3% is a hard failure — the second gating check
    besides divergence.  The *enabled* cost is reported informationally.
+5. **Batched evaluation** — the exact workload of (3) through the
+   batched path: one FKO per machine (prefix/full compile memo shared
+   across kernels and contexts) and share-keyed timing walks.  Reports
+   the compile-vs-timing wall split, prefix-cache hit rate and batch
+   speedup; ANY per-eval cycle mismatch against the unbatched section
+   is a hard failure (third gating check).
 
 Usage::
 
@@ -117,35 +123,46 @@ def timing_path(quick: bool):
 # ---------------------------------------------------------------------------
 # 3. end-to-end eval throughput
 
-def _eval_batch(machine_name, context_value, kernel, n, keys, fast=True):
-    """Run a batch of full evaluations; returns wall seconds.  Module
-    level so worker processes can import it."""
-    mach = get_machine(machine_name)
-    spec = get_kernel(kernel)
-    fko = FKO(mach)
-    timer = Timer(mach, Context(context_value), n, fast=fast)
-    t0 = time.perf_counter()
-    for unroll, ae in keys:
-        params = TransformParams(sv=True, unroll=unroll, ae=ae)
-        timer.time(fko.compile(spec.hil, params), spec)
-    return time.perf_counter() - t0
-
-
-def eval_throughput(quick: bool, jobs: int):
+def _workload(quick: bool):
+    """The canonical throughput workload: (machine, context, kernel, n,
+    (unroll, ae) grid) batches — shared by the unbatched and batched
+    sections so their cycles are comparable eval for eval."""
     unrolls = [1, 2, 4, 8] if quick else [1, 2, 3, 4, 6, 8, 12, 16]
     keys = [(u, ae) for u in unrolls for ae in (1, 2, 4)]
-    batches = []
     kernels = ["ddot", "daxpy"] if quick else ["ddot", "daxpy", "dscal",
                                                "dasum"]
+    batches = []
     for kernel in kernels:
         for mname in ("p4e", "opteron"):
             for ctx in (Context.OUT_OF_CACHE, Context.IN_L2):
                 batches.append((mname, ctx.value, kernel, paper_n(ctx), keys))
-    n_evals = len(batches) * len(keys)
+    return batches
 
+
+def _eval_batch(machine_name, context_value, kernel, n, keys, fast=True):
+    """Run a batch of full evaluations the pre-batching way — fresh FKO
+    per batch, no compile memo, no shared walks.  Returns (wall seconds,
+    per-eval cycles).  Module level so worker processes can import it."""
+    mach = get_machine(machine_name)
+    spec = get_kernel(kernel)
+    fko = FKO(mach, prefix_cache=False)
+    timer = Timer(mach, Context(context_value), n, fast=fast)
+    cycles = []
+    t0 = time.perf_counter()
+    for unroll, ae in keys:
+        params = TransformParams(sv=True, unroll=unroll, ae=ae)
+        cycles.append(timer.time(fko.compile(spec.hil, params), spec).cycles)
+    return time.perf_counter() - t0, cycles
+
+
+def eval_throughput(quick: bool, jobs: int):
+    batches = _workload(quick)
+    n_evals = sum(len(b[4]) for b in batches)
+
+    cycles = []
     t0 = time.perf_counter()
     for batch in batches:
-        _eval_batch(*batch)
+        cycles.extend(_eval_batch(*batch)[1])
     serial_wall = time.perf_counter() - t0
     out = {"evaluations": n_evals,
            "serial_wall_s": round(serial_wall, 3),
@@ -160,11 +177,98 @@ def eval_throughput(quick: bool, jobs: int):
         out.update(jobs=jobs, parallel_wall_s=round(par_wall, 3),
                    parallel_evals_per_sec=round(n_evals / par_wall, 1),
                    parallel_speedup=round(serial_wall / par_wall, 2))
-    return out
+    return out, cycles
 
 
 def _eval_batch_star(batch):
     return _eval_batch(*batch)
+
+
+# ---------------------------------------------------------------------------
+# 5. batched evaluation path (prefix-memoized compiles + shared walks)
+
+def _batched_run(batches):
+    """One pass of the workload through the batched path.  A candidate
+    whose share key already has a memoized walk skips compile and
+    summarize entirely (``Timer.peek_base``) — under a share key the
+    compiled IR is bit-identical, so the skipped work could not have
+    changed the cycles; the mismatch gate checks exactly that."""
+    fkos = {}
+    timers = {}
+    compile_wall = timing_wall = 0.0
+    cycles = []
+    t0 = time.perf_counter()
+    for mname, ctxv, kernel, n, keys in batches:
+        mach = get_machine(mname)
+        spec = get_kernel(kernel)
+        fko = fkos.setdefault(mname, FKO(mach))
+        timer = timers.setdefault((mname, ctxv, n),
+                                  Timer(mach, Context(ctxv), n, fast=True))
+        flops = spec.flops(n)
+        for unroll, ae in keys:
+            params = TransformParams(sv=True, unroll=unroll, ae=ae)
+            c0 = time.perf_counter()
+            share = fko.share_key(spec.hil, params)
+            base = timer.peek_base(share)
+            if base is None:
+                compiled = fko.compile(spec.hil, params)
+                c1 = time.perf_counter()
+                base = timer.base(summarize(compiled.fn), share)
+            else:
+                c1 = time.perf_counter()
+            timing = timer.finish(base, flops,
+                                  ident=f"{spec.name}|{params.key()}")
+            c2 = time.perf_counter()
+            compile_wall += c1 - c0
+            timing_wall += c2 - c1
+            cycles.append(timing.cycles)
+    wall = time.perf_counter() - t0
+    return {"wall": wall, "compile_wall": compile_wall,
+            "timing_wall": timing_wall, "cycles": cycles,
+            "fkos": fkos, "timers": timers}
+
+
+def batched_throughput(quick: bool, reference: dict, ref_cycles: list,
+                       reps: int = 3):
+    """The same workload through the batched path: one FKO per machine
+    (its prefix/full compile caches live across contexts and kernels,
+    exactly as a ``TuningSession`` shares them) and share-keyed timing
+    walks.  Cycles must match the unbatched section bit for bit — any
+    mismatch is a hard failure, same contract as the fast/slow gate.
+    Wall numbers are best-of-``reps`` (each rep rebuilds every cache
+    from cold); the mismatch gate is checked on every rep."""
+    batches = _workload(quick)
+    best = None
+    mismatches = 0
+    for _ in range(reps):
+        run = _batched_run(batches)
+        mismatches = max(mismatches, sum(
+            1 for a, b in zip(run["cycles"], ref_cycles) if a != b))
+        if best is None or run["wall"] < best["wall"]:
+            best = run
+    fkos, timers = best["fkos"], best["timers"]
+    prefix_hits = sum(f.prefix_hits for f in fkos.values())
+    prefix_misses = sum(f.prefix_misses for f in fkos.values())
+    full_hits = sum(f.full_hits for f in fkos.values())
+    walk_hits = sum(t.base_hits for t in timers.values())
+    walk_misses = sum(t.base_misses for t in timers.values())
+    n_evals = len(best["cycles"])
+    wall = best["wall"]
+    return {"evaluations": n_evals,
+            "reps": reps,
+            "serial_wall_s": round(wall, 3),
+            "serial_evals_per_sec": round(n_evals / wall, 1),
+            "compile_wall_s": round(best["compile_wall"], 3),
+            "timing_wall_s": round(best["timing_wall"], 3),
+            "prefix_hits": prefix_hits,
+            "prefix_misses": prefix_misses,
+            "full_hits": full_hits,
+            "prefix_hit_rate": round(prefix_hits / n_evals, 4),
+            "walk_hits": walk_hits,
+            "walk_misses": walk_misses,
+            "batch_speedup": round(reference["serial_wall_s"] / wall, 2)
+            if wall > 0 else None,
+            "cycle_mismatches": mismatches}
 
 
 # ---------------------------------------------------------------------------
@@ -173,11 +277,15 @@ def _eval_batch_star(batch):
 def _evaluate_batch(machine_name, context_value, kernel, n, keys,
                     observe=False):
     """The same work as ``_eval_batch`` but through the engine's
-    ``evaluate_params`` front door, with obs off or on."""
+    ``evaluate_params`` front door, with obs off or on.  Compile
+    caching is off to match the bare loop: every key in this workload
+    is a distinct compile prefix, so an enabled cache would only add
+    maintenance cost (snapshot clones on miss) and the comparison
+    would charge that to observability."""
     from repro.search import evaluate_params
     mach = get_machine(machine_name)
     spec = get_kernel(kernel)
-    fko = FKO(mach)
+    fko = FKO(mach, prefix_cache=False)
     timer = Timer(mach, Context(context_value), n, fast=True)
     flops = spec.flops(n)
     t0 = time.perf_counter()
@@ -203,7 +311,7 @@ def obs_overhead(quick: bool, threshold: float = 0.03):
     _evaluate_batch(*case, observe=True)
     bare = disabled = enabled = float("inf")
     for _ in range(reps):
-        bare = min(bare, _eval_batch(*case))
+        bare = min(bare, _eval_batch(*case)[0])
         disabled = min(disabled, _evaluate_batch(*case))
         enabled = min(enabled, _evaluate_batch(*case, observe=True))
     overhead_disabled = disabled / bare - 1.0
@@ -236,12 +344,24 @@ def main(argv=None):
           f"-> {tp['speedup']}x (OOC N=80000: {tp['speedup_ooc_n80000']}x)")
 
     print("== end-to-end eval throughput ==")
-    et = eval_throughput(args.quick, args.jobs)
+    et, ref_cycles = eval_throughput(args.quick, args.jobs)
     print(f"{et['evaluations']} evaluations, serial "
           f"{et['serial_evals_per_sec']} evals/s")
     if args.jobs > 1:
         print(f"jobs={args.jobs}: {et['parallel_evals_per_sec']} evals/s "
               f"({et['parallel_speedup']}x)")
+
+    print("== batched evaluation (prefix-memoized + shared walks) ==")
+    bt = batched_throughput(args.quick, et, ref_cycles)
+    print(f"{bt['evaluations']} evaluations, serial "
+          f"{bt['serial_evals_per_sec']} evals/s "
+          f"({bt['batch_speedup']}x over unbatched)")
+    print(f"wall split: compile {bt['compile_wall_s']}s, timing "
+          f"{bt['timing_wall_s']}s; prefix hit rate "
+          f"{bt['prefix_hit_rate']:.0%} ({bt['prefix_hits']} hits / "
+          f"{bt['prefix_misses']} misses, {bt['full_hits']} full), "
+          f"shared walks {bt['walk_hits']}/{bt['walk_hits'] + bt['walk_misses']}")
+    print(f"cycle mismatches vs unbatched: {bt['cycle_mismatches']}")
 
     print("== observability overhead (disabled must be <= "
           f"{args.obs_threshold:.0%}) ==")
@@ -251,7 +371,8 @@ def main(argv=None):
           f"{oo['enabled_wall_s']}s ({oo['overhead_enabled']:+.1%})")
 
     report = {"quick": args.quick, "timing_path": tp,
-              "eval_throughput": et, "obs_overhead": oo}
+              "eval_throughput": et, "batched_throughput": bt,
+              "obs_overhead": oo}
     out = pathlib.Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2) + "\n")
@@ -260,6 +381,10 @@ def main(argv=None):
     rc = 0
     if tp["mismatches"]:
         print("FAIL: fast/slow divergence detected", file=sys.stderr)
+        rc = 1
+    if bt["cycle_mismatches"]:
+        print(f"FAIL: batched path diverged from unbatched on "
+              f"{bt['cycle_mismatches']} evaluations", file=sys.stderr)
         rc = 1
     if not oo["ok"]:
         print(f"FAIL: disabled observability costs "

@@ -170,6 +170,9 @@ def _engine_config(args, run_tester: bool) -> TuneConfig:
                       enable_block_fetch=getattr(args, "enable_block_fetch",
                                                  False),
                       fast_timing=not getattr(args, "no_fast_timing", False),
+                      batch_size=getattr(args, "batch_size", 1),
+                      prefix_cache=not getattr(args, "no_prefix_cache",
+                                               False),
                       observe=getattr(args, "observe", False),
                       verify_ir=getattr(args, "verify_ir", False),
                       test_best=getattr(args, "test_best", False))
@@ -538,6 +541,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-fast-timing", action="store_true",
                        help="disable the timing model's steady-state "
                             "extrapolation (bit-identical, just slower)")
+        p.add_argument("--batch-size", type=int, default=1, metavar="K",
+                       help="evaluate candidates in prefix-sharing groups "
+                            "of at most K (bit-identical for every value; "
+                            "1 = per-candidate dispatch)")
+        p.add_argument("--no-prefix-cache", action="store_true",
+                       help="disable prefix-memoized compilation and "
+                            "shared-walk timing (bit-identical, just "
+                            "slower — the equivalence escape hatch)")
         p.add_argument("--observe", action="store_true",
                        help="record pass-level compile spans and cycle "
                             "attribution into the trace (schema v2; "

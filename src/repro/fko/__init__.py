@@ -24,15 +24,18 @@ from ..hil.parser import parse
 from ..hil.semantic import check
 from ..ir import Function
 from ..machine.config import MachineConfig
+from ..obs.core import active as _obs_active
 from ..util import LRUCache
 from .analysis import KernelAnalysis, analyze
 from .params import PrefetchParams, TransformParams, fko_defaults
-from .pipeline import CompiledKernel, compile_kernel
+from .pipeline import (CompiledKernel, compile_kernel, compile_prefix,
+                       finish_kernel, prefix_key)
 from .clonefn import clone_function
 
 __all__ = ["FKO", "KernelAnalysis", "analyze", "PrefetchParams",
            "TransformParams", "fko_defaults", "CompiledKernel",
-           "compile_kernel", "clone_function"]
+           "compile_kernel", "compile_prefix", "finish_kernel",
+           "prefix_key", "clone_function"]
 
 #: parse -> check -> lower results keyed by source text (the front end
 #: is machine-independent; the per-machine analysis memo lives on each
@@ -61,9 +64,22 @@ class FKO:
     an analysis references only clone-shared value objects.
     """
 
-    def __init__(self, machine: MachineConfig):
+    def __init__(self, machine: MachineConfig, prefix_cache: bool = True):
         self.machine = machine
         self._analysis_cache = LRUCache(maxsize=64)
+        #: post-AE IR snapshots keyed by (source, effective early params);
+        #: entries are (Function, applied) and are cloned on every fork,
+        #: so cached IR is never reachable from a caller
+        self._prefix_cache = LRUCache(maxsize=32)
+        #: finished CompiledKernels keyed by the *complete* effective
+        #: parameter tuple — the maximal-depth prefix: when every
+        #: transform resolves identically, the whole pipeline is shared
+        self._full_cache = LRUCache(maxsize=256)
+        self.prefix_cache_enabled = prefix_cache
+        # reuse counters (read by the search engine / benchmarks)
+        self.prefix_hits = 0      # forked from a post-AE snapshot
+        self.prefix_misses = 0    # ran the full pipeline
+        self.full_hits = 0       # whole-pipeline hits (subset of reuse)
 
     # ------------------------------------------------------------------
     def front_end(self, source: Union[str, Function]):
@@ -91,6 +107,22 @@ class FKO:
             self._analysis_cache.put(source, result)
         return result
 
+    def _full_key(self, source: str, params: TransformParams,
+                  analysis: KernelAnalysis, debug_verify: bool):
+        """Complete effective-parameter identity: the prefix key plus
+        everything :func:`finish_kernel` reads from ``params``, all
+        post-legality — two requests with the same full key run the
+        exact same pass sequence on the same IR."""
+        pf = tuple(sorted((a, p.hint.value, p.dist)
+                          for a, p in params.prefetch.items()
+                          if p.enabled and a in analysis.prefetch_arrays))
+        wnt = bool(params.wnt and analysis.output_arrays)
+        bf = bool(params.block_fetch and (analysis.output_arrays
+                                          or analysis.input_arrays))
+        return (source, prefix_key(params, analysis, debug_verify),
+                pf, wnt, bf, params.copy_propagation, params.peephole,
+                params.cf_cleanup, params.register_allocation)
+
     def compile(self, source: Union[str, Function],
                 params: Optional[TransformParams] = None,
                 debug_verify: bool = False) -> CompiledKernel:
@@ -99,10 +131,79 @@ class FKO:
                                   noprefetch=set(),
                                   debug_verify=debug_verify)
         fn, noprefetch = _front_end_cached(source)
-        return compile_kernel(fn, self.machine, params,
-                              noprefetch=set(noprefetch),
-                              debug_verify=debug_verify,
-                              analysis=self.analyze(source))
+        analysis = self.analyze(source)
+        # Memoized compilation is bypassed while an obs collector is
+        # active: a cache hit would skip the per-pass spans a trace of
+        # this eval is expected to carry, making observed traces depend
+        # on eval order.  Observed compiles always run the full pipeline.
+        if not self.prefix_cache_enabled or _obs_active() is not None:
+            return compile_kernel(fn, self.machine, params,
+                                  noprefetch=set(noprefetch),
+                                  debug_verify=debug_verify,
+                                  analysis=analysis)
+        if params is None:
+            params = self.defaults(source)
+
+        fkey = self._full_key(source, params, analysis, debug_verify)
+        hit = self._full_cache.get(fkey)
+        if hit is not None:
+            # whole-pipeline reuse: every transform resolves identically,
+            # so the finished kernel is shared — cloned, so no caller
+            # ever holds (or can mutate) cache-owned IR
+            self.full_hits += 1
+            self.prefix_hits += 1
+            return CompiledKernel(fn=clone_function(hit.fn), params=params,
+                                  analysis=hit.analysis,
+                                  machine=self.machine,
+                                  applied=dict(hit.applied),
+                                  allocation=hit.allocation)
+
+        pkey = (source, prefix_key(params, analysis, debug_verify))
+        snap = self._prefix_cache.get(pkey)
+        if snap is None:
+            self.prefix_misses += 1
+            work, analysis, params, applied = compile_prefix(
+                fn, self.machine, params, set(noprefetch), debug_verify,
+                analysis)
+            self._prefix_cache.put(pkey,
+                                   (clone_function(work), dict(applied)))
+            compiled = finish_kernel(work, self.machine, params, analysis,
+                                     applied, debug_verify)
+        else:
+            self.prefix_hits += 1
+            snap_fn, snap_applied = snap
+            compiled = finish_kernel(clone_function(snap_fn), self.machine,
+                                     params, analysis, dict(snap_applied),
+                                     debug_verify)
+        # the cache owns a private clone; the caller gets the original
+        self._full_cache.put(fkey, CompiledKernel(
+            fn=clone_function(compiled.fn), params=compiled.params,
+            analysis=compiled.analysis, machine=compiled.machine,
+            applied=dict(compiled.applied), allocation=compiled.allocation))
+        return compiled
+
+    def share_key(self, source: Union[str, Function],
+                  params: Optional[TransformParams] = None,
+                  debug_verify: bool = False):
+        """The complete effective-parameter identity of a compile —
+        what :meth:`compile` keys its whole-pipeline cache on.  Two
+        requests with equal share keys produce bit-identical kernels,
+        so downstream consumers (the engine's shared-walk timing) may
+        treat their derived results as interchangeable.  ``None`` for
+        raw :class:`Function` sources and when caching is disabled —
+        callers then never share."""
+        if isinstance(source, Function) or not self.prefix_cache_enabled:
+            return None
+        analysis = self.analyze(source)
+        if params is None:
+            params = self.defaults(source)
+        return self._full_key(source, params, analysis, debug_verify)
+
+    def cache_stats(self) -> dict:
+        """Reuse counters for the batched-evaluation path."""
+        return {"prefix_hits": self.prefix_hits,
+                "prefix_misses": self.prefix_misses,
+                "full_hits": self.full_hits}
 
     def defaults(self, source: Union[str, Function]) -> TransformParams:
         """FKO's static default parameters for this kernel (section 2.3)."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from ..ir import BasicBlock, Function, Instruction, Label, Opcode
+from ..ir.instructions import BRANCH_OPS
 from ..obs.core import count as _obs_count
 
 
@@ -52,8 +53,9 @@ def remove_unreachable(fn: Function) -> bool:
 def _retarget_all(fn: Function, old: str, new: str) -> None:
     for blk in fn.blocks:
         for instr in blk.instrs:
-            if instr.is_branch and instr.target is not None \
-                    and instr.target.name == old:
+            if instr.op in BRANCH_OPS and instr.srcs \
+                    and instr.srcs[0].__class__ is Label \
+                    and instr.srcs[0].name == old:
                 instr.srcs = (Label(new),) + instr.srcs[1:]
 
 
@@ -76,8 +78,9 @@ def chain_branches(fn: Function) -> bool:
     changed = False
     for blk in fn.blocks:
         for instr in blk.instrs:
-            if instr.is_branch and instr.target is not None:
-                tgt = instr.target.name
+            if instr.op in BRANCH_OPS and instr.srcs \
+                    and instr.srcs[0].__class__ is Label:
+                tgt = instr.srcs[0].name
                 f = final(tgt)
                 if f != tgt:
                     instr.srcs = (Label(f),) + instr.srcs[1:]
@@ -125,6 +128,26 @@ def merge_blocks(fn: Function) -> bool:
         body = set(fn.loop.body)
         cln = set(fn.loop.cleanup_body)
     changed = False
+
+    # predecessor lists and branch-target counts, computed once per
+    # sweep and refreshed only after a successful merge (each candidate
+    # previously paid two full-function scans)
+    def _edge_maps():
+        succ = fn.successor_map()
+        preds: Dict[str, List[str]] = {b.name: [] for b in fn.blocks}
+        for name, ss in succ.items():
+            for s in ss:
+                preds[s].append(name)
+        counts: Dict[str, int] = {}
+        for blk in fn.blocks:
+            for instr in blk.instrs:
+                if instr.op in BRANCH_OPS and instr.srcs \
+                        and instr.srcs[0].__class__ is Label:
+                    tn = instr.srcs[0].name
+                    counts[tn] = counts.get(tn, 0) + 1
+        return preds, counts
+
+    preds_map, branch_counts = _edge_maps()
     i = 0
     while i < len(fn.blocks) - 1:
         a = fn.blocks[i]
@@ -153,17 +176,14 @@ def merge_blocks(fn: Function) -> bool:
         if not (jmp_to_b or pure_fallthrough):
             i += 1
             continue
-        preds = fn.predecessors(b.name)
+        preds = preds_map[b.name]
         if preds != [a.name]:
             i += 1
             continue
         # B must not be the target of any *other* branch instruction —
         # e.g. the join of an if-diamond is jumped to by a mid-block
         # conditional and cannot be merged into its fallthrough pred
-        n_branches_to_b = sum(
-            1 for blk in fn.blocks for instr in blk.instrs
-            if instr.is_branch and instr.target is not None
-            and instr.target.name == b.name)
+        n_branches_to_b = branch_counts.get(b.name, 0)
         allowed = 1 if (term is not None and term.op is Opcode.JMP
                         and term.target.name == b.name) else 0
         if n_branches_to_b > allowed:
@@ -184,6 +204,7 @@ def merge_blocks(fn: Function) -> bool:
                         pass  # a is already listed if it is body code
         fn.remove_block(b.name)
         changed = True
+        preds_map, branch_counts = _edge_maps()
     return changed
 
 

@@ -20,7 +20,8 @@ from typing import Dict, List, Set
 
 from ..ir import Function, Instruction, Mem, Opcode, Reg
 from ..ir.dataflow import Liveness
-from ..ir.operands import is_reg
+from ..ir.instructions import TERMINATOR_OPS
+from ..ir.operands import AReg, VReg, is_reg
 from ..obs.core import count as _obs_count
 
 _COPY_OPS = (Opcode.MOV, Opcode.FMOV, Opcode.VMOV)
@@ -44,20 +45,20 @@ def propagate_copies(fn: Function) -> bool:
                 available.pop(d, None)
 
         for instr in block.instrs:
-            # rewrite sources through available copies
-            sub = {}
-            for r in instr.regs_read():
-                s = available.get(r)
-                if s is not None and s != r:
-                    sub[r] = s
-            if sub:
-                ni = instr.substitute(sub)
-                instr.dst, instr.srcs = ni.dst, ni.srcs
-                changed = True
-                n_rewritten += 1
-            # update available set
-            for d in instr.regs_written():
-                kill(d)
+            if available:   # nothing to rewrite or kill until a copy
+                # rewrite sources through available copies
+                sub = {}
+                for r in instr.regs_read():
+                    s = available.get(r)
+                    if s is not None and s != r:
+                        sub[r] = s
+                if sub:
+                    instr.substitute_inplace(sub)
+                    changed = True
+                    n_rewritten += 1
+                # update available set
+                for d in instr.regs_written():
+                    kill(d)
             if instr.op in _COPY_OPS and is_reg(instr.dst) \
                     and len(instr.srcs) == 1 and is_reg(instr.srcs[0]) \
                     and instr.dst.rclass is instr.srcs[0].rclass \
@@ -69,41 +70,81 @@ def propagate_copies(fn: Function) -> bool:
 
 
 def eliminate_dead_code(fn: Function) -> bool:
-    """Remove side-effect-free instructions whose destination is dead."""
+    """Remove side-effect-free instructions whose destination is dead.
+
+    Each block is scanned *backward* with a running live set, so a
+    removed instruction's own reads no longer keep its upstream
+    producers alive — whole dead chains within a block fall in one pass.
+    The result is the same fixed point the forward formulation reached
+    over several :func:`run_copy_opt` iterations (cross-block chains
+    still take one iteration per block hop), with fewer full liveness
+    recomputations."""
     changed = False
     n_removed = 0
     lv = Liveness(fn)
     for block in fn.blocks:
-        live_after = lv.per_instruction(block)
-        keep: List[Instruction] = []
-        for instr, live in zip(block.instrs, live_after):
-            if instr.op in _SIDE_EFFECTS or instr.is_terminator \
-                    or instr.dst is None or not is_reg(instr.dst):
-                keep.append(instr)
-                continue
-            # self-copies are dead regardless of liveness
-            if instr.op in _COPY_OPS and len(instr.srcs) == 1 \
-                    and instr.srcs[0] == instr.dst:
-                changed = True
-                n_removed += 1
-                continue
-            if instr.dst in live:
-                keep.append(instr)
-                continue
-            changed = True  # dead value: drop it
-            n_removed += 1
-        block.instrs = keep
+        live = set(lv.live_out[block.name])
+        kept_rev: List[Instruction] = []
+        for instr in reversed(block.instrs):
+            op = instr.op
+            dst = instr.dst
+            dst_cls = dst.__class__
+            dst_is_reg = dst_cls is VReg or dst_cls is AReg
+            if dst_is_reg and op not in _SIDE_EFFECTS \
+                    and op not in TERMINATOR_OPS:
+                # self-copies are dead regardless of liveness
+                if op in _COPY_OPS and len(instr.srcs) == 1 \
+                        and instr.srcs[0] == dst:
+                    changed = True
+                    n_removed += 1
+                    continue
+                if dst not in live:
+                    changed = True  # dead value: drop it
+                    n_removed += 1
+                    continue
+            kept_rev.append(instr)
+            # inlined regs_written/regs_read walk (hot: per surviving
+            # instruction, and list building dominated this scan)
+            if dst_is_reg:
+                live.discard(dst)
+            elif dst_cls is Mem:
+                live.add(dst.base)
+                if dst.index is not None:
+                    live.add(dst.index)
+            for s in instr.srcs:
+                cls = s.__class__
+                if cls is VReg or cls is AReg:
+                    live.add(s)
+                elif cls is Mem:
+                    live.add(s.base)
+                    if s.index is not None:
+                        live.add(s.index)
+        kept_rev.reverse()
+        block.instrs = kept_rev
     if n_removed:
         _obs_count("cp.dead_removed", n_removed)
     return changed
 
 
 def run_copy_opt(fn: Function, max_iters: int = 6) -> bool:
-    """Copy propagation + DCE to a fixed point."""
+    """Copy propagation + DCE to a fixed point.
+
+    Both passes are deterministic functions of the IR, so a pass that
+    reported no change stays a no-op until the *other* pass transforms
+    the function — skipping its confirming re-run is exact, and saves
+    the final liveness build DCE would otherwise spend proving a
+    fixed point already reached."""
     any_change = False
+    cp_stale = dce_stale = False
     for _ in range(max_iters):
-        c1 = propagate_copies(fn)
-        c2 = eliminate_dead_code(fn)
+        c1 = False if cp_stale else propagate_copies(fn)
+        cp_stale = True
+        if c1:
+            dce_stale = False
+        c2 = False if dce_stale else eliminate_dead_code(fn)
+        dce_stale = True
+        if c2:
+            cp_stale = False
         any_change |= c1 or c2
         if not (c1 or c2):
             break

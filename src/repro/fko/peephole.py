@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Set
 
 from ..ir import Function, Imm, Instruction, Mem, Opcode, Reg
 from ..ir.dataflow import Liveness
-from ..ir.operands import is_reg
+from ..ir.operands import AReg, VReg, is_reg
 from ..obs.core import count as _obs_count
 
 #: ops accepting a memory second source; FSUB/VSUB only fold src2
@@ -37,11 +37,49 @@ _LOADS = {Opcode.FLD: (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FMAX),
 
 
 def fold_loads(fn: Function) -> bool:
-    """Fold single-use loads into memory operands of FP arithmetic."""
+    """Fold single-use loads into memory operands of FP arithmetic.
+
+    Deadness of ``t`` after its use is decided from a per-block
+    read/write event index built in one linear scan: ``t`` is dead
+    after position ``j`` iff its next in-block event is a write, or it
+    has no later event and is not live out — exactly what a backward
+    per-instruction liveness walk computes, without materializing a
+    live set per instruction or rescanning the block tail per load."""
     changed = False
     lv = Liveness(fn)
     for block in fn.blocks:
-        live_after = lv.per_instruction(block)
+        if not any(ins.op in _LOADS for ins in block.instrs):
+            continue
+        # (position, is_write) events per register, in block order; the
+        # operand walk of regs_read/regs_written is inlined — this index
+        # is rebuilt per peephole run and was hot in the compile profile
+        events: Dict[Reg, List[tuple]] = {}
+        setdefault = events.setdefault
+        for j, ins in enumerate(block.instrs):
+            for s in ins.srcs:
+                cls = s.__class__
+                if cls is VReg or cls is AReg:
+                    setdefault(s, []).append((j, False))
+                elif cls is Mem:
+                    setdefault(s.base, []).append((j, False))
+                    if s.index is not None:
+                        setdefault(s.index, []).append((j, False))
+            d = ins.dst
+            cls = d.__class__
+            if cls is VReg or cls is AReg:
+                setdefault(d, []).append((j, True))
+            elif cls is Mem:
+                setdefault(d.base, []).append((j, False))
+                if d.index is not None:
+                    setdefault(d.index, []).append((j, False))
+        live_out = lv.live_out[block.name]
+
+        def dead_after(r: Reg, j: int) -> bool:
+            for pos, is_write in events.get(r, ()):
+                if pos > j:
+                    return is_write
+            return r not in live_out
+
         n = len(block.instrs)
         dead: Set[int] = set()
         for i, instr in enumerate(block.instrs):
@@ -51,29 +89,25 @@ def fold_loads(fn: Function) -> bool:
             mem = instr.srcs[0]
             if not isinstance(mem, Mem):
                 continue
-            # find the single use of t; the window between the load and
+            base, midx = mem.base, mem.index
+            # find the first use of t; the window between the load and
             # that use must not disturb t, the address regs, or memory
             use_idx: Optional[int] = None
-            n_uses = 0
             blocked = False
             for j in range(i + 1, n):
                 nxt = block.instrs[j]
-                if any(r == t for r in nxt.regs_read()):
-                    n_uses += 1
-                    if use_idx is None:
-                        use_idx = j
-                    continue
-                if use_idx is not None:
-                    continue  # past the first use: only count extra reads
-                if any(r == mem.base or (mem.index is not None
-                                         and r == mem.index) or r == t
-                       for r in nxt.regs_written()):
+                if t in nxt.regs_read():
+                    use_idx = j
+                    break
+                written = nxt.regs_written()
+                if t in written or base in written \
+                        or (midx is not None and midx in written):
                     blocked = True
                     break
                 if nxt.writes_mem:
                     blocked = True
                     break
-            if blocked or n_uses != 1 or use_idx is None:
+            if blocked or use_idx is None:
                 continue
             user = block.instrs[use_idx]
             if user.op not in _FOLDABLE or user.op not in _LOADS[instr.op]:
@@ -82,7 +116,7 @@ def fold_loads(fn: Function) -> bool:
             # dead after the use
             if len(user.srcs) != 2 or user.srcs[1] != t or user.srcs[0] == t:
                 continue
-            if t in live_after[use_idx]:
+            if not dead_after(t, use_idx):
                 continue
             if any(isinstance(s, Mem) for s in user.srcs):
                 continue  # already has a memory operand

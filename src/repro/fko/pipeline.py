@@ -66,19 +66,31 @@ def _run_pass(col, work: Function, name: str, thunk):
     return result
 
 
-def compile_kernel(fn: Function, machine: MachineConfig,
+def prefix_key(params: TransformParams, analysis: KernelAnalysis,
+               debug_verify: bool = False):
+    """Hashable identity of everything :func:`compile_prefix` does.
+
+    Keyed on the *effective* early-transform values (post-clamp,
+    post-legality), so distinct requested params that resolve to the
+    same prefix work share one cache entry.  Everything the prefix
+    passes read from ``params`` is captured here; ``pf``/``wnt``/
+    ``block_fetch`` and the repeatable/regalloc knobs are deliberately
+    absent — they only affect :func:`finish_kernel`."""
+    sv_eff = bool(params.sv and analysis.vectorizable)
+    u_eff = min(max(1, params.unroll), analysis.max_unroll)
+    ae_eff = (params.ae if params.ae > 1 and analysis.accumulators else 1)
+    return (sv_eff, u_eff, bool(params.lc), ae_eff,
+            analysis.has_tuned_loop, bool(debug_verify))
+
+
+def compile_prefix(fn: Function, machine: MachineConfig,
                    params: Optional[TransformParams] = None,
                    noprefetch: Optional[Set[str]] = None,
                    debug_verify: bool = False,
-                   analysis: Optional[KernelAnalysis] = None) -> CompiledKernel:
-    """Apply the FKO pipeline to a lowered kernel.
-
-    ``params=None`` compiles with FKO's static defaults (the paper's
-    plain-"FKO" configuration — no empirical search).  ``analysis`` may
-    carry a precomputed analysis of this kernel (clones share the
-    register value objects an analysis refers to, so an analysis of one
-    clone is valid for any other); it is recomputed here when absent.
-    """
+                   analysis: Optional[KernelAnalysis] = None):
+    """The pipeline's fixed-order front half: clone + initial cleanup +
+    SV/UR/LC/AE.  Returns ``(work, analysis, params, applied)`` for
+    :func:`finish_kernel` (or for snapshotting in a prefix cache)."""
     col = _obs_active()
     work = clone_function(fn)
     _run_pass(col, work, "cfg", lambda: cleanup_cfg(work))
@@ -123,6 +135,20 @@ def compile_kernel(fn: Function, machine: MachineConfig,
             if debug_verify:
                 verify(work)
 
+    return work, analysis, params, applied
+
+
+def finish_kernel(work: Function, machine: MachineConfig,
+                  params: TransformParams, analysis: KernelAnalysis,
+                  applied: Dict[str, object],
+                  debug_verify: bool = False) -> CompiledKernel:
+    """The pipeline's back half: PF/WNT/block-fetch, the repeatable
+    optimization blocks, register allocation, final cleanup, verify.
+    Mutates ``work`` — callers forking from a cached prefix snapshot
+    must pass a private clone."""
+    col = _obs_active()
+
+    if analysis.has_tuned_loop:
         pf = {a: p for a, p in params.prefetch.items()
               if p.enabled and a in analysis.prefetch_arrays}
         if pf:
@@ -151,17 +177,37 @@ def compile_kernel(fn: Function, machine: MachineConfig,
             applied["block_fetch"] = True
 
     # --- repeatable transformations (optimization blocks) --------------
+    # Staleness tracking: ``gen`` counts IR changes; a pass is skipped
+    # when the IR has not changed since it last ran (the passes are
+    # deterministic, so a re-run is provably a no-op).  copy-prop and
+    # cfg converge to their own fixed points internally, so their own
+    # change does not make them stale; peephole is single-shot, so its
+    # own change does.  Disabled while observing to keep per-pass
+    # telemetry faithful — a skipped confirming run is exact for the IR
+    # but would drop its ``pass`` event from the trace.
+    gen = 0
+    last = {"cp": -1, "ph": -1, "cf": -1}
+    skip_ok = col is None
     for _ in range(4):
         changed = False
-        if params.copy_propagation:
-            changed |= _run_pass(col, work, "copy-prop",
-                                 lambda: run_copy_opt(work))
-        if params.peephole:
-            changed |= _run_pass(col, work, "peephole",
-                                 lambda: run_peephole(work))
-        if params.cf_cleanup:
-            changed |= _run_pass(col, work, "cfg",
-                                 lambda: cleanup_cfg(work))
+        if params.copy_propagation and not (skip_ok and last["cp"] >= gen):
+            if _run_pass(col, work, "copy-prop",
+                         lambda: run_copy_opt(work)):
+                changed = True
+                gen += 1
+            last["cp"] = gen
+        if params.peephole and not (skip_ok and last["ph"] >= gen):
+            last["ph"] = gen
+            if _run_pass(col, work, "peephole",
+                         lambda: run_peephole(work)):
+                changed = True
+                gen += 1
+        if params.cf_cleanup and not (skip_ok and last["cf"] >= gen):
+            if _run_pass(col, work, "cfg",
+                         lambda: cleanup_cfg(work)):
+                changed = True
+                gen += 1
+            last["cf"] = gen
         if not changed:
             break
     if debug_verify:
@@ -182,3 +228,26 @@ def compile_kernel(fn: Function, machine: MachineConfig,
     return CompiledKernel(fn=work, params=params, analysis=analysis,
                           machine=machine, applied=applied,
                           allocation=allocation)
+
+
+def compile_kernel(fn: Function, machine: MachineConfig,
+                   params: Optional[TransformParams] = None,
+                   noprefetch: Optional[Set[str]] = None,
+                   debug_verify: bool = False,
+                   analysis: Optional[KernelAnalysis] = None) -> CompiledKernel:
+    """Apply the FKO pipeline to a lowered kernel.
+
+    ``params=None`` compiles with FKO's static defaults (the paper's
+    plain-"FKO" configuration — no empirical search).  ``analysis`` may
+    carry a precomputed analysis of this kernel (clones share the
+    register value objects an analysis refers to, so an analysis of one
+    clone is valid for any other); it is recomputed here when absent.
+
+    The body is :func:`compile_prefix` + :func:`finish_kernel`; the
+    split exists so :class:`repro.fko.FKO` can memoize prefix snapshots
+    for candidates that differ only in late transforms (PF/WNT/...).
+    """
+    work, analysis, params, applied = compile_prefix(
+        fn, machine, params, noprefetch, debug_verify, analysis)
+    return finish_kernel(work, machine, params, analysis, applied,
+                         debug_verify)

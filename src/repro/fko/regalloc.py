@@ -69,9 +69,8 @@ def _canonicalize_params(fn: Function) -> None:
     if not sub:
         return
     for block in fn.blocks:
-        for i, instr in enumerate(block.instrs):
-            ni = instr.substitute(sub)
-            instr.dst, instr.srcs = ni.dst, ni.srcs
+        for instr in block.instrs:
+            instr.substitute_inplace(sub)
     entry.instrs[0:0] = copies
 
 
@@ -83,27 +82,31 @@ def _build_intervals(fn: Function):
     Registers live across the tuned loop's back edge get intervals
     covering the whole loop span, and uses inside the loop weigh 10x."""
     pos = 0
-    positions: Dict[Tuple[str, int], int] = {}
     block_span: Dict[str, Tuple[int, int]] = {}
     for block in fn.blocks:
         start = pos
-        for i, _ in enumerate(block.instrs):
-            positions[(block.name, i)] = pos
-            pos += 1
+        pos += len(block.instrs)
         block_span[block.name] = (start, max(start, pos - 1))
 
     loop_blocks: Set[str] = set()
     if fn.loop is not None:
         loop_blocks = set(fn.loop.body) | {fn.loop.header, fn.loop.latch}
 
-    start_of: Dict[VReg, int] = {}
-    end_of: Dict[VReg, int] = {}
-    weight: Dict[VReg, float] = {}
+    # one [start, end, weight] record per vreg; insertion order is
+    # first-touch order, which _greedy_local's stable weight sort uses
+    # to break ties — keep it when touching registers in a new order
+    ivs: Dict[VReg, List] = {}
 
     def touch(r: VReg, p: int, w: float) -> None:
-        start_of[r] = min(start_of.get(r, p), p)
-        end_of[r] = max(end_of.get(r, p), p)
-        weight[r] = weight.get(r, 0.0) + w
+        iv = ivs.get(r)
+        if iv is None:
+            ivs[r] = [p, p, w]
+            return
+        if p < iv[0]:
+            iv[0] = p
+        elif p > iv[1]:
+            iv[1] = p
+        iv[2] += w
 
     lv = Liveness(fn)
     for block in fn.blocks:
@@ -120,21 +123,21 @@ def _build_intervals(fn: Function):
         for r in sorted((r for r in lv.live_out[block.name]
                          if isinstance(r, VReg)), key=lambda r: r.uid):
             touch(r, span[1], 0.0)
-        for i, instr in enumerate(block.instrs):
-            p = positions[(block.name, i)]
+        p = span[0]
+        for instr in block.instrs:
             for r in instr.regs_read():
-                if isinstance(r, VReg):
+                if r.__class__ is VReg:
                     touch(r, p, w)
             for r in instr.regs_written():
-                if isinstance(r, VReg):
+                if r.__class__ is VReg:
                     touch(r, p, w)
+            p += 1
 
     # Note: intervals are sound without a whole-loop extension because
     # every block's live-in/live-out registers are touched at the block
     # span boundaries — a back-edge carrier is live into the header and
     # out of the latch, so its interval already covers the loop.
-    return [(r, start_of[r], end_of[r], weight.get(r, 0.0))
-            for r in start_of]
+    return [(r, iv[0], iv[1], iv[2]) for r, iv in ivs.items()]
 
 
 def _arch_regs(pool: str, n: int, skip: int = 0) -> List[str]:
@@ -155,6 +158,7 @@ def _linear_scan(intervals, pool_sizes: Dict[str, int]):
     }
     assignment: Dict[VReg, str] = {}
     spilled: Set[VReg] = set()
+    weights = {iv[0]: iv[3] for iv in intervals}
 
     for r, start, end, w in by_start:
         pool = _pool_of(r)
@@ -172,7 +176,6 @@ def _linear_scan(intervals, pool_sizes: Dict[str, int]):
             active[pool].append((r, end))
             continue
         # spill the lowest-weight candidate among active + current
-        weights = {iv[0]: iv[3] for iv in intervals}
         candidates = active[pool] + [(r, end)]
         victim, vend = min(candidates, key=lambda it: (weights.get(it[0], 0),
                                                        -it[1]))
@@ -255,8 +258,7 @@ def _spill_rewrite(fn: Function, spilled_slots: Dict[VReg, int],
                 stores.append(Instruction(sop, None, (mem, sub[r]),
                                           comment=f"spill {r.name}"))
                 result.n_spill_stores += 1
-            ni = instr.substitute(sub)
-            instr.dst, instr.srcs = ni.dst, ni.srcs
+            instr.substitute_inplace(sub)
             new_instrs.append(instr)
             new_instrs.extend(stores)
         block.instrs = new_instrs
@@ -271,9 +273,12 @@ def allocate_registers(fn: Function, machine: MachineConfig,
     param_regs = {p.reg for p in fn.params if p.reg is not None}
     pools = {"gp": machine.n_gp_regs, "xmm": machine.n_xmm_regs}
 
+    # fn is not mutated between the first allocation and the pool-shrink
+    # rerun, so intervals (and the liveness behind them) are shared
+    intervals = [iv for iv in _build_intervals(fn)
+                 if iv[0] not in param_regs]
+
     def run(pool_sizes):
-        intervals = [iv for iv in _build_intervals(fn)
-                     if iv[0] not in param_regs]
         if strategy == "global":
             return _linear_scan(intervals, pool_sizes)
         return _greedy_local(intervals, pool_sizes)
@@ -306,8 +311,7 @@ def allocate_registers(fn: Function, machine: MachineConfig,
         result.mapping[r] = a
     for block in fn.blocks:
         for instr in block.instrs:
-            ni = instr.substitute(sub)
-            instr.dst, instr.srcs = ni.dst, ni.srcs
+            instr.substitute_inplace(sub)
 
     if spilled:
         slots: Dict[VReg, int] = {}

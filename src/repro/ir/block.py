@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
-from .instructions import Instruction, Opcode
+from .instructions import BRANCH_OPS, TERMINATOR_OPS, Instruction, Opcode
+from .operands import Label
 
 
 @dataclass
@@ -25,8 +26,9 @@ class BasicBlock:
     @property
     def terminator(self) -> Optional[Instruction]:
         """The final instruction if it is an unconditional terminator."""
-        if self.instrs and self.instrs[-1].is_terminator:
-            return self.instrs[-1]
+        instrs = self.instrs
+        if instrs and instrs[-1].op in TERMINATOR_OPS:
+            return instrs[-1]
         return None
 
     @property
@@ -34,11 +36,24 @@ class BasicBlock:
         """True when control can reach the next block in layout order."""
         return self.terminator is None
 
-    def branch_targets(self) -> Iterator[str]:
-        """Names of blocks this block branches to (conditionally or not)."""
-        for instr in self.instrs:
-            if instr.is_branch and instr.target is not None:
-                yield instr.target.name
+    def branch_targets(self) -> List[str]:
+        """Names of blocks this block branches to (conditionally or not).
+        Hot path for CFG derivation: branches live only in a block's
+        tail — a terminator must be last and nothing computational may
+        follow a conditional branch (verifier-enforced; the transforms
+        never leave a branch buried mid-block either) — so the scan
+        walks backward and stops at the first non-branch."""
+        instrs = self.instrs
+        out = []
+        for i in range(len(instrs) - 1, -1, -1):
+            instr = instrs[i]
+            if instr.op in BRANCH_OPS:
+                if instr.srcs and instr.srcs[0].__class__ is Label:
+                    out.append(instr.srcs[0].name)
+            elif instr.op is not Opcode.RET:
+                break
+        out.reverse()
+        return out
 
     @property
     def is_empty(self) -> bool:

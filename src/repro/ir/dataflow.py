@@ -12,20 +12,45 @@ from typing import Dict, Iterator, List, Set, Tuple
 from .block import BasicBlock
 from .function import Function
 from .instructions import Instruction
-from .operands import Reg
+from .operands import AReg, Mem, Reg, VReg
 
 
 def block_uses_defs(block: BasicBlock) -> Tuple[Set[Reg], Set[Reg]]:
     """(use, def) sets of a block: ``use`` = registers read before any
-    write in the block; ``def`` = registers written."""
+    write in the block; ``def`` = registers written.
+
+    The operand walk of ``regs_read``/``regs_written`` is inlined here:
+    liveness rebuilds these sets for every block on every analysis, and
+    the per-instruction list allocations were the hottest line in the
+    compile profile."""
     uses: Set[Reg] = set()
     defs: Set[Reg] = set()
+    uses_add = uses.add
     for instr in block.instrs:
-        for r in instr.regs_read():
-            if r not in defs:
-                uses.add(r)
-        for r in instr.regs_written():
-            defs.add(r)
+        for s in instr.srcs:
+            cls = s.__class__
+            if cls is VReg or cls is AReg:
+                if s not in defs:
+                    uses_add(s)
+            elif cls is Mem:
+                b = s.base
+                if b not in defs:
+                    uses_add(b)
+                ix = s.index
+                if ix is not None and ix not in defs:
+                    uses_add(ix)
+        dst = instr.dst
+        cls = dst.__class__
+        if cls is VReg or cls is AReg:
+            defs.add(dst)
+        elif cls is Mem:
+            # a memory destination's address registers are reads
+            b = dst.base
+            if b not in defs:
+                uses_add(b)
+            ix = dst.index
+            if ix is not None and ix not in defs:
+                uses_add(ix)
     return uses, defs
 
 
@@ -40,36 +65,44 @@ class Liveness:
 
     def _compute(self) -> None:
         fn = self.fn
-        use: Dict[str, Set[Reg]] = {}
-        defs: Dict[str, Set[Reg]] = {}
-        for b in fn.blocks:
-            use[b.name], defs[b.name] = block_uses_defs(b)
-            self.live_in[b.name] = set()
-            self.live_out[b.name] = set()
+        live_in = self.live_in
+        live_out = self.live_out
+        succ = fn.successor_map()   # snapshot: one pass, not O(blocks^2)
+        # per-block rows in reverse layout order: no per-sweep dict
+        # lookups for use/defs/successors inside the fixed-point loop
+        rows = []
+        for b in reversed(fn.blocks):
+            u, d = block_uses_defs(b)
+            live_in[b.name] = set()
+            live_out[b.name] = set()
+            rows.append((b.name, u, d, succ[b.name]))
         changed = True
         while changed:
             changed = False
-            for b in reversed(fn.blocks):
-                out: Set[Reg] = set()
-                for s in fn.successors(b):
-                    out |= self.live_in[s]
-                inn = use[b.name] | (out - defs[b.name])
-                if out != self.live_out[b.name] or inn != self.live_in[b.name]:
-                    self.live_out[b.name] = out
-                    self.live_in[b.name] = inn
+            for name, use, defs, ss in rows:
+                if len(ss) == 1:    # the common case: no set union
+                    out = set(live_in[ss[0]])
+                else:
+                    out = set()
+                    for s in ss:
+                        out |= live_in[s]
+                inn = use | (out - defs)
+                if out != live_out[name] or inn != live_in[name]:
+                    live_out[name] = out
+                    live_in[name] = inn
                     changed = True
 
     def per_instruction(self, block: BasicBlock) -> List[Set[Reg]]:
         """live_after[i]: registers live immediately *after* instruction i."""
         live = set(self.live_out[block.name])
-        result: List[Set[Reg]] = [set() for _ in block.instrs]
-        for i in range(len(block.instrs) - 1, -1, -1):
-            result[i] = set(live)
-            instr = block.instrs[i]
+        instrs = block.instrs
+        result: List[Set[Reg]] = [None] * len(instrs)  # type: ignore
+        for i in range(len(instrs) - 1, -1, -1):
+            result[i] = live.copy()
+            instr = instrs[i]
             for r in instr.regs_written():
                 live.discard(r)
-            for r in instr.regs_read():
-                live.add(r)
+            live.update(instr.regs_read())
         return result
 
     def live_at_entry(self, block: BasicBlock) -> Set[Reg]:

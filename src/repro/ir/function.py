@@ -150,15 +150,31 @@ class Function:
                     succs.append(nxt)
         return succs
 
+    def successor_map(self) -> Dict[str, List[str]]:
+        """``{block name: successor names}`` for every block, computed in
+        one pass over the layout.  Edges are derived, so the map is a
+        snapshot — recompute after splicing blocks.  Analyses that query
+        successors repeatedly (liveness, CFG cleanup) use this instead of
+        per-block :meth:`successors` calls, which pay a linear
+        ``block_index`` scan each."""
+        blocks = self.blocks
+        out: Dict[str, List[str]] = {}
+        for i, b in enumerate(blocks):
+            succs = list(dict.fromkeys(b.branch_targets()))
+            if b.falls_through and i + 1 < len(blocks):
+                nxt = blocks[i + 1].name
+                if nxt not in succs:
+                    succs.append(nxt)
+            out[b.name] = succs
+        return out
+
     def predecessors(self, name: str) -> List[str]:
-        preds = []
-        for b in self.blocks:
-            if name in self.successors(b):
-                preds.append(b.name)
-        return preds
+        succ = self.successor_map()
+        return [b for b, ss in succ.items() if name in ss]
 
     def reachable(self) -> set[str]:
         """Names of blocks reachable from the entry."""
+        succ = self.successor_map()
         seen: set[str] = set()
         work = [self.entry.name]
         while work:
@@ -166,8 +182,7 @@ class Function:
             if cur in seen:
                 continue
             seen.add(cur)
-            work.extend(s for s in self.successors(self.block(cur))
-                        if s not in seen)
+            work.extend(s for s in succ[cur] if s not in seen)
         return seen
 
     # ------------------------------------------------------------------

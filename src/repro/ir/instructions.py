@@ -94,6 +94,10 @@ class Opcode(enum.Enum):
 
     NOP = "nop"
 
+    # identity hash: opcodes key OP_INFO and many pass-local sets, and
+    # enum's default name-string hash was a measurable compile cost
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:
         return self.value
 
@@ -152,6 +156,11 @@ class OpInfo:
     commutative: bool = False
     has_dst: bool = True
     n_srcs: int = -1  # -1 == variable
+    #: derived memory-class flags, filled in once below from the timing
+    #: class so Instruction.is_load/is_store are single dict+attr hops
+    is_load: bool = False
+    is_store: bool = False
+    is_nontemporal: bool = False
 
 
 OP_INFO: dict[Opcode, OpInfo] = {
@@ -206,6 +215,21 @@ OP_INFO: dict[Opcode, OpInfo] = {
     Opcode.NOP:    OpInfo("mov", has_dst=False, n_srcs=0),
 }
 
+for _op in (Opcode.LD, Opcode.FLD, Opcode.VLD, Opcode.VLDU):
+    OP_INFO[_op] = replace(OP_INFO[_op], is_load=True)
+for _op in (Opcode.ST, Opcode.FST, Opcode.FSTNT, Opcode.VST, Opcode.VSTU,
+            Opcode.VSTNT):
+    OP_INFO[_op] = replace(OP_INFO[_op], is_store=True)
+for _op in (Opcode.FSTNT, Opcode.VSTNT):
+    OP_INFO[_op] = replace(OP_INFO[_op], is_nontemporal=True)
+
+#: opcode sets for the hottest predicates — CFG derivation and liveness
+#: test these per instruction, where a set membership check beats the
+#: property + OP_INFO lookup chain
+BRANCH_OPS = frozenset(op for op, inf in OP_INFO.items() if inf.is_branch)
+TERMINATOR_OPS = frozenset(op for op, inf in OP_INFO.items()
+                           if inf.is_terminator)
+
 
 @dataclass
 class Instruction:
@@ -237,16 +261,15 @@ class Instruction:
 
     @property
     def is_store(self) -> bool:
-        return self.op in (Opcode.ST, Opcode.FST, Opcode.FSTNT,
-                           Opcode.VST, Opcode.VSTU, Opcode.VSTNT)
+        return OP_INFO[self.op].is_store
 
     @property
     def is_load(self) -> bool:
-        return self.op in (Opcode.LD, Opcode.FLD, Opcode.VLD, Opcode.VLDU)
+        return OP_INFO[self.op].is_load
 
     @property
     def is_nontemporal(self) -> bool:
-        return self.op in (Opcode.FSTNT, Opcode.VSTNT)
+        return OP_INFO[self.op].is_nontemporal
 
     @property
     def reads_mem(self) -> bool:
@@ -286,24 +309,45 @@ class Instruction:
         return None
 
     # ------------------------------------------------------------------
-    def regs_read(self) -> Iterator[Reg]:
-        """All registers read, including memory-operand base/index regs."""
+    def regs_read(self) -> Iterable[Reg]:
+        """All registers read, including memory-operand base/index regs.
+        Returns a fresh list (hot path: built with type-identity checks,
+        no generator machinery)."""
+        out = []
         for s in self.srcs:
-            if is_reg(s):
-                yield s
-            elif isinstance(s, Mem):
-                yield s.base
+            cls = s.__class__
+            if cls is VReg or cls is AReg:
+                out.append(s)
+            elif cls is Mem:
+                out.append(s.base)
                 if s.index is not None:
-                    yield s.index
+                    out.append(s.index)
         # a Mem destination's address registers are *reads*
-        if isinstance(self.dst, Mem):
-            yield self.dst.base
-            if self.dst.index is not None:
-                yield self.dst.index
+        dst = self.dst
+        if dst.__class__ is Mem:
+            out.append(dst.base)
+            if dst.index is not None:
+                out.append(dst.index)
+        return out
 
-    def regs_written(self) -> Iterator[Reg]:
-        if self.dst is not None and is_reg(self.dst):
-            yield self.dst
+    def regs_written(self) -> Iterable[Reg]:
+        dst = self.dst
+        if dst is not None and (dst.__class__ is VReg
+                                or dst.__class__ is AReg):
+            return (dst,)
+        return ()
+
+    def _sub_operand(self, op: Operand, mapping: dict) -> Operand:
+        cls = op.__class__
+        if (cls is VReg or cls is AReg) and op in mapping:
+            return mapping[op]
+        if cls is Mem:
+            base = mapping.get(op.base, op.base)
+            index = (mapping.get(op.index, op.index)
+                     if op.index is not None else None)
+            if base is not op.base or index is not op.index:
+                return Mem(base, op.dtype, index, op.scale, op.disp, op.array)
+        return op
 
     def substitute(self, mapping: dict) -> "Instruction":
         """Return a copy with registers replaced per ``mapping``.
@@ -311,22 +355,19 @@ class Instruction:
         Registers absent from ``mapping`` are kept.  Memory operands have
         their base/index registers rewritten too.
         """
-
-        def sub_op(op: Operand) -> Operand:
-            if is_reg(op) and op in mapping:
-                return mapping[op]
-            if isinstance(op, Mem):
-                base = mapping.get(op.base, op.base)
-                index = (mapping.get(op.index, op.index)
-                         if op.index is not None else None)
-                if base is not op.base or index is not op.index:
-                    return Mem(base, op.dtype, index, op.scale, op.disp, op.array)
-            return op
-
-        new_dst = sub_op(self.dst) if self.dst is not None else None
-        new_srcs = tuple(sub_op(s) for s in self.srcs)
+        new_dst = (self._sub_operand(self.dst, mapping)
+                   if self.dst is not None else None)
+        new_srcs = tuple(self._sub_operand(s, mapping) for s in self.srcs)
         return Instruction(self.op, new_dst, new_srcs, self.cond,
                            self.hint, self.comment)
+
+    def substitute_inplace(self, mapping: dict) -> None:
+        """Rewrite this instruction's operands per ``mapping`` in place —
+        the allocation-free form of ``substitute`` for passes that would
+        immediately copy the result's fields back anyway."""
+        if self.dst is not None:
+            self.dst = self._sub_operand(self.dst, mapping)
+        self.srcs = tuple(self._sub_operand(s, mapping) for s in self.srcs)
 
     def copy(self) -> "Instruction":
         return Instruction(self.op, self.dst, self.srcs, self.cond,

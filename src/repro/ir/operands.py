@@ -29,6 +29,10 @@ class RegClass(enum.Enum):
     FP = "fp"    # scalar float (lives in xmm)
     VEC = "vec"  # packed float (lives in xmm)
 
+    # identity hash (enum eq is identity; avoids name-string hashing in
+    # hot register-keyed dicts)
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:
         return self.value
 
@@ -36,13 +40,18 @@ class RegClass(enum.Enum):
 _vreg_counter = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class VReg:
     """A virtual register.
 
     ``name`` is for humans (derived from the HIL variable when one
     exists); ``uid`` makes every virtual register unique even when names
     collide (transforms clone registers freely).
+
+    Equality and hashing go through ``uid`` alone: the uid already makes
+    the field tuple unique, so this is the same relation the generated
+    dataclass methods define — minus the per-comparison tuple build and
+    enum hashing that dominated liveness/regalloc profiles.
     """
 
     name: str
@@ -53,17 +62,31 @@ class VReg:
     def __repr__(self) -> str:
         return f"%{self.name}.{self.uid}"
 
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is VReg:
+            return self.uid == other.uid
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self.uid
+
     @property
     def is_virtual(self) -> bool:
         return True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class AReg:
     """An architectural register (post register-allocation).
 
     ``index`` is the hardware register number: 0-7 for GP (eax..edi) and
     0-7 for xmm.  The printer renders conventional names.
+
+    Unlike :class:`VReg`, ARegs are minted freely during rewrites, so
+    equality compares fields — but hardware index first, which almost
+    always decides it.
     """
 
     name: str
@@ -73,6 +96,19 @@ class AReg:
 
     def __repr__(self) -> str:
         return f"${self.name}"
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is AReg:
+            return (self.index == other.index
+                    and self.rclass is other.rclass
+                    and self.dtype == other.dtype
+                    and self.name == other.name)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self.index ^ 0x51ed270
 
     @property
     def is_virtual(self) -> bool:

@@ -20,6 +20,11 @@ class DType(enum.Enum):
     I64 = "i64"  # pointer-sized integer; also used for loop counters
     PTR = "ptr"  # pointer to F32/F64 data (width == I64)
 
+    # identity hash: members are singletons (enum eq is identity), and
+    # dtypes key hot dicts — Enum's name-string hash showed up in
+    # compile profiles
+    __hash__ = object.__hash__
+
     @property
     def size(self) -> int:
         """Size in bytes of one element of this type."""

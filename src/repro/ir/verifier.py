@@ -50,6 +50,7 @@ def verify(fn: Function) -> None:
 
     name_set = set(names)
     defined: Set = set(p.reg for p in fn.params if p.reg is not None)
+    read: Set = set()
 
     for block in fn.blocks:
         flags_valid = False
@@ -67,18 +68,18 @@ def verify(fn: Function) -> None:
             if not info.has_dst and instr.dst is not None:
                 _fail(fn, block, instr, f"{instr.op.value} must not have a dst")
             # terminators only at block end
-            if instr.is_terminator and i != len(block.instrs) - 1:
+            if info.is_terminator and i != len(block.instrs) - 1:
                 _fail(fn, block, instr, "terminator not at end of block")
             # nothing computational may follow a conditional branch:
             # liveness and DCE treat blocks as straight-line code
             if instr.op is Opcode.JCC and i != len(block.instrs) - 1:
                 nxt = block.instrs[i + 1]
-                if not nxt.is_branch and nxt.op is not Opcode.RET:
+                if not OP_INFO[nxt.op].is_branch and nxt.op is not Opcode.RET:
                     _fail(fn, block, instr,
                           "computational instruction after conditional "
                           "branch in the same block")
             # branch targets resolve
-            if instr.is_branch:
+            if info.is_branch:
                 tgt = instr.target
                 if tgt is None:
                     _fail(fn, block, instr, "branch without label target")
@@ -98,12 +99,18 @@ def verify(fn: Function) -> None:
                           f"dst class {instr.dst.rclass.value}, "
                           f"expected {want.value}")
             # memory operand address regs must be GP
-            for op in list(instr.srcs) + ([instr.dst] if instr.dst else []):
-                if isinstance(op, Mem):
+            for op in instr.srcs:
+                if op.__class__ is Mem:
                     if op.base.rclass is not RegClass.GP:
                         _fail(fn, block, instr, "memory base must be GP")
                     if op.index is not None and op.index.rclass is not RegClass.GP:
                         _fail(fn, block, instr, "memory index must be GP")
+            if instr.dst is not None and instr.dst.__class__ is Mem:
+                if instr.dst.base.rclass is not RegClass.GP:
+                    _fail(fn, block, instr, "memory base must be GP")
+                if instr.dst.index is not None \
+                        and instr.dst.index.rclass is not RegClass.GP:
+                    _fail(fn, block, instr, "memory index must be GP")
             # JCC needs valid flags
             if instr.op is Opcode.JCC:
                 if instr.cond is None:
@@ -117,13 +124,13 @@ def verify(fn: Function) -> None:
             elif info.clobbers_flags:
                 flags_valid = False
             # stores: srcs = (mem, value)
-            if instr.is_store:
+            if info.is_store:
                 if not isinstance(instr.srcs[0], Mem):
                     _fail(fn, block, instr, "store src[0] must be a Mem")
                 if not is_reg(instr.srcs[1]):
                     _fail(fn, block, instr, "store src[1] must be a register")
             # loads: src = mem
-            if instr.is_load and not isinstance(instr.srcs[0], Mem):
+            if info.is_load and not isinstance(instr.srcs[0], Mem):
                 _fail(fn, block, instr, "load src must be a Mem")
             if instr.op is Opcode.PREFETCH:
                 if instr.hint is None:
@@ -132,12 +139,11 @@ def verify(fn: Function) -> None:
                     _fail(fn, block, instr, "prefetch src must be a Mem")
             for r in instr.regs_written():
                 defined.add(r)
+            for r in instr.regs_read():
+                if r.__class__ is VReg:
+                    read.add(r)
 
     # never-defined virtual registers that are read somewhere
-    read: Set = set()
-    for block in fn.blocks:
-        for instr in block.instrs:
-            read.update(r for r in instr.regs_read() if isinstance(r, VReg))
     ghosts = {r for r in read if r not in defined}
     if ghosts:
         some = sorted(ghosts, key=lambda r: r.uid)[:4]

@@ -41,9 +41,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from functools import reduce
-from operator import add as _fadd
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..ir import Instruction, Mem, Opcode, PrefetchHint
 from ..ir.operands import is_reg
@@ -55,6 +55,19 @@ from .loopinfo import LoopSummary, StreamInfo
 _PROBE_CAP = 2048
 #: arrays shorter than this are walked in full — nothing to extrapolate
 _FAST_MIN_LINES = 16
+
+
+def _replay_sum(init: float, deltas: List[float], full: int) -> float:
+    """``init + d0 + d1 + ...`` over ``full`` repetitions of ``deltas``,
+    summed strictly left to right — the identical float additions, in
+    the identical order, a per-line replay loop would perform — but
+    vectorized through ``np.cumsum`` (whose accumulation is sequential,
+    unlike ``np.add.reduce``'s pairwise tree).  Bit-identity between the
+    fast path and the full walk rests on this."""
+    arr = np.empty(len(deltas) * full + 1)
+    arr[0] = init
+    arr[1:] = np.tile(deltas, full)
+    return float(np.cumsum(arr)[-1])
 
 
 class Context(enum.Enum):
@@ -553,9 +566,21 @@ class LoopTimer:
         probing = self.fast and n_lines >= _FAST_MIN_LINES and steady_end > 1
         seen: Dict[Tuple, int] = {}
 
+        probe_log: List[Tuple] = []   # per-line step results while probing
+
         k = 0
         while k < n_lines:
-            if probing and k < steady_end:
+            # Probe only page-phase-0 lines: the signature embeds
+            # ``k % lpp``, so equal signatures imply a period that is a
+            # multiple of lpp — sampling one phase finds the same
+            # periodicity at a fraction of the signature cost.  On a
+            # match, the last ``period`` probe steps ARE one steady
+            # period (step is a pure function of the relative state, and
+            # the state at ``prev`` equals the state here), so their
+            # logged deltas replay directly — no re-walk needed.  The
+            # replay performs the same float additions, in the same
+            # order, the full walk would, so totals stay bit-identical.
+            if probing and k < steady_end and not k % lpp:
                 sig = signature(k, free)
                 prev = seen.get(sig)
                 if prev is None:
@@ -563,49 +588,29 @@ class LoopTimer:
                         seen[sig] = k
                     else:
                         probing = False
+                        probe_log = []
                 else:
                     period = k - prev
                     probing = False
-                    if k + period <= steady_end:
-                        # record one full period of per-line deltas
-                        deltas: List[float] = []
-                        stalls: List[float] = []
-                        busys: List[float] = []
-                        p_iss = p_drop = p_waste = p_dem = p_hw = 0
-                        for _ in range(period):
-                            d, free, s, b, a1, a2, a3, a4, a5 = step(k, free)
-                            now += d
-                            stall_total += s
-                            busy_total += b
-                            deltas.append(d)
-                            stalls.append(s)
-                            busys.append(b)
-                            p_iss += a1; p_drop += a2; p_waste += a3
-                            p_dem += a4; p_hw += a5
-                            k += 1
-                        c_iss += p_iss; c_drop += p_drop; c_waste += p_waste
-                        c_dem += p_dem; c_hw += p_hw
-                        if signature(k, free) == sig:
-                            full = (steady_end - k) // period
-                            if full > 0:
-                                rep = full * period
-                                # replay the recorded deltas: the same
-                                # float additions, in the same order, the
-                                # full walk would perform
-                                now = reduce(_fadd, deltas * full, now)
-                                stall_total = reduce(
-                                    _fadd, stalls * full, stall_total)
-                                busy_total = reduce(
-                                    _fadd, busys * full, busy_total)
-                                c_iss += p_iss * full
-                                c_drop += p_drop * full
-                                c_waste += p_waste * full
-                                c_dem += p_dem * full
-                                c_hw += p_hw * full
-                                _shift_ready(states, rep)
-                                k += rep
-                                stats.lines_extrapolated = rep
-                                stats.steady_period = period
+                    full = (steady_end - k) // period
+                    if full > 0:
+                        rows = probe_log[prev:k]
+                        rep = full * period
+                        now = _replay_sum(now, [r[0] for r in rows], full)
+                        stall_total = _replay_sum(
+                            stall_total, [r[1] for r in rows], full)
+                        busy_total = _replay_sum(
+                            busy_total, [r[2] for r in rows], full)
+                        c_iss += sum(r[3] for r in rows) * full
+                        c_drop += sum(r[4] for r in rows) * full
+                        c_waste += sum(r[5] for r in rows) * full
+                        c_dem += sum(r[6] for r in rows) * full
+                        c_hw += sum(r[7] for r in rows) * full
+                        _shift_ready(states, rep)
+                        k += rep
+                        stats.lines_extrapolated = rep
+                        stats.steady_period = period
+                    probe_log = []
                     continue
             d, free, s, b, a1, a2, a3, a4, a5 = step(k, free)
             now += d
@@ -613,6 +618,8 @@ class LoopTimer:
             busy_total += b
             c_iss += a1; c_drop += a2; c_waste += a3
             c_dem += a4; c_hw += a5
+            if probing:
+                probe_log.append((d, s, b, a1, a2, a3, a4, a5))
             k += 1
 
         stats.stall_cycles += stall_total
@@ -782,11 +789,11 @@ class LoopTimer:
                             full = (steady_end - k) // period
                             if full > 0:
                                 rep = full * period
-                                now = reduce(_fadd, deltas * full, now)
-                                stall_total = reduce(
-                                    _fadd, stalls * full, stall_total)
-                                busy_total = reduce(
-                                    _fadd, busys * full, busy_total)
+                                now = _replay_sum(now, deltas, full)
+                                stall_total = _replay_sum(
+                                    stall_total, stalls, full)
+                                busy_total = _replay_sum(
+                                    busy_total, busys, full)
                                 c_iss += p_iss * full
                                 c_dem += p_dem * full
                                 _shift_ready(states, rep)

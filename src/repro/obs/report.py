@@ -160,6 +160,19 @@ def render_report(events: List[Dict], title: Optional[str] = None) -> str:
               f"(hit rate {100.0 * summary['cache_hit_rate']:.1f}%)",
               f"- fast path (steady-state replay): {summary['fast_path']}",
               f"- slow path (full per-line walk): {summary['slow_path']}"]
+    batch = summary.get("batch") or {}
+    if batch.get("prefix_hits") or batch.get("prefix_misses"):
+        compiles = batch["prefix_hits"] + batch["prefix_misses"]
+        lines += [f"- batch.prefix_hits: {batch['prefix_hits']} "
+                  f"(reuse rate {100.0 * batch['prefix_hits'] / compiles:.1f}%"
+                  f" of {compiles} compiles)",
+                  f"- batch.prefix_misses: {batch['prefix_misses']}",
+                  f"- batch.walk_hits (shared timing walks): "
+                  f"{batch.get('walk_hits', 0)}"]
+        if batch.get("groups"):
+            lines.append(f"- batch.size: {batch['mean_size']:.1f} mean "
+                         f"({batch['size_total']} candidates over "
+                         f"{batch['groups']} prefix-sharing groups)")
     bad = {k: v for k, v in summary["statuses"].items() if k != "ok"}
     if bad:
         lines.append("- non-ok evaluations: "

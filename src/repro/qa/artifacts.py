@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
 from .. import __version__
-from .differ import FuzzFailure, check_sample
+from .differ import FuzzFailure, check_sample, reset_compiler_state
 
 
 @dataclass
@@ -64,7 +64,11 @@ def load_artifact(path: Union[str, pathlib.Path]) -> FuzzFailure:
 def replay_artifact(source: Union[str, pathlib.Path, FuzzFailure]
                     ) -> ReplayResult:
     """Re-run an artifact's sample and compare against what it
-    recorded.  Accepts a path or an in-memory failure."""
+    recorded.  Accepts a path or an in-memory failure.  The check runs
+    on a cold compiler (memoized FKO instances and their compile caches
+    dropped first): replay verifies the compiler as it stands, not
+    snapshots cached before a fix landed."""
     failure = (source if isinstance(source, FuzzFailure)
                else load_artifact(source))
+    reset_compiler_state()
     return ReplayResult(artifact=failure, observed=check_sample(failure.sample))

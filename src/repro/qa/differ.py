@@ -94,6 +94,16 @@ def _fko(machine: str) -> FKO:
     return fko
 
 
+def reset_compiler_state() -> None:
+    """Drop the memoized per-machine FKO instances (and with them their
+    prefix/full compile caches) plus the baseline compiles.  Artifact
+    replay calls this so verification always compiles cold: a replay
+    must reflect the compiler as it is *now*, never IR snapshots cached
+    while a since-fixed bug was live."""
+    _FKO_MEMO.clear()
+    _BASELINE_MEMO.clear()
+
+
 def _baseline_fn(kernel: str, machine: str) -> Function:
     key = (kernel, machine)
     fn = _BASELINE_MEMO.get(key)

@@ -76,6 +76,18 @@ class TuneConfig:
     #: :class:`~repro.errors.KernelTestFailure` (``run_tester`` does the
     #: same check silently — ``test_best`` is the audited spelling)
     test_best: bool = False
+    #: evaluation grouping grain: candidates of one search round are
+    #: partitioned into prefix-sharing groups of at most this many and
+    #: evaluated group-at-a-time (one worker payload per group under
+    #: ``jobs > 1``).  Purely an evaluation-order/transport choice —
+    #: cycles, cache keys, traces and search decisions are bit-identical
+    #: for every value; 1 = today's per-candidate dispatch
+    batch_size: int = 1
+    #: the compiler's prefix-memoized compilation + the timer's shared
+    #: walks (both bit-identical by construction; False forces every
+    #: evaluation through the full pipeline and its own walk — the
+    #: escape hatch the equivalence suite exercises)
+    prefix_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.max_evals <= 0:
@@ -91,6 +103,9 @@ class TuneConfig:
         # search would thrash between equivalent points
         if self.min_gain < 0:
             raise ValueError(f"min_gain must be >= 0, got {self.min_gain}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, "
+                             f"got {self.batch_size}")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
                 or self.seed < 0:
             raise ValueError(f"seed must be a non-negative integer, "

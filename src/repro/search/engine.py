@@ -147,9 +147,17 @@ def evaluate_params(fko: FKO, timer: Timer, hil: str,
                                            debug_verify=verify_ir)
             else:
                 compiled = fko.compile(hil, params, debug_verify=verify_ir)
-            timing = timer.time_summary(
-                summarize(compiled.fn), flops,
-                ident=f"{ident_prefix}{params.key()}")
+            # the share key asserts the compile's complete effective
+            # identity, letting the timer reuse the walk of an earlier
+            # bit-identical kernel (None when caching is disabled);
+            # on a memoized walk the summary itself is skipped — the
+            # shared key guarantees it would have been identical
+            share = fko.share_key(hil, params, debug_verify=verify_ir)
+            base = timer.peek_base(share)
+            if base is None:
+                base = timer.base(summarize(compiled.fn), share)
+            timing = timer.finish(base, flops,
+                                  ident=f"{ident_prefix}{params.key()}")
     except SimulationFault as exc:
         return float("inf"), f"fault: {exc}", {"fast": False}
     except EvalTimeout:
@@ -170,26 +178,32 @@ def evaluate_params(fko: FKO, timer: Timer, hil: str,
 # shares them — bounded, because a long tune-all batch walks many
 # (machine, context, N) combinations through the same worker)
 
+_WORKER_FKOS = LRUCache(maxsize=4)
 _WORKER_TOOLS = LRUCache(maxsize=8)
 
 
 def _worker_tools(machine_name: str, context_value: str, n: int,
-                  fast: bool = True) -> Tuple[FKO, Timer]:
-    key = (machine_name, context_value, int(n), bool(fast))
-    tools = _WORKER_TOOLS.get(key)
-    if tools is None:
-        machine = get_machine(machine_name)
-        context = Context(context_value)
-        tools = (FKO(machine), Timer(machine, context, n, fast=fast))
-        _WORKER_TOOLS.put(key, tools)
-    return tools
+                  fast: bool = True,
+                  prefix_cache: bool = True) -> Tuple[FKO, Timer]:
+    # the FKO is keyed by machine alone: its compile caches are
+    # context-independent, so sharing one instance across a job's
+    # contexts halves the distinct compiles of an (OOC, in-L2) sweep
+    fkey = (machine_name, bool(prefix_cache))
+    fko = _WORKER_FKOS.get(fkey)
+    if fko is None:
+        fko = FKO(get_machine(machine_name), prefix_cache=prefix_cache)
+        _WORKER_FKOS.put(fkey, fko)
+    tkey = (machine_name, context_value, int(n), bool(fast))
+    timer = _WORKER_TOOLS.get(tkey)
+    if timer is None:
+        timer = Timer(get_machine(machine_name), Context(context_value),
+                      n, fast=fast)
+        _WORKER_TOOLS.put(tkey, timer)
+    return fko, timer
 
 
-def _eval_worker(payload: Dict) -> Dict:
-    """Evaluate one candidate in a worker (within-sweep fan-out)."""
-    fko, timer = _worker_tools(payload["machine"], payload["context"],
-                               payload["n"], payload.get("fast", True))
-    params = TransformParams.from_dict(payload["params"])
+def _run_one(fko: FKO, timer: Timer, payload: Dict,
+             params: TransformParams) -> Dict:
     t0 = time.perf_counter()
     cycles, status, meta = evaluate_params(fko, timer, payload["hil"],
                                            params, payload["flops"],
@@ -205,6 +219,47 @@ def _eval_worker(payload: Dict) -> Dict:
         out["passes"] = meta.get("passes")
         out["attribution"] = meta.get("attribution")
     return out
+
+
+def _eval_worker(payload: Dict) -> Dict:
+    """Evaluate one candidate in a worker (within-sweep fan-out)."""
+    fko, timer = _worker_tools(payload["machine"], payload["context"],
+                               payload["n"], payload.get("fast", True),
+                               payload.get("prefix_cache", True))
+    before = fko.cache_stats()
+    tbefore = timer.cache_stats()
+    out = _run_one(fko, timer, payload,
+                   TransformParams.from_dict(payload["params"]))
+    after = fko.cache_stats()
+    tafter = timer.cache_stats()
+    out["batch_prefix_hits"] = after["prefix_hits"] - before["prefix_hits"]
+    out["batch_prefix_misses"] = (after["prefix_misses"]
+                                  - before["prefix_misses"])
+    out["batch_walk_hits"] = tafter["base_hits"] - tbefore["base_hits"]
+    return out
+
+
+def _eval_group_worker(payload: Dict) -> Dict:
+    """Evaluate one prefix-sharing candidate group in a worker.  The
+    group shares the worker FKO's compile caches and the worker timer's
+    walk cache within a single payload, and ships the reuse-counter
+    deltas home so the parent's batch counters stay batch-wide."""
+    fko, timer = _worker_tools(payload["machine"], payload["context"],
+                               payload["n"], payload.get("fast", True),
+                               payload.get("prefix_cache", True))
+    before = fko.cache_stats()
+    tbefore = timer.cache_stats()
+    outcomes = [_run_one(fko, timer, payload,
+                         TransformParams.from_dict(p))
+                for p in payload["params_list"]]
+    after = fko.cache_stats()
+    tafter = timer.cache_stats()
+    return {"outcomes": outcomes,
+            "batch_prefix_hits": after["prefix_hits"]
+            - before["prefix_hits"],
+            "batch_prefix_misses": after["prefix_misses"]
+            - before["prefix_misses"],
+            "batch_walk_hits": tafter["base_hits"] - tbefore["base_hits"]}
 
 
 def _job_worker(payload: Dict) -> Dict:
@@ -299,6 +354,14 @@ class EngineStats:
     slow_path: int = 0        # evaluations that walked every line
     jobs_completed: int = 0
     jobs_resumed: int = 0
+    # batched-evaluation reuse (compile prefix snapshots forked /
+    # full pipelines run, and walks served from the timer's shared
+    # cache); the session and its workers both contribute
+    batch_prefix_hits: int = 0
+    batch_prefix_misses: int = 0
+    batch_walk_hits: int = 0
+    batch_groups: int = 0      # evaluation groups dispatched
+    batch_size_total: int = 0  # candidates across those groups
 
     def to_dict(self) -> Dict:
         return dict(self.__dict__)
@@ -370,7 +433,37 @@ class _Evaluator:
     def __call__(self, params: TransformParams) -> float:
         return self.many([params])[0]
 
-    def many(self, batch: List[TransformParams]) -> List[float]:
+    def _base_payload(self) -> Dict:
+        session = self.session
+        return {"hil": self.spec.hil, "machine": self.machine.name,
+                "context": self.context.value, "n": self.n,
+                "flops": self.flops, "ident": self.ident,
+                "timeout": session.config.timeout,
+                "fast": session.config.fast_timing,
+                "observe": session.config.observe,
+                "verify_ir": session.config.verify_ir,
+                "prefix_cache": session.config.prefix_cache}
+
+    def _groups_to_run(self, batch: List[TransformParams],
+                       groups: Optional[List[List[TransformParams]]],
+                       to_run: List[int]) -> List[List[int]]:
+        """Project the searcher's evaluation groups onto the indices
+        that still need real evaluations (cache hits drop out), in
+        group order.  Without groups, every candidate is its own
+        group — today's per-candidate dispatch."""
+        if not groups:
+            return [[i] for i in to_run]
+        pos = {batch[i].key(): i for i in to_run}
+        out = []
+        for group in groups:
+            idxs = [pos[p.key()] for p in group if p.key() in pos]
+            if idxs:
+                out.append(idxs)
+        return out
+
+    def many(self, batch: List[TransformParams],
+             groups: Optional[List[List[TransformParams]]] = None
+             ) -> List[float]:
         session = self.session
         cycles: List[Optional[float]] = [None] * len(batch)
 
@@ -387,38 +480,79 @@ class _Evaluator:
             else:
                 to_run.append(i)
 
+        run_groups = self._groups_to_run(batch, groups, to_run)
+        if groups:
+            session.stats.batch_groups += len(run_groups)
+            session.stats.batch_size_total += len(to_run)
+        outcomes: Dict[int, Dict] = {}
+
         pool = session.pool() if len(to_run) > 1 else None
         if pool is not None:
-            payloads = [{"hil": self.spec.hil, "machine": self.machine.name,
-                         "context": self.context.value, "n": self.n,
-                         "flops": self.flops, "ident": self.ident,
-                         "timeout": session.config.timeout,
-                         "fast": session.config.fast_timing,
-                         "observe": session.config.observe,
-                         "verify_ir": session.config.verify_ir,
-                         "params": batch[i].to_dict()} for i in to_run]
+            base = self._base_payload()
             try:
-                outcomes = list(pool.map(_eval_worker, payloads))
+                if groups:
+                    payloads = [dict(base, params_list=[batch[i].to_dict()
+                                                        for i in idxs])
+                                for idxs in run_groups]
+                    replies = list(pool.map(_eval_group_worker, payloads))
+                    for idxs, reply in zip(run_groups, replies):
+                        for k in ("batch_prefix_hits", "batch_prefix_misses",
+                                  "batch_walk_hits"):
+                            setattr(session.stats, k,
+                                    getattr(session.stats, k)
+                                    + int(reply.get(k) or 0))
+                        for i, outcome in zip(idxs, reply["outcomes"]):
+                            outcomes[i] = outcome
+                else:
+                    payloads = [dict(base, params=batch[i].to_dict())
+                                for i in to_run]
+                    for i, outcome in zip(to_run,
+                                          pool.map(_eval_worker, payloads)):
+                        for k in ("batch_prefix_hits", "batch_prefix_misses",
+                                  "batch_walk_hits"):
+                            setattr(session.stats, k,
+                                    getattr(session.stats, k)
+                                    + int(outcome.get(k) or 0))
+                        outcomes[i] = outcome
             except BrokenProcessPool:
                 session.mark_pool_broken(self.job)
-            else:
-                for i, outcome in zip(to_run, outcomes):
-                    cycles[i] = self._record(batch[i], digests[i], outcome)
-                to_run = []
+                outcomes.clear()
 
-        for i in to_run:   # serial path, and fallback after a dead pool
-            t0 = time.perf_counter()
-            c, status, meta = evaluate_params(
-                self.fko, self.timer, self.spec.hil, batch[i], self.flops,
-                self.ident, session.config.timeout,
-                observe=session.config.observe,
-                verify_ir=session.config.verify_ir)
-            cycles[i] = self._record(batch[i], digests[i],
-                                     {"cycles": c, "status": status,
-                                      "wall": time.perf_counter() - t0,
-                                      "fast": meta.get("fast"),
-                                      "passes": meta.get("passes"),
-                                      "attribution": meta.get("attribution")})
+        if len(outcomes) < len(to_run):
+            # serial path, and fallback after a dead pool: evaluate in
+            # group order (prefix-sharing candidates adjacent), record
+            # in ask order below
+            before = self.fko.cache_stats()
+            tbefore = self.timer.cache_stats()
+            for idxs in run_groups:
+                for i in idxs:
+                    if i in outcomes:
+                        continue
+                    t0 = time.perf_counter()
+                    c, status, meta = evaluate_params(
+                        self.fko, self.timer, self.spec.hil, batch[i],
+                        self.flops, self.ident, session.config.timeout,
+                        observe=session.config.observe,
+                        verify_ir=session.config.verify_ir)
+                    outcomes[i] = {"cycles": c, "status": status,
+                                   "wall": time.perf_counter() - t0,
+                                   "fast": meta.get("fast"),
+                                   "passes": meta.get("passes"),
+                                   "attribution": meta.get("attribution")}
+            after = self.fko.cache_stats()
+            tafter = self.timer.cache_stats()
+            session.stats.batch_prefix_hits += (after["prefix_hits"]
+                                                - before["prefix_hits"])
+            session.stats.batch_prefix_misses += (after["prefix_misses"]
+                                                  - before["prefix_misses"])
+            session.stats.batch_walk_hits += (tafter["base_hits"]
+                                              - tbefore["base_hits"])
+
+        # record strictly in ask order, whoever computed the numbers —
+        # trace rows, eval-cache writes and stats are order-identical
+        # to per-candidate dispatch
+        for i in to_run:
+            cycles[i] = self._record(batch[i], digests[i], outcomes[i])
         return cycles
 
     def _record(self, params: TransformParams, digest: str,
@@ -494,9 +628,11 @@ class TuningSession:
         # the scheduling layer owns the worker-pool lifecycle; the
         # session is just its first transport
         self.scheduler = Scheduler(self.config.jobs)
-        # FKO/Timer pairs reused across the jobs of a batch (an FKO
-        # carries warm front-end/analysis caches; a Timer is immutable
-        # per (machine, context, n))
+        # FKO/Timer instances reused across the jobs of a batch (an FKO
+        # carries warm front-end/analysis/compile caches shared across
+        # contexts; a Timer holds the walk cache of one
+        # (machine, context, n))
+        self._fkos = LRUCache(maxsize=4)
         self._tools = LRUCache(maxsize=8)
 
     # -- lifecycle ------------------------------------------------------
@@ -540,15 +676,21 @@ class TuningSession:
 
     def _session_tools(self, machine: MachineConfig,
                        context: Context, n: int) -> Tuple[FKO, Timer]:
+        # one FKO per machine (its compile caches are context-free, so
+        # an (OOC, in-L2) sweep shares compiles); one Timer per
+        # (machine, context, n)
+        fko = self._fkos.get(machine.name)
+        if fko is None:
+            fko = FKO(machine, prefix_cache=self.config.prefix_cache)
+            self._fkos.put(machine.name, fko)
         key = (machine.name, context.value, int(n),
                self.config.fast_timing)
-        tools = self._tools.get(key)
-        if tools is None:
-            tools = (FKO(machine),
-                     Timer(machine, context, n,
-                           fast=self.config.fast_timing))
-            self._tools.put(key, tools)
-        return tools
+        timer = self._tools.get(key)
+        if timer is None:
+            timer = Timer(machine, context, n,
+                          fast=self.config.fast_timing)
+            self._tools.put(key, timer)
+        return fko, timer
 
     # -- single-kernel tuning ------------------------------------------
     def tune(self, spec: Union[str, KernelSpec],
@@ -606,9 +748,18 @@ class TuningSession:
                   machine=machine.name, context=context.value, n=n,
                   space=space.size, strategy=searcher.name,
                   seed=config.seed)
+        prefix_of = None
+        if config.batch_size > 1:
+            from ..fko import prefix_key
+
+            def prefix_of(p: TransformParams):
+                return prefix_key(p, analysis,
+                                  debug_verify=config.verify_ir)
         while not searcher.finished:
             batch = searcher.ask()
-            cycles = evaluator.many(batch)
+            groups = (searcher.ask_batch(config.batch_size, key=prefix_of)
+                      if config.batch_size > 1 else None)
+            cycles = evaluator.many(batch, groups=groups)
             searcher.tell(list(zip(batch, cycles)))
             self.emit("round", job=evaluator.job, strategy=searcher.name,
                       round=searcher.rounds, phase=searcher.phase,
@@ -635,7 +786,12 @@ class TuningSession:
         self.emit("job-end", job=evaluator.job,
                   best_cycles=result.best_cycles,
                   evaluations=result.n_evaluations, mflops=timing.mflops,
-                  params=result.best_params.describe())
+                  params=result.best_params.describe(),
+                  batch_prefix_hits=self.stats.batch_prefix_hits,
+                  batch_prefix_misses=self.stats.batch_prefix_misses,
+                  batch_walk_hits=self.stats.batch_walk_hits,
+                  batch_groups=self.stats.batch_groups,
+                  batch_size_total=self.stats.batch_size_total)
         self.stats.jobs_completed += 1
         return TunedKernel(spec=spec, machine=machine, context=context, n=n,
                            compiled=compiled, timing=timing, search=result)
@@ -737,7 +893,12 @@ class TuningSession:
                   cache_hits=stats.cache_hits,
                   evals_per_sec=round(stats.throughput(wall), 2),
                   cache_hit_rate=round(stats.cache_hit_rate, 4),
-                  fast_path=stats.fast_path, slow_path=stats.slow_path)
+                  fast_path=stats.fast_path, slow_path=stats.slow_path,
+                  batch_prefix_hits=stats.batch_prefix_hits,
+                  batch_prefix_misses=stats.batch_prefix_misses,
+                  batch_walk_hits=stats.batch_walk_hits,
+                  batch_groups=stats.batch_groups,
+                  batch_size_total=stats.batch_size_total)
         return BatchResult(results=results, errors=errors, resumed=resumed,
                            wall=wall)
 
@@ -774,7 +935,9 @@ class TuningSession:
                 "fast_timing": self.config.fast_timing,
                 "observe": self.config.observe,
                 "verify_ir": self.config.verify_ir,
-                "test_best": self.config.test_best}
+                "test_best": self.config.test_best,
+                "batch_size": self.config.batch_size,
+                "prefix_cache": self.config.prefix_cache}
 
     # -- checkpointing --------------------------------------------------
     def _load_checkpoint(self) -> Dict[str, Dict]:

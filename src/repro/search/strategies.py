@@ -41,8 +41,8 @@ strategy code reads like the straight-line algorithm it is.
 from __future__ import annotations
 
 import math
-from typing import (Callable, Dict, Generator, List, Optional, Sequence,
-                    Tuple, Type)
+from typing import (Callable, Dict, Generator, Hashable, List, Optional,
+                    Sequence, Tuple, Type)
 
 import numpy as np
 
@@ -114,6 +114,38 @@ class Searcher:
         if self._finished:
             raise SearchError(f"{self.name} search already finished")
         return [params for _, params, _ in self._fresh]
+
+    def ask_batch(self, limit: int = 0,
+                  key: Optional[Callable[[TransformParams], Hashable]]
+                  = None) -> List[List[TransformParams]]:
+        """The current :meth:`ask` batch, partitioned into evaluation
+        groups: candidates with equal ``key(params)`` land in the same
+        group (groups ordered by each key's first occurrence, members
+        in ask order), and every group holds at most ``limit``
+        candidates (0 = uncapped).  The default key is the fixed-order
+        pipeline's early-transform prefix, so a group shares compile
+        work up to the post-AE snapshot.
+
+        This is purely an evaluation-*order* hint for batched
+        evaluators: the flattened groups are a permutation of
+        :meth:`ask`, budget charging stays in ask order, and
+        :meth:`tell` still expects results in ask order — so grouping
+        can never change a search decision."""
+        batch = self.ask()
+        if key is None:
+            def key(p: TransformParams) -> Hashable:
+                return (p.sv, p.unroll, p.lc, p.ae)
+        buckets: Dict[Hashable, List[TransformParams]] = {}
+        for params in batch:            # dict preserves first-occurrence
+            buckets.setdefault(key(params), []).append(params)
+        groups: List[List[TransformParams]] = []
+        for members in buckets.values():
+            if limit and limit > 0:
+                groups.extend(members[i:i + limit]
+                              for i in range(0, len(members), limit))
+            else:
+                groups.append(members)
+        return groups
 
     def tell(self, results: Sequence[Tuple[TransformParams, float]]) -> None:
         """Report cycles for the batch from :meth:`ask`, same order.

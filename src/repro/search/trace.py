@@ -39,12 +39,16 @@ round        job, strategy, round (ask/tell cycle — a line-search
 best-rejected  job, params, best_cycles, error — the search's winning
              kernel failed the tester (``TuneConfig.test_best``); the
              job raises instead of storing the kernel
-job-end      job, best_cycles, evaluations, mflops, params
+job-end      job, best_cycles, evaluations, mflops, params, plus the
+             session-cumulative batched-evaluation counters
+             batch_prefix_hits/misses, batch_walk_hits, batch_groups,
+             batch_size_total
 job-resumed  job (reloaded from a checkpoint, no search ran)
 job-error    job, error
 pool-broken  job (optional) — worker pool died, run fell back serial
 batch-end    completed, errors, wall, evaluations, cache_hits,
-             evals_per_sec, cache_hit_rate, fast_path, slow_path
+             evals_per_sec, cache_hit_rate, fast_path, slow_path, and
+             the merged batch_* counters (as on job-end, batch-wide)
 ========== =========================================================
 
 Failed evaluations carry ``cycles: null`` (the search treats them as
@@ -187,6 +191,11 @@ def summarize_trace(events: List[Dict]) -> Dict:
     fast_path = 0
     slow_path = 0
     batch_wall = 0.0
+    # batched-evaluation counters are emitted cumulatively on job-end /
+    # batch-end, so the latest carrier in file order holds the totals
+    # (batch-end, the merged batch-wide view, always comes last)
+    batch = {"prefix_hits": 0, "prefix_misses": 0, "walk_hits": 0,
+             "groups": 0, "size_total": 0}
     jobs: Dict[str, Dict] = {}
 
     def job_entry(key):
@@ -224,6 +233,9 @@ def summarize_trace(events: List[Dict]) -> Dict:
             entry = job_entry(job)
             entry["status"] = "error"
             entry["error"] = ev.get("error")
+        if "batch_prefix_hits" in ev:   # job-end and batch-end carriers
+            for k in batch:
+                batch[k] = int(ev.get(f"batch_{k}") or 0)
 
     n_evals = totals["eval"]
     n_hits = totals["cache-hit"]
@@ -239,6 +251,9 @@ def summarize_trace(events: List[Dict]) -> Dict:
             "cache_hit_rate": (n_hits / seen) if seen else 0.0,
             "fast_path": fast_path,
             "slow_path": slow_path,
+            "batch": dict(batch,
+                          mean_size=(batch["size_total"] / batch["groups"]
+                                     if batch["groups"] else 0.0)),
             "statuses": dict(statuses),
             "phases": dict(phases),
             "jobs": jobs}

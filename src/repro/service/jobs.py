@@ -460,6 +460,17 @@ class JobManager:
                     "stored_results": (len(self.store)
                                        if self.store is not None else 0),
                     "engine": engine,
+                    "batch": {
+                        "batch.prefix_hits":
+                            engine.get("batch_prefix_hits", 0),
+                        "batch.prefix_misses":
+                            engine.get("batch_prefix_misses", 0),
+                        "batch.walk_hits":
+                            engine.get("batch_walk_hits", 0),
+                        "batch.size": (
+                            engine.get("batch_size_total", 0)
+                            / engine["batch_groups"]
+                            if engine.get("batch_groups") else 0.0)},
                     "budget": self.ledger.to_dict(),
                     "config": self.config.to_public_dict()}
 
