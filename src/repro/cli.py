@@ -47,6 +47,7 @@ from typing import Optional, Tuple
 from .fko import FKO, PrefetchParams, TransformParams
 from .ir import PrefetchHint, emit_att, format_function
 from .kernels import KERNEL_ORDER, REGISTRY, get_kernel
+from .kernels.blas3 import BLAS3_ORDER
 from .kernels.blas1 import KernelSpec
 from .machine import Context, get_machine
 from .obs import render_report, write_perfetto
@@ -121,6 +122,15 @@ def cmd_kernels(args) -> int:
         spec = get_kernel(name)
         print(f"  {name:8s} {spec.ctype:7s} flops={spec.flops_per_elem}N "
               f"vectors={','.join(spec.vector_args)}"
+              + (f" scalars={','.join(spec.scalar_args)}"
+                 if spec.scalar_args else ""))
+    print("Level-3 / nest kernels (cache-blocking extension):")
+    for name in BLAS3_ORDER:
+        spec = get_kernel(name)
+        order = f"N^{spec.flops_order}" if spec.flops_order > 1 else "N"
+        print(f"  {name:9s} {spec.ctype:7s} "
+              f"flops={spec.flops_per_elem}*{order} "
+              f"arrays={','.join(spec.array_args)}"
               + (f" scalars={','.join(spec.scalar_args)}"
                  if spec.scalar_args else ""))
     return 0

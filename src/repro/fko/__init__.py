@@ -22,6 +22,7 @@ from ..hil import compile_hil
 from ..hil.lower import lower
 from ..hil.parser import parse
 from ..hil.semantic import check
+from ..hil.tiling import tiled_source
 from ..ir import Function
 from ..machine.config import MachineConfig
 from ..obs.core import active as _obs_active
@@ -123,6 +124,20 @@ class FKO:
                 pf, wnt, bf, params.copy_propagation, params.peephole,
                 params.cf_cleanup, params.register_allocation)
 
+    @staticmethod
+    def _effective_source(source: str,
+                          params: Optional[TransformParams]) -> str:
+        """Apply the nest-level tiling pass: ``tile:<ivar>`` extension
+        parameters rewrite the HIL source *before* the inner-loop
+        pipeline sees it.  Identity (the same string object) when no
+        tiles are requested or the source has no tileable nest, so
+        every downstream cache key — front-end, prefix, full, share —
+        is byte-stable for legacy parameters."""
+        if params is None:
+            return source
+        tiles = params.tiles()
+        return tiled_source(source, tiles) if tiles else source
+
     def compile(self, source: Union[str, Function],
                 params: Optional[TransformParams] = None,
                 debug_verify: bool = False) -> CompiledKernel:
@@ -130,6 +145,7 @@ class FKO:
             return compile_kernel(source, self.machine, params,
                                   noprefetch=set(),
                                   debug_verify=debug_verify)
+        source = self._effective_source(source, params)
         fn, noprefetch = _front_end_cached(source)
         analysis = self.analyze(source)
         # Memoized compilation is bypassed while an obs collector is
@@ -194,6 +210,7 @@ class FKO:
         callers then never share."""
         if isinstance(source, Function) or not self.prefix_cache_enabled:
             return None
+        source = self._effective_source(source, params)
         analysis = self.analyze(source)
         if params is None:
             params = self.defaults(source)

@@ -182,6 +182,16 @@ def analyze(fn: Function, machine: Optional[MachineConfig] = None,
     bad_incs = [a for a, i in arrays.items() if i.inc_per_iter not in (0, 1)]
     if bad_incs:
         reasons.append(f"non-unit stride arrays: {', '.join(sorted(bad_incs))}")
+    # the vectorizer widens each access into the aligned stream at the
+    # walked pointer itself; an access at a non-zero offset (a stencil's
+    # X[1]) would become an unaligned vector load
+    offset_arrays = sorted({
+        instr.mem.array for blk in body_blocks for instr in blk.instrs
+        if instr.mem is not None and instr.mem.array is not None
+        and instr.op is not Opcode.PREFETCH and instr.mem.disp != 0})
+    if offset_arrays:
+        reasons.append("non-zero-offset accesses: "
+                       + ", ".join(offset_arrays))
 
     # loop-carried FP scalars must be accumulators or loop invariants
     for blk in body_blocks:

@@ -53,7 +53,9 @@ def propagate_copies(fn: Function) -> bool:
                     if s is not None and s != r:
                         sub[r] = s
                 if sub:
-                    instr.substitute_inplace(sub)
+                    # reads only: an instruction that reads and
+                    # redefines a copied register must keep its dst
+                    instr.substitute_reads_inplace(sub)
                     changed = True
                     n_rewritten += 1
                 # update available set

@@ -68,6 +68,13 @@ class TransformParams:
     peephole: bool = True
     cf_cleanup: bool = True
     register_allocation: str = "global"   # 'global' | 'local' | 'off'
+    # Namespaced extension point for transforms layered above the inner
+    # pipeline (the Level-3 tiling pass stores ``tile:<ivar> -> size``
+    # here).  An absent/zero entry means "off"; an empty ``ext`` keeps
+    # ``key()``/``to_dict()`` byte-identical to the pre-extension
+    # schema, so eval-cache digests and wire payloads of existing
+    # kernels never move.
+    ext: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.unroll < 1:
@@ -77,17 +84,31 @@ class TransformParams:
         if self.register_allocation not in ("global", "local", "off"):
             raise ValueError(
                 f"unknown register allocator {self.register_allocation!r}")
+        # drop disabled entries so "no extension" has one spelling
+        if self.ext:
+            self.ext = {k: int(v) for k, v in self.ext.items() if int(v)}
+        for k, v in self.ext.items():
+            if v < 0:
+                raise ValueError(f"extension {k!r} must be >= 0, got {v}")
 
     def pf(self, array: str) -> PrefetchParams:
         return self.prefetch.get(array, PrefetchParams.none())
+
+    def tiles(self) -> Dict[str, int]:
+        """Tile sizes by loop variable (the ``tile:`` extension slice)."""
+        return {k.split(":", 1)[1]: v for k, v in self.ext.items()
+                if k.startswith("tile:") and v > 0}
 
     def key(self) -> Tuple:
         """Hashable identity (used as a cache key by the search)."""
         pf = tuple(sorted((a, p.hint.value if p.hint else "", p.dist)
                           for a, p in self.prefetch.items()))
-        return (self.sv, self.unroll, self.lc, self.ae, pf, self.wnt,
+        base = (self.sv, self.unroll, self.lc, self.ae, pf, self.wnt,
                 self.block_fetch, self.copy_propagation, self.peephole,
                 self.cf_cleanup, self.register_allocation)
+        if self.ext:   # appended only when present: legacy keys stable
+            base += (tuple(sorted(self.ext.items())),)
+        return base
 
     def copy(self, **changes) -> "TransformParams":
         """A modified copy (prefetch dict is copied, not shared)."""
@@ -97,11 +118,25 @@ class TransformParams:
             block_fetch=self.block_fetch,
             copy_propagation=self.copy_propagation, peephole=self.peephole,
             cf_cleanup=self.cf_cleanup,
-            register_allocation=self.register_allocation)
+            register_allocation=self.register_allocation,
+            ext=dict(self.ext))
         for k, v in changes.items():
             if not hasattr(new, k):
                 raise AttributeError(f"unknown parameter {k!r}")
             setattr(new, k, v)
+        if changes:
+            new.__post_init__()   # re-normalize (e.g. a replaced ext)
+        return new
+
+    def with_ext(self, name: str, value: int) -> "TransformParams":
+        """A copy with one extension entry set (0 removes it)."""
+        new = self.copy()
+        ext = dict(new.ext)
+        if int(value):
+            ext[name] = int(value)
+        else:
+            ext.pop(name, None)
+        new.ext = ext
         return new
 
     def with_pf(self, array: str, hint: Optional[PrefetchHint],
@@ -113,14 +148,19 @@ class TransformParams:
     def describe(self) -> str:
         """Table-3-style one-line description."""
         pf = " ".join(f"{a}={p}" for a, p in sorted(self.prefetch.items()))
+        tiles = self.tiles()
+        tile_s = ("TILE=" + ",".join(f"{iv}:{t}"
+                                     for iv, t in sorted(tiles.items()))
+                  if tiles else "")
         return (f"SV={'Y' if self.sv else 'N'} WNT={'Y' if self.wnt else 'N'} "
                 f"UR={self.unroll} AE={self.ae if self.ae > 1 else 0}"
                 + (" BF=Y" if self.block_fetch else "")
+                + (f" {tile_s}" if tile_s else "")
                 + (f" {pf}" if pf else ""))
 
     # -- JSON round-trip (evaluation cache, checkpoints, traces) --------
     def to_dict(self) -> Dict:
-        return {
+        out = {
             "schema": 1,
             "sv": self.sv, "unroll": self.unroll, "lc": self.lc,
             "ae": self.ae, "wnt": self.wnt, "block_fetch": self.block_fetch,
@@ -130,6 +170,9 @@ class TransformParams:
             "prefetch": {a: [p.hint.value if p.hint else None, p.dist]
                          for a, p in sorted(self.prefetch.items())},
         }
+        if self.ext:   # emitted only when present: legacy payloads stable
+            out["ext"] = {k: int(v) for k, v in sorted(self.ext.items())}
+        return out
 
     @staticmethod
     def from_dict(data: Dict) -> "TransformParams":
@@ -149,7 +192,8 @@ class TransformParams:
             copy_propagation=bool(data.get("copy_propagation", True)),
             peephole=bool(data.get("peephole", True)),
             cf_cleanup=bool(data.get("cf_cleanup", True)),
-            register_allocation=data.get("register_allocation", "global"))
+            register_allocation=data.get("register_allocation", "global"),
+            ext={k: int(v) for k, v in data.get("ext", {}).items()})
 
 
 def fko_defaults(line_size: int, elem_size: int, veclen: int,

@@ -1,0 +1,645 @@
+"""Cache-blocking (tiling) of HIL loop nests — the Level-3 transform.
+
+The inner-loop pipeline (SV/UR/AE/PF/...) tunes the single ``@TUNE``
+loop; a Level-3 kernel like GEMM wraps that loop in a perfect nest, and
+its performance is decided one level up — by how much reuse the nest
+keeps resident in cache.  This pass rewrites the *source*: it splits
+selected nest loops ``LOOP v = 0, N`` into a tile loop
+``LOOP vT = 0, N, T`` plus an intra-tile loop ``LOOP v = 0, vlen``
+(``vlen`` clamped for the ragged last tile), hoists all tile loops
+outside all intra loops, and regenerates the inter-loop pointer fixups
+from a per-index stride model so every array is addressed exactly as in
+the original program.
+
+Operating at the HIL level keeps the layering honest: the tiled source
+goes through the unchanged parser / semantic checker / lowering /
+``@TUNE`` pipeline, so every existing transform, the interpreter and
+the differential fuzzer apply to tiled kernels for free.
+
+The same nest analysis (:func:`find_nest`) feeds the timing model: a
+:class:`NestInfo` carries per-(array, index) stride polynomials in the
+extent ``N``, from which the blocked-reuse model derives footprints and
+per-cache-level traffic without walking ``N^3`` iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import ast
+from .parser import parse
+from ..errors import ReproError
+
+
+class TilingError(ReproError):
+    """The requested tiling cannot be applied to this source."""
+
+
+#: a polynomial in the extent variable N: {power: coeff}
+Poly = Dict[int, int]
+
+
+def _poly_add(a: Poly, b: Poly) -> Poly:
+    out = dict(a)
+    for p, c in b.items():
+        out[p] = out.get(p, 0) + c
+        if out[p] == 0:
+            del out[p]
+    return out
+
+
+def _poly_scale(a: Poly, k: int) -> Poly:
+    return {p: c * k for p, c in a.items() if c * k != 0}
+
+
+def _poly_shift(a: Poly) -> Poly:
+    """Multiply by N (shift every power up by one)."""
+    return {p + 1: c for p, c in a.items()}
+
+
+def _poly_eval(a: Poly, n: int) -> int:
+    return sum(c * n ** p for p, c in a.items())
+
+
+# ---------------------------------------------------------------------------
+# nest discovery
+
+
+@dataclass
+class NestLevel:
+    """One loop of the nest, outermost first."""
+
+    ivar: str
+    loop: ast.Loop
+    pre: List[ast.Stmt] = field(default_factory=list)    # before child loop
+    post: List[ast.Stmt] = field(default_factory=list)   # after child loop
+    #: net pointer movement per iteration of this loop, by array, as a
+    #: polynomial in N (the "true stride" of this index)
+    stride: Dict[str, Poly] = field(default_factory=dict)
+
+
+@dataclass
+class NestInfo:
+    """A tileable perfect-ish nest: step-1 upcount loops from zero to a
+    shared extent variable, innermost loop ``@TUNE``-marked."""
+
+    routine: ast.Routine
+    extent: str                       # the shared extent variable ("N")
+    levels: List[NestLevel]           # outermost first; [-1] is tuned
+    pointers: Dict[str, int]          # array -> element size in bytes
+    loaded: Tuple[str, ...]           # arrays read anywhere in the nest
+    stored: Tuple[str, ...]           # arrays written anywhere in the nest
+
+    @property
+    def ivars(self) -> Tuple[str, ...]:
+        return tuple(level.ivar for level in self.levels)
+
+    def stride(self, array: str, ivar: str) -> Poly:
+        for level in self.levels:
+            if level.ivar == ivar:
+                return level.stride.get(array, {})
+        raise KeyError(ivar)
+
+    def strides_at(self, n: int) -> Dict[str, Dict[str, int]]:
+        """{array: {ivar: elements}} with the extent bound to ``n``."""
+        return {arr: {lv.ivar: _poly_eval(lv.stride.get(arr, {}), n)
+                      for lv in self.levels}
+                for arr in self.pointers}
+
+
+_ELEM_SIZE = {"float": 4, "double": 8}
+
+
+def _expr_vars(e) -> List[str]:
+    if isinstance(e, ast.Var):
+        return [e.name]
+    if isinstance(e, ast.Unary):
+        return _expr_vars(e.operand)
+    if isinstance(e, (ast.Bin, ast.Cmp)):
+        return _expr_vars(e.left) + _expr_vars(e.right)
+    return []
+
+
+def _stmt_vars(s) -> List[str]:
+    """Every Var name read or written by a non-loop statement."""
+    if isinstance(s, ast.VarDecl):
+        return [s.name] + (_expr_vars(s.init) if s.init is not None else [])
+    if isinstance(s, ast.Assign):
+        out = _expr_vars(s.expr)
+        if isinstance(s.lhs, ast.Var):
+            out.append(s.lhs.name)
+        return out
+    if isinstance(s, ast.Return):
+        return _expr_vars(s.value) if s.value is not None else []
+    return []
+
+
+def _advance_poly(e, extent: str) -> Optional[Poly]:
+    """Parse an integer advance expression over {literals, N} into a
+    polynomial in N; None if it contains anything else."""
+    if isinstance(e, ast.Num):
+        return {0: int(e.value)} if isinstance(e.value, int) else None
+    if isinstance(e, ast.Var):
+        return {1: 1} if e.name == extent else None
+    if isinstance(e, ast.Unary) and e.op == "neg":
+        inner = _advance_poly(e.operand, extent)
+        return None if inner is None else _poly_scale(inner, -1)
+    if isinstance(e, ast.Bin):
+        left = _advance_poly(e.left, extent)
+        right = _advance_poly(e.right, extent)
+        if left is None or right is None:
+            return None
+        if e.op == "+":
+            return _poly_add(left, right)
+        if e.op == "-":
+            return _poly_add(left, _poly_scale(right, -1))
+        if e.op == "*":
+            out: Poly = {}
+            for pa, ca in left.items():
+                for pb, cb in right.items():
+                    out[pa + pb] = out.get(pa + pb, 0) + ca * cb
+            return {p: c for p, c in out.items() if c}
+    return None
+
+
+def find_nest(source: str) -> Optional[NestInfo]:
+    """Discover the tileable loop nest of ``source``, or None.
+
+    Requirements (conservative by design — a kernel that fails any gate
+    simply has no tile dimensions in its search space):
+
+    * one top-level loop chain of depth >= 2 ending at the ``@TUNE``
+      loop, every level ``LOOP v = 0, N`` with step 1 over one shared
+      extent variable;
+    * no control flow (IF/GOTO/labels) anywhere in the nest;
+    * no statement in the nest reads or writes any loop counter;
+    * at non-innermost levels, pointer advances appear only *after* the
+      child loop, scalar statements only *before* it (so discarding and
+      regenerating the advances preserves every address);
+    * every pointer advance is an integer expression over {literals, N};
+      innermost-body advances are literal constants.
+    """
+    try:
+        routine = parse(source)
+    except ReproError:
+        return None
+
+    pointers = {p.name: _ELEM_SIZE.get(p.elem or "", 8)
+                for p in routine.params if (p.elem or
+                                            str(p.dtype).startswith("ptr"))}
+    int_params = {p.name for p in routine.params if p.dtype == "int"}
+
+    top_loops = [s for s in routine.body if isinstance(s, ast.Loop)]
+    if len(top_loops) != 1:
+        return None
+    loop = top_loops[0]
+
+    # walk the chain down to the tuned loop
+    chain: List[ast.Loop] = []
+    extent: Optional[str] = None
+    while True:
+        if loop.step != 1 or not isinstance(loop.start, ast.Num) \
+                or loop.start.value != 0 or not isinstance(loop.end, ast.Var):
+            return None
+        if extent is None:
+            if loop.end.name not in int_params:
+                return None
+            extent = loop.end.name
+        elif loop.end.name != extent:
+            return None
+        chain.append(loop)
+        inner = [s for s in loop.body if isinstance(s, ast.Loop)]
+        if not inner:
+            break
+        if len(inner) > 1 or loop.tuned:
+            return None
+        loop = inner[0]
+    if len(chain) < 2 or not chain[-1].tuned:
+        return None
+
+    ivars = [lp.ivar for lp in chain]
+    if len(set(ivars)) != len(ivars) or extent in ivars:
+        return None
+
+    levels: List[NestLevel] = []
+    for depth, lp in enumerate(chain):
+        level = NestLevel(ivar=lp.ivar, loop=lp)
+        innermost = depth == len(chain) - 1
+        seen_child = innermost
+        for s in lp.body:
+            if isinstance(s, ast.Loop):
+                seen_child = True
+                continue
+            if not isinstance(s, (ast.VarDecl, ast.Assign)):
+                return None      # IF/GOTO/label/RETURN in the nest
+            if any(v in ivars for v in _stmt_vars(s)):
+                return None      # counter used in the nest body
+            is_advance = (isinstance(s, ast.Assign)
+                          and isinstance(s.lhs, ast.Var)
+                          and s.lhs.name in pointers)
+            if innermost:
+                continue         # innermost body is kept verbatim
+            if is_advance:
+                if not seen_child:
+                    return None  # advance before the child loop
+                level.post.append(s)
+            else:
+                if seen_child:
+                    return None  # scalar work after the child loop
+                level.pre.append(s)
+        levels.append(level)
+
+    # per-index stride polynomials, innermost out:
+    #   stride(inner) = sum of literal advances in the tuned body
+    #   stride(level) = N * stride(child) + post advances of the level
+    child_stride: Dict[str, Poly] = {}
+    inner_level = levels[-1]
+    for s in chain[-1].body:
+        if isinstance(s, ast.Assign) and isinstance(s.lhs, ast.Var) \
+                and s.lhs.name in pointers and s.op in ("+=", "-="):
+            if not (isinstance(s.expr, ast.Num)
+                    and isinstance(s.expr.value, int)):
+                return None
+            delta = {0: s.expr.value if s.op == "+=" else -s.expr.value}
+            child_stride[s.lhs.name] = _poly_add(
+                child_stride.get(s.lhs.name, {}), delta)
+    inner_level.stride = dict(child_stride)
+
+    for level in reversed(levels[:-1]):
+        stride = {arr: _poly_shift(p) for arr, p in child_stride.items()}
+        for s in level.post:
+            if s.op not in ("+=", "-="):
+                return None
+            poly = _advance_poly(s.expr, extent)
+            if poly is None:
+                return None
+            if s.op == "-=":
+                poly = _poly_scale(poly, -1)
+            stride[s.lhs.name] = _poly_add(stride.get(s.lhs.name, {}), poly)
+        level.stride = stride
+        child_stride = stride
+
+    loaded: List[str] = []
+    stored: List[str] = []
+
+    def scan(stmts):
+        for s in stmts:
+            if isinstance(s, ast.Loop):
+                scan(s.body)
+            elif isinstance(s, ast.Assign):
+                if isinstance(s.lhs, ast.ArrayRef):
+                    stored.append(s.lhs.name)
+                for name in _array_reads(s.expr):
+                    loaded.append(name)
+            elif isinstance(s, ast.VarDecl) and s.init is not None:
+                for name in _array_reads(s.init):
+                    loaded.append(name)
+
+    scan([chain[0]])
+    return NestInfo(routine=routine, extent=extent, levels=levels,
+                    pointers=pointers,
+                    loaded=tuple(sorted(set(loaded))),
+                    stored=tuple(sorted(set(stored))))
+
+
+def _array_reads(e) -> List[str]:
+    if isinstance(e, ast.ArrayRef):
+        return [e.name]
+    if isinstance(e, ast.Unary):
+        return _array_reads(e.operand)
+    if isinstance(e, (ast.Bin, ast.Cmp)):
+        return _array_reads(e.left) + _array_reads(e.right)
+    return []
+
+
+# ---------------------------------------------------------------------------
+# fixup algebra: terms over {N^p} x {one intra-tile length symbol}
+
+
+@dataclass(frozen=True)
+class _Term:
+    coeff: int
+    npow: int = 0
+    lensym: Optional[str] = None
+
+
+def _term_stmts(array: str, terms: List[_Term], extent: str) -> List[str]:
+    """One HIL statement per term, deterministic order."""
+    out = []
+    for t in sorted(terms, key=lambda t: (t.npow, t.lensym or "", t.coeff)):
+        if t.coeff == 0:
+            continue
+        factors = []
+        if abs(t.coeff) != 1 or (t.npow == 0 and t.lensym is None):
+            factors.append(str(abs(t.coeff)))
+        factors.extend([extent] * t.npow)
+        if t.lensym is not None:
+            factors.append(t.lensym)
+        op = "+=" if t.coeff > 0 else "-="
+        out.append(f"{array} {op} {' * '.join(factors)};")
+    return out
+
+
+def _poly_terms(poly: Poly, scale: int = 1,
+                lensym: Optional[str] = None) -> List[_Term]:
+    return [_Term(coeff=c * scale, npow=p, lensym=lensym)
+            for p, c in sorted(poly.items()) if c * scale != 0]
+
+
+# ---------------------------------------------------------------------------
+# unparser (the AST subset the nest gate admits, plus what we generate)
+
+
+def _expr_str(e) -> str:
+    if isinstance(e, ast.Num):
+        return repr(e.value)
+    if isinstance(e, ast.Var):
+        return e.name
+    if isinstance(e, ast.ArrayRef):
+        return f"{e.name}[{e.offset}]"
+    if isinstance(e, ast.Unary):
+        if e.op == "abs":
+            return f"ABS {_expr_str(e.operand)}"
+        return f"-{_expr_str(e.operand)}"
+    if isinstance(e, ast.Bin):
+        return f"({_expr_str(e.left)} {e.op} {_expr_str(e.right)})"
+    raise TilingError(f"cannot unparse expression {e!r}")
+
+
+def _stmt_lines(s, indent: str) -> List[str]:
+    if isinstance(s, ast.VarDecl):
+        init = f" = {_expr_str(s.init)}" if s.init is not None else ""
+        return [f"{indent}{s.dtype} {s.name}{init};"]
+    if isinstance(s, ast.Assign):
+        lhs = (s.lhs.name if isinstance(s.lhs, ast.Var)
+               else f"{s.lhs.name}[{s.lhs.offset}]")
+        return [f"{indent}{lhs} {s.op} {_expr_str(s.expr)};"]
+    if isinstance(s, ast.Return):
+        val = f" {_expr_str(s.value)}" if s.value is not None else ""
+        return [f"{indent}RETURN{val};"]
+    if isinstance(s, ast.IfBlock):
+        lines = [f"{indent}IF ({_expr_str(s.cond.left)} {s.cond.op} "
+                 f"{_expr_str(s.cond.right)})", f"{indent}THEN"]
+        for t in s.then_body:
+            lines.extend(_stmt_lines(t, indent + "    "))
+        if s.else_body:
+            lines.append(f"{indent}ELSE")
+            for t in s.else_body:
+                lines.extend(_stmt_lines(t, indent + "    "))
+        lines.append(f"{indent}IF_END")
+        return lines
+    if isinstance(s, ast.Loop):
+        step = f", {s.step}" if s.step != 1 else ""
+        lines = []
+        if s.tuned:
+            lines.append(f"{indent}@TUNE")
+        lines.append(f"{indent}LOOP {s.ivar} = {_expr_str(s.start)}, "
+                     f"{_expr_str(s.end)}{step}")
+        lines.append(f"{indent}LOOP_BODY")
+        for t in s.body:
+            lines.extend(_stmt_lines(t, indent + "    "))
+        lines.append(f"{indent}LOOP_END")
+        return lines
+    raise TilingError(f"cannot unparse statement {s!r}")
+
+
+def _param_str(p: ast.ParamDecl) -> str:
+    if p.elem:
+        return f"{p.name}: ptr {p.elem}"
+    return f"{p.name}: {p.dtype}"
+
+
+def unparse(routine: ast.Routine) -> str:
+    header = (f"ROUTINE {routine.name}("
+              + ", ".join(_param_str(p) for p in routine.params) + ")")
+    if routine.returns:
+        header += f" RETURNS {routine.returns}"
+    lines = [header + ";"]
+    for mu in routine.markup:
+        if mu.directive != "TUNE":
+            args = f"({', '.join(mu.args)})" if mu.args else ""
+            lines.append(f"@{mu.directive}{args}")
+    for s in routine.body:
+        lines.extend(_stmt_lines(s, ""))
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# the tiling transform
+
+
+def _declared_names(routine: ast.Routine) -> set:
+    names = {p.name for p in routine.params}
+
+    def walk(stmts):
+        for s in stmts:
+            if isinstance(s, ast.VarDecl):
+                names.add(s.name)
+            elif isinstance(s, ast.Loop):
+                names.add(s.ivar)
+                walk(s.body)
+            elif isinstance(s, ast.IfBlock):
+                walk(s.then_body)
+                walk(s.else_body)
+
+    walk(routine.body)
+    return names
+
+
+def apply_tiling(source: str, tiles: Dict[str, int]) -> str:
+    """Rewrite ``source`` with the nest loops named in ``tiles`` blocked
+    at the given sizes.  Unknown ivars and zero/negative sizes are
+    ignored; with no effective tile (or no tileable nest) the source is
+    returned unchanged, so untiled parameter points compile through the
+    byte-identical legacy path.
+    """
+    tiles = {v: int(t) for v, t in (tiles or {}).items() if int(t) > 0}
+    if not tiles:
+        return source
+    nest = find_nest(source)
+    if nest is None:
+        return source
+    tiles = {v: t for v, t in tiles.items() if v in nest.ivars}
+    if not tiles:
+        return source
+
+    routine = nest.routine
+    extent = nest.extent
+    names = _declared_names(routine)
+    tiled = [lv.ivar for lv in nest.levels if lv.ivar in tiles]
+    tvar: Dict[str, str] = {}
+    lvar: Dict[str, str] = {}
+    for v in tiled:
+        tvar[v], lvar[v] = f"{v}T", f"{v}len"
+        if tvar[v] in names or lvar[v] in names:
+            raise TilingError(f"cannot tile {v!r}: generated name "
+                              f"{tvar[v]}/{lvar[v]} collides")
+
+    def ext_sym(v: str) -> Tuple[Optional[str], int]:
+        """Intra extent of index v as (length symbol | None, N power)."""
+        return (lvar[v], 0) if v in tiles else (None, 1)
+
+    # fixups per level, computed from the stride polynomials:
+    #   intra v (child = intra/tuned loop of w):
+    #       F = P_v - ext_w * P_w
+    #   tile vT (child = intra chain head or next tile loop):
+    #       child nets len_v'... see below; F = len_v * P_v - N * P_head
+    # where P_head is the stride of the outermost *intra* loop's index
+    # for a tile loop whose child is the intra chain, or N * P_w for a
+    # tile child (a complete tile loop of w sweeps the full extent).
+    order = [lv.ivar for lv in nest.levels]
+
+    def stride(arr: str, v: str) -> Poly:
+        return nest.stride(arr, v)
+
+    arrays = sorted(nest.pointers)
+
+    def fixup_stmts(terms_by_array: Dict[str, List[_Term]]) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        for arr in arrays:
+            for line in _term_stmts(arr, terms_by_array.get(arr, []),
+                                    extent):
+                stmts.append(_parse_fixup(line))
+        return stmts
+
+    def _parse_fixup(line: str) -> ast.Assign:
+        # "A += k * N * ilen;" -> Assign; parse by hand (tiny grammar)
+        name, op, rest = line.split(" ", 2)
+        rest = rest.rstrip(";")
+        factors = [f.strip() for f in rest.split("*")]
+        expr: ast.Expr
+        expr = (ast.Num(int(factors[0])) if factors[0].isdigit()
+                else ast.Var(factors[0]))
+        for f in factors[1:]:
+            nxt = ast.Num(int(f)) if f.isdigit() else ast.Var(f)
+            expr = ast.Bin("*", expr, nxt)
+        return ast.Assign(ast.Var(name), op, expr)
+
+    # net movement of a COMPLETE loop run, used for the child term:
+    #   tuned/intra loop of w: ext_w * P_w
+    #   tile loop of w:        N * P_w
+    def full_net_terms(arr: str, v: str, is_tile: bool,
+                       scale: int) -> List[_Term]:
+        p = stride(arr, v)
+        if is_tile:
+            return _poly_terms(_poly_shift(p), scale)
+        sym, npow = ext_sym(v)
+        if sym is None:
+            return _poly_terms(_poly_shift(p), scale)
+        return _poly_terms(p, scale, lensym=sym)
+
+    # per-iteration desired net:
+    #   intra v: P_v          tile vT: len_v * P_v
+    def iter_net_terms(arr: str, v: str, is_tile: bool,
+                       scale: int) -> List[_Term]:
+        p = stride(arr, v)
+        if is_tile:
+            return _poly_terms(p, scale, lensym=lvar[v])
+        return _poly_terms(p, scale)
+
+    # build the new nest inside-out
+    inner_loop = nest.levels[-1].loop
+    sym, npow = ext_sym(inner_loop.ivar)
+    new_inner = ast.Loop(
+        ivar=inner_loop.ivar, start=ast.Num(0),
+        end=ast.Var(sym) if sym is not None else ast.Var(extent),
+        step=1, body=list(inner_loop.body), tuned=True)
+
+    body: List[ast.Stmt] = [new_inner]
+    child = ("intra", inner_loop.ivar)
+
+    # intra loops of the non-innermost levels, innermost-out, keeping
+    # the original pre statements and regenerating the post fixups
+    for level in reversed(nest.levels[:-1]):
+        v = level.ivar
+        cvar = child[1]
+        terms: Dict[str, List[_Term]] = {}
+        for arr in arrays:
+            t = iter_net_terms(arr, v, False, 1)
+            t += full_net_terms(arr, cvar, False, -1)
+            terms[arr] = t
+        stmts: List[ast.Stmt] = list(level.pre) + body + fixup_stmts(terms)
+        sym, _ = ext_sym(v)
+        loop = ast.Loop(ivar=v, start=ast.Num(0),
+                        end=ast.Var(sym) if sym is not None
+                        else ast.Var(extent),
+                        step=1, body=stmts)
+        body = [loop]
+        child = ("intra", v)
+
+    # tile loops, innermost-out over the tiled ivars in original order;
+    # the innermost tile loop's child is the whole intra chain (headed
+    # by the outermost intra index), outer tile loops chain on tiles
+    head = order[0]
+    for pos, v in enumerate(reversed(tiled)):
+        is_innermost_tile = pos == 0
+        terms = {}
+        for arr in arrays:
+            t = iter_net_terms(arr, v, True, 1)
+            if is_innermost_tile:
+                t += full_net_terms(arr, head, False, -1)
+            else:
+                prev_tile = tiled[len(tiled) - pos]
+                t += full_net_terms(arr, prev_tile, True, -1)
+            terms[arr] = t
+        clamp = [
+            _parse_fixup(f"{lvar[v]} = {extent};"),
+            ast.Assign(ast.Var(lvar[v]), "-=", ast.Var(tvar[v])),
+            ast.IfBlock(cond=ast.Cmp(">", ast.Var(lvar[v]),
+                                     ast.Num(tiles[v])),
+                        then_body=[ast.Assign(ast.Var(lvar[v]), "=",
+                                              ast.Num(tiles[v]))]),
+        ]
+        loop = ast.Loop(ivar=tvar[v], start=ast.Num(0),
+                        end=ast.Var(extent), step=tiles[v],
+                        body=clamp + body + fixup_stmts(terms))
+        body = [loop]
+
+    # splice: declarations for the length variables, then the new nest
+    # replacing the original top-level loop
+    decls: List[ast.Stmt] = [ast.VarDecl(name=lvar[v], dtype="int",
+                                         init=ast.Num(0)) for v in tiled]
+    new_body: List[ast.Stmt] = []
+    spliced = False
+    for s in routine.body:
+        if isinstance(s, ast.Loop) and not spliced:
+            new_body.extend(decls)
+            new_body.extend(body)
+            spliced = True
+        else:
+            new_body.append(s)
+    new_routine = ast.Routine(name=routine.name, params=routine.params,
+                              returns=routine.returns, body=new_body,
+                              markup=routine.markup)
+    return unparse(new_routine)
+
+
+# ---------------------------------------------------------------------------
+# memoized fronts (FKO calls these per compile)
+
+_NEST_CACHE: Dict[str, Optional[NestInfo]] = {}
+_TILED_CACHE: Dict[Tuple[str, Tuple[Tuple[str, int], ...]], str] = {}
+
+
+def nest_info(source: str) -> Optional[NestInfo]:
+    """Memoized :func:`find_nest`."""
+    if source not in _NEST_CACHE:
+        _NEST_CACHE[source] = find_nest(source)
+    return _NEST_CACHE[source]
+
+
+def tiled_source(source: str, tiles: Dict[str, int]) -> str:
+    """Memoized :func:`apply_tiling`; identity when ``tiles`` is empty."""
+    tiles = {v: int(t) for v, t in (tiles or {}).items() if int(t) > 0}
+    if not tiles:
+        return source
+    key = (source, tuple(sorted(tiles.items())))
+    hit = _TILED_CACHE.get(key)
+    if hit is None:
+        hit = _TILED_CACHE[key] = apply_tiling(source, tiles)
+    return hit
+
+
+__all__ = ["NestInfo", "NestLevel", "TilingError", "apply_tiling",
+           "find_nest", "nest_info", "tiled_source", "unparse"]

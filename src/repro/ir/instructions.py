@@ -369,6 +369,18 @@ class Instruction:
             self.dst = self._sub_operand(self.dst, mapping)
         self.srcs = tuple(self._sub_operand(s, mapping) for s in self.srcs)
 
+    def substitute_reads_inplace(self, mapping: dict) -> None:
+        """Rewrite only the *read* operands per ``mapping``: every source
+        (including memory base/index registers) and a ``Mem``
+        destination's address registers — but never a register
+        destination, whose occupancy is a write, not a use.  This is the
+        correct form for value-forwarding passes (copy propagation): an
+        instruction that reads and redefines the same register must keep
+        writing the original register."""
+        if self.dst is not None and self.dst.__class__ is Mem:
+            self.dst = self._sub_operand(self.dst, mapping)
+        self.srcs = tuple(self._sub_operand(s, mapping) for s in self.srcs)
+
     def copy(self) -> "Instruction":
         return Instruction(self.op, self.dst, self.srcs, self.cond,
                            self.hint, self.comment)

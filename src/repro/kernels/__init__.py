@@ -1,7 +1,21 @@
-"""Level 1 BLAS kernel definitions (paper Table 1 and section 3.1)."""
+"""Kernel definitions: Level 1 BLAS (paper Table 1 / section 3.1) plus
+the Level-3 family (blocked GEMM, stencil, reduction).
+
+``KERNEL_ORDER`` stays exactly the paper's fourteen Table 1 kernels;
+the Level-3 kernels register into the same ``REGISTRY`` and are listed
+separately in ``BLAS3_ORDER`` (``ALL_KERNEL_ORDER`` concatenates both
+— the fuzzer's round-robin grid walks it).
+"""
 
 from .blas1 import (KERNEL_ORDER, KernelSpec, REGISTRY, all_kernels,
                     get_kernel, reference)
+from .blas3 import BLAS3_ORDER, BLAS3_REGISTRY
 
-__all__ = ["KERNEL_ORDER", "KernelSpec", "REGISTRY", "all_kernels",
-           "get_kernel", "reference"]
+REGISTRY.update(BLAS3_REGISTRY)
+
+#: every registry kernel in presentation order (Table 1, then Level 3)
+ALL_KERNEL_ORDER = list(KERNEL_ORDER) + list(BLAS3_ORDER)
+
+__all__ = ["ALL_KERNEL_ORDER", "BLAS3_ORDER", "KERNEL_ORDER",
+           "KernelSpec", "REGISTRY", "all_kernels", "get_kernel",
+           "reference"]

@@ -44,6 +44,17 @@ class KernelSpec:
     returns: Optional[str] = None     # 'float' | 'int' | None
     flops_per_elem: int = 1           # Table 1 FLOPs column / N
     loop_form: str = "canonical"      # 'canonical' | 'downcount'
+    #: arguments that are N x N matrices (flattened row-major, n*n
+    #: elements) rather than length-N vectors — the Level-3 kernels
+    matrix_args: Tuple[str, ...] = ()
+    #: FLOPs scale as flops_per_elem * n**flops_order (3 for GEMM)
+    flops_order: int = 1
+    #: tester size override; None = the tester's DEFAULT_SIZES (cubic
+    #: kernels need small sizes to keep interpreter runs bounded)
+    test_sizes: Optional[Tuple[int, ...]] = None
+    #: time this kernel with the analytic blocked-nest model (the
+    #: per-line walk of the tuned loop cannot cover an N^3 nest)
+    nest_timing: bool = False
 
     @property
     def dtype(self) -> np.dtype:
@@ -54,7 +65,15 @@ class KernelSpec:
         return "float" if self.precision == "s" else "double"
 
     def flops(self, n: int) -> int:
-        return self.flops_per_elem * n
+        return self.flops_per_elem * n ** self.flops_order
+
+    def arg_elems(self, name: str, n: int) -> int:
+        """Element count of one array argument at problem size ``n``."""
+        return n * n if name in self.matrix_args else n
+
+    @property
+    def array_args(self) -> Tuple[str, ...]:
+        return self.vector_args + self.matrix_args
 
 
 # ---------------------------------------------------------------------------
@@ -265,4 +284,14 @@ def reference(spec: KernelSpec, arrays: Dict[str, np.ndarray],
         if len(arrays["X"]) == 0:
             return 0
         return int(np.argmax(np.abs(arrays["X"])))
+    extra = EXTRA_REFERENCES.get(spec.base)
+    if extra is not None:
+        return extra(spec, arrays, scalars)
     raise KeyError(spec.base)
+
+
+#: extension point for kernel families defined outside this module
+#: (kernels/blas3.py registers gemm/stencil3/sumsq here), keyed by
+#: ``KernelSpec.base`` — keeps ``reference`` the single oracle entry
+#: point the tester and the differential fuzzer import
+EXTRA_REFERENCES: Dict[str, Callable] = {}

@@ -1,0 +1,186 @@
+"""Analytic timing for blocked loop nests (the Level-3 workload).
+
+The per-line walk in :mod:`repro.machine.timing` times the tuned
+*innermost* loop by stepping every cache line it streams — exact for a
+Level-1 kernel's single O(N) pass, but hopeless for a GEMM nest that
+touches O(N^3) elements.  This module supplies the nest-level
+complement: a capacity-miss traffic model over the loop nest (from
+:func:`repro.hil.tiling.nest_info`'s stride polynomials) composed with
+the existing steady-state CPU bound of the compiled inner loop, closed
+as a roofline.
+
+**Traffic model.**  Every array access in an accepted nest is affine in
+the loop counters, ``elem = sum_v sigma_v * i_v``, with the per-ivar
+strides ``sigma_v`` known from the nest analysis.  Walking the levels
+innermost to outermost, a cache of capacity ``C`` sees, per array:
+
+* a level whose stride is non-zero brings new data every trip —
+  traffic and footprint both multiply by the trip count;
+* a level whose stride is zero repeats the child subnest over the same
+  data — traffic is unchanged when the child's working set fits in
+  ``util * C`` (the data survives between reuses) and multiplies by
+  the trip count when it does not (capacity misses).
+
+Tile loops enter the level list with trip count ``ceil(N/T)`` and an
+effective stride of ``T * sigma_v``; their intra loops run ``T`` trips
+at stride ``sigma_v``.  The product over both recovers the untiled
+coverage, and the footprint products are exactly the blocked working
+sets (``3 T^2`` elements for square-tiled GEMM) that decide residency.
+
+Evaluated at L2 capacity the traffic is what crosses the memory bus;
+at L1 capacity, what the L1<->L2 fill path carries.  Cycle count is a
+roofline: ``max(CPU, bus, L1 fill)`` plus per-level loop overheads and
+the prologue.  Like the rest of the machine model the absolute numbers
+are model numbers — what matters is relative fidelity: the model
+reproduces the regimes that make cache blocking pay (untiled GEMM is
+bus-bound at ``8 N^3 / bus_bpc`` cycles; a well-tiled one keeps the
+B-block L2-resident and drops bus traffic by ``1/T``).
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Dict, List, Optional, Tuple
+
+from ..hil.tiling import NestInfo
+from .config import MachineConfig
+from .loopinfo import LoopSummary
+from .timing import (Context, TimingResult, TimingStats, _summary_cpi,
+                     prologue_cycles)
+
+#: fraction of a cache's capacity a blocked working set may occupy and
+#: still be treated as resident (conflict misses, the other arrays'
+#: stream-through lines and the stack eat the rest)
+CACHE_UTIL = 0.75
+
+#: cycles charged per entry into a loop (trip-count setup, the final
+#: mispredicted back edge)
+_LOOP_ENTRY = 4.0
+#: cycles charged per iteration of a non-innermost level (the clamp,
+#: pointer-fixup arithmetic and the backedge itself)
+_LEVEL_ITER = 2.0
+
+
+def nest_levels(nest: NestInfo, tiles: Dict[str, int],
+                n: int) -> List[Tuple[str, int, int]]:
+    """The executed loop levels, outermost first, as
+    ``(ivar, trips, stride_multiplier)``: tile loops (trips
+    ``ceil(n/T)``, multiplier ``T``) for every tiled ivar in nest
+    order, then every intra loop (trips ``T`` or ``n``, multiplier 1).
+    Tile sizes outside ``(0, n)`` are ignored — a full-extent tile is
+    the untiled loop."""
+    eff = {v: t for v, t in tiles.items()
+           if v in nest.ivars and 0 < t < n}
+    levels: List[Tuple[str, int, int]] = []
+    for v in nest.ivars:
+        if v in eff:
+            levels.append((v, ceil(n / eff[v]), eff[v]))
+    for v in nest.ivars:
+        levels.append((v, eff.get(v, n), 1))
+    return levels
+
+
+def nest_traffic(nest: NestInfo, tiles: Dict[str, int], n: int,
+                 capacity: int, util: float = CACHE_UTIL
+                 ) -> Dict[str, float]:
+    """Per-array *elements* fetched into a cache of ``capacity`` bytes
+    over one full nest execution (capacity misses only; a cold first
+    touch of each distinct element is included by construction)."""
+    strides = nest.strides_at(n)
+    levels = nest_levels(nest, tiles, n)
+    arrays = sorted(nest.pointers)
+    traffic = {a: 1.0 for a in arrays}
+    foot = {a: 1.0 for a in arrays}
+    for v, trips, mult in reversed(levels):
+        child_ws = sum(foot[a] * nest.pointers[a] for a in arrays)
+        resident = child_ws <= util * capacity
+        for a in arrays:
+            if strides[a].get(v, 0) * mult != 0:
+                traffic[a] *= trips
+                foot[a] *= trips
+            elif not resident:
+                traffic[a] *= trips
+    return traffic
+
+
+def _total_bytes(nest: NestInfo, traffic: Dict[str, float],
+                 writeback: float) -> Tuple[float, float]:
+    """(read bytes, written-back bytes) for a per-array traffic map."""
+    reads = sum(t * nest.pointers[a] for a, t in traffic.items())
+    writes = sum(traffic[a] * nest.pointers[a] * writeback
+                 for a in nest.stored)
+    return reads, writes
+
+
+def nest_cycles(summary: LoopSummary, nest: NestInfo,
+                tiles: Dict[str, int], mach: MachineConfig,
+                context: Context, n: int) -> TimingResult:
+    """Cycles for one invocation of the full nest at problem size
+    ``n``: the compiled inner loop's steady-state CPU bound scaled by
+    the executed trip structure, rooflined against the capacity-miss
+    traffic at L2 (memory bus) and L1 (fill path)."""
+    stats = TimingStats()
+    if not summary.has_loop or n <= 0:
+        return TimingResult(prologue_cycles(summary, mach), mach.name,
+                            context, n, stats)
+
+    levels = nest_levels(nest, tiles, n)
+    inner_extent = levels[-1][1]
+
+    # ---------------------------------------------------------- CPU side
+    epi = summary.elems_per_trip
+    cpi = _summary_cpi(summary, summary.body, "body", mach)
+    trips = inner_extent // epi
+    remainder = inner_extent - trips * epi
+    if remainder > 0:
+        if summary.cleanup:
+            ccpi = _summary_cpi(summary, summary.cleanup, "cleanup", mach)
+        else:
+            ccpi = cpi / max(1, epi)
+        rem_cycles = remainder * max(1.0, ccpi)
+    else:
+        rem_cycles = 0.0
+
+    # invocation counts: the inner loop body runs once per iteration of
+    # the enclosing levels; each enclosing level's own iterations pay
+    # the clamp/fixup arithmetic
+    invocations = 1
+    overhead = 0.0
+    iters = 1
+    for v, lvl_trips, _ in levels[:-1]:
+        iters *= lvl_trips
+        overhead += iters * _LEVEL_ITER
+        invocations = iters
+    cpu = (invocations * (cpi * trips + rem_cycles + _LOOP_ENTRY)
+           + overhead)
+    stats.cpu_cycles = invocations * cpi * trips
+
+    # ------------------------------------------------------- memory side
+    line = mach.l1.line
+    elem = max(nest.pointers.values(), default=8)
+    total_foot = sum(
+        (n ** sum(1 for v in nest.ivars if s.get(v, 0))) * nest.pointers[a]
+        for a, s in nest.strides_at(n).items())
+
+    l1_traffic = nest_traffic(nest, tiles, n, mach.l1.size)
+    l1_read, l1_write = _total_bytes(nest, l1_traffic, 0.5)
+    l1_fill = (l1_read + l1_write) / mach.l2.fill_bpc
+
+    if context is Context.OUT_OF_CACHE or total_foot > mach.l2.size:
+        l2_traffic = nest_traffic(nest, tiles, n, mach.l2.size)
+        rd, wr = _total_bytes(nest, l2_traffic, mach.writeback_factor)
+        bus = (rd + wr) / mach.bus_bpc
+        stats.demand_misses = int((rd + wr) / line)
+    else:
+        # operands resident in L2: no main-memory traffic
+        bus = 0.0
+        stats.demand_misses = int((l1_read + l1_write) / line)
+    stats.lines_processed = max(1, int(total_foot / max(elem, 1)
+                                       * elem / line))
+    stats.bus_busy_cycles = bus
+
+    mem = max(bus, l1_fill)
+    cycles = prologue_cycles(summary, mach) + max(cpu, mem)
+    if mem > cpu:
+        stats.stall_cycles = mem - cpu
+    return TimingResult(cycles, mach.name, context, n, stats)

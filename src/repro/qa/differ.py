@@ -32,7 +32,8 @@ from ..ir import Function
 from ..kernels import get_kernel
 from ..machine import get_machine
 from ..machine.interp import run_function
-from ..timing.tester import _tolerance, make_inputs
+from ..timing.tester import (_reduction_close, _tolerance, make_inputs,
+                             ref_views)
 from .sampler import FuzzSample
 
 #: every searchable transform off — the closest legal compile to the
@@ -190,17 +191,17 @@ def check_sample(sample: FuzzSample) -> Optional[FuzzFailure]:
     # 5. NumPy reference on identical data
     from ..kernels.blas1 import reference
     ref_arrays = {k: v.copy() for k, v in arrays.items()}
-    ref = reference(spec, {k: v[:n] for k, v in ref_arrays.items()},
-                    fscalars)
+    ref = reference(spec, ref_views(spec, ref_arrays, n), fscalars)
 
     # 6. vector outputs
     for name in spec.output_args:
-        cand, refv = got_arrays[name][:n], ref_arrays[name][:n]
-        basev = base_arrays[name][:n]
+        elems = spec.arg_elems(name, n)
+        cand, refv = got_arrays[name][:elems], ref_arrays[name][:elems]
+        basev = base_arrays[name][:elems]
         if name in spec.reduction_outputs:
             tol = _tolerance(spec, n)
             for oracle, want in (("baseline", basev), ("reference", refv)):
-                if not np.allclose(cand, want, rtol=tol, atol=0):
+                if not _reduction_close(cand, want, tol):
                     return FuzzFailure(
                         sample, "output",
                         f"array {name} diverges from {oracle} beyond the "

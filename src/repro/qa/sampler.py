@@ -21,9 +21,10 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..fko import FKO, PrefetchParams, TransformParams
-from ..kernels import KERNEL_ORDER, get_kernel
+from ..hil.tiling import nest_info
+from ..kernels import ALL_KERNEL_ORDER, get_kernel
 from ..machine import get_machine
-from ..search.space import SearchSpace, build_space
+from ..search.space import SearchSpace, build_space, dim_set
 
 DEFAULT_MACHINES = ("p4e", "opteron")
 
@@ -63,20 +64,22 @@ class FuzzSample:
 
 # ---------------------------------------------------------------------------
 
-_SPACE_MEMO: Dict[Tuple[str, str], Tuple[SearchSpace, int]] = {}
+_SPACE_MEMO: Dict[Tuple[str, str], Tuple[SearchSpace, int, int]] = {}
 
 
-def _space_for(kernel: str, machine: str) -> Tuple[SearchSpace, int]:
-    """(search space, veclen) for one (kernel, machine) — memoized, the
-    sampler asks for the same handful over and over."""
+def _space_for(kernel: str, machine: str) -> Tuple[SearchSpace, int, int]:
+    """(search space, veclen, flops order) for one (kernel, machine) —
+    memoized, the sampler asks for the same handful over and over."""
     key = (kernel, machine)
     hit = _SPACE_MEMO.get(key)
     if hit is None:
         mach = get_machine(machine)
-        analysis = FKO(mach).analyze(get_kernel(kernel).hil)
-        space = build_space(analysis, mach, enable_block_fetch=True)
+        spec = get_kernel(kernel)
+        analysis = FKO(mach).analyze(spec.hil)
+        space = build_space(analysis, mach, enable_block_fetch=True,
+                            nest=nest_info(spec.hil))
         veclen = analysis.veclen if analysis.vectorizable else 1
-        hit = (space, max(1, veclen))
+        hit = (space, max(1, veclen), spec.flops_order)
         _SPACE_MEMO[key] = hit
     return hit
 
@@ -110,6 +113,12 @@ def _draw_params(rng: random.Random, space: SearchSpace) -> TransformParams:
         if space.hint_options and nonzero_dists and rng.random() < 0.5:
             params.prefetch[arr] = PrefetchParams(
                 rng.choice(space.hint_options), rng.choice(nonzero_dists))
+    # tile dimensions last, so legacy kernels (no tiles) draw the
+    # exact same stream they always have
+    for dim in space.tile_dims:
+        if rng.random() < 0.5:
+            params = dim_set(params, dim.name,
+                             rng.choice([o for o in dim.options if o]))
     return params
 
 
@@ -124,14 +133,19 @@ def iter_samples(seed: int, budget: int,
     problem size are drawn fresh per sample from one seeded stream.
     """
     rng = random.Random(seed)
-    kernels = list(kernels or KERNEL_ORDER)
+    kernels = list(kernels or ALL_KERNEL_ORDER)
     grid = [(k, m) for k in kernels for m in machines]
     if not grid:
         return
     for i in range(budget):
         kernel, machine = grid[i % len(grid)]
-        space, veclen = _space_for(kernel, machine)
+        space, veclen, flops_order = _space_for(kernel, machine)
         params = _draw_params(rng, space)
         sizes = sample_sizes(params.unroll, veclen, params.sv)
+        if flops_order >= 3:
+            # a cubic kernel at N=257 is ~17M simulated flops per
+            # compile — cap fuzz sizes so campaigns stay seconds, not
+            # hours (small N still exercises every remainder shape)
+            sizes = [s for s in sizes if s <= 17] or [0, 1, 2, 3]
         n = rng.choice(sizes)
         yield FuzzSample(kernel=kernel, machine=machine, n=n, params=params)

@@ -55,6 +55,8 @@ def simpler_neighbors(sample: FuzzSample) -> Iterator[FuzzSample]:
                 yield _with_params(sample, p.copy(ae=a))
     if p.lc:
         yield _with_params(sample, p.copy(lc=False))
+    for name in sorted(p.ext):
+        yield _with_params(sample, p.with_ext(name, 0))
     for arr in sorted(p.prefetch):
         trimmed = p.copy()
         del trimmed.prefetch[arr]

@@ -1,4 +1,4 @@
-"""Functional fronts over the alternative search strategies.
+"""Deprecated functional fronts over the alternative search strategies.
 
 "There are several ways of performing this search, including simulated
 annealing and genetic algorithms.  We currently use a much simpler
@@ -6,31 +6,44 @@ technique, a modified line search." (section 2.3)
 
 The strategies themselves live in :mod:`repro.search.strategies` as
 ask/tell :class:`~repro.search.strategies.Searcher` classes (registered
-as ``random`` / ``anneal`` / ``genetic`` / ``exhaustive``); these
-one-call wrappers keep the original functional interface for ablation
-scripts and notebooks that just want ``result = strategy(evaluate,
-space, start, budget)``.  All strategies share the same budget
-accounting and memo cache (the :class:`Searcher` base class), so
-comparisons are at equal measured-compilation cost.
+as ``random`` / ``anneal`` / ``genetic`` / ``exhaustive``).  These
+one-call wrappers predate the registry; they are now thin shims that
+resolve their class through :func:`~repro.search.strategies.make_searcher`
+— the single construction path the engine, the CLI and the service
+share — and emit a :class:`DeprecationWarning` pointing callers there.
+Behavior is unchanged: same classes, same budget accounting, same memo
+cache, bit-identical results for equal arguments.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict
 
 from ..fko.params import TransformParams
 from .linesearch import SearchResult
 from .space import SearchSpace
-from .strategies import (AnnealSearch, Evaluator, ExhaustiveSearch,
-                         GeneticSearch, RandomSearch)
+from .strategies import Evaluator, make_searcher
+
+
+def _shim(name: str, evaluate: Evaluator, space: SearchSpace,
+          start: TransformParams, max_evals: int,
+          **opts) -> SearchResult:
+    warnings.warn(
+        f"repro.search.alternatives.{_SHIM_NAMES[name]} is deprecated; "
+        f"use make_searcher({name!r}, space, start, ...).run(evaluate) "
+        f"or TuneConfig(strategy={name!r})",
+        DeprecationWarning, stacklevel=3)
+    return make_searcher(name, space, start, max_evals=max_evals,
+                         **opts).run(evaluate)
 
 
 def random_search(evaluate: Evaluator, space: SearchSpace,
                   start: TransformParams, max_evals: int = 100,
                   seed: int = 0) -> SearchResult:
-    """Uniform random sampling of the space (the geometry-only baseline)."""
-    return RandomSearch(space, start, max_evals=max_evals,
-                        seed=seed).run(evaluate)
+    """Deprecated shim: uniform random sampling of the space (the
+    geometry-only baseline)."""
+    return _shim("random", evaluate, space, start, max_evals, seed=seed)
 
 
 def simulated_annealing(evaluate: Evaluator, space: SearchSpace,
@@ -38,32 +51,37 @@ def simulated_annealing(evaluate: Evaluator, space: SearchSpace,
                         seed: int = 0, t0: float = 0.05,
                         cooling: float = 0.95,
                         explore: float = 0.85) -> SearchResult:
-    """Explore-then-anneal simulated annealing (see
+    """Deprecated shim: explore-then-anneal simulated annealing (see
     :class:`~repro.search.strategies.AnnealSearch`)."""
-    return AnnealSearch(space, start, t0=t0, cooling=cooling,
-                        explore=explore, max_evals=max_evals,
-                        seed=seed).run(evaluate)
+    return _shim("anneal", evaluate, space, start, max_evals, seed=seed,
+                 t0=t0, cooling=cooling, explore=explore)
 
 
 def genetic_search(evaluate: Evaluator, space: SearchSpace,
                    start: TransformParams, max_evals: int = 100,
                    seed: int = 0, population: int = 12,
                    elite: int = 3, mutation: float = 0.35) -> SearchResult:
-    """A small generational GA (see
+    """Deprecated shim: a small generational GA (see
     :class:`~repro.search.strategies.GeneticSearch`)."""
-    return GeneticSearch(space, start, population=population, elite=elite,
-                         mutation=mutation, max_evals=max_evals,
-                         seed=seed).run(evaluate)
+    return _shim("genetic", evaluate, space, start, max_evals, seed=seed,
+                 population=population, elite=elite, mutation=mutation)
 
 
 def exhaustive_search(evaluate: Evaluator, space: SearchSpace,
                       start: TransformParams,
                       max_evals: int = 100000) -> SearchResult:
-    """Full cross-product sweep with a shared prefetch configuration —
-    the gold standard the cheap searches are judged against."""
-    return ExhaustiveSearch(space, start,
-                            max_evals=max_evals).run(evaluate)
+    """Deprecated shim: full cross-product sweep with a shared prefetch
+    configuration — the gold standard the cheap searches are judged
+    against."""
+    return _shim("exhaustive", evaluate, space, start, max_evals)
 
+
+_SHIM_NAMES = {
+    "random": "random_search",
+    "anneal": "simulated_annealing",
+    "genetic": "genetic_search",
+    "exhaustive": "exhaustive_search",
+}
 
 STRATEGIES: Dict[str, Callable] = {
     "random": random_search,

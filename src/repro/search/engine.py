@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from .. import __version__
 from ..errors import KernelTestFailure, ReproError, SimulationFault
 from ..fko import FKO, TransformParams
+from ..hil.tiling import nest_info
 from ..kernels import KERNEL_ORDER, REGISTRY, get_kernel
 from ..kernels.blas1 import KernelSpec
 from ..machine import Context, get_machine, summarize
@@ -155,7 +156,15 @@ def evaluate_params(fko: FKO, timer: Timer, hil: str,
             share = fko.share_key(hil, params, debug_verify=verify_ir)
             base = timer.peek_base(share)
             if base is None:
-                base = timer.base(summarize(compiled.fn), share)
+                nest = nest_info(hil) if isinstance(hil, str) else None
+                if nest is not None:
+                    # the tuned loop is the innermost level of a full
+                    # nest: route through the analytic blocked-nest
+                    # model (the per-line walk cannot cover O(N^3))
+                    base = timer.base_nest(summarize(compiled.fn), nest,
+                                           params.tiles(), share)
+                else:
+                    base = timer.base(summarize(compiled.fn), share)
             timing = timer.finish(base, flops,
                                   ident=f"{ident_prefix}{params.key()}")
     except SimulationFault as exc:
@@ -733,7 +742,8 @@ class TuningSession:
         fko, timer = self._session_tools(machine, context, n)
         analysis = fko.analyze(spec.hil)
         space = config.space or build_space(
-            analysis, machine, enable_block_fetch=config.enable_block_fetch)
+            analysis, machine, enable_block_fetch=config.enable_block_fetch,
+            nest=nest_info(spec.hil))
         start = config.start or fko.defaults(spec.hil)
 
         evaluator = _Evaluator(self, spec, machine, context, n, fko, timer)

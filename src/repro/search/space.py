@@ -7,17 +7,114 @@ maximize performance."
 The space is built per kernel from FKO's analysis feedback plus the
 machine's architecture report: which arrays are prefetchable, which
 prefetch instruction flavors exist, the cache line size (distance
-granularity), whether SV is legal, whether accumulators exist.
+granularity), whether SV is legal, whether accumulators exist — and,
+for kernels whose source is a tileable loop nest, which loop variables
+take cache-blocking tile sizes (bounded by the L2 working set).
+
+Two views of the same space coexist:
+
+* the **legacy fields** (``sv_options``, ``unroll_options``, ...) —
+  kept so existing callers and explicit ``TuneConfig(space=...)``
+  constructions keep working unchanged;
+* the **declarative dimension list** (:meth:`SearchSpace.dimensions`)
+  — every knob as a :class:`Dimension` with its ordered options, its
+  interaction group and its legality predicate.  Strategies, the qa
+  fuzzer and cardinality accounting iterate this list generically, so
+  a new dimension (a tile size, say) reaches every consumer without
+  any of them pattern-matching field names.
+
+:func:`dim_get` / :func:`dim_set` are the generic accessors mapping a
+dimension name onto :class:`~repro.fko.params.TransformParams`:
+attribute dimensions (``sv``, ``unroll``, ...) read/write the field,
+``pf_dist:X`` / ``pf_hint:X`` go through ``with_pf``, and ``tile:v``
+lives in the namespaced ``ext`` dict (so legacy parameter keys never
+move).
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple)
 
 from ..fko.analysis import KernelAnalysis
+from ..fko.params import TransformParams
+from ..hil.tiling import NestInfo
 from ..ir import PrefetchHint
 from ..machine.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One searchable axis: a name, its ordered candidate values, and
+    (optionally) when it is legal to set.
+
+    ``options[0]`` is the null/off value by convention.  ``group``
+    names an interaction unit: dimensions sharing a group are sampled,
+    inherited and counted jointly (a prefetch distance and its
+    instruction hint are one unit — a hint without a distance is not a
+    point in the space).  ``legal_when`` receives the partial
+    assignment of same-group dimensions declared before this one and
+    gates whether this dimension exists at that point (an illegal
+    dimension contributes nothing — no random draw, no cardinality).
+    ``sampled=False`` marks dimensions the seeded global strategies do
+    not draw (block fetch: reachable by the line search's BF phase and
+    explicit configs only, mirroring its opt-in status)."""
+
+    name: str
+    options: Tuple
+    group: str = ""
+    legal_when: Optional[Callable[[Dict], bool]] = None
+    sampled: bool = True
+
+    def legal(self, assignment: Dict) -> bool:
+        return self.legal_when is None or bool(self.legal_when(assignment))
+
+    @property
+    def key(self) -> str:
+        """The grouping key (its own name when ungrouped)."""
+        return self.group or self.name
+
+
+# ---------------------------------------------------------------------------
+# generic accessors: dimension name <-> TransformParams
+
+def dim_get(params: TransformParams, name: str):
+    """Read the value of dimension ``name`` from ``params``."""
+    if name.startswith("pf_dist:"):
+        return params.pf(name[len("pf_dist:"):]).dist
+    if name.startswith("pf_hint:"):
+        return params.pf(name[len("pf_hint:"):]).hint
+    if name.startswith("tile:"):
+        return params.ext.get(name, 0)
+    return getattr(params, name)
+
+
+def dim_set(params: TransformParams, name: str, value) -> TransformParams:
+    """A copy of ``params`` with dimension ``name`` set to ``value``
+    (types are normalized, so numpy scalars from ``rng.choice`` are
+    safe)."""
+    if name.startswith("pf_dist:"):
+        arr = name[len("pf_dist:"):]
+        d = int(value)
+        if d <= 0:
+            return params.with_pf(arr, None, 0)
+        hint = params.pf(arr).hint or PrefetchHint.NTA
+        return params.with_pf(arr, hint, d)
+    if name.startswith("pf_hint:"):
+        arr = name[len("pf_hint:"):]
+        pf = params.pf(arr)
+        if value is None or pf.dist <= 0:
+            return params if pf.dist <= 0 \
+                else params.with_pf(arr, None, 0)
+        return params.with_pf(arr, value, pf.dist)
+    if name.startswith("tile:"):
+        return params.with_ext(name, int(value))
+    if name in ("sv", "wnt", "lc", "block_fetch"):
+        return params.copy(**{name: bool(value)})
+    if name in ("unroll", "ae"):
+        return params.copy(**{name: int(value)})
+    return params.copy(**{name: value})
 
 
 @dataclass
@@ -31,37 +128,152 @@ class SearchSpace:
     dist_options: List[int]                    # bytes; 0 = off
     line: int
     block_fetch_options: List[bool] = field(default_factory=lambda: [False])
+    #: loop variable -> ordered tile-size options (0 = untiled); empty
+    #: for kernels without a tileable nest
+    tile_options: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
 
     def describe(self) -> str:
+        tiles = (" TILE{" + ", ".join(
+            f"{v}:{list(o)}" for v, o in self.tile_options.items()) + "}"
+            if self.tile_options else "")
         return (f"SV{self.sv_options} WNT{self.wnt_options} "
                 f"UR{self.unroll_options} AE{self.ae_options} "
                 f"PF arrays={self.prefetch_arrays} "
                 f"hints={[h.value if h else 'none' for h in self.hint_options]} "
-                f"dists={self.dist_options}")
+                f"dists={self.dist_options}" + tiles)
+
+    # -- the declarative view ------------------------------------------
+    @property
+    def dimensions(self) -> List[Dimension]:
+        """Every searchable axis, in the canonical draw order: the core
+        transforms, then each prefetch array's (distance, hint) pair,
+        then block fetch, then tile sizes.  New kinds of dimension are
+        appended after the existing ones, so seeded draw streams over
+        legacy spaces never move."""
+        dims = [
+            Dimension("sv", tuple(self.sv_options)),
+            Dimension("unroll", tuple(self.unroll_options) or (1,)),
+            Dimension("ae", tuple(self.ae_options)),
+            Dimension("wnt", tuple(self.wnt_options)),
+        ]
+        for arr in self.prefetch_arrays:
+            dist_name = f"pf_dist:{arr}"
+            dims.append(Dimension(dist_name, tuple(self.dist_options),
+                                  group=f"pf:{arr}"))
+            dims.append(Dimension(
+                f"pf_hint:{arr}", tuple(self.hint_options),
+                group=f"pf:{arr}",
+                legal_when=(lambda asg, _d=dist_name:
+                            asg.get(_d, 0) and asg[_d] > 0)))
+        dims.append(Dimension("block_fetch",
+                              tuple(self.block_fetch_options),
+                              sampled=False))
+        for ivar, options in self.tile_options.items():
+            dims.append(Dimension(f"tile:{ivar}", tuple(options),
+                                  group="tile"))
+        return dims
+
+    @property
+    def tile_dims(self) -> List[Dimension]:
+        """The tile-size dimensions (empty for non-nest kernels)."""
+        return [d for d in self.dimensions if d.name.startswith("tile:")]
+
+    def groups(self) -> List[List[Dimension]]:
+        """Dimensions partitioned into interaction units, ordered by
+        first declaration; singleton groups for ungrouped dimensions."""
+        buckets: Dict[str, List[Dimension]] = {}
+        for dim in self.dimensions:
+            buckets.setdefault(dim.key, []).append(dim)
+        return list(buckets.values())
+
+    def draw(self, choose: Callable[[Dimension], object]
+             ) -> TransformParams:
+        """One generic point: walk every sampled dimension in declared
+        order, calling ``choose(dim)`` for each *legal* one (illegal
+        dimensions are skipped without consuming a draw — a prefetch
+        hint only exists once its distance is non-zero).  This is the
+        single sampling loop every seeded strategy shares, so their
+        streams stay mirror-aligned by construction."""
+        params = TransformParams()
+        assignment: Dict[str, object] = {}
+        for dim in self.dimensions:
+            if not dim.sampled or not dim.legal(assignment):
+                continue
+            params = dim_set(params, dim.name, choose(dim))
+            assignment[dim.name] = dim_get(params, dim.name)
+        return params
 
     @property
     def size(self) -> int:
-        """Cardinality of the full cross product (for reporting how much
-        the line search saves)."""
-        pf = (len(self.hint_options) * len(self.dist_options)) or 1
-        n = (len(self.sv_options) * len(self.wnt_options)
-             * len(self.unroll_options) * len(self.ae_options))
-        for _ in self.prefetch_arrays:
-            n *= pf
-        return n
+        """Cardinality of the full cross product (for reporting how
+        much the line search saves): the product over interaction
+        groups of each group's count of distinct legal assignments.
+        Computed generically from :meth:`dimensions`, so every axis —
+        including block fetch and tile sizes — is counted exactly
+        once."""
+        total = 1
+        for dims in self.groups():
+            total *= _group_size(dims)
+        return total
+
+
+def _group_size(dims: Sequence[Dimension]) -> int:
+    """Distinct legal assignments of one interaction group.  Illegal
+    dimensions collapse to "absent", so a disabled prefetch counts one
+    point regardless of how many hints the machine offers."""
+    if len(dims) == 1:
+        return max(1, len(dims[0].options))
+    seen = set()
+    for combo in itertools.product(*(d.options for d in dims)):
+        assignment: Dict[str, object] = {}
+        normalized = []
+        for dim, value in zip(dims, combo):
+            if dim.legal(assignment):
+                assignment[dim.name] = value
+                normalized.append(value)
+            else:
+                normalized.append(None)
+        seen.add(tuple(normalized))
+    return max(1, len(seen))
 
 
 DEFAULT_UNROLLS = (1, 2, 4, 8, 16, 32, 64)
 DEFAULT_AES = (1, 2, 3, 4, 6, 8, 16)
 #: distance grid in cache lines (Table 3 distances are 56..2048 bytes)
 DEFAULT_DIST_LINES = (1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32)
+#: candidate tile sizes before the capacity filter
+DEFAULT_TILES = (16, 24, 32, 48, 64, 96, 128, 192, 256)
+#: fraction of L2 a blocked working set may claim (matches the timing
+#: model's residency threshold in :mod:`repro.machine.blocking`)
+TILE_L2_UTIL = 0.75
+
+
+def tile_options(nest: Optional[NestInfo], machine: MachineConfig,
+                 tiles: Sequence[int] = DEFAULT_TILES,
+                 util: float = TILE_L2_UTIL) -> Dict[str, Tuple[int, ...]]:
+    """Per-ivar tile-size options for a tileable nest: candidate sizes
+    whose square blocked working set (every nest array holding a
+    ``T x T`` block) still fits the residency share of L2 — larger
+    tiles cannot keep their reuse resident, so searching them is
+    wasted budget.  ``0`` (untiled) always leads."""
+    if nest is None:
+        return {}
+    n_arrays = max(1, len(nest.pointers))
+    elem = max(nest.pointers.values(), default=8)
+    cap = util * machine.l2.size
+    legal = tuple(t for t in tiles if n_arrays * t * t * elem <= cap)
+    if not legal:
+        return {}
+    return {ivar: (0,) + legal for ivar in nest.ivars}
 
 
 def build_space(analysis: KernelAnalysis, machine: MachineConfig,
                 unrolls: Sequence[int] = DEFAULT_UNROLLS,
                 aes: Sequence[int] = DEFAULT_AES,
                 dist_lines: Sequence[int] = DEFAULT_DIST_LINES,
-                enable_block_fetch: bool = False) -> SearchSpace:
+                enable_block_fetch: bool = False,
+                nest: Optional[NestInfo] = None,
+                tiles: Sequence[int] = DEFAULT_TILES) -> SearchSpace:
     line = machine.l1.line
     return SearchSpace(
         sv_options=[True, False] if analysis.vectorizable else [False],
@@ -74,4 +286,5 @@ def build_space(analysis: KernelAnalysis, machine: MachineConfig,
         line=line,
         block_fetch_options=([False, True] if enable_block_fetch
                              else [False]),
+        tile_options=tile_options(nest, machine, tiles),
     )

@@ -40,6 +40,7 @@ strategy code reads like the straight-line algorithm it is.
 
 from __future__ import annotations
 
+import itertools
 import math
 from typing import (Callable, Dict, Generator, Hashable, List, Optional,
                     Sequence, Tuple, Type)
@@ -49,7 +50,7 @@ import numpy as np
 from ..errors import SearchError
 from ..fko.params import PrefetchParams, TransformParams
 from ..ir import PrefetchHint
-from .space import SearchSpace
+from .space import Dimension, SearchSpace, dim_get, dim_set
 
 Evaluator = Callable[[TransformParams], float]   # -> cycles (lower = better)
 #: optional vectorized evaluator: a whole candidate list at once (the
@@ -302,17 +303,33 @@ def make_searcher(name: str, space: SearchSpace, start: TransformParams,
 
 def _random_point(space: SearchSpace, rng: np.random.Generator,
                   ) -> TransformParams:
-    p = TransformParams(
-        sv=bool(rng.choice(space.sv_options)),
-        unroll=int(rng.choice(space.unroll_options)),
-        ae=int(rng.choice(space.ae_options)),
-        wnt=bool(rng.choice(space.wnt_options)),
-    )
+    """One uniform point: the space's generic dimension walk with a
+    seeded ``rng.choice`` per legal dimension.  New dimensions (tile
+    sizes) are declared after the legacy ones, so the draw stream over
+    a legacy space is unchanged."""
+    return space.draw(lambda dim: rng.choice(dim.options))
+
+
+def _move_list(space: SearchSpace) -> List[str]:
+    """The neighbor-move vocabulary, derived generically from the
+    dimension list (legacy precedence preserved: unroll/ae first, then
+    the toggles, then per-array prefetch moves, then tile moves)."""
+    by_name = {d.name: d for d in space.dimensions}
+    moves = ["unroll", "ae"]
+    for name in ("sv", "wnt"):
+        if len(by_name[name].options) > 1:
+            moves.append(name)
     for arr in space.prefetch_arrays:
-        d = int(rng.choice(space.dist_options))
-        h = rng.choice(space.hint_options) if d > 0 else None
-        p.prefetch[arr] = PrefetchParams(h, d)
-    return p
+        moves.append(f"dist:{arr}")
+        moves.append(f"hint:{arr}")
+        # prefetch fully on/off as its own move: stepping a distance
+        # down to 0 one option at a time almost never survives a walk,
+        # but "off" is often the winning value (WNT'd outputs)
+        moves.append(f"pftoggle:{arr}")
+    for dim in space.tile_dims:
+        if len(dim.options) > 1:
+            moves.append(dim.name)
+    return moves
 
 
 def _neighbor(space: SearchSpace, rng: np.random.Generator,
@@ -324,21 +341,10 @@ def _neighbor(space: SearchSpace, rng: np.random.Generator,
     ``coarse`` moves redraw the chosen coordinate uniformly — a Gibbs
     step that crosses deceptive valleys (e.g. a prefetch distance whose
     only good value is "off") in one proposal."""
-    moves = ["unroll", "ae"]
-    if len(space.sv_options) > 1:
-        moves.append("sv")
-    if len(space.wnt_options) > 1:
-        moves.append("wnt")
-    for arr in space.prefetch_arrays:
-        moves.append(f"dist:{arr}")
-        moves.append(f"hint:{arr}")
-        # prefetch fully on/off as its own move: stepping a distance
-        # down to 0 one option at a time almost never survives a walk,
-        # but "off" is often the winning value (WNT'd outputs)
-        moves.append(f"pftoggle:{arr}")
-    move = rng.choice(moves)
+    move = rng.choice(_move_list(space))
 
     def step(options, value):
+        options = list(options)
         if coarse:
             return options[int(rng.integers(len(options)))]
         i = options.index(value) if value in options else 0
@@ -353,6 +359,10 @@ def _neighbor(space: SearchSpace, rng: np.random.Generator,
         return params.copy(unroll=step(space.unroll_options, params.unroll))
     if move == "ae":
         return params.copy(ae=step(space.ae_options, params.ae))
+    if move.startswith("tile:"):
+        dim = next(d for d in space.tile_dims if d.name == move)
+        return dim_set(params, move,
+                       step(dim.options, dim_get(params, move)))
     kind, arr = move.split(":")
     pf = params.pf(arr)
     if kind == "pftoggle":
@@ -505,14 +515,22 @@ class GeneticSearch(Searcher):
 
     def _crossover(self, rng: np.random.Generator, a: TransformParams,
                    b: TransformParams) -> TransformParams:
-        child = TransformParams(
-            sv=a.sv if rng.random() < 0.5 else b.sv,
-            unroll=a.unroll if rng.random() < 0.5 else b.unroll,
-            ae=a.ae if rng.random() < 0.5 else b.ae,
-            wnt=a.wnt if rng.random() < 0.5 else b.wnt)
-        for arr in self.space.prefetch_arrays:
+        """Uniform crossover over the space's interaction groups: one
+        inheritance draw per group (a prefetch distance travels with
+        its hint; a tile size is its own gene).  Generic over the
+        dimension list, with unsampled groups (block fetch) left at
+        their defaults exactly as before."""
+        child = TransformParams()
+        for dims in self.space.groups():
+            if not all(d.sampled for d in dims):
+                continue
             src = a if rng.random() < 0.5 else b
-            child.prefetch[arr] = src.pf(arr)
+            if dims[0].group.startswith("pf:"):
+                arr = dims[0].group[len("pf:"):]
+                child.prefetch[arr] = src.pf(arr)
+                continue
+            for dim in dims:
+                child = dim_set(child, dim.name, dim_get(src, dim.name))
         return child
 
     def _plan(self) -> Plan:
@@ -586,6 +604,14 @@ class ExhaustiveSearch(Searcher):
         self.start_cycles = c0
         self._note(self.start, c0)
         self.phase = "grid"
+        # the sweep axes, generically from the dimension list: the core
+        # transforms in their legacy nesting order, then tile sizes
+        # (inner to keep legacy candidate order unchanged when there
+        # are none), then the shared prefetch pair innermost
+        by_name = {d.name: d for d in sp.dimensions}
+        grid_dims: List[Dimension] = [by_name[n]
+                                      for n in ("sv", "wnt", "unroll", "ae")]
+        grid_dims += sp.tile_dims
         pf_options: List[Tuple[Optional[PrefetchHint], int]] = [(None, 0)]
         pf_options += [(h, d) for d in sp.dist_options if d > 0
                        for h in sp.hint_options]
@@ -598,17 +624,16 @@ class ExhaustiveSearch(Searcher):
             for params, c in zip(batch, cycles):
                 self._note(params, c)
 
-        for sv in sp.sv_options:
-            for wnt in sp.wnt_options:
-                for ur in sp.unroll_options:
-                    for ae in sp.ae_options:
-                        for hint, dist in pf_options:
-                            p = TransformParams(sv=sv, unroll=ur, ae=ae,
-                                                wnt=wnt)
-                            for arr in sp.prefetch_arrays:
-                                p.prefetch[arr] = PrefetchParams(hint, dist)
-                            chunk.append(p)
-                            if len(chunk) >= self.batch:
-                                yield from flush()
+        for combo in itertools.product(*(d.options for d in grid_dims)):
+            point = TransformParams()
+            for dim, value in zip(grid_dims, combo):
+                point = dim_set(point, dim.name, value)
+            for hint, dist in pf_options:
+                p = point.copy()
+                for arr in sp.prefetch_arrays:
+                    p.prefetch[arr] = PrefetchParams(hint, dist)
+                chunk.append(p)
+                if len(chunk) >= self.batch:
+                    yield from flush()
         if chunk:
             yield from flush()

@@ -36,6 +36,19 @@ from ..timing.timer import paper_n
 from ..util import check_schema
 
 
+def default_n(kernel: str, ctx: Context) -> int:
+    """The canonical problem size when the request leaves ``n`` unset.
+    Vector kernels use the paper's N (so every pre-existing request
+    digest is unchanged); cubic nest kernels scale as N^1.5 in memory,
+    so their defaults are matrix orders: 512 puts the working set well
+    out of cache, 160 keeps all three operands resident in a 1MB L2
+    (3 * 160^2 * 8 bytes = 600KB)."""
+    spec = REGISTRY.get(kernel)
+    if spec is not None and spec.flops_order >= 3:
+        return 512 if ctx is Context.OUT_OF_CACHE else 160
+    return paper_n(ctx)
+
+
 def parse_context(value) -> Context:
     """Canonicalize a context spelling: a :class:`Context`, its value
     ("out-of-cache"), or the CLI short forms ("oc", "ic", "in-l2"...)."""
@@ -92,7 +105,8 @@ class TuneRequest:
         self.machine = get_machine(self.machine).name.lower()
         ctx = parse_context(self.context)
         self.context = ctx.value
-        self.n = int(self.n) if self.n is not None else paper_n(ctx)
+        self.n = (int(self.n) if self.n is not None
+                  else default_n(self.kernel, ctx))
         if self.n <= 0:
             raise ValueError(f"n must be positive, got {self.n}")
         # borrow TuneConfig's validation for the search-shaping fields
@@ -225,5 +239,5 @@ class TuneResponse:
             served_from=data.get("served_from"))
 
 
-__all__ = ["TuneRequest", "TuneResponse", "history_digest",
+__all__ = ["TuneRequest", "TuneResponse", "default_n", "history_digest",
            "parse_context"]

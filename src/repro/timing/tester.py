@@ -31,6 +31,18 @@ def _tolerance(spec: KernelSpec, n: int) -> float:
     return eps * max(4, n) * 8
 
 
+def _reduction_close(got: np.ndarray, want: np.ndarray,
+                     tol: float) -> bool:
+    """Association-tolerant comparison for reduction-fed arrays: a
+    relative bound with a unit floor on the denominator (mirroring the
+    scalar-return check), because a dot-product element can cancel to
+    near zero while its absolute rounding error stays proportional to
+    the summand magnitudes.  NaNs never compare close."""
+    with np.errstate(invalid="ignore"):
+        ok = np.abs(got - want) <= tol * np.maximum(1.0, np.abs(want))
+    return bool(np.all(ok))
+
+
 def _first_mismatch(got: np.ndarray, want: np.ndarray) -> int:
     """Index of the first bitwise difference (arrays are known unequal)."""
     ib = np.dtype(f"i{got.dtype.itemsize}")
@@ -39,20 +51,30 @@ def _first_mismatch(got: np.ndarray, want: np.ndarray) -> int:
 
 
 def make_inputs(spec: KernelSpec, n: int, rng: np.random.Generator):
-    arrays = {v: rng.standard_normal(max(n, 1)).astype(spec.dtype)
-              for v in spec.vector_args}
+    arrays = {v: rng.standard_normal(max(spec.arg_elems(v, n), 1))
+              .astype(spec.dtype) for v in spec.array_args}
     scalars: Dict[str, float] = {"N": n}
     for s in spec.scalar_args:
         scalars[s] = float(rng.standard_normal())
     return arrays, scalars
 
 
+def ref_views(spec: KernelSpec, arrays: Dict[str, np.ndarray],
+              n: int) -> Dict[str, np.ndarray]:
+    """Per-argument views of exactly the elements the kernel owns at
+    size ``n`` (arrays are padded to length >= 1 for the allocator;
+    matrix arguments hold ``n*n`` elements)."""
+    return {k: v[:spec.arg_elems(k, n)] for k, v in arrays.items()}
+
+
 def test_function(fn: Function, spec: KernelSpec,
-                  sizes: Sequence[int] = DEFAULT_SIZES,
+                  sizes: Optional[Sequence[int]] = None,
                   seed: int = 0xC0FFEE,
                   trials_per_size: int = 1) -> None:
     """Raise :class:`KernelTestFailure` if ``fn`` disagrees with the
     reference on any size/trial."""
+    if sizes is None:
+        sizes = spec.test_sizes or DEFAULT_SIZES
     rng = np.random.default_rng(seed)
     for n in sizes:
         for _ in range(trials_per_size):
@@ -63,10 +85,10 @@ def test_function(fn: Function, spec: KernelSpec,
             fscalars = {k: v for k, v in scalars.items() if k != "N"}
             result = run_function(fn, got_arrays,
                                   {"N": n, **fscalars})
-            # the reference must see exactly n elements (arrays are
-            # padded to length >= 1 for the interpreter's allocator)
-            ref_views = {k: v[:n] for k, v in ref_arrays.items()}
-            ref = reference(spec, ref_views, fscalars)
+            # the reference must see exactly the elements each argument
+            # owns at size n (arrays are padded to length >= 1 for the
+            # interpreter's allocator; matrices hold n*n elements)
+            ref = reference(spec, ref_views(spec, ref_arrays, n), fscalars)
 
             # vector outputs: element-wise outputs must match the
             # reference bitwise (the interpreter rounds at every step,
@@ -75,10 +97,11 @@ def test_function(fn: Function, spec: KernelSpec,
             # association-tolerant bound scaled by the real reduction
             # length, because SIMD/AE legitimately reorder the adds
             for name in spec.output_args:
-                got, want = got_arrays[name][:n], ref_arrays[name][:n]
+                elems = spec.arg_elems(name, n)
+                got = got_arrays[name][:elems]
+                want = ref_arrays[name][:elems]
                 if name in spec.reduction_outputs:
-                    if not np.allclose(got, want, rtol=_tolerance(spec, n),
-                                       atol=0):
+                    if not _reduction_close(got, want, _tolerance(spec, n)):
                         with np.errstate(invalid="ignore"):
                             bad = int(np.argmax(np.abs(got - want)))
                         raise KernelTestFailure(
@@ -114,6 +137,6 @@ def test_function(fn: Function, spec: KernelSpec,
 
 
 def test_kernel(compiled: CompiledKernel, spec: KernelSpec,
-                sizes: Sequence[int] = DEFAULT_SIZES,
+                sizes: Optional[Sequence[int]] = None,
                 seed: int = 0xC0FFEE) -> None:
     test_function(compiled.fn, spec, sizes=sizes, seed=seed)

@@ -21,8 +21,10 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..fko.pipeline import CompiledKernel
+from ..hil.tiling import NestInfo, nest_info
 from ..util import LRUCache, check_schema
 from ..kernels.blas1 import KernelSpec
+from ..machine.blocking import nest_cycles
 from ..machine.config import MachineConfig
 from ..machine.loopinfo import LoopSummary, summarize
 from ..machine.timing import Context, LoopTimer, TimingResult
@@ -105,6 +107,28 @@ class Timer:
         self._base_cache.put(share_key, result)
         return result
 
+    def base_nest(self, summary: LoopSummary, nest: NestInfo,
+                  tiles: dict, share_key: Optional[Hashable] = None
+                  ) -> TimingResult:
+        """The analytic blocked-nest walk (no noise) for a kernel whose
+        tuned loop is the innermost level of a full loop nest — the
+        per-line walk cannot cover O(N^3) traffic, so the capacity-miss
+        model of :mod:`repro.machine.blocking` replaces it.  Memoized
+        under ``share_key`` exactly like :meth:`base` (a share key
+        pins the tiled source, so tiles are part of the identity)."""
+        if share_key is None:
+            return nest_cycles(summary, nest, tiles, self.machine,
+                               self.context, self.n)
+        hit = self._base_cache.get(share_key)
+        if hit is not None:
+            self.base_hits += 1
+            return hit
+        self.base_misses += 1
+        result = nest_cycles(summary, nest, tiles, self.machine,
+                             self.context, self.n)
+        self._base_cache.put(share_key, result)
+        return result
+
     def peek_base(self, share_key: Optional[Hashable]) -> \
             Optional[TimingResult]:
         """The memoized walk for ``share_key``, or None.  Lets callers
@@ -161,8 +185,14 @@ class Timer:
 
     def time(self, compiled: CompiledKernel, spec: KernelSpec) -> KernelTiming:
         summary = summarize(compiled.fn)
-        return self.time_summary(summary, spec.flops(self.n),
-                                 ident=f"{spec.name}|{compiled.params.key()}")
+        ident = f"{spec.name}|{compiled.params.key()}"
+        nest = nest_info(spec.hil) if spec.nest_timing else None
+        if nest is not None:
+            tiles = (compiled.params.tiles()
+                     if compiled.params is not None else {})
+            return self.finish(self.base_nest(summary, nest, tiles),
+                               spec.flops(self.n), ident)
+        return self.time_summary(summary, spec.flops(self.n), ident=ident)
 
     def cache_stats(self) -> dict:
         """Walk-reuse counters for the batched-evaluation path."""

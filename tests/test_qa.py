@@ -62,11 +62,13 @@ class TestSampler:
         assert a != b
 
     def test_round_robin_covers_every_cell(self):
-        samples = list(iter_samples(0, 28))
+        samples = list(iter_samples(0, 40))
         cells = {(s.kernel, s.machine) for s in samples}
-        assert len(cells) == 28          # 14 kernels x 2 machines
+        assert len(cells) == 40          # 20 kernels x 2 machines
         machines = {m for _, m in cells}
         assert machines == {"p4e", "opteron"}
+        kernels = {k for k, _ in cells}
+        assert {"dgemm", "sstencil3", "dsumsq"} <= kernels
 
     def test_size_pool_hits_the_edges(self):
         sizes = sample_sizes(unroll=4, veclen=2, sv=True)   # step = 8
@@ -92,6 +94,7 @@ def _complexity(sample):
     p = sample.params
     return (sample.n + int(p.sv) + int(p.wnt) + int(p.block_fetch)
             + (p.unroll - 1) + (p.ae - 1) + int(p.lc) + len(p.prefetch)
+            + len(p.ext)
             + int(not p.copy_propagation) + int(not p.peephole)
             + int(not p.cf_cleanup)
             + int(p.register_allocation != "global"))

@@ -71,6 +71,21 @@ class TestStrategies:
         assert set(STRATEGIES) == {"random", "anneal", "genetic",
                                    "exhaustive"}
 
+    def test_shims_warn_and_match_the_registry(self, setup):
+        """The functional wrappers are deprecated shims over
+        make_searcher: they must warn, and return bit-identical results
+        to a direct registry construction."""
+        from repro.search.strategies import make_searcher
+        _, a, space, start, evaluate = setup
+        with pytest.warns(DeprecationWarning, match="make_searcher"):
+            shimmed = random_search(evaluate, space, start,
+                                    max_evals=25, seed=7)
+        direct = make_searcher("random", space, start, max_evals=25,
+                               seed=7).run(evaluate)
+        assert shimmed.best_params.key() == direct.best_params.key()
+        assert shimmed.best_cycles == direct.best_cycles
+        assert shimmed.history == direct.history
+
 
 class TestAgainstExhaustive:
     def test_line_search_matches_exhaustive_on_small_space(self, setup):

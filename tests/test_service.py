@@ -67,6 +67,21 @@ class TestTuneRequestSchema:
         assert r.n == paper_n(Context.IN_L2)
         assert r.context == Context.IN_L2.value
 
+    def test_legacy_payload_digest_and_defaults_unchanged(self):
+        # the exact field set a pre-tiling client sends: it must parse,
+        # canonicalize and digest exactly like a native construction
+        legacy = {"schema": 1, "kernel": "dscal", "machine": "P4E",
+                  "context": "oc", "n": N, "strategy": "line",
+                  "seed": 0, "budget": EVALS, "test": False}
+        assert TuneRequest.from_dict(legacy).digest() == _request().digest()
+        # vector kernels keep the paper's default N (old digests stable)
+        from repro.timing.timer import paper_n
+        assert TuneRequest(kernel="ddot").n == \
+            paper_n(Context.OUT_OF_CACHE)
+        # cubic nest kernels default to matrix orders instead
+        assert TuneRequest(kernel="dgemm").n == 512
+        assert TuneRequest(kernel="dgemm", context="in-l2").n == 160
+
     def test_answer_shaping_fields_change_digest(self):
         base = _request()
         assert _request(seed=1).digest() != base.digest()
@@ -297,6 +312,19 @@ class TestDaemon:
         assert again.history_digest == first.history_digest
         assert stats1["cache_answers"] > stats0["cache_answers"]
         assert stats1["launched"] == stats0["launched"]
+
+    def test_legacy_payload_replays_identically_over_http(self, daemon):
+        # a pre-tiling wire payload must be answered bit-identically to
+        # an in-process run of the same problem
+        legacy = {"schema": 1, "kernel": "dscal", "machine": "p4e",
+                  "context": "out-of-cache", "n": N, "strategy": "line",
+                  "seed": 0, "budget": EVALS, "test": False}
+        with TuningSession(_config()) as s:
+            local = s.tune("dscal", "p4e", Context.OUT_OF_CACHE, N)
+        client = ServeClient(daemon.url)
+        response = client.tune(TuneRequest.from_dict(legacy))
+        assert response.history_digest == history_digest(local.search)
+        assert response.tuned().params.key() == local.params.key()
 
     def test_submit_ticket_and_event_replay(self, daemon):
         client = ServeClient(daemon.url)

@@ -1,0 +1,149 @@
+"""The declarative dimension API of the search space: generic
+accessors, legality gating, draw order, and exact cardinality (the
+``size`` regression that used to omit ``block_fetch_options``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fko import FKO, TransformParams
+from repro.kernels import get_kernel
+from repro.search.space import (SearchSpace, build_space, dim_get,
+                                dim_set, tile_options)
+from repro.hil.tiling import nest_info
+
+
+@pytest.fixture(scope="module")
+def dasum_space():
+    from repro.machine import pentium4e
+    p4e = pentium4e()
+    spec = get_kernel("dasum")
+    analysis = FKO(p4e).analyze(spec.hil)
+    return build_space(analysis, p4e)
+
+
+@pytest.fixture(scope="module")
+def gemm_space():
+    from repro.machine import pentium4e
+    p4e = pentium4e()
+    spec = get_kernel("dgemm")
+    analysis = FKO(p4e).analyze(spec.hil)
+    return build_space(analysis, p4e, nest=nest_info(spec.hil))
+
+
+# ---------------------------------------------------------------------------
+# accessors
+
+class TestDimAccessors:
+    def test_attribute_round_trip(self):
+        p = TransformParams()
+        for name, value in (("sv", False), ("wnt", True), ("unroll", 8),
+                            ("ae", 4), ("block_fetch", True)):
+            q = dim_set(p, name, value)
+            assert dim_get(q, name) == value
+            assert dim_get(p, name) != value   # original untouched
+
+    def test_prefetch_round_trip(self, dasum_space):
+        arr = dasum_space.prefetch_arrays[0]
+        hint = dasum_space.hint_options[0]
+        p = dim_set(TransformParams(), f"pf_dist:{arr}", 256)
+        assert dim_get(p, f"pf_dist:{arr}") == 256
+        q = dim_set(p, f"pf_hint:{arr}", hint)
+        assert dim_get(q, f"pf_hint:{arr}") is hint
+        # zero distance drops the whole prefetch unit
+        r = dim_set(q, f"pf_dist:{arr}", 0)
+        assert not r.pf(arr).enabled
+        # a hint without a distance is not a point in the space
+        s = dim_set(TransformParams(), f"pf_hint:{arr}", hint)
+        assert not s.pf(arr).enabled
+
+    def test_tile_round_trip(self):
+        p = dim_set(TransformParams(), "tile:k", 64)
+        assert dim_get(p, "tile:k") == 64
+        assert p.tiles() == {"k": 64}
+        q = dim_set(p, "tile:k", 0)
+        assert dim_get(q, "tile:k") == 0
+        assert q.key() == TransformParams().key()   # ext fully erased
+
+
+# ---------------------------------------------------------------------------
+# dimension lists
+
+class TestDimensions:
+    def test_legacy_space_has_no_tile_dims(self, dasum_space):
+        assert dasum_space.tile_dims == []
+
+    def test_gemm_space_grows_tile_dims(self, gemm_space):
+        names = [d.name for d in gemm_space.tile_dims]
+        assert names == ["tile:i", "tile:k", "tile:j"]
+        for d in gemm_space.tile_dims:
+            assert d.options[0] == 0          # untiled leads
+            assert d.group == "tile"
+            assert all(t >= 0 for t in d.options)
+
+    def test_tile_options_respect_l2_capacity(self, gemm_space):
+        from repro.machine import pentium4e
+        cap = 0.75 * pentium4e().l2.size
+        for d in gemm_space.tile_dims:
+            for t in d.options[1:]:
+                assert 3 * t * t * 8 <= cap
+
+    def test_hint_dim_is_gated_on_distance(self, dasum_space):
+        arr = dasum_space.prefetch_arrays[0]
+        by_name = {d.name: d for d in dasum_space.dimensions}
+        hint = by_name[f"pf_hint:{arr}"]
+        dist = by_name[f"pf_dist:{arr}"]
+        assert hint.group == dist.group == f"pf:{arr}"
+        assert not hint.legal({dist.name: 0})
+        assert hint.legal({dist.name: 128})
+
+    def test_block_fetch_is_not_sampled(self, dasum_space):
+        bf = next(d for d in dasum_space.dimensions
+                  if d.name == "block_fetch")
+        assert not bf.sampled
+
+    def test_draw_skips_illegal_dims(self, dasum_space):
+        # always choosing the null option => no prefetch, no hint draw
+        drawn = []
+
+        def choose(dim):
+            drawn.append(dim.name)
+            return dim.options[0]
+
+        p = dasum_space.draw(choose)
+        assert not any(pf.enabled for pf in p.prefetch.values())
+        assert not any(name.startswith("pf_hint:") for name in drawn)
+
+
+# ---------------------------------------------------------------------------
+# cardinality (the generic size formula)
+
+def _expected_size(sp: SearchSpace) -> int:
+    nz = len([d for d in sp.dist_options if d > 0])
+    total = (len(sp.sv_options) * len(sp.wnt_options)
+             * len(sp.unroll_options) * len(sp.ae_options)
+             * len(sp.block_fetch_options))
+    for _arr in sp.prefetch_arrays:
+        total *= 1 + nz * len(sp.hint_options)
+    for opts in sp.tile_options.values():
+        total *= len(opts)
+    return total
+
+
+class TestSize:
+    def test_size_counts_block_fetch(self):
+        from repro.machine import pentium4e
+        p4e = pentium4e()
+        analysis = FKO(p4e).analyze(get_kernel("dasum").hil)
+        off = build_space(analysis, p4e, enable_block_fetch=False)
+        on = build_space(analysis, p4e, enable_block_fetch=True)
+        assert on.size == 2 * off.size   # the old formula dropped this
+
+    def test_size_matches_closed_form(self, dasum_space, gemm_space):
+        assert dasum_space.size == _expected_size(dasum_space)
+        assert gemm_space.size == _expected_size(gemm_space)
+        assert gemm_space.size > dasum_space.size
+
+    def test_no_nest_means_no_tile_options(self):
+        from repro.machine import pentium4e
+        assert tile_options(None, pentium4e()) == {}
