@@ -22,7 +22,10 @@ Measures three things and writes ``results/BENCH_eval_throughput.json``:
    loop of (3), measured paired and interleaved in one process
    (best-of-k, so machine load cancels out).  Disabled instrumentation
    costing more than 3% is a hard failure — the second gating check
-   besides divergence.  The *enabled* cost is reported informationally.
+   besides divergence.  The *metrics-enabled* variant (the live
+   registry behind ``/v1/metrics`` switched on, collector still off —
+   the daemon's steady state) is held to the same 3% bar.  The
+   collector-enabled (``--observe``) cost is reported informationally.
 5. **Batched evaluation** — the exact workload of (3) through the
    batched path: one FKO per machine (prefix/full compile memo shared
    across kernels and contexts) and share-keyed timing walks.  Reports
@@ -296,34 +299,82 @@ def _evaluate_batch(machine_name, context_value, kernel, n, keys,
     return time.perf_counter() - t0
 
 
+def _evaluate_batch_metrics(case):
+    """``_evaluate_batch`` with the live metrics registry enabled (and
+    the collector still off) — the steady state of a serving daemon.
+    The registry is reset afterwards so reps don't accumulate."""
+    from repro.obs import metrics as _metrics
+    _metrics.enable()
+    try:
+        return _evaluate_batch(*case)
+    finally:
+        _metrics.disable()
+        _metrics.reset()
+
+
 def obs_overhead(quick: bool, threshold: float = 0.03):
-    """Paired best-of-k: bare loop vs obs-disabled vs obs-enabled.
-    Interleaving the three variants within each rep keeps transient
-    machine load from biasing any single variant."""
-    unrolls = [1, 2, 4, 8] if quick else [1, 2, 3, 4, 6, 8, 12, 16]
+    """Paired reps: bare loop vs obs-disabled vs metrics-enabled vs
+    collector-enabled, interleaved within each rep so transient machine
+    load cannot bias any single variant.  The full key grid is used
+    even under ``--quick`` — the overhead is a *relative* measure, and
+    short reps put the noise floor above the threshold being
+    enforced."""
+    unrolls = [1, 2, 3, 4, 6, 8, 12, 16]
     keys = [(u, ae) for u in unrolls for ae in (1, 2, 4)]
     ctx = Context.OUT_OF_CACHE
     case = ("p4e", ctx.value, "ddot", paper_n(ctx), keys)
-    reps = 3 if quick else 5
+    # single draws are still ±5% noisy, so the estimator is the MEDIAN
+    # of per-rep paired ratios: each variant is divided by the bare
+    # wall of its own rep (temporally adjacent, so CPU-frequency and
+    # load drift cancel), then the median over reps rejects the
+    # outlier draws that min-of-k lets through.  The order of the four
+    # variants ROTATES each rep — a fixed order couples each variant to
+    # a fixed position in the scheduler/boost-clock cycle, which showed
+    # up as a reproducible ±4% position bias.
+    # per-draw noise on a contended box is ~5% stdev, roughly i.i.d.;
+    # the median of n paired ratios then has ~(1.25 * 7% / sqrt(n))
+    # spread, so n=40 puts the estimator's noise near 1% — small
+    # enough to enforce a 3% threshold without coin-flip failures
+    import statistics
+    reps = 40
+    variants = [("bare", lambda: _eval_batch(*case)[0]),
+                ("disabled", lambda: _evaluate_batch(*case)),
+                ("metrics", lambda: _evaluate_batch_metrics(case)),
+                ("enabled", lambda: _evaluate_batch(*case, observe=True))]
     # warm every path once (imports, front-end caches, allocator pools)
-    _eval_batch(*case)
-    _evaluate_batch(*case)
-    _evaluate_batch(*case, observe=True)
-    bare = disabled = enabled = float("inf")
-    for _ in range(reps):
-        bare = min(bare, _eval_batch(*case)[0])
-        disabled = min(disabled, _evaluate_batch(*case))
-        enabled = min(enabled, _evaluate_batch(*case, observe=True))
-    overhead_disabled = disabled / bare - 1.0
-    overhead_enabled = enabled / bare - 1.0
+    for _, run in variants:
+        run()
+    walls = {name: [] for name, _ in variants}
+    for rep in range(reps):
+        for name, run in variants[rep % 4:] + variants[:rep % 4]:
+            walls[name].append(run())
+
+    def paired(name):
+        return statistics.median(
+            w / b for w, b in zip(walls[name], walls["bare"]))
+
+    bare_w, disabled_w = walls["bare"], walls["disabled"]
+    metrics_w, enabled_w = walls["metrics"], walls["enabled"]
+    overhead_disabled = paired("disabled") - 1.0
+    overhead_enabled = paired("enabled") - 1.0
+    # the metrics gate isolates exactly the registry's cost: same
+    # evaluate_params path with the registry on vs off, so the only
+    # difference between the paired walls is the instrumentation
+    # being judged (disabled-vs-bare also spans the engine-front-door
+    # bookkeeping, which is the *other* gate's job)
+    overhead_metrics = statistics.median(
+        m / d for m, d in zip(metrics_w, disabled_w)) - 1.0
     return {"evaluations_per_rep": len(keys), "reps": reps,
-            "bare_wall_s": round(bare, 4),
-            "disabled_wall_s": round(disabled, 4),
-            "enabled_wall_s": round(enabled, 4),
+            "bare_wall_s": round(min(bare_w), 4),
+            "disabled_wall_s": round(min(disabled_w), 4),
+            "metrics_wall_s": round(min(metrics_w), 4),
+            "enabled_wall_s": round(min(enabled_w), 4),
             "overhead_disabled": round(overhead_disabled, 4),
+            "overhead_metrics": round(overhead_metrics, 4),
             "overhead_enabled": round(overhead_enabled, 4),
             "threshold": threshold,
-            "ok": overhead_disabled <= threshold}
+            "ok": (overhead_disabled <= threshold
+                   and overhead_metrics <= threshold)}
 
 
 def main(argv=None):
@@ -363,12 +414,14 @@ def main(argv=None):
           f"shared walks {bt['walk_hits']}/{bt['walk_hits'] + bt['walk_misses']}")
     print(f"cycle mismatches vs unbatched: {bt['cycle_mismatches']}")
 
-    print("== observability overhead (disabled must be <= "
-          f"{args.obs_threshold:.0%}) ==")
+    print("== observability overhead (disabled and metrics-on must "
+          f"be <= {args.obs_threshold:.0%}) ==")
     oo = obs_overhead(args.quick, args.obs_threshold)
     print(f"bare {oo['bare_wall_s']}s, obs-disabled {oo['disabled_wall_s']}s "
-          f"({oo['overhead_disabled']:+.1%}), obs-enabled "
-          f"{oo['enabled_wall_s']}s ({oo['overhead_enabled']:+.1%})")
+          f"({oo['overhead_disabled']:+.1%}), metrics-on "
+          f"{oo['metrics_wall_s']}s ({oo['overhead_metrics']:+.1%}), "
+          f"obs-enabled {oo['enabled_wall_s']}s "
+          f"({oo['overhead_enabled']:+.1%})")
 
     report = {"quick": args.quick, "timing_path": tp,
               "eval_throughput": et, "batched_throughput": bt,
@@ -387,9 +440,10 @@ def main(argv=None):
               f"{bt['cycle_mismatches']} evaluations", file=sys.stderr)
         rc = 1
     if not oo["ok"]:
-        print(f"FAIL: disabled observability costs "
-              f"{oo['overhead_disabled']:+.1%} of eval throughput "
-              f"(threshold {args.obs_threshold:.0%})", file=sys.stderr)
+        print(f"FAIL: observability overhead exceeds the "
+              f"{args.obs_threshold:.0%} threshold (disabled "
+              f"{oo['overhead_disabled']:+.1%}, metrics-on "
+              f"{oo['overhead_metrics']:+.1%})", file=sys.stderr)
         rc = 1
     return rc
 

@@ -9,6 +9,13 @@ equal measured-compilation cost.  Writes
 ``results/BENCH_strategies.json`` with per-point best cycles, speedups
 over the FKO-defaults start, and a summary of who won where.
 
+Every strategy's session records a search trace, and the race also
+emits the **anytime-performance curves** derived from them
+(``results/BENCH_strategy_curves.json`` + ``.md``): mean
+ratio-of-best-known per strategy at power-of-two budget checkpoints,
+so strategies are compared along the whole budget, not just at the
+finish line (``repro curves`` renders the same view for any trace).
+
 The one hard failure (nonzero exit) is a *structured-search regression*:
 ``anneal`` or ``genetic`` losing to uniform ``random`` sampling on any
 grid point at equal budget.  Everything else (who wins overall, wall
@@ -28,13 +35,17 @@ import argparse
 import json
 import pathlib
 import sys
+import tempfile
 import time
+from itertools import chain
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.kernels import KERNEL_ORDER
 from repro.machine import Context
-from repro.search import TuneConfig, TuningSession
+from repro.obs import (aggregate_curves, collect_curves, curves_document,
+                       render_curves_markdown)
+from repro.search import TraceStream, TuneConfig, TuningSession
 
 RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -54,12 +65,16 @@ def _grid(quick: bool):
                 yield kernel, machine, ctx, n
 
 
-def race(quick: bool, budget: int, seed: int, jobs: int):
+def race(quick: bool, budget: int, seed: int, jobs: int,
+         trace_dir: pathlib.Path):
     grid = {}
     walls = {}
+    traces = []
     for strategy in STRATEGIES:
+        trace = trace_dir / f"race_{strategy}.jsonl"
+        traces.append(trace)
         cfg = TuneConfig(strategy=strategy, seed=seed, max_evals=budget,
-                         run_tester=False, jobs=jobs)
+                         run_tester=False, jobs=jobs, trace=str(trace))
         t0 = time.perf_counter()
         with TuningSession(cfg) as session:
             for kernel, machine, ctx, n in _grid(quick):
@@ -73,7 +88,7 @@ def race(quick: bool, budget: int, seed: int, jobs: int):
                     "speedup_over_start": round(r.speedup_over_start, 4),
                 }
         walls[strategy] = round(time.perf_counter() - t0, 2)
-    return grid, walls
+    return grid, walls, traces
 
 
 def summarize(grid):
@@ -107,7 +122,12 @@ def main(argv=None):
     ap.add_argument("--out", default=str(RESULTS / "BENCH_strategies.json"))
     args = ap.parse_args(argv)
 
-    grid, walls = race(args.quick, args.budget, args.seed, args.jobs)
+    with tempfile.TemporaryDirectory(prefix="bench-strategies-") as td:
+        grid, walls, traces = race(args.quick, args.budget, args.seed,
+                                   args.jobs, pathlib.Path(td))
+        curves = collect_curves(chain.from_iterable(
+            TraceStream(str(t)) for t in traces if t.exists()))
+        aggregate = aggregate_curves(curves)
     summary = summarize(grid)
 
     print(f"== strategy race: {summary['points']} grid points, "
@@ -128,6 +148,23 @@ def main(argv=None):
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
     print(f"wrote {out}")
+
+    curves_json = out.parent / "BENCH_strategy_curves.json"
+    curves_md = out.parent / "BENCH_strategy_curves.md"
+    doc = curves_document(curves, aggregate)
+    doc.update(quick=args.quick, budget=args.budget, seed=args.seed)
+    curves_json.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    curves_md.write_text(render_curves_markdown(
+        curves, aggregate,
+        title=f"Anytime performance (budget {args.budget}, "
+              f"seed {args.seed})") + "\n")
+    print(f"wrote {curves_json} and {curves_md}")
+    for strategy, row in aggregate.get("strategies", {}).items():
+        cells = " ".join(
+            f"@{k}={row['ratio_of_best'][k]:.3f}"
+            for k in aggregate["checkpoints"]
+            if row["ratio_of_best"].get(k) is not None)
+        print(f"anytime {strategy:8s} {cells}")
 
     if summary["random_regressions"]:
         print("FAIL: structured search lost to uniform random sampling",

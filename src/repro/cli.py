@@ -18,6 +18,9 @@ command line; this module provides the same ergonomics::
     python -m repro trace tune.jsonl
     python -m repro trace tune.jsonl --perfetto tune.perfetto.json
     python -m repro report tune.jsonl -o report.md
+    python -m repro metrics --serve-url http://127.0.0.1:8642
+    python -m repro curves tune.jsonl --json curves.json -o curves.md
+    python -m repro perf diff results/OLD.json results/NEW.json
     python -m repro kernels
     python -m repro experiments fig2 table3 --jobs 4
 
@@ -39,6 +42,7 @@ bit-identical by construction.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import sys
@@ -50,9 +54,12 @@ from .kernels import KERNEL_ORDER, REGISTRY, get_kernel
 from .kernels.blas3 import BLAS3_ORDER
 from .kernels.blas1 import KernelSpec
 from .machine import Context, get_machine
-from .obs import render_report, write_perfetto
-from .search import (TuneConfig, TuningSession, read_trace, registry_jobs,
-                     render_trace_summary, searcher_names, summarize_trace)
+from .obs import (aggregate_curves, collect_curves, curves_document,
+                  diff_metrics, load_artifact, render_curves_markdown,
+                  render_diff, render_report, write_perfetto)
+from .search import (TraceStream, TuneConfig, TuningSession, read_trace,
+                     registry_jobs, render_trace_summary, searcher_names,
+                     summarize_trace)
 from .timing.tester import test_function
 from .timing.timer import paper_n
 
@@ -393,20 +400,29 @@ def _tune_all_via_serve(args, jobs) -> int:
 
 
 def cmd_trace(args) -> int:
-    try:
-        events = read_trace(args.file)
-    except OSError as exc:
-        raise SystemExit(f"error: cannot read trace {args.file!r}: {exc}")
-    if not events:
-        print(f"# trace: {args.file} is empty")
-        return 0
     if args.perfetto:
+        try:
+            events = read_trace(args.file)
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot read trace {args.file!r}: {exc}")
+        if not events:
+            print(f"# trace: {args.file} is empty")
+            return 0
         doc = write_perfetto(events, args.perfetto)
         print(f"# perfetto: {len(doc['traceEvents'])} trace events "
               f"-> {args.perfetto} (open in https://ui.perfetto.dev "
               f"or chrome://tracing)")
         return 0
-    print(render_trace_summary(summarize_trace(events)))
+    # the summary never needs the events in memory: one streamed pass
+    try:
+        summary = summarize_trace(TraceStream(args.file))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read trace {args.file!r}: {exc}")
+    if not summary.get("n_events"):
+        print(f"# trace: {args.file} is empty")
+        return 0
+    print(render_trace_summary(summary))
     return 0
 
 
@@ -433,7 +449,75 @@ def cmd_serve(args) -> int:
                         trace=args.trace_out)
     return serve(host=args.host, port=args.port, config=config,
                  results_dir=args.results_dir, verbose=args.verbose,
-                 max_total_evals=args.max_total_evals)
+                 max_total_evals=args.max_total_evals,
+                 metrics=not args.no_metrics)
+
+
+def cmd_metrics(args) -> int:
+    """Snapshot a running daemon's ``/v1/metrics``."""
+    import urllib.error
+    import urllib.request
+
+    url = args.serve_url.rstrip("/") + "/v1/metrics"
+    if args.json:
+        url += "?format=json"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as resp:
+            body = resp.read().decode()
+    except (urllib.error.URLError, OSError) as exc:
+        raise SystemExit(f"error: cannot fetch {url}: {exc} "
+                         f"(is `repro serve` running?)")
+    sys.stdout.write(body if body.endswith("\n") else body + "\n")
+    return 0
+
+
+def cmd_curves(args) -> int:
+    """Anytime-performance curves from one or more search traces."""
+    from itertools import chain
+
+    for path in args.files:
+        if not pathlib.Path(path).exists():
+            raise SystemExit(f"error: cannot read trace {path!r}: "
+                             f"no such file")
+    streams = [TraceStream(path) for path in args.files]
+    curves = collect_curves(chain.from_iterable(streams))
+    if not curves:
+        print(f"# curves: no convergence data in "
+              f"{', '.join(args.files)}")
+        return 1
+    aggregate = aggregate_curves(curves)
+    if args.json:
+        doc = curves_document(curves, aggregate)
+        pathlib.Path(args.json).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"# curves json -> {args.json}")
+    text = render_curves_markdown(
+        curves, aggregate, title=args.title or "Anytime performance")
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+        print(f"# curves -> {args.out}")
+    elif not args.json:
+        print(text)
+    return 0
+
+
+def cmd_perf_diff(args) -> int:
+    """Diff two benchmark artifacts; exit 1 on a gated regression."""
+    try:
+        old = load_artifact(args.old)
+        new = load_artifact(args.new)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot load artifact: {exc}")
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise SystemExit(f"error: malformed artifact: {exc}")
+    report = diff_metrics(old, new, threshold=args.threshold)
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(report, indent=2) + "\n")
+        print(f"# perf diff json -> {args.json}")
+    print(f"# perf diff: {args.old} -> {args.new}")
+    print(render_diff(report, verbose=args.verbose))
+    return 1 if report["regressions"] else 0
 
 
 def cmd_fuzz(args) -> int:
@@ -628,9 +712,24 @@ def build_parser() -> argparse.ArgumentParser:
     psv.add_argument("--max-total-evals", type=int, default=None,
                      help="refuse new engine runs once this many "
                           "evaluations have been spent across all jobs")
+    psv.add_argument("--no-metrics", action="store_true",
+                     help="do not enable the process metrics registry "
+                          "(GET /v1/metrics then answers empty series)")
     psv.add_argument("--verbose", "-v", action="store_true",
                      help="log every HTTP request to stderr")
     psv.set_defaults(func=cmd_serve)
+
+    pmx = sub.add_parser("metrics",
+                         help="print a running daemon's /v1/metrics "
+                              "snapshot (Prometheus text exposition)")
+    pmx.add_argument("--serve-url", default="http://127.0.0.1:8642",
+                     metavar="URL",
+                     help="daemon base URL (default "
+                          "http://127.0.0.1:8642)")
+    pmx.add_argument("--json", action="store_true",
+                     help="fetch the JSON snapshot instead of the "
+                          "Prometheus text format")
+    pmx.set_defaults(func=cmd_metrics)
 
     ptr = sub.add_parser("trace",
                          help="summarize a JSONL search trace")
@@ -650,6 +749,42 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--title", default=None,
                     help="report title (default: generic)")
     pr.set_defaults(func=cmd_report)
+
+    pcv = sub.add_parser("curves",
+                         help="render fixed-budget anytime-performance "
+                              "curves per search strategy from one or "
+                              "more traces (markdown + JSON)")
+    pcv.add_argument("files", nargs="+",
+                     help="trace file(s) written by --trace-out")
+    pcv.add_argument("--json", default=None, metavar="FILE",
+                     help="also write the curves document as JSON")
+    pcv.add_argument("--out", "-o", default=None, metavar="FILE",
+                     help="write the markdown to FILE instead of stdout")
+    pcv.add_argument("--title", default=None,
+                     help="markdown title (default: generic)")
+    pcv.set_defaults(func=cmd_curves)
+
+    ppf = sub.add_parser("perf",
+                         help="performance regression tracking over "
+                              "benchmark artifacts")
+    ppfs = ppf.add_subparsers(dest="perf_command", required=True)
+    ppd = ppfs.add_parser(
+        "diff",
+        help="compare two results/BENCH_*.json artifacts (or two "
+             ".jsonl traces, reduced to their summaries); exits 1 "
+             "when a gated deterministic metric regresses")
+    ppd.add_argument("old", help="baseline artifact (JSON or .jsonl)")
+    ppd.add_argument("new", help="candidate artifact (JSON or .jsonl)")
+    ppd.add_argument("--threshold", type=float, default=0.05,
+                     metavar="F",
+                     help="relative regression threshold "
+                          "(default 0.05 = 5%%)")
+    ppd.add_argument("--json", default=None, metavar="FILE",
+                     help="also write the full diff report as JSON")
+    ppd.add_argument("--verbose", "-v", action="store_true",
+                     help="list every compared metric, not just "
+                          "notable movements")
+    ppd.set_defaults(func=cmd_perf_diff)
 
     pf = sub.add_parser("fuzz",
                         help="differentially fuzz the transform space: "

@@ -15,11 +15,13 @@ parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Optional, Set, Union
 
 from ..errors import TransformError
 from ..ir import Function, verify
 from ..machine.config import MachineConfig
+from ..obs import metrics as _metrics
 from ..obs.core import active as _obs_active
 from .accexpand import expand_accumulators
 from .analysis import KernelAnalysis, analyze
@@ -52,6 +54,14 @@ class CompiledKernel:
         return bool(self.applied.get("sv"))
 
 
+#: metrics-only pass timing samples 1 call in N: a single pass runs in
+#: single-digit microseconds here, so timing every one would blow the
+#: 3% eval-throughput budget; a deterministic 1-in-32 countdown keeps
+#: the histogram shape while an untimed call pays one decrement + test
+_SAMPLE_EVERY = 32
+_sample_tick = _SAMPLE_EVERY
+
+
 def _run_pass(col, work: Function, name: str, thunk):
     """Execute one pipeline pass, recording a span on the active
     collector.  ``applied`` is inferred from the thunk's return value:
@@ -59,10 +69,28 @@ def _run_pass(col, work: Function, name: str, thunk):
     means it found nothing to do.  With no collector this is a plain
     call — no timing, no IR snapshotting."""
     if col is None:
-        return thunk()
+        if not _metrics._ENABLED:
+            return thunk()
+        # metrics only: sampled histogram observations, no IR
+        # snapshots.  Fed exclusively here (never from shipped worker
+        # outcomes), so each timed pass execution is counted exactly
+        # once — in the process that ran it.
+        global _sample_tick
+        _sample_tick -= 1
+        if _sample_tick > 0:
+            return thunk()
+        _sample_tick = _SAMPLE_EVERY
+        t0 = perf_counter()
+        result = thunk()
+        _metrics.observe("repro_pass_wall_seconds",
+                         perf_counter() - t0, **{"pass": name})
+        return result
     with col.pass_span(name, work) as span:
         result = thunk()
         span.applied = True if result is None else bool(result)
+    if _metrics._ENABLED:
+        _metrics.observe("repro_pass_wall_seconds",
+                         col.passes[-1]["wall"], **{"pass": name})
     return result
 
 

@@ -25,6 +25,7 @@ per-cache-level traffic without walking ``N^3`` iterations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from . import ast
@@ -617,27 +618,79 @@ def apply_tiling(source: str, tiles: Dict[str, int]) -> str:
 
 # ---------------------------------------------------------------------------
 # memoized fronts (FKO calls these per compile)
+#
+# Observability: tiling runs on *source text*, before any IR exists, so
+# it is invisible to the pipeline's pass spans.  When a collector is
+# installed these fronts bypass their memo tables (both functions are
+# deterministic string -> value maps, so a recompute is bit-identical
+# to the cached answer — proven in tests) and record ``tile-discover``
+# / ``tile-apply`` pass spans with ``tile.*`` detail counters instead.
+# With only the metrics registry enabled, memoization stays on and cold
+# computations feed the ``repro_tile_wall_seconds`` histogram.
 
 _NEST_CACHE: Dict[str, Optional[NestInfo]] = {}
 _TILED_CACHE: Dict[Tuple[str, Tuple[Tuple[str, int], ...]], str] = {}
 
 
 def nest_info(source: str) -> Optional[NestInfo]:
-    """Memoized :func:`find_nest`."""
+    """Memoized :func:`find_nest` (recomputed under observation so each
+    observed compile carries its own ``tile-discover`` span)."""
+    from ..obs import metrics as _metrics
+    from ..obs.core import active as _obs_active
+
+    col = _obs_active()
+    if col is not None:
+        with col.pass_span("tile-discover") as span:
+            info = find_nest(source)
+            span.applied = info is not None
+            if info is not None:
+                col.count("tile.nest_loops", len(info.levels))
+                col.count("tile.nest_arrays", len(info.pointers))
+        _NEST_CACHE[source] = info
+        return info
     if source not in _NEST_CACHE:
-        _NEST_CACHE[source] = find_nest(source)
+        if _metrics._ENABLED:
+            t0 = perf_counter()
+            _NEST_CACHE[source] = find_nest(source)
+            _metrics.observe("repro_tile_wall_seconds",
+                             perf_counter() - t0, stage="discover")
+        else:
+            _NEST_CACHE[source] = find_nest(source)
     return _NEST_CACHE[source]
 
 
 def tiled_source(source: str, tiles: Dict[str, int]) -> str:
-    """Memoized :func:`apply_tiling`; identity when ``tiles`` is empty."""
+    """Memoized :func:`apply_tiling`; identity when ``tiles`` is empty.
+    Under observation the rewrite is recomputed inside a ``tile-apply``
+    span (with the nest rediscovered first, so the span pair brackets
+    the whole source-level transform)."""
+    from ..obs import metrics as _metrics
+    from ..obs.core import active as _obs_active
+
     tiles = {v: int(t) for v, t in (tiles or {}).items() if int(t) > 0}
     if not tiles:
         return source
     key = (source, tuple(sorted(tiles.items())))
+    col = _obs_active()
+    if col is not None:
+        nest_info(source)
+        with col.pass_span("tile-apply") as span:
+            out = apply_tiling(source, tiles)
+            col.count("tile.loops_tiled", len(tiles))
+            col.count("tile.lines_delta",
+                      out.count("\n") - source.count("\n"))
+            span.applied = True
+        _TILED_CACHE[key] = out
+        return out
     hit = _TILED_CACHE.get(key)
     if hit is None:
-        hit = _TILED_CACHE[key] = apply_tiling(source, tiles)
+        if _metrics._ENABLED:
+            t0 = perf_counter()
+            hit = _TILED_CACHE[key] = apply_tiling(source, tiles)
+            _metrics.observe("repro_tile_wall_seconds",
+                             perf_counter() - t0, stage="apply")
+        else:
+            hit = _TILED_CACHE[key] = apply_tiling(source, tiles)
     return hit
 
 

@@ -26,11 +26,19 @@ provably non-perturbing — cycle counts, eval-cache keys and searcher
 decisions are bit-identical either way (``tests/test_obs.py``).
 """
 
+from . import metrics
 from .core import Collector, PassSpan, active, count, enabled, use
+from .curves import (aggregate_curves, collect_curves, curves_document,
+                     render_curves_markdown)
 from .irstats import IRSnapshot, ir_snapshot
+from .metrics import MetricsRegistry
+from .perfdiff import diff_metrics, load_artifact, render_diff
 from .perfetto import export_perfetto, write_perfetto
 from .report import render_report
 
 __all__ = ["Collector", "PassSpan", "active", "count", "enabled", "use",
            "IRSnapshot", "ir_snapshot", "export_perfetto",
-           "write_perfetto", "render_report"]
+           "write_perfetto", "render_report", "metrics",
+           "MetricsRegistry", "collect_curves", "aggregate_curves",
+           "curves_document", "render_curves_markdown", "diff_metrics",
+           "render_diff", "load_artifact"]

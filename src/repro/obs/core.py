@@ -38,9 +38,11 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, List, Optional
 
-from .irstats import ir_snapshot
+from .irstats import IRSnapshot, ir_snapshot
 
 _ACTIVE: Optional["Collector"] = None
+
+_NO_IR = IRSnapshot(0, 0, 0)
 
 
 def active() -> Optional["Collector"]:
@@ -92,8 +94,10 @@ class Collector:
         self.metrics[name] = value
 
     # -- pass spans -----------------------------------------------------
-    def pass_span(self, name: str, fn) -> "PassSpan":
-        """Open a span around one transform pass over ``fn``."""
+    def pass_span(self, name: str, fn=None) -> "PassSpan":
+        """Open a span around one transform pass over ``fn``.  Passing
+        ``fn=None`` records a span with zero IR stats — for work that
+        happens before any IR exists (e.g. source-level tiling)."""
         return PassSpan(self, name, fn)
 
     def snapshot(self) -> Dict:
@@ -122,14 +126,14 @@ class PassSpan:
         self.applied = True
 
     def __enter__(self) -> "PassSpan":
-        self._before = ir_snapshot(self.fn)
+        self._before = _NO_IR if self.fn is None else ir_snapshot(self.fn)
         self._counters0 = dict(self.col.counters)
         self._t0 = perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         wall = perf_counter() - self._t0
-        after = ir_snapshot(self.fn)
+        after = _NO_IR if self.fn is None else ir_snapshot(self.fn)
         before = self._before
         base = self._counters0
         detail = {k: v - base.get(k, 0)

@@ -1,0 +1,160 @@
+"""Performance regression tracking — ``repro perf diff``.
+
+Compares two benchmark artifacts (the ``results/BENCH_*.json`` files
+the benchmarks write, or two raw ``.jsonl`` traces, which are first
+reduced through ``summarize_trace``) and reports per-metric deltas.
+
+Two separate questions are kept apart:
+
+* **reporting** — every numeric leaf present in *both* artifacts gets
+  a delta row, classified higher-is-better / lower-is-better /
+  informational by key-name convention (``mflops`` up is good,
+  ``wall`` up is bad, a bare ``n`` is neither);
+* **gating** — only *deterministic* metrics fail the diff.  Wall
+  clock, evals/sec and anything else a loaded CI runner can shift are
+  reported but never gate; cycle counts, mismatch counters and
+  race-invariant violations are machine-independent in this repo (the
+  simulated hardware is deterministic), so a shift there is a real
+  regression.  The default gate set matches what the benchmarks
+  themselves hard-fail on.
+
+Thresholds are relative (``|new - old| / |old|``); a gated metric
+whose old value was 0 regresses on *any* worsening (0 mismatches is a
+floor, not a baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["flatten_numeric", "classify_metric", "diff_metrics",
+           "render_diff", "load_artifact", "DEFAULT_GATES"]
+
+#: key-name fragments that mark a metric as higher-is-better
+_HIGHER = ("evals_per_sec", "speedup", "hit_rate", "hits", "mflops",
+           "ratio_of_best", "throughput")
+#: ... and lower-is-better
+_LOWER = ("wall", "cycles", "overhead", "mismatch", "regression",
+          "malformed", "error", "timeout", "fault", "misses", "seconds")
+
+#: metrics gated by default: deterministic under the simulated
+#: machines, so any drift is a code change, not runner noise
+DEFAULT_GATES = ("best_cycles", "cycle_mismatch", "mismatches",
+                 "random_regressions", "regressions")
+
+
+def flatten_numeric(obj, prefix: str = "") -> Dict[str, float]:
+    """Every numeric leaf of a nested JSON document, dotted-path keyed.
+    Booleans are skipped (they are statuses, not metrics); list items
+    are indexed."""
+    out: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            out.update(flatten_numeric(v, f"{prefix}{k}."))
+    elif isinstance(obj, (list, tuple)):
+        for i, v in enumerate(obj):
+            out.update(flatten_numeric(v, f"{prefix}{i}."))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        out[prefix[:-1]] = float(obj)
+    return out
+
+
+def classify_metric(key: str) -> Optional[str]:
+    """``"higher"`` / ``"lower"`` / None (informational) by key name.
+    The most specific (longest) matching fragment wins, so
+    ``cache_hit_rate`` is higher-is-better even though ``hits`` alone
+    would also match."""
+    low = key.lower()
+    best: Tuple[int, Optional[str]] = (0, None)
+    for frag in _HIGHER:
+        if frag in low and len(frag) > best[0]:
+            best = (len(frag), "higher")
+    for frag in _LOWER:
+        if frag in low and len(frag) > best[0]:
+            best = (len(frag), "lower")
+    return best[1]
+
+
+def diff_metrics(old: Dict, new: Dict, threshold: float = 0.05,
+                 gates: Tuple[str, ...] = DEFAULT_GATES) -> Dict:
+    """Compare two artifacts.  Returns ``{"rows": [...], "regressions":
+    [...], "only_old": [...], "only_new": [...]}`` where each row is
+    ``{key, old, new, delta_pct, direction, gated, regressed}``.
+
+    Only keys present in both artifacts are compared (a quick-mode
+    baseline diffed against a full run simply has fewer common keys);
+    one-sided keys are listed, not judged."""
+    fold = flatten_numeric(old)
+    fnew = flatten_numeric(new)
+    rows: List[Dict] = []
+    regressions: List[Dict] = []
+    for key in sorted(set(fold) & set(fnew)):
+        o, n = fold[key], fnew[key]
+        direction = classify_metric(key)
+        if o != 0:
+            delta = (n - o) / abs(o)
+        else:
+            delta = 0.0 if n == 0 else float("inf")
+        worse = ((direction == "higher" and delta < 0)
+                 or (direction == "lower" and delta > 0))
+        gated = any(frag in key.lower() for frag in gates)
+        regressed = bool(gated and direction is not None and worse
+                         and abs(delta) > threshold)
+        row = {"key": key, "old": o, "new": n, "delta": delta,
+               "direction": direction, "gated": gated,
+               "regressed": regressed}
+        rows.append(row)
+        if regressed:
+            regressions.append(row)
+    return {"rows": rows, "regressions": regressions,
+            "only_old": sorted(set(fold) - set(fnew)),
+            "only_new": sorted(set(fnew) - set(fold)),
+            "threshold": threshold}
+
+
+def render_diff(report: Dict, verbose: bool = False) -> str:
+    """Human-readable diff: regressions first, then notable movements
+    (``verbose`` lists every common key)."""
+    lines: List[str] = []
+    regs = report["regressions"]
+    if regs:
+        lines.append(f"REGRESSIONS ({len(regs)}), "
+                     f"threshold {report['threshold']:.1%}:")
+        for r in regs:
+            lines.append(f"  {r['key']}: {r['old']:g} -> {r['new']:g} "
+                         f"({r['delta']:+.1%}, {r['direction']}-is-better)")
+    else:
+        lines.append(f"no regressions (threshold "
+                     f"{report['threshold']:.1%})")
+    moved = [r for r in report["rows"]
+             if not r["regressed"] and r["old"] != r["new"]]
+    shown = moved if verbose else [
+        r for r in moved
+        if r["direction"] is not None and abs(r["delta"]) > 0.01]
+    if shown:
+        lines.append(f"moved ({len(moved)} metric(s), "
+                     f"showing {len(shown)}):")
+        for r in shown:
+            arrow = {"higher": "good" if r["delta"] > 0 else "bad",
+                     "lower": "good" if r["delta"] < 0 else "bad"}.get(
+                         r["direction"], "info")
+            lines.append(f"  {r['key']}: {r['old']:g} -> {r['new']:g} "
+                         f"({r['delta']:+.1%}, {arrow})")
+    n_same = len(report["rows"]) - len(moved) - len(regs)
+    lines.append(f"unchanged: {n_same}  "
+                 f"only-old: {len(report['only_old'])}  "
+                 f"only-new: {len(report['only_new'])}")
+    return "\n".join(lines)
+
+
+def load_artifact(path: str) -> Dict:
+    """A BENCH JSON document, or a ``.jsonl`` trace reduced to its
+    summary (streamed, never materialized)."""
+    if path.endswith(".jsonl"):
+        from ..search.trace import TraceStream, summarize_trace
+        return summarize_trace(TraceStream(path))
+    with open(path) as fh:
+        return json.load(fh)

@@ -154,6 +154,47 @@ def render_report(events: List[Dict], title: Optional[str] = None) -> str:
         lines += ["No attribution telemetry in this trace — record one "
                   "with `--observe` to get the cycle breakdown.", ""]
 
+    # -- TILE phase (Level-3 blocked nests) -----------------------------
+    # Rendered only when the trace carries TILE-phase activity, so
+    # Level-1/2 reports are byte-identical to before this section
+    # existed.
+    tile_jobs: "OrderedDict[str, Dict]" = OrderedDict()
+    last_best: Dict[str, float] = {}
+    for ev in events:
+        job = ev.get("job")
+        if not job:
+            continue
+        kind = ev.get("event")
+        if kind == "round":
+            if ev.get("phase") == "TILE":
+                entry = tile_jobs.setdefault(
+                    job, {"evals": 0, "before": last_best.get(job),
+                          "after": None, "tiles": None})
+                entry["after"] = ev.get("best_cycles")
+            last_best[job] = ev.get("best_cycles")
+        elif kind == "eval" and ev.get("phase") == "TILE":
+            tile_jobs.setdefault(
+                job, {"evals": 0, "before": last_best.get(job),
+                      "after": None, "tiles": None})["evals"] += 1
+        elif kind == "job-end" and job in tile_jobs:
+            for tok in (ev.get("params") or "").split():
+                if tok.startswith("TILE="):
+                    tile_jobs[job]["tiles"] = tok[len("TILE="):]
+    if tile_jobs:
+        rows = []
+        for job, e in tile_jobs.items():
+            before, after = e["before"], e["after"]
+            gain = (before / after) if before and after else None
+            rows.append([job, str(e["evals"]), _f(before, 0), _f(after, 0),
+                         (f"{gain:.3f}x" if gain is not None else "-"),
+                         e["tiles"] or "(untiled)"])
+        lines += ["## TILE phase (blocked-nest attribution)", ""]
+        lines += _table(["Job", "TILE evals", "Best entering (cy)",
+                         "Best after (cy)", "Gain", "Best tiles"], rows)
+        lines += ["", "Gain is the best-so-far improvement across the "
+                  "TILE line-search phase (cache blocking of the loop "
+                  "nest); tiles are the winner's `TILE=` parameters.", ""]
+
     # -- cache and timing-path stats ------------------------------------
     lines += ["## Cache and timing-path stats", "",
               f"- cache hits: {n_hits} "

@@ -23,8 +23,9 @@ from .engine import (BatchResult, EngineStats, TuningJob, TuningSession,
                      evaluate_params, registry_jobs)
 from .evalcache import EvalCache, eval_key
 from .scheduler import BudgetLedger, FairQueue, InflightTable, Scheduler
-from .trace import (TRACE_VERSION, TraceEvents, TraceWriter,
-                    read_trace, render_trace_summary, summarize_trace)
+from .trace import (TRACE_VERSION, TraceEvents, TraceStream,
+                    TraceWriter, read_trace, render_trace_summary,
+                    summarize_trace)
 from .alternatives import (STRATEGIES, exhaustive_search, genetic_search,
                            random_search, simulated_annealing)
 
@@ -39,6 +40,6 @@ __all__ = ["DEFAULT_AES", "DEFAULT_DIST_LINES", "DEFAULT_UNROLLS",
            "evaluate_params", "registry_jobs", "EvalCache", "eval_key",
            "BudgetLedger", "FairQueue", "InflightTable", "Scheduler",
            "TRACE_VERSION", "TraceEvents", "TraceWriter",
-           "read_trace", "render_trace_summary",
+           "read_trace", "render_trace_summary", "TraceStream",
            "summarize_trace", "STRATEGIES", "exhaustive_search",
            "genetic_search", "random_search", "simulated_annealing"]

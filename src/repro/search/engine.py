@@ -63,6 +63,7 @@ from ..kernels import KERNEL_ORDER, REGISTRY, get_kernel
 from ..kernels.blas1 import KernelSpec
 from ..machine import Context, get_machine, summarize
 from ..machine.config import MachineConfig
+from ..obs import metrics as _metrics
 from ..obs.core import Collector, use as _obs_use
 from ..timing.tester import test_kernel
 from ..timing.timer import Timer, paper_n
@@ -470,6 +471,20 @@ class _Evaluator:
                 out.append(idxs)
         return out
 
+    _BATCH_KEYS = (("batch_prefix_hits", "repro_batch_prefix_hits_total"),
+                   ("batch_prefix_misses", "repro_batch_prefix_misses_total"),
+                   ("batch_walk_hits", "repro_batch_walk_hits_total"))
+
+    def _charge_batch(self, src: Dict) -> None:
+        """Fold a worker's (or the serial path's) cache-reuse counter
+        deltas into the session stats and the metrics registry."""
+        stats = self.session.stats
+        for key, metric in self._BATCH_KEYS:
+            v = int(src.get(key) or 0)
+            if v:
+                setattr(stats, key, getattr(stats, key) + v)
+                _metrics.inc(metric, v)
+
     def many(self, batch: List[TransformParams],
              groups: Optional[List[List[TransformParams]]] = None
              ) -> List[float]:
@@ -484,6 +499,7 @@ class _Evaluator:
             if hit is not None:
                 cycles[i] = hit
                 session.stats.cache_hits += 1
+                _metrics.inc("repro_eval_cache_hits_total")
                 session.emit("cache-hit", job=self.job, phase=self._phase(),
                              params=params.describe(), cycles=hit, wall=0.0)
             else:
@@ -493,6 +509,10 @@ class _Evaluator:
         if groups:
             session.stats.batch_groups += len(run_groups)
             session.stats.batch_size_total += len(to_run)
+            if _metrics._ENABLED:
+                _metrics.inc("repro_batch_groups_total", len(run_groups))
+                for idxs in run_groups:
+                    _metrics.observe("repro_batch_group_size", len(idxs))
         outcomes: Dict[int, Dict] = {}
 
         pool = session.pool() if len(to_run) > 1 else None
@@ -505,11 +525,7 @@ class _Evaluator:
                                 for idxs in run_groups]
                     replies = list(pool.map(_eval_group_worker, payloads))
                     for idxs, reply in zip(run_groups, replies):
-                        for k in ("batch_prefix_hits", "batch_prefix_misses",
-                                  "batch_walk_hits"):
-                            setattr(session.stats, k,
-                                    getattr(session.stats, k)
-                                    + int(reply.get(k) or 0))
+                        self._charge_batch(reply)
                         for i, outcome in zip(idxs, reply["outcomes"]):
                             outcomes[i] = outcome
                 else:
@@ -517,11 +533,7 @@ class _Evaluator:
                                 for i in to_run]
                     for i, outcome in zip(to_run,
                                           pool.map(_eval_worker, payloads)):
-                        for k in ("batch_prefix_hits", "batch_prefix_misses",
-                                  "batch_walk_hits"):
-                            setattr(session.stats, k,
-                                    getattr(session.stats, k)
-                                    + int(outcome.get(k) or 0))
+                        self._charge_batch(outcome)
                         outcomes[i] = outcome
             except BrokenProcessPool:
                 session.mark_pool_broken(self.job)
@@ -550,12 +562,13 @@ class _Evaluator:
                                    "attribution": meta.get("attribution")}
             after = self.fko.cache_stats()
             tafter = self.timer.cache_stats()
-            session.stats.batch_prefix_hits += (after["prefix_hits"]
-                                                - before["prefix_hits"])
-            session.stats.batch_prefix_misses += (after["prefix_misses"]
-                                                  - before["prefix_misses"])
-            session.stats.batch_walk_hits += (tafter["base_hits"]
-                                              - tbefore["base_hits"])
+            self._charge_batch({
+                "batch_prefix_hits": after["prefix_hits"]
+                - before["prefix_hits"],
+                "batch_prefix_misses": after["prefix_misses"]
+                - before["prefix_misses"],
+                "batch_walk_hits": tafter["base_hits"]
+                - tbefore["base_hits"]})
 
         # record strictly in ask order, whoever computed the numbers —
         # trace rows, eval-cache writes and stats are order-identical
@@ -577,6 +590,17 @@ class _Evaluator:
             session.stats.fast_path += 1
         else:
             session.stats.slow_path += 1
+        if _metrics._ENABLED:
+            # recorded parent-side (whichever process computed the
+            # outcome), so engine metrics are complete under fan-out
+            _metrics.inc("repro_evaluations_total",
+                         status=("fault" if status.startswith("fault")
+                                 else status))
+            if status == "ok":
+                _metrics.inc("repro_eval_path_total",
+                             path="fast" if outcome.get("fast") else "slow")
+            _metrics.observe("repro_eval_wall_seconds",
+                             float(outcome.get("wall") or 0.0))
         # only completed measurements are worth remembering: a timeout
         # may be transient, so the next run should try again
         if session.cache is not None and status == "ok":
@@ -765,12 +789,23 @@ class TuningSession:
             def prefix_of(p: TransformParams):
                 return prefix_key(p, analysis,
                                   debug_verify=config.verify_ir)
+        best_prev = float("inf")
         while not searcher.finished:
             batch = searcher.ask()
             groups = (searcher.ask_batch(config.batch_size, key=prefix_of)
                       if config.batch_size > 1 else None)
             cycles = evaluator.many(batch, groups=groups)
             searcher.tell(list(zip(batch, cycles)))
+            # convergence telemetry: one best-so-far sample per tell.
+            # Emitted off-path (nothing in the search reads it) and with
+            # deterministic fields only, so jobs=1 vs jobs=N traces stay
+            # bit-identical
+            best_now = searcher.best_cycles
+            self.emit("curve", job=evaluator.job, strategy=searcher.name,
+                      seed=config.seed, round=searcher.rounds,
+                      evaluations=searcher.n_evaluations,
+                      best_cycles=best_now, improved=best_now < best_prev)
+            best_prev = min(best_prev, best_now)
             self.emit("round", job=evaluator.job, strategy=searcher.name,
                       round=searcher.rounds, phase=searcher.phase,
                       evaluations=searcher.n_evaluations,
@@ -898,6 +933,8 @@ class TuningSession:
 
         wall = time.perf_counter() - t0
         stats = self.stats
+        _metrics.set_gauge("repro_evals_per_sec",
+                           round(stats.throughput(wall), 2), scope="batch")
         self.emit("batch-end", completed=len(results), errors=len(errors),
                   wall=wall, evaluations=stats.evaluations,
                   cache_hits=stats.cache_hits,

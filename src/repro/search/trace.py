@@ -36,6 +36,12 @@ phase        job, phase, cycles (best so far entering the phase)
 round        job, strategy, round (ask/tell cycle — a line-search
              phase batch, an anneal proposal, a GA generation),
              phase, evaluations (budget charged so far), best_cycles
+curve        job, strategy, seed, round, evaluations, best_cycles,
+             improved — one best-so-far convergence sample per tell
+             (the anytime-performance curve behind ``repro curves``);
+             off-path: nothing in the search reads it, and its fields
+             are deterministic, so jobs=1 and jobs=N traces carry
+             identical curves
 best-rejected  job, params, best_cycles, error — the search's winning
              kernel failed the tester (``TuneConfig.test_best``); the
              job raises instead of storing the kernel
@@ -164,26 +170,56 @@ class TraceEvents(List[Dict]):
         self.malformed = malformed
 
 
+class TraceStream:
+    """An iterable view over a JSONL trace that never materializes the
+    file: each ``__iter__`` re-opens the file and yields one parsed
+    event at a time, so consumers that scan a trace several times
+    (``repro report``) stay O(1) in memory even over multi-hundred-MB
+    study traces.
+
+    Mirrors :class:`TraceEvents`' malformed-line contract: unparsable
+    lines are skipped and counted on ``.malformed``.  The counter is
+    reset at the start of every iteration pass, so after any complete
+    pass it holds the file's (current) malformed-line count rather
+    than a multiple of it."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.malformed = 0
+
+    def __iter__(self):
+        self.malformed = 0
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    self.malformed += 1
+
+
 def read_trace(path: str) -> TraceEvents:
-    """Load a JSONL trace; malformed lines are skipped, not fatal —
-    but they are *counted* (``.malformed`` on the returned list), and
-    ``summarize_trace`` surfaces the count."""
-    events = TraceEvents()
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError:
-                events.malformed += 1
+    """Load a JSONL trace into memory; malformed lines are skipped, not
+    fatal — but they are *counted* (``.malformed`` on the returned
+    list), and ``summarize_trace`` surfaces the count.  Consumers that
+    only scan (``repro report``, ``repro curves``) should prefer
+    :class:`TraceStream`."""
+    stream = TraceStream(path)
+    events = TraceEvents(stream)
+    events.malformed = stream.malformed
     return events
 
 
-def summarize_trace(events: List[Dict]) -> Dict:
+def summarize_trace(events) -> Dict:
     """Aggregate a trace into the numbers a human asks first:
-    evaluations vs cache hits, wall time, phase mix, per-job results."""
+    evaluations vs cache hits, wall time, phase mix, per-job results.
+    ``events`` may be a materialized :class:`TraceEvents` list or a
+    :class:`TraceStream` — the summary is built in one pass either
+    way, and the malformed-line count is read *after* the pass (a
+    stream only knows it once the file has been walked)."""
+    n_events = 0
     totals = Counter()
     phases = Counter()
     statuses = Counter()
@@ -204,6 +240,7 @@ def summarize_trace(events: List[Dict]) -> Dict:
                                      "params": None, "status": "ran"})
 
     for ev in events:
+        n_events += 1
         kind = ev.get("event", "?")
         totals[kind] += 1
         job = ev.get("job")
@@ -241,7 +278,7 @@ def summarize_trace(events: List[Dict]) -> Dict:
     n_hits = totals["cache-hit"]
     seen = n_evals + n_hits
     wall = batch_wall or eval_wall
-    return {"n_events": len(events),
+    return {"n_events": n_events,
             "malformed_lines": getattr(events, "malformed", 0),
             "events": dict(totals),
             "evaluations": n_evals,

@@ -23,6 +23,10 @@ GET      /v1/results                 completed TuneResponses, newest
                                      first (result store + resident)
 GET      /v1/stats                   dedup/cache counters, engine
                                      stats, budget ledger, config
+GET      /v1/metrics                 process metrics registry in the
+                                     Prometheus text exposition format
+                                     (``?format=json`` for the JSON
+                                     snapshot)
 GET      /v1/healthz                 {ok, version}
 =======  ==========================  =================================
 
@@ -43,6 +47,7 @@ from typing import Dict, Optional
 from urllib.parse import parse_qs, urlparse
 
 from .. import __version__
+from ..obs import metrics as _metrics
 from ..search.config import TuneConfig
 from .jobs import BudgetExhaustedError, JobManager
 from .schema import TuneRequest
@@ -71,6 +76,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _text(self, code: int, body: str,
+              content_type: str = "text/plain; version=0.0.4; "
+                                  "charset=utf-8") -> None:
+        data = body.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     def _error(self, code: int, message: str) -> None:
         self._json(code, {"error": message})
@@ -115,6 +130,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
                                         "version": __version__})
             if url.path == "/v1/stats":
                 return self._json(200, self.manager.stats_dict())
+            if url.path == "/v1/metrics":
+                if _arg(query, "format") == "json":
+                    return self._json(200, _metrics.snapshot())
+                return self._text(200, _metrics.render_prometheus())
             if url.path == "/v1/results":
                 limit = _int_arg(query, "limit")
                 return self._json(200, {"results":
@@ -202,6 +221,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 return
 
 
+def _arg(query: Dict, name: str) -> Optional[str]:
+    values = query.get(name)
+    return values[0] if values else None
+
+
 def _int_arg(query: Dict, name: str) -> Optional[int]:
     values = query.get(name)
     if not values:
@@ -255,12 +279,17 @@ def start_server(host: str = "127.0.0.1", port: int = 0,
                  manager: Optional[JobManager] = None,
                  autostart: bool = True,
                  verbose: bool = False,
-                 max_total_evals: Optional[int] = None) -> ServerHandle:
+                 max_total_evals: Optional[int] = None,
+                 metrics: bool = True) -> ServerHandle:
     """Boot a daemon on ``host:port`` (``port=0`` picks a free one) and
     return a handle; the HTTP loop runs in a background thread.  With
     ``autostart=False`` the dispatcher is not started — submissions
     queue until ``handle.manager.start()`` (tests use this to stage
-    deterministic concurrency)."""
+    deterministic concurrency).  ``metrics=True`` (the default: a
+    serving process is the primary scrape target) enables the
+    process-wide registry behind ``GET /v1/metrics``."""
+    if metrics:
+        _metrics.enable()
     if manager is None:
         manager = JobManager(config=config, results_dir=results_dir,
                              max_total_evals=max_total_evals)
@@ -279,13 +308,15 @@ def serve(host: str = "127.0.0.1", port: int = 8642,
           config: Optional[TuneConfig] = None,
           results_dir: Optional[str] = None,
           verbose: bool = False,
-          max_total_evals: Optional[int] = None) -> int:
+          max_total_evals: Optional[int] = None,
+          metrics: bool = True) -> int:
     """Blocking entry point behind ``repro serve``: boot, print the
     URL, run until interrupted, tear down cleanly (scheduler pool shut
     down, trace file closed) on the way out."""
     handle = start_server(host=host, port=port, config=config,
                           results_dir=results_dir, verbose=verbose,
-                          max_total_evals=max_total_evals)
+                          max_total_evals=max_total_evals,
+                          metrics=metrics)
     print(f"# repro serve: listening on {handle.url} "
           f"(jobs={handle.manager.config.jobs}, "
           f"cache={handle.manager.config.cache_dir or 'off'}, "

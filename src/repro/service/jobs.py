@@ -40,6 +40,7 @@ from ..errors import ReproError
 from ..fko import FKO, TransformParams
 from ..kernels import get_kernel
 from ..machine import Context, get_machine
+from ..obs import metrics as _metrics
 from ..search.config import TuneConfig
 from ..search.engine import TuningSession
 from ..search.scheduler import BudgetLedger, FairQueue, InflightTable
@@ -200,11 +201,16 @@ class JobManager:
         """
         with self.cond:
             self.submitted += 1
+            if _metrics._ENABLED:
+                _metrics.inc("repro_client_requests_total",
+                             client=client or "anonymous")
             digest = request.digest()
             # identical request already in flight -> same job
             slot = self.inflight.get(digest)
             if slot is not None and slot.active:
                 self.coalesced += 1
+                _metrics.inc("repro_requests_total", how="coalesced")
+                self._set_queue_gauges()
                 return slot, "coalesced"
             # already answered and still resident?
             done_id = self._done_by_digest.get(digest)
@@ -212,6 +218,7 @@ class JobManager:
                 job = self.jobs.get(done_id)
                 if job is not None and job.state == DONE:
                     self.cache_answers += 1
+                    _metrics.inc("repro_requests_total", how="cached")
                     return job, "cached"
             # persisted by an earlier run (or another daemon)?
             if self.store is not None:
@@ -230,6 +237,7 @@ class JobManager:
                         job.finished = time.time()
                         self._done_by_digest[digest] = job.id
                         self.cache_answers += 1
+                        _metrics.inc("repro_requests_total", how="cached")
                         self.cond.notify_all()
                         return job, "cached"
             # fresh work: claim the digest and queue fairly (all
@@ -243,8 +251,24 @@ class JobManager:
             job = self._admit(request)
             self.inflight.claim(digest, lambda: job)
             self.queue.push(job, client=client)
+            _metrics.inc("repro_requests_total", how="new")
+            self._set_queue_gauges()
             self.cond.notify_all()
             return job, "new"
+
+    def _set_queue_gauges(self) -> None:
+        """Refresh the daemon's live gauges (queue depth, in-flight
+        dedup table, budget remaining).  Called with the lock held at
+        every queue transition; free when metrics are disabled."""
+        if not _metrics._ENABLED:
+            return
+        _metrics.set_gauge("repro_queue_depth", len(self.queue))
+        _metrics.set_gauge("repro_inflight", len(self.inflight))
+        ledger = self.ledger
+        remaining = (-1 if ledger.max_total_evals is None
+                     else max(0, ledger.max_total_evals
+                              - ledger.total_evaluations))
+        _metrics.set_gauge("repro_budget_remaining_evals", remaining)
 
     def _admit(self, request: TuneRequest) -> ServeJob:
         self._seq += 1
@@ -323,13 +347,21 @@ class JobManager:
                                        delta.get("cache_hits", 0))
                     if response.ok:
                         self.completed += 1
+                        _metrics.inc("repro_jobs_completed_total")
+                        if _metrics._ENABLED and response.wall:
+                            _metrics.set_gauge(
+                                "repro_evals_per_sec",
+                                round(delta.get("evaluations", 0)
+                                      / response.wall, 2), scope="job")
                         self._done_by_digest[job.digest] = job.id
                         if self.store is not None:
                             self.store.put(job.digest, response)
                     else:
                         self.errors += 1
+                        _metrics.inc("repro_jobs_errored_total")
                 job.finished = time.time()
                 self.inflight.release(job.digest)
+                self._set_queue_gauges()
                 self.cond.notify_all()
 
     def _on_event(self, record: Dict) -> None:
@@ -438,6 +470,7 @@ class JobManager:
         text = canonical_function_text(compiled.fn)
         with self._compile_lock:
             self.compiles += 1
+        _metrics.inc("repro_compiles_total")
         return {"kernel": spec.name, "machine": mach.name.lower(),
                 "applied": list(compiled.applied),
                 "ir_digest": hashlib.sha256(text.encode()).hexdigest()}
