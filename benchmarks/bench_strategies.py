@@ -17,10 +17,17 @@ so strategies are compared along the whole budget, not just at the
 finish line (``repro curves`` renders the same view for any trace).
 
 The one hard failure (nonzero exit) is a *structured-search regression*:
-``anneal`` or ``genetic`` losing to uniform ``random`` sampling on any
-grid point at equal budget.  Everything else (who wins overall, wall
-time) is reported but never fails the run — CI uses this as a
-non-gating smoke job.
+``anneal``, ``genetic``, ``surrogate`` or ``transfer`` losing to
+uniform ``random`` sampling on any grid point at equal budget.
+Everything else (who wins overall, wall time) is reported but never
+fails the run — CI uses this as a non-gating smoke job.
+
+``transfer`` races with a warm store built from the ``random``
+strategy's own results on the same grid (the serve result-store
+layout, written through ``repro.search.warmstart``), so the race also
+exercises the neighbor lookup and its spelling canonicalization
+end-to-end.  The full grid includes blocked GEMM, whose ``tile:``
+dimensions are exactly the space the surrogate exists for.
 
 Usage::
 
@@ -49,11 +56,18 @@ from repro.search import TraceStream, TuneConfig, TuningSession
 
 RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
 
-STRATEGIES = ("line", "random", "anneal", "genetic")
+STRATEGIES = ("line", "random", "anneal", "genetic", "surrogate",
+              "transfer")
+#: strategies the race hard-gates against uniform random sampling
+GATED = ("anneal", "genetic", "surrogate", "transfer")
 
 #: small enough to keep the full race to minutes, big enough that the
 #: out-of-cache physics (prefetch, bus) dominates like at the paper's N
 SIZES = {Context.OUT_OF_CACHE: 8000, Context.IN_L2: 1024}
+#: blocked-GEMM matrix orders (full grid only): the wire-schema
+#: defaults — 512 puts the working set out of cache so the tile:
+#: dimensions carry real speedup, 160 keeps the operands L2-resident
+GEMM_SIZES = {Context.OUT_OF_CACHE: 512, Context.IN_L2: 160}
 
 
 def _grid(quick: bool):
@@ -63,18 +77,33 @@ def _grid(quick: bool):
         for machine in machines:
             for ctx, n in SIZES.items():
                 yield kernel, machine, ctx, n
+    if not quick:
+        # blocked GEMM: the Level-3 nest whose tile: dimensions the
+        # surrogate's generic feature encoding has to handle unchanged
+        for machine in machines:
+            for ctx, n in GEMM_SIZES.items():
+                yield "dgemm", machine, ctx, n
 
 
 def race(quick: bool, budget: int, seed: int, jobs: int,
          trace_dir: pathlib.Path):
+    from repro.search import write_warm_entry
+
     grid = {}
     walls = {}
     traces = []
+    warm_dir = trace_dir / "warmstore"
     for strategy in STRATEGIES:
         trace = trace_dir / f"race_{strategy}.jsonl"
         traces.append(trace)
         cfg = TuneConfig(strategy=strategy, seed=seed, max_evals=budget,
-                         run_tester=False, jobs=jobs, trace=str(trace))
+                         run_tester=False, jobs=jobs, trace=str(trace),
+                         # transfer warm-starts from random's results on
+                         # this very grid (written below), so its gate
+                         # below is also an end-to-end check of the
+                         # neighbor lookup's canonicalization
+                         warm_start=(str(warm_dir)
+                                     if strategy == "transfer" else None))
         t0 = time.perf_counter()
         with TuningSession(cfg) as session:
             for kernel, machine, ctx, n in _grid(quick):
@@ -87,6 +116,11 @@ def race(quick: bool, budget: int, seed: int, jobs: int,
                     "n_evaluations": r.n_evaluations,
                     "speedup_over_start": round(r.speedup_over_start, 4),
                 }
+                if strategy == "random":
+                    write_warm_entry(warm_dir, kernel=kernel,
+                                     machine=machine, context=ctx, n=n,
+                                     params=r.best_params,
+                                     cycles=r.best_cycles)
         walls[strategy] = round(time.perf_counter() - t0, 2)
     return grid, walls, traces
 
@@ -99,7 +133,7 @@ def summarize(grid):
         for s in STRATEGIES:
             if point[s]["best_cycles"] == best:
                 wins[s] += 1
-        for s in ("anneal", "genetic"):
+        for s in GATED:
             if point[s]["best_cycles"] > point["random"]["best_cycles"]:
                 regressions.append({
                     "point": key, "strategy": s,

@@ -92,6 +92,15 @@ def _jobs(value: str) -> int:
     return jobs
 
 
+def _strategy(value: str) -> str:
+    from .search import valid_strategy
+    if not valid_strategy(value):
+        raise argparse.ArgumentTypeError(
+            f"unknown strategy {value!r}; valid: "
+            f"{', '.join(searcher_names())} (or transfer:<strategy>)")
+    return value
+
+
 def _parse_prefetch(items) -> dict:
     """``X=nta:512`` pairs -> prefetch dict."""
     out = {}
@@ -192,7 +201,8 @@ def _engine_config(args, run_tester: bool) -> TuneConfig:
                                                False),
                       observe=getattr(args, "observe", False),
                       verify_ir=getattr(args, "verify_ir", False),
-                      test_best=getattr(args, "test_best", False))
+                      test_best=getattr(args, "test_best", False),
+                      warm_start=getattr(args, "warm_start", None))
 
 
 def _file_spec(source: str, name: str, elem_size: int) -> KernelSpec:
@@ -232,6 +242,9 @@ def _tune_service(args) -> int:
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
     config = _engine_config(args, run_tester=True)
+    if getattr(args, "serve_url", None) and config.warm_start:
+        print("# note: --warm-start is an engine-side knob; the daemon "
+              "at --serve-url tunes without it")
     try:
         with make_client(getattr(args, "serve_url", None),
                          config=config) as client:
@@ -482,9 +495,12 @@ def cmd_curves(args) -> int:
     streams = [TraceStream(path) for path in args.files]
     curves = collect_curves(chain.from_iterable(streams))
     if not curves:
+        # an empty (or curve-event-free) trace is a valid answer, not
+        # an error: report "no data" and exit clean so pipelines that
+        # tee every trace through here don't trip on quiet ones
         print(f"# curves: no convergence data in "
               f"{', '.join(args.files)}")
-        return 1
+        return 0
     aggregate = aggregate_curves(curves)
     if args.json:
         doc = curves_document(curves, aggregate)
@@ -617,13 +633,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--n", type=int, default=None,
                        help="problem size (default: paper sizes)")
         p.add_argument("--max-evals", type=int, default=400)
-        p.add_argument("--strategy", default="line",
-                       choices=searcher_names(),
-                       help="global-search strategy (default: the "
-                            "paper's modified line search)")
+        p.add_argument("--strategy", default="line", type=_strategy,
+                       metavar="NAME",
+                       help="global-search strategy: one of "
+                            f"{', '.join(searcher_names())}, or "
+                            "transfer:<name> to warm-startable-wrap "
+                            "another strategy (default: the paper's "
+                            "modified line search)")
         p.add_argument("--seed", type=int, default=0,
                        help="random seed of the strategy (ignored by "
                             "the deterministic line search)")
+        p.add_argument("--warm-start", default=None, metavar="DIR",
+                       help="warm-start from a `repro serve` result "
+                            "store: the strategy is wrapped in the "
+                            "transfer layer and seeded with the best "
+                            "params of the nearest previously-tuned "
+                            "problem (spelling variants canonicalize)")
         p.add_argument("--jobs", "-j", type=_jobs, default=1,
                        help="worker processes (1 = serial)")
         p.add_argument("--cache-dir", default=None,

@@ -160,9 +160,19 @@ class ResultStore:
     def n_for(self, context: Context) -> int:
         return self.sizes[context]
 
+    @staticmethod
+    def canon_machine(machine) -> str:
+        """The wire schema's machine canonicalization (alias fold
+        through ``get_machine``, lowercased) — store keys and disk tags
+        use it so every spelling of one machine shares one row, and the
+        tags agree with service digests and warm-start lookups instead
+        of diverging on case (``"P4E"`` vs ``"p4e"``)."""
+        name = getattr(machine, "name", machine)
+        return get_machine(str(name)).name.lower()
+
     def get(self, machine: MachineConfig, context: Context, kernel: str,
             method: str) -> MethodResult:
-        key = (machine.name, context, kernel, method)
+        key = (self.canon_machine(machine), context, kernel, method)
         if key not in self._cache:
             disk = self._load_disk(key)
             if disk is not None:

@@ -32,6 +32,7 @@ cycle counts.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -99,6 +100,21 @@ def collect_curves(events: Iterable[Dict]) -> "OrderedDict[str, Dict]":
                 entry["tells"].append([int(n), float(b)])
         elif kind in ("job-end", "job-error"):
             active.pop(job, None)
+    # curve events carry the budget/best trajectory too, so a trace
+    # holding only them (no per-eval events) still aggregates to
+    # nonzero checkpoints instead of the zero-budget "no data"
+    # degenerate.  Folded only where no eval/cache-hit events were
+    # seen: when both sources are present the per-eval counter is the
+    # ground truth, and mixing them would double-count the budget.
+    for entry in out.values():
+        if entry["evaluations"]:
+            continue
+        for n, b in entry["tells"]:
+            if n > entry["evaluations"]:
+                entry["evaluations"] = int(n)
+            if math.isfinite(b) and (entry["best_cycles"] is None
+                                     or b < entry["best_cycles"]):
+                entry["best_cycles"] = float(b)
     return out
 
 
@@ -161,7 +177,7 @@ def aggregate_curves(curves: Dict[str, Dict],
                 curve = entry["points"] or entry["tells"]
                 best_k = _best_at(curve, k)
                 best_known = by_job_best.get(entry["job"])
-                if best_k and best_known:
+                if best_k and best_known and math.isfinite(best_k):
                     ratios.append(best_known / best_k)
             row[k] = (sum(ratios) / len(ratios)) if ratios else None
         table[strategy] = {"ratio_of_best": row,

@@ -143,6 +143,8 @@ def render_diff(report: Dict, verbose: bool = False) -> str:
                          r["direction"], "info")
             lines.append(f"  {r['key']}: {r['old']:g} -> {r['new']:g} "
                          f"({r['delta']:+.1%}, {arrow})")
+    if not report["rows"]:
+        lines.append("no data: the artifacts share no numeric metrics")
     n_same = len(report["rows"]) - len(moved) - len(regs)
     lines.append(f"unchanged: {n_same}  "
                  f"only-old: {len(report['only_old'])}  "

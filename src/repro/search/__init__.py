@@ -14,8 +14,11 @@ from .space import (DEFAULT_AES, DEFAULT_DIST_LINES, DEFAULT_UNROLLS,
                     SearchSpace, build_space)
 from .strategies import (SEARCHERS, AnnealSearch, BatchEvaluator, Evaluator,
                          ExhaustiveSearch, GeneticSearch, RandomSearch,
-                         Searcher, make_searcher, register_searcher,
-                         searcher_names)
+                         Searcher, SurrogateSearch, TransferSearch,
+                         make_searcher, register_searcher, searcher_names,
+                         split_strategy, valid_strategy)
+from .warmstart import (WarmEntry, load_entries, lookup_warm_start,
+                        write_warm_entry)
 from .linesearch import PHASES, LineSearch, SearchResult
 from .config import TuneConfig
 from .drivers import TunedKernel, compile_default, tune_kernel
@@ -32,8 +35,11 @@ from .alternatives import (STRATEGIES, exhaustive_search, genetic_search,
 __all__ = ["DEFAULT_AES", "DEFAULT_DIST_LINES", "DEFAULT_UNROLLS",
            "SearchSpace", "build_space", "SEARCHERS", "Searcher",
            "make_searcher", "register_searcher", "searcher_names",
+           "split_strategy", "valid_strategy",
            "AnnealSearch", "ExhaustiveSearch", "GeneticSearch",
-           "RandomSearch", "PHASES", "BatchEvaluator",
+           "RandomSearch", "SurrogateSearch", "TransferSearch",
+           "WarmEntry", "load_entries", "lookup_warm_start",
+           "write_warm_entry", "PHASES", "BatchEvaluator",
            "Evaluator", "LineSearch", "SearchResult", "TuneConfig",
            "TunedKernel", "compile_default", "tune_kernel",
            "BatchResult", "EngineStats", "TuningJob", "TuningSession",

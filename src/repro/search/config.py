@@ -88,6 +88,13 @@ class TuneConfig:
     #: evaluation through the full pipeline and its own walk — the
     #: escape hatch the equivalence suite exercises)
     prefix_cache: bool = True
+    #: directory of a ``repro serve`` result store to warm-start from:
+    #: the engine wraps the strategy in the transfer layer and seeds it
+    #: with the best params of the nearest previously-tuned problem
+    #: (spelling variants canonicalize through the wire schema).  An
+    #: operational knob like ``cache_dir`` — never part of a request's
+    #: wire identity; None disables warm-starting
+    warm_start: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_evals <= 0:
@@ -110,11 +117,12 @@ class TuneConfig:
                 or self.seed < 0:
             raise ValueError(f"seed must be a non-negative integer, "
                              f"got {self.seed!r}")
-        from .strategies import searcher_names
-        if self.strategy not in searcher_names():
+        from .strategies import searcher_names, valid_strategy
+        if not valid_strategy(self.strategy):
             raise ValueError(
                 f"unknown search strategy {self.strategy!r}; valid "
-                f"strategies: {', '.join(searcher_names())}")
+                f"strategies: {', '.join(searcher_names())} "
+                f"(or transfer:<strategy>)")
 
     def replace(self, **changes) -> "TuneConfig":
         return dataclasses.replace(self, **changes)

@@ -771,17 +771,36 @@ class TuningSession:
         start = config.start or fko.defaults(spec.hil)
 
         evaluator = _Evaluator(self, spec, machine, context, n, fko, timer)
-        searcher = make_searcher(config.strategy, space, start,
+        # warm-starting wraps any strategy in the transfer layer and
+        # resolves the neighbor lookup parent-side (workers only ever
+        # compute cycles, so jobs=1 vs jobs=N stays bit-identical)
+        strategy_name = config.strategy
+        warm_kwargs: Dict = {}
+        if config.warm_start:
+            if strategy_name.partition(":")[0] != "transfer":
+                strategy_name = f"transfer:{strategy_name}"
+            from .warmstart import lookup_warm_start
+            warm, warm_source = lookup_warm_start(
+                config.warm_start, kernel=spec.name, machine=machine.name,
+                context=context, n=n)
+            warm_kwargs = {"warm": warm, "warm_source": warm_source}
+        searcher = make_searcher(strategy_name, space, start,
                                  max_evals=max_evals or config.max_evals,
                                  min_gain=config.min_gain,
                                  seed=config.seed,
-                                 output_arrays=analysis.output_arrays)
+                                 output_arrays=analysis.output_arrays,
+                                 **warm_kwargs)
         evaluator.search = searcher
 
         self.emit("job-start", job=evaluator.job, kernel=spec.name,
                   machine=machine.name, context=context.value, n=n,
-                  space=space.size, strategy=searcher.name,
+                  space=space.size, strategy=strategy_name,
                   seed=config.seed)
+        if config.warm_start:
+            self.emit("warm-start", job=evaluator.job,
+                      store=config.warm_start,
+                      source=warm_kwargs.get("warm_source") or None,
+                      candidates=len(warm_kwargs.get("warm") or ()))
         prefix_of = None
         if config.batch_size > 1:
             from ..fko import prefix_key
@@ -984,7 +1003,8 @@ class TuningSession:
                 "verify_ir": self.config.verify_ir,
                 "test_best": self.config.test_best,
                 "batch_size": self.config.batch_size,
-                "prefix_cache": self.config.prefix_cache}
+                "prefix_cache": self.config.prefix_cache,
+                "warm_start": self.config.warm_start}
 
     # -- checkpointing --------------------------------------------------
     def _load_checkpoint(self) -> Dict[str, Dict]:

@@ -203,6 +203,73 @@ class SearchSpace:
             assignment[dim.name] = dim_get(params, dim.name)
         return params
 
+    # -- feature encoding (surrogate models, transfer distance) --------
+    def encode(self, params: TransformParams) -> List[float]:
+        """``params`` as a numeric feature vector for surrogate models:
+        one value per dimension — the index of the dimension's current
+        value on its *ordered* option grid, scaled to [0, 1] (option
+        grids are monotone, so grid index is the meaningful geometry;
+        raw values would make UR=64 dominate SV=1).
+
+        Reproducibility contract (the cross-process digest test pins
+        it): dimensions are visited in the declared
+        :meth:`dimensions` order — a list built the same way in every
+        process, never a dict/set iteration — and values are read
+        through :func:`dim_get`, so a null-erased ``ext`` key (a tile
+        size stored as 0 and dropped by ``TransformParams``) encodes
+        identically to an absent one.  A value off its grid (a
+        hand-built start point) snaps to the nearest option, so the
+        model still places it."""
+        feats: List[float] = []
+        for dim in self.dimensions:
+            feats.append(self._feature(dim, dim_get(params, dim.name)))
+        return feats
+
+    @staticmethod
+    def _feature(dim: Dimension, value) -> float:
+        options = list(dim.options)
+        if len(options) <= 1:
+            return 0.0
+        if value in options:
+            idx = options.index(value)
+        else:
+            numeric = [(i, o) for i, o in enumerate(options)
+                       if isinstance(o, (int, float))
+                       and not isinstance(o, bool)]
+            if numeric and isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                idx = min(numeric, key=lambda t: (abs(t[1] - value), t[0]))[0]
+            else:
+                idx = 0
+        return idx / (len(options) - 1)
+
+    def distance(self, a: TransformParams, b: TransformParams) -> float:
+        """Normalized L1 distance between two points' feature encodings
+        (0 = identical assignment, ``n_dims`` = maximally far on every
+        axis).  Used to rank warm-start candidates and to measure how
+        much a transferred point had to move to become legal here."""
+        return float(sum(abs(x - y)
+                         for x, y in zip(self.encode(a), self.encode(b))))
+
+    def project(self, params: TransformParams,
+                fallback: Optional[TransformParams] = None
+                ) -> TransformParams:
+        """The nearest *legal* point of this space to ``params``: every
+        sampled dimension keeps ``params``'s value when it is on the
+        option grid, else takes ``fallback``'s (the start point) when
+        that is, else the null option.  This is how a neighbor's best
+        parameters — tuned in a possibly different space — become a
+        valid warm-start candidate here."""
+        def choose(dim: Dimension):
+            for src in (params, fallback):
+                if src is None:
+                    continue
+                value = dim_get(src, dim.name)
+                if value in dim.options:
+                    return value
+            return dim.options[0]
+        return self.draw(choose)
+
     @property
     def size(self) -> int:
         """Cardinality of the full cross product (for reporting how

@@ -287,15 +287,43 @@ def searcher_names() -> List[str]:
     return sorted(SEARCHERS)
 
 
+def split_strategy(name: str) -> Tuple[str, Optional[str]]:
+    """Split a strategy spelling into ``(registry_name, inner)``.
+    ``"transfer:genetic"`` is the compound form — the transfer wrapper
+    around a named inner strategy; every other spelling has no inner
+    part.  Raises nothing: validation belongs to the caller."""
+    base, sep, inner = name.partition(":")
+    if sep and base == "transfer":
+        return base, inner
+    return name, None
+
+
+def valid_strategy(name: str) -> bool:
+    """Whether ``name`` is an instantiable strategy spelling: a
+    registered name, or ``transfer:<registered-name>`` (transfer cannot
+    wrap itself)."""
+    base, inner = split_strategy(name)
+    names = searcher_names()
+    if inner is not None:
+        return base in names and inner in names and inner != base
+    return base in names
+
+
 def make_searcher(name: str, space: SearchSpace, start: TransformParams,
                   **kwargs) -> Searcher:
-    """Instantiate a registered strategy by name."""
+    """Instantiate a registered strategy by name.  The compound
+    spelling ``transfer:<inner>`` builds the transfer wrapper around
+    the named inner strategy (bare ``"transfer"`` defaults its inner
+    to the surrogate)."""
     _ensure_registered()
-    if name not in SEARCHERS:
+    base, inner = split_strategy(name)
+    if inner is not None:
+        kwargs.setdefault("inner", inner)
+    if base not in SEARCHERS:
         raise SearchError(
             f"unknown search strategy {name!r}; valid strategies: "
             f"{', '.join(sorted(SEARCHERS))}")
-    return SEARCHERS[name](space, start, **kwargs)
+    return SEARCHERS[base](space, start, **kwargs)
 
 
 # ---------------------------------------------------------------------------
@@ -637,3 +665,305 @@ class ExhaustiveSearch(Searcher):
                     yield from flush()
         if chunk:
             yield from flush()
+
+
+# ---------------------------------------------------------------------------
+# the surrogate model: bagged CART regression trees (random-forest-lite,
+# numpy + stdlib only) over SearchSpace.encode feature vectors
+
+class _RegressionTree:
+    """A depth-bounded CART regression tree with deterministic splits:
+    features are scanned in index order, thresholds in ascending order,
+    and a split must *strictly* beat the incumbent to displace it — no
+    tie is ever resolved by hash or insertion order, so two processes
+    fitting the same data grow the identical tree."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value: float):
+        self.feature = -1
+        self.threshold = 0.0
+        self.left: Optional["_RegressionTree"] = None
+        self.right: Optional["_RegressionTree"] = None
+        self.value = value
+
+    def predict(self, x: Sequence[float]) -> float:
+        node = self
+        while node.feature >= 0:
+            node = node.left if x[node.feature] <= node.threshold \
+                else node.right
+        return node.value
+
+
+def _fit_tree(X: np.ndarray, y: np.ndarray, depth: int,
+              min_leaf: int = 2) -> _RegressionTree:
+    node = _RegressionTree(float(np.mean(y)))
+    n = len(y)
+    if depth <= 0 or n < 2 * min_leaf or float(np.ptp(y)) == 0.0:
+        return node
+    best: Optional[Tuple[float, int, float]] = None   # (sse, j, t)
+    for j in range(X.shape[1]):
+        col = X[:, j]
+        values = np.unique(col)
+        if len(values) < 2:
+            continue
+        for t in (values[:-1] + values[1:]) / 2.0:
+            mask = col <= t
+            nl = int(mask.sum())
+            if nl < min_leaf or n - nl < min_leaf:
+                continue
+            yl, yr = y[mask], y[~mask]
+            sse = float(((yl - yl.mean()) ** 2).sum()
+                        + ((yr - yr.mean()) ** 2).sum())
+            if best is None or sse < best[0]:
+                best = (sse, j, float(t))
+    if best is None:
+        return node
+    _, j, t = best
+    mask = X[:, j] <= t
+    node.feature, node.threshold = j, t
+    node.left = _fit_tree(X[mask], y[mask], depth - 1, min_leaf)
+    node.right = _fit_tree(X[~mask], y[~mask], depth - 1, min_leaf)
+    return node
+
+
+class _Forest:
+    """``bag`` trees, each fit on a seeded bootstrap resample of the
+    observations.  The mean over trees is the prediction; the spread
+    over trees is the uncertainty expected improvement consumes."""
+
+    def __init__(self, trees: List[_RegressionTree]):
+        self.trees = trees
+
+    @classmethod
+    def fit(cls, X: List[List[float]], y: List[float], bag: int,
+            depth: int, rng: np.random.Generator) -> "_Forest":
+        Xa = np.asarray(X, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        n = len(ya)
+        return cls([_fit_tree(Xa[idx], ya[idx], depth)
+                    for idx in (rng.integers(0, n, n) for _ in range(bag))])
+
+    def predict(self, x: Sequence[float]) -> Tuple[float, float]:
+        p = [t.predict(x) for t in self.trees]
+        return float(np.mean(p)), float(np.std(p))
+
+
+def _expected_improvement(mu: float, sigma: float, best: float) -> float:
+    """EI for minimization: how much below ``best`` the model expects a
+    point to land, integrating over its predictive uncertainty."""
+    if sigma < 1e-12:
+        return max(best - mu, 0.0)
+    z = (best - mu) / sigma
+    cdf = 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+    pdf = math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+    return sigma * (z * cdf + pdf)
+
+
+@register_searcher
+class SurrogateSearch(Searcher):
+    """Model-based search (ROADMAP item 1): fit a cheap bagged-tree
+    surrogate on the evaluations seen so far and ask the candidates
+    with the highest *expected improvement*.
+
+    Structure mirrors :class:`GeneticSearch`'s budget split: the
+    ``explore`` share of the budget draws random search's *identical*
+    seeded point stream (the mirror rng), giving the model unbiased
+    training data whose coverage is a strict prefix of what uniform
+    sampling would have evaluated.  Each model round then fits a forest
+    of ``bag`` CART trees on ``SearchSpace.encode`` features against
+    log-cycles, scores a seeded candidate pool (coarse/fine neighbors
+    of the incumbent plus uniform draws, all from a second rng so the
+    mirror stream never desynchronizes) by expected improvement, and
+    asks the top picks — topped up with ``immigrants`` more points
+    continuing the mirror stream, so the model can never starve the
+    baseline coverage the never-lose-to-random invariant depends on.
+
+    Batch order inside a round (EI picks first, immigrants last) is a
+    pure evaluation hint: the base class charges budget in ask order
+    and ``ask_batch`` prefix grouping applies unchanged.
+
+    The default split is deliberately conservative (``explore=0.8``):
+    the simulated machines are noise-free, so a long mirror prefix
+    plus a few high-EI picks empirically wins-or-ties uniform random
+    on every benchmark grid point, which the strategy race hard-gates
+    (``benchmarks/bench_strategies.py``)."""
+
+    name = "surrogate"
+    batch = 8
+
+    def __init__(self, space: SearchSpace, start: TransformParams,
+                 bag: int = 8, depth: int = 5, explore: float = 0.8,
+                 immigrants: int = 2, pool: int = 128, **kwargs):
+        if bag < 1:
+            raise SearchError(f"bag must be >= 1, got {bag}")
+        self.bag = bag
+        self.depth = depth
+        self.explore = explore
+        self.immigrants = immigrants
+        self.pool = pool
+        super().__init__(space, start, **kwargs)
+
+    def _plan(self) -> Plan:
+        # random search's exact point stream (exploration + immigrants)
+        mirror = np.random.default_rng(self.seed)
+        # ... kept apart from model draws (bootstraps, candidate pool)
+        # so fitting never desynchronizes it
+        rng = np.random.default_rng([self.seed, 1])
+        obs_x: List[List[float]] = []
+        obs_y: List[float] = []        # log-cycles
+
+        def observe(params: TransformParams, c: float) -> None:
+            self._note(params, c)
+            if math.isfinite(c) and c > 0:
+                obs_x.append(self.space.encode(params))
+                obs_y.append(math.log(c))
+
+        self.phase = "start"
+        (c0,) = yield [self.start]
+        self.start_cycles = c0
+        observe(self.start, c0)
+
+        self.phase = "explore"
+        n_explore = max(1, int(self.max_evals * self.explore))
+        drawn = 0
+        while drawn < n_explore and self.n_evaluations < self.max_evals:
+            k = min(self.batch, n_explore - drawn)
+            cands = [_random_point(self.space, mirror) for _ in range(k)]
+            drawn += k
+            cycles = yield cands
+            for params, c in zip(cands, cycles):
+                observe(params, c)
+
+        self.phase = "model"
+        dry = 0
+        for _round in range(self.max_evals):
+            if self.n_evaluations >= self.max_evals:
+                break
+            k = min(self.batch, self.max_evals - self.n_evaluations)
+            n_fresh = min(self.immigrants, k)
+            if dry:
+                # the last round added nothing new (memo hits only):
+                # spend this one entirely on exploration
+                n_fresh = k
+            picks: List[TransformParams] = []
+            if k > n_fresh and len(obs_y) >= 4 \
+                    and math.isfinite(self.best_cycles):
+                pool = [_neighbor(self.space, rng, self.best_params,
+                                  coarse=bool(rng.random() < 0.5))
+                        for _ in range(self.pool // 2)]
+                pool += [_random_point(self.space, rng)
+                         for _ in range(self.pool - len(pool))]
+                model = _Forest.fit(obs_x, obs_y, self.bag, self.depth,
+                                    rng)
+                best_log = math.log(self.best_cycles)
+                scored = []
+                seen = set()
+                for i, p in enumerate(pool):
+                    key = p.key()
+                    if key in self._memo or key in seen:
+                        continue
+                    seen.add(key)
+                    mu, sigma = model.predict(self.space.encode(p))
+                    ei = _expected_improvement(mu, sigma, best_log)
+                    scored.append((-ei, i, p))
+                # ties (equal EI) resolve by pool position, so the
+                # ranking is a total order independent of dict/set state
+                scored.sort(key=lambda t: (t[0], t[1]))
+                picks = [p for _, _, p in scored[:k - n_fresh]]
+            cands = picks + [_random_point(self.space, mirror)
+                             for _ in range(k - len(picks))]
+            before = self.n_evaluations
+            cycles = yield cands
+            for params, c in zip(cands, cycles):
+                observe(params, c)
+            if self.n_evaluations == before:
+                dry += 1
+                if dry >= 4:
+                    break       # space (or budget) genuinely exhausted
+            else:
+                dry = 0
+
+
+@register_searcher
+class TransferSearch(Searcher):
+    """Transfer-aware wrapper (the other half of ROADMAP item 1): seed
+    any registered strategy with the best known parameters of the
+    nearest previously-tuned problem.
+
+    ``warm`` carries parameter points recovered from a result store
+    (the engine resolves them via
+    :func:`repro.search.warmstart.lookup_warm_start` when
+    ``TuneConfig.warm_start`` names a store).  Each is *projected* onto
+    this kernel's space — off-grid coordinates snap to the start
+    point's values — evaluated right after the start point, and then
+    the inner strategy (``inner``, default the surrogate; spelled
+    ``transfer:<name>`` to pick another) runs on the remaining budget
+    from the best point seen so far.  The wrapper shares the outer
+    memo and budget: candidates the inner strategy re-asks are answered
+    from the memo without re-charging, and the outer budget is charged
+    exactly once per distinct candidate, in ask order — so the standing
+    jobs=1 vs jobs=N bit-identity holds unchanged.
+
+    With an empty ``warm`` list (no store, or an empty one) the search
+    degenerates to exactly the inner strategy under the same seed."""
+
+    name = "transfer"
+
+    def __init__(self, space: SearchSpace, start: TransformParams,
+                 inner: str = "surrogate",
+                 warm: Sequence[TransformParams] = (),
+                 warm_source: str = "", **kwargs):
+        _ensure_registered()
+        if inner == self.name:
+            raise SearchError("transfer cannot wrap itself")
+        if inner not in SEARCHERS:
+            raise SearchError(
+                f"unknown inner strategy {inner!r} for transfer; valid: "
+                f"{', '.join(sorted(SEARCHERS))}")
+        self.inner_name = inner
+        self.warm = list(warm)
+        self.warm_source = warm_source
+        super().__init__(space, start, **kwargs)
+
+    def _plan(self) -> Plan:
+        self.phase = "start"
+        (c0,) = yield [self.start]
+        self.start_cycles = c0
+        self._note(self.start, c0)
+
+        # warm candidates: neighbor bests projected legally into this
+        # space, deduplicated, evaluated before any strategy draws
+        seen = {self.start.key()}
+        warm: List[TransformParams] = []
+        for p in self.warm:
+            q = self.space.project(p, fallback=self.start)
+            if q.key() not in seen:
+                seen.add(q.key())
+                warm.append(q)
+        if warm:
+            self.phase = "warm"
+            cycles = yield warm
+            for params, c in zip(warm, cycles):
+                self._note(params, c)
+
+        remaining = self.max_evals - self.n_evaluations
+        if remaining <= 0:
+            return
+        inner_start = (self.best_params
+                       if math.isfinite(self.best_cycles) else self.start)
+        # the inner strategy re-evaluates its start point, which the
+        # outer memo already holds: grant it that one extra charge so
+        # the *outer* budget (which never re-charges a memo hit, and
+        # hard-caps at max_evals regardless) is spent in full
+        inner = make_searcher(
+            self.inner_name, self.space, inner_start,
+            max_evals=remaining + 1, min_gain=self.min_gain,
+            seed=self.seed, output_arrays=self.output_arrays)
+        while not inner.finished:
+            batch = inner.ask()
+            self.phase = inner.phase
+            cycles = yield batch
+            inner.tell(list(zip(batch, cycles)))
+            for params, c in zip(batch, cycles):
+                self._note(params, c)

@@ -1,0 +1,233 @@
+"""Warm-start lookup: nearest-neighbor retrieval over a result store.
+
+The transfer searcher (ROADMAP item 1) seeds a search with the best
+known parameters of the nearest previously-tuned problem.  This module
+is the retrieval half: it reads a ``repro serve`` result-store
+directory (one JSON file per answered request — the layout
+:class:`repro.service.jobs.ServeResultStore` writes), recovers each
+entry's (kernel, machine, context, n, best params), and ranks entries
+by a deterministic lexicographic distance to the query problem.
+
+Canonicalization is the load-bearing part.  Stored results spell their
+machine however the writer did (``TunedKernel.to_dict`` records the
+config's canonical-case name, e.g. ``"P4E"``; the wire schema
+lowercases to ``"p4e"``) and their context as either the enum value or
+a CLI short form.  Every spelling is folded through the *same* path the
+wire schema uses — ``get_machine(...).name.lower()`` and
+``parse_context`` — on both the stored and the query side, and a
+missing problem size takes the wire's ``default_n``.  Without that, a
+result served by the daemon is invisible to an in-process warm-start of
+the identical problem (the satellite bugfix this module's regression
+tests pin).
+
+The neighbor metric is lexicographic, most-significant first: same
+kernel, then same kernel family (``dasum``/``sasum`` share a base),
+then same machine, then same context, then the ``|log2|`` ratio of
+problem sizes — tie-broken by recorded cycles and finally by file name,
+so the ranking is a total order and the lookup is deterministic across
+processes and filesystems.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..fko.params import TransformParams
+
+__all__ = ["WarmEntry", "load_entries", "lookup_warm_start",
+           "write_warm_entry"]
+
+
+@dataclass(frozen=True)
+class WarmEntry:
+    """One stored tuning result, canonicalized for neighbor ranking."""
+
+    kernel: str
+    base: str                  # kernel family (precision-independent)
+    machine: str               # canonical lowercase (wire spelling)
+    context: str               # Context value string
+    n: int
+    params: TransformParams
+    cycles: float
+    source: str                # file name (deterministic tiebreak)
+
+
+# -- canonicalization (the wire schema's own paths, imported lazily to
+#    keep repro.search free of an import cycle with repro.service) ------
+
+def canon_machine(machine) -> str:
+    """Machine spelling -> the wire schema's canonical form (alias fold
+    through ``get_machine``, lowercased)."""
+    from ..machine import get_machine
+    name = getattr(machine, "name", machine)
+    return get_machine(str(name)).name.lower()
+
+
+def canon_context(context) -> str:
+    """Context spelling (enum, value string or CLI short form) -> the
+    canonical value string, via the wire schema's ``parse_context``."""
+    from ..service.schema import parse_context
+    return parse_context(context).value
+
+
+def canon_n(kernel: str, context, n) -> int:
+    """Problem size with the wire schema's defaulting: ``None`` takes
+    ``default_n(kernel, context)`` so an unsized query matches what the
+    daemon stored for the same unsized request."""
+    if n:
+        return int(n)
+    from ..service.schema import default_n, parse_context
+    return default_n(kernel, parse_context(context))
+
+
+def _kernel_base(kernel: str) -> str:
+    """The precision-independent kernel family, from the registry when
+    the kernel is known (``dasum`` and ``sasum`` -> ``asum``)."""
+    from ..kernels import REGISTRY
+    spec = REGISTRY.get(kernel)
+    if spec is not None:
+        return spec.base
+    return kernel
+
+
+# -- reading a store ----------------------------------------------------
+
+def _parse_entry(data, source: str) -> Optional[WarmEntry]:
+    """One store file -> a :class:`WarmEntry`, or None for anything
+    unusable (wrong shape, failed request, undecodable params).  Both
+    the :class:`TuneResponse` envelope and a bare ``TunedKernel`` dict
+    are accepted."""
+    if not isinstance(data, dict):
+        return None
+    result = data.get("result") if isinstance(data.get("result"), dict) \
+        else data
+    kernel = result.get("kernel")
+    params = result.get("params") or result.get("best_params")
+    if not isinstance(kernel, str) or not isinstance(params, dict):
+        return None
+    cycles = float("inf")
+    search = result.get("search")
+    if isinstance(search, dict) \
+            and isinstance(search.get("best_cycles"), (int, float)):
+        cycles = float(search["best_cycles"])
+    elif isinstance(result.get("timing"), dict) \
+            and isinstance(result["timing"].get("cycles"), (int, float)):
+        cycles = float(result["timing"]["cycles"])
+    try:
+        return WarmEntry(
+            kernel=kernel,
+            base=_kernel_base(kernel),
+            machine=canon_machine(result.get("machine", "p4e")),
+            context=canon_context(result.get("context", "out-of-cache")),
+            n=canon_n(kernel, result.get("context", "out-of-cache"),
+                      result.get("n")),
+            params=TransformParams.from_dict(params),
+            cycles=cycles,
+            source=source)
+    except (KeyError, ValueError, TypeError):
+        return None
+
+
+def load_entries(root) -> List[WarmEntry]:
+    """Every parseable entry under ``root`` (a serve result-store
+    directory), in deterministic (sorted-path) order.  A missing or
+    empty directory is an empty list, never an error — warm-starting is
+    always best-effort."""
+    rootp = pathlib.Path(root)
+    if not rootp.is_dir():
+        return []
+    entries: List[WarmEntry] = []
+    for path in sorted(rootp.rglob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        entry = _parse_entry(data, path.name)
+        if entry is not None:
+            entries.append(entry)
+    return entries
+
+
+# -- the neighbor metric ------------------------------------------------
+
+def _rank_key(entry: WarmEntry, kernel: str, base: str, machine: str,
+              context: str, n: int) -> Tuple:
+    return (entry.kernel != kernel,
+            entry.base != base,
+            entry.machine != machine,
+            entry.context != context,
+            abs(math.log2(entry.n / n)) if entry.n > 0 and n > 0 else 0.0,
+            entry.cycles,
+            entry.source)
+
+
+def lookup_warm_start(root, kernel: str, machine, context,
+                      n: Optional[int] = None, k: int = 2
+                      ) -> Tuple[List[TransformParams], str]:
+    """The ``k`` best warm-start candidates for (kernel, machine,
+    context, n) from the store at ``root``, nearest problem first, plus
+    a human-readable tag of the nearest neighbor (for the trace).
+    Candidates are deduplicated by parameter key; an empty or missing
+    store yields ``([], "")``."""
+    entries = load_entries(root)
+    if not entries:
+        return [], ""
+    machine = canon_machine(machine)
+    context = canon_context(context)
+    n = canon_n(kernel, context, n)
+    base = _kernel_base(kernel)
+    ranked = sorted(entries,
+                    key=lambda e: _rank_key(e, kernel, base, machine,
+                                            context, n))
+    picks: List[TransformParams] = []
+    seen = set()
+    for entry in ranked:
+        key = entry.params.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        picks.append(entry.params)
+        if len(picks) >= max(1, k):
+            break
+    nearest = ranked[0]
+    source = f"{nearest.kernel}:{nearest.machine}:{nearest.context}:" \
+             f"{nearest.n}"
+    return picks, source
+
+
+# -- writing entries (benchmarks, tests, offline store builders) --------
+
+def write_warm_entry(root, kernel: str, machine, context, n,
+                     params: TransformParams, cycles: float,
+                     extra: Optional[Dict] = None) -> pathlib.Path:
+    """Record one tuned result in the serve result-store layout
+    (``root/<digest[:2]>/<digest>.json`` keyed by the canonical
+    request digest), so benchmarks and tests can build warm stores
+    without running a daemon.  Returns the written path."""
+    from ..service.schema import TuneRequest
+    request = TuneRequest(kernel=kernel,
+                          machine=getattr(machine, "name", machine),
+                          context=context, n=n, test=False)
+    digest = request.digest()
+    entry = {"schema": 1, "digest": digest, "job_id": "",
+             "status": "done",
+             "result": {"schema": 1, "kernel": kernel,
+                        "machine": getattr(machine, "name", machine),
+                        "context": getattr(context, "value",
+                                           str(context)),
+                        "n": request.n,
+                        "params": params.to_dict(),
+                        "search": {"best_cycles": float(cycles)}}}
+    if extra:
+        entry["result"].update(extra)
+    target = pathlib.Path(root) / digest[:2] / f"{digest}.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_suffix(".tmp")
+    tmp.write_text(json.dumps(entry, indent=1, sort_keys=True))
+    os.replace(tmp, target)
+    return target

@@ -57,7 +57,10 @@ def parse_context(value) -> Context:
     v = str(value).lower()
     if v in ("oc", "ooc", "out", "out-of-cache"):
         return Context.OUT_OF_CACHE
-    if v in ("ic", "inl2", "in-l2", "in-cache"):
+    # "in-l2-cache" is Context.IN_L2.value lowercased: the enum's own
+    # value string must always round-trip (stored results record it),
+    # not just the CLI short forms
+    if v in ("ic", "inl2", "in-l2", "in-cache", "in-l2-cache"):
         return Context.IN_L2
     raise ValueError(f"unknown context {value!r}")
 

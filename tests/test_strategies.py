@@ -30,7 +30,7 @@ from repro.timing.timer import KernelTiming
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 #: the non-line strategies (line is covered by the golden suite)
-SEEDED = ("random", "anneal", "genetic")
+SEEDED = ("random", "anneal", "genetic", "surrogate", "transfer")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,414 @@
+"""Tests for the surrogate and transfer strategies and their support
+layers: the generic feature encoding on :class:`SearchSpace`, the
+warm-start neighbor lookup with wire-schema canonicalization, and the
+crash-proofed curves/perf-diff reporting.
+
+The determinism suite here complements ``test_strategies.py`` (which
+already races every seeded strategy through the jobs=1 vs jobs=N
+bit-identity and same-seed parametrizations, now including
+``surrogate`` and ``transfer``): the golden ask-stream digest below
+pins the surrogate's exact proposal sequence, so an accidental change
+to the mirror rng, the model rng split, the EI tie-break or the
+batch composition shows up as a digest mismatch, not a silent quality
+drift.
+"""
+
+import hashlib
+import json
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import cli
+from repro.errors import SearchError
+from repro.fko import TransformParams
+from repro.machine import Context
+from repro.obs import aggregate_curves, collect_curves
+from repro.obs.perfdiff import diff_metrics, render_diff
+from repro.search import (SearchSpace, TuneConfig, build_space,
+                          lookup_warm_start, make_searcher, searcher_names,
+                          split_strategy, tune_kernel, valid_strategy,
+                          write_warm_entry)
+from repro.search.space import dim_get
+from repro.service import TuneRequest
+
+from .conftest import DDOT_SRC
+
+
+@pytest.fixture
+def ddot_space(fko_p4e, p4e, ddot_src):
+    a = fko_p4e.analyze(ddot_src)
+    return build_space(a, p4e), fko_p4e.defaults(ddot_src)
+
+
+def _fake_cycles(params):
+    """Deterministic pseudo-cycles, independent of dict/set ordering."""
+    h = hashlib.sha256(repr(params.key()).encode()).digest()
+    return 1000.0 + int.from_bytes(h[:6], "big") % 100000
+
+
+def _drive(searcher):
+    asked = []
+    while not searcher.finished:
+        batch = searcher.ask()
+        asked.extend(p.key() for p in batch)
+        searcher.tell([(p, _fake_cycles(p)) for p in batch])
+    return asked, searcher.result()
+
+
+# ---------------------------------------------------------------------------
+# feature encoding
+
+class TestEncoding:
+    def test_one_feature_per_declared_dimension_in_order(self, ddot_space):
+        sp, start = ddot_space
+        x = sp.encode(start)
+        assert len(x) == len(sp.dimensions)
+        assert all(0.0 <= v <= 1.0 for v in x)
+        # flipping exactly one dimension moves exactly that coordinate
+        for i, dim in enumerate(sp.dimensions):
+            if len(dim.options) < 2:
+                continue
+            cur = dim_get(start, dim.name)
+            other = next(o for o in dim.options if o != cur)
+            from repro.search.space import dim_set
+            y = sp.encode(dim_set(start, dim.name, other))
+            changed = [j for j in range(len(x)) if x[j] != y[j]]
+            assert changed == [i], dim.name
+            break
+        else:
+            pytest.skip("space has no multi-option dimension")
+
+    def test_null_erased_ext_encodes_like_absent(self, ddot_space):
+        sp, start = ddot_space
+        absent = start.copy()
+        erased = start.copy()
+        # a store round-trip can hand back an explicit zero entry where
+        # with_ext would have dropped the key entirely; dim_get folds
+        # both to the same value, so the encodings must be identical
+        erased.ext = dict(erased.ext)
+        erased.ext["tile:j"] = 0
+        assert sp.encode(absent) == sp.encode(erased)
+
+    def test_off_grid_value_snaps_to_nearest_option(self):
+        sp = SearchSpace(sv_options=[False], wnt_options=[False],
+                         unroll_options=[1, 2, 4, 8], ae_options=[1],
+                         prefetch_arrays=[], hint_options=[],
+                         dist_options=[0], line=64)
+        i = next(j for j, d in enumerate(sp.dimensions)
+                 if d.name == "unroll")
+        # 3 is off the grid, equidistant from 2 and 4: the lower
+        # option index wins, so the snap is deterministic
+        off = sp.encode(TransformParams(unroll=3))[i]
+        assert off == sp.encode(TransformParams(unroll=2))[i]
+        assert off != sp.encode(TransformParams(unroll=4))[i]
+
+    def test_encoding_digest_stable_across_processes(self, ddot_space):
+        sp, start = ddot_space
+        here = hashlib.sha256(repr(sp.encode(start)).encode()).hexdigest()
+        prog = (
+            "import hashlib\n"
+            "from repro.fko import FKO\n"
+            "from repro.machine import pentium4e\n"
+            "from repro.search import build_space\n"
+            "src = %r\n"
+            "p4e = pentium4e()\n"
+            "fko = FKO(p4e)\n"
+            "sp = build_space(fko.analyze(src), p4e)\n"
+            "x = sp.encode(fko.defaults(src))\n"
+            "print(hashlib.sha256(repr(x).encode()).hexdigest())\n"
+        ) % DDOT_SRC
+        env = dict(os.environ)
+        src_dir = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "random"   # must not matter
+        out = subprocess.run([sys.executable, "-c", prog], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == here
+
+    def test_distance_is_zero_on_self_and_symmetric(self, ddot_space):
+        import numpy as np
+        from repro.search.strategies import _random_point
+        sp, start = ddot_space
+        other = _random_point(sp, np.random.default_rng(1))
+        assert sp.distance(start, start) == 0.0
+        assert sp.distance(start, other) == sp.distance(other, start)
+
+    def test_project_keeps_on_grid_values_and_fills_off_grid(self,
+                                                             ddot_space):
+        sp, start = ddot_space
+        projected = sp.project(start)
+        for dim in sp.dimensions:
+            assert dim_get(projected, dim.name) in dim.options
+        # an off-grid unroll falls back to the start's value
+        from repro.search.space import dim_set
+        weird = dim_set(start, "unroll", 999) \
+            if any(d.name == "unroll" for d in sp.dimensions) else None
+        if weird is not None:
+            back = sp.project(weird, fallback=start)
+            assert dim_get(back, "unroll") == dim_get(start, "unroll")
+
+
+# ---------------------------------------------------------------------------
+# the surrogate strategy
+
+class TestSurrogate:
+    #: sha256 over the exact key sequence the surrogate asks for on the
+    #: ddot space (p4e, max_evals=32, seed=7) against the _fake_cycles
+    #: evaluator — regenerate only for a *deliberate* proposal change
+    GOLDEN_ASK_DIGEST = ("34b893ed310a2fe56eafe7dd582ffbdb"
+                         "0cd9efc98ca50c2c4ee8ddf99086adb2")
+
+    def test_golden_seeded_ask_stream(self, ddot_space):
+        sp, start = ddot_space
+        s = make_searcher("surrogate", sp, start, max_evals=32, seed=7)
+        asked, res = _drive(s)
+        assert res.n_evaluations == 32
+        digest = hashlib.sha256(repr(asked).encode()).hexdigest()
+        assert digest == self.GOLDEN_ASK_DIGEST
+
+    def test_explore_prefix_mirrors_random_stream(self, ddot_space):
+        sp, start = ddot_space
+        sur, _ = _drive(make_searcher("surrogate", sp, start,
+                                      max_evals=40, seed=5))
+        rnd, _ = _drive(make_searcher("random", sp, start,
+                                      max_evals=40, seed=5))
+        n_explore = int(40 * 0.8)
+        common = 0
+        for a, b in zip(sur, rnd):
+            if a != b:
+                break
+            common += 1
+        assert common >= n_explore
+
+    def test_ask_batch_is_stable_permutation_charged_once(self,
+                                                          ddot_space):
+        sp, start = ddot_space
+        s = make_searcher("surrogate", sp, start, max_evals=24, seed=2)
+        s.tell([(p, _fake_cycles(p)) for p in s.ask()])   # start point
+        flat = s.ask()
+        assert len(flat) > 1
+        charged = s.n_evaluations
+        groups = s.ask_batch(limit=3)
+        # a pure evaluation hint: same multiset, nothing re-charged,
+        # same grouping on a second call
+        assert sorted(p.key() for g in groups for p in g) \
+            == sorted(p.key() for p in flat)
+        assert all(len(g) <= 3 for g in groups)
+        assert s.n_evaluations == charged
+        assert [[p.key() for p in g] for g in s.ask_batch(limit=3)] \
+            == [[p.key() for p in g] for g in groups]
+        s.tell([(p, _fake_cycles(p)) for p in flat])      # still ask order
+        # telling never re-charges the told batch: only the next ask's
+        # fresh candidates account for the budget delta
+        if not s.finished:
+            assert s.n_evaluations == charged + len(s.ask())
+
+    def test_bag_must_be_positive(self, ddot_space):
+        sp, start = ddot_space
+        with pytest.raises(SearchError, match="bag"):
+            make_searcher("surrogate", sp, start, bag=0)
+
+
+# ---------------------------------------------------------------------------
+# the transfer wrapper and the strategy-name grammar
+
+class TestTransfer:
+    def test_split_and_validate_compound_names(self):
+        assert split_strategy("surrogate") == ("surrogate", None)
+        assert split_strategy("transfer") == ("transfer", None)
+        assert split_strategy("transfer:genetic") == ("transfer", "genetic")
+        assert valid_strategy("transfer:genetic")
+        assert not valid_strategy("transfer:transfer")
+        assert not valid_strategy("transfer:bogus")
+        assert not valid_strategy("surrogate:genetic")
+        assert {"surrogate", "transfer"} <= set(searcher_names())
+
+    def test_config_and_wire_accept_new_strategies(self):
+        for name in ("surrogate", "transfer", "transfer:genetic"):
+            assert TuneConfig(strategy=name).strategy == name
+            assert TuneRequest(kernel="ddot", strategy=name).digest()
+        with pytest.raises(ValueError):
+            TuneConfig(strategy="transfer:nope")
+
+    def test_warm_candidates_evaluated_right_after_start(self,
+                                                         ddot_space):
+        sp, start = ddot_space
+        from repro.search.space import dim_set
+        cur = dim_get(start, "unroll")
+        warm = dim_set(start, "unroll", 4 if cur != 4 else 2)
+        s = make_searcher("transfer", sp, start, max_evals=16, seed=0,
+                          warm=[warm], warm_source="test")
+        asked, res = _drive(s)
+        assert asked[0] == start.key()
+        assert asked[1] == warm.key()
+        assert res.n_evaluations == 16
+        assert any(phase == "warm" for phase, _, _ in res.history)
+        assert res.best_cycles <= _fake_cycles(warm)
+
+    def test_transfer_spends_full_budget(self, ddot_space):
+        sp, start = ddot_space
+        for inner in ("surrogate", "genetic", "random"):
+            s = make_searcher(f"transfer:{inner}", sp, start,
+                              max_evals=20, seed=1)
+            _, res = _drive(s)
+            assert res.n_evaluations == 20, inner
+
+
+# ---------------------------------------------------------------------------
+# warm-start lookup: wire-schema canonicalization
+
+class TestWarmStartLookup:
+    def test_two_spellings_one_neighbor(self, tmp_path):
+        """The satellite regression: a result stored under the
+        TunedKernel spelling (``"P4E"``, enum context, explicit paper
+        N) must be found by a query in the wire spelling (``"p4e"``,
+        CLI short form, defaulted N) — and vice versa."""
+        store = tmp_path / "store"
+        p = TransformParams(unroll=4)
+        write_warm_entry(store, kernel="ddot", machine="P4E",
+                         context=Context.OUT_OF_CACHE, n=80000,
+                         params=p, cycles=123.0)
+        warm, source = lookup_warm_start(store, "ddot", "p4e", "oc",
+                                         n=None)
+        assert [w.key() for w in warm] == [p.key()]
+        assert source == "ddot:p4e:out-of-cache:80000"
+        # and the reverse spelling on the query side
+        warm2, _ = lookup_warm_start(store, "ddot", "P4E",
+                                     Context.OUT_OF_CACHE, n=80000)
+        assert [w.key() for w in warm2] == [p.key()]
+
+    def test_nearest_neighbor_ranking(self, tmp_path):
+        store = tmp_path / "store"
+        exact = TransformParams(unroll=8)
+        cousin = TransformParams(unroll=2)
+        write_warm_entry(store, kernel="ddot", machine="p4e",
+                         context="out-of-cache", n=80000,
+                         params=exact, cycles=50.0)
+        write_warm_entry(store, kernel="dasum", machine="p4e",
+                         context="out-of-cache", n=80000,
+                         params=cousin, cycles=10.0)
+        warm, source = lookup_warm_start(store, "ddot", "p4e",
+                                         "out-of-cache", n=80000, k=2)
+        assert warm[0].key() == exact.key()    # same kernel outranks
+        assert source.startswith("ddot:")
+
+    def test_every_context_value_round_trips_through_parse(self):
+        """The regression behind half the warm store going invisible:
+        ``parse_context`` rejected ``Context.IN_L2.value`` itself
+        (``"in-L2-cache"``), the exact spelling stored results record —
+        so every in-L2 entry silently failed to canonicalize."""
+        from repro.service import parse_context
+        for ctx in Context:
+            assert parse_context(ctx.value) is ctx
+            assert parse_context(ctx.value.lower()) is ctx
+
+    def test_in_l2_entry_found_under_enum_value_spelling(self, tmp_path):
+        store = tmp_path / "store"
+        p = TransformParams(unroll=2)
+        write_warm_entry(store, kernel="dasum", machine="opteron",
+                         context=Context.IN_L2, n=1024,
+                         params=p, cycles=9.0)
+        warm, source = lookup_warm_start(store, "dasum", "opteron",
+                                         "in-L2-cache", n=1024)
+        assert [w.key() for w in warm] == [p.key()]
+        assert source == "dasum:opteron:in-L2-cache:1024"
+
+    def test_missing_store_is_empty_not_an_error(self, tmp_path):
+        warm, source = lookup_warm_start(tmp_path / "nope", "ddot",
+                                         "p4e", "oc")
+        assert warm == [] and source == ""
+
+    def test_malformed_entries_are_skipped(self, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "junk.json").write_text("{not json")
+        (store / "wrong.json").write_text(json.dumps({"schema": 1}))
+        warm, source = lookup_warm_start(store, "ddot", "p4e", "oc")
+        assert warm == [] and source == ""
+
+    def test_engine_wraps_strategy_and_traces_warm_start(self, tmp_path):
+        from repro.kernels import get_kernel
+        from repro.machine import pentium4e
+        store = tmp_path / "store"
+        trace = tmp_path / "trace.jsonl"
+        seeded = tune_kernel(
+            get_kernel("dasum"), pentium4e(), Context.OUT_OF_CACHE, 8000,
+            config=TuneConfig(strategy="random", seed=0, max_evals=8,
+                              run_tester=False))
+        write_warm_entry(store, kernel="dasum", machine="P4E",
+                         context=Context.OUT_OF_CACHE, n=8000,
+                         params=seeded.search.best_params,
+                         cycles=seeded.search.best_cycles)
+        tk = tune_kernel(
+            get_kernel("dasum"), pentium4e(), Context.OUT_OF_CACHE, 8000,
+            config=TuneConfig(strategy="random", seed=0, max_evals=8,
+                              run_tester=False, warm_start=str(store),
+                              trace=str(trace)))
+        events = [json.loads(line) for line in
+                  trace.read_text().splitlines()]
+        warm_events = [e for e in events if e.get("event") == "warm-start"]
+        assert warm_events and warm_events[0]["candidates"] >= 1
+        starts = [e for e in events if e.get("event") == "job-start"]
+        assert starts[0]["strategy"] == "transfer:random"
+        # warm-started from random's own best: can never do worse
+        assert tk.search.best_cycles <= seeded.search.best_cycles
+
+
+# ---------------------------------------------------------------------------
+# crash-proofed reporting
+
+class TestReportingRobustness:
+    def test_curve_event_only_trace_aggregates(self):
+        events = [
+            {"event": "job-start", "job": "j", "strategy": "random",
+             "seed": 0},
+            {"event": "curve", "job": "j", "evaluations": 4,
+             "best_cycles": 100.0},
+            {"event": "curve", "job": "j", "evaluations": 8,
+             "best_cycles": 80.0},
+            {"event": "job-end", "job": "j"},
+        ]
+        curves = collect_curves(events)
+        (entry,) = curves.values()
+        assert entry["evaluations"] == 8
+        assert entry["best_cycles"] == 80.0
+        agg = aggregate_curves(curves)
+        assert agg["checkpoints"]
+        row = agg["strategies"]["random"]["ratio_of_best"]
+        assert row[8] == 1.0
+
+    def test_infinite_best_cycles_never_poisons_aggregate(self):
+        events = [
+            {"event": "job-start", "job": "j", "strategy": "anneal",
+             "seed": 0},
+            {"event": "curve", "job": "j", "evaluations": 2,
+             "best_cycles": float("inf")},
+            {"event": "curve", "job": "j", "evaluations": 4,
+             "best_cycles": 50.0},
+        ]
+        curves = collect_curves(events)
+        (entry,) = curves.values()
+        assert entry["best_cycles"] == 50.0
+        agg = aggregate_curves(curves)
+        for row in agg["strategies"].values():
+            for v in row["ratio_of_best"].values():
+                assert v is None or math.isfinite(v)
+
+    def test_cli_curves_eventless_trace_exits_zero(self, tmp_path,
+                                                   capsys):
+        path = tmp_path / "noise.jsonl"
+        path.write_text(json.dumps({"event": "meta", "schema": 2}) + "\n")
+        assert cli.main(["curves", str(path)]) == 0
+        assert "no convergence data" in capsys.readouterr().out
+
+    def test_perfdiff_disjoint_artifacts_report_no_data(self):
+        report = diff_metrics({"a": 1.0}, {"b": 2.0})
+        assert report["rows"] == [] and report["regressions"] == []
+        text = render_diff(report)
+        assert "no data" in text
+        assert "only-old: 1" in text and "only-new: 1" in text
